@@ -1,0 +1,82 @@
+// Communication-cost extension for the multidatabase setting (Sections 3
+// and 7): bytes shipped per algorithm and execution site for the TREC
+// cross-join WSJ (inner) x FR (outer), and the saving from the paper's
+// standard term-number mapping (terms as 3-byte numbers vs ~5x-larger
+// strings).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cost/comm_model.h"
+
+namespace textjoin {
+namespace {
+
+void ShippingTable(const CostInputs& in, double expansion) {
+  std::printf("\nterm representation: %s (expansion %.1fx)\n",
+              expansion == 1.0 ? "standard 3-byte numbers" : "raw strings",
+              expansion);
+  std::printf("%-8s %16s %16s %16s   %s\n", "algo", "@inner(MB)",
+              "@outer(MB)", "@third(MB)", "cheapest");
+  auto mb = [](const CommEstimate& e) { return e.TotalBytes() / 1e6; };
+  struct Row {
+    Algorithm algo;
+    CommEstimate inner, outer, third;
+  };
+  Row rows[] = {
+      {Algorithm::kHhnl,
+       HhnlCommCost(in, ExecutionSite::kInnerSite, expansion),
+       HhnlCommCost(in, ExecutionSite::kOuterSite, expansion),
+       HhnlCommCost(in, ExecutionSite::kThirdSite, expansion)},
+      {Algorithm::kHvnl,
+       HvnlCommCost(in, ExecutionSite::kInnerSite, expansion),
+       HvnlCommCost(in, ExecutionSite::kOuterSite, expansion),
+       HvnlCommCost(in, ExecutionSite::kThirdSite, expansion)},
+      {Algorithm::kVvm,
+       VvmCommCost(in, ExecutionSite::kInnerSite, expansion),
+       VvmCommCost(in, ExecutionSite::kOuterSite, expansion),
+       VvmCommCost(in, ExecutionSite::kThirdSite, expansion)},
+  };
+  for (const Row& r : rows) {
+    std::printf("%-8s %16.2f %16.2f %16.2f   %s\n",
+                AlgorithmName(r.algo), mb(r.inner), mb(r.outer), mb(r.third),
+                ExecutionSiteName(CheapestSite(r.algo, in, expansion)));
+  }
+}
+
+}  // namespace
+}  // namespace textjoin
+
+int main() {
+  using namespace textjoin;
+  std::printf(
+      "== Multidatabase communication costs: C1 = WSJ at the inner site, "
+      "C2 = FR at the outer site ==\n");
+  CostInputs in = bench_util::MakeInputs(ToStatistics(WsjProfile()),
+                                         ToStatistics(FrProfile()));
+  ShippingTable(in, 1.0);
+  ShippingTable(in, 5.0);
+
+  std::printf(
+      "\n-- after a selection leaves 50 outer documents (Group-3 shape) "
+      "--\n");
+  in.participating_outer = 50;
+  in.outer_reads_random = true;
+  ShippingTable(in, 1.0);
+
+  std::printf(
+      "\n-- joint (algorithm, site) choice vs network cost (pages shipped "
+      "weighted\n   by network_page_cost relative to one sequential read) "
+      "--\n");
+  in = bench_util::MakeInputs(ToStatistics(WsjProfile()),
+                              ToStatistics(FrProfile()));
+  std::printf("%-14s %10s %12s %14s %14s %14s\n", "net cost/page", "algo",
+              "site", "io(pages)", "shipped(pages)", "total");
+  for (double net : {0.0, 0.1, 1.0, 5.0, 50.0}) {
+    DistributedPlan plan = ChooseDistributedPlan(in, net);
+    std::printf("%-14.1f %10s %12s %14.0f %14.0f %14.0f\n", net,
+                AlgorithmName(plan.algorithm), ExecutionSiteName(plan.site),
+                plan.io_cost, plan.comm_pages, plan.total_cost);
+  }
+  return 0;
+}

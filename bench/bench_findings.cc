@@ -1,0 +1,167 @@
+// Checks the five summary findings of Section 6.1 against this
+// reproduction's cost model, sweeping the same parameter grids as the
+// five simulation groups, and prints a PASS/FAIL verdict per finding.
+//
+//   1. Costs of different algorithms differ drastically in the same
+//      situation (choosing matters).
+//   2. HVNL has a very good chance to win when one collection is or
+//      becomes very small (M limited by ~100).
+//   3. VVM (sequential version) wins when N1*N2 < 10000*B and both
+//      collections are too large for memory.
+//   4. For most other cases, plain HHNL performs very well.
+//   5. The random-I/O variants do not change the ranking, except for VVM.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "cost/statistics.h"
+
+namespace textjoin {
+namespace {
+
+using bench_util::MakeInputs;
+
+int checks = 0, failures = 0;
+
+void Verdict(const char* finding, bool ok, const std::string& detail) {
+  ++checks;
+  if (!ok) ++failures;
+  std::printf("[%s] %s — %s\n", ok ? "PASS" : "FAIL", finding,
+              detail.c_str());
+}
+
+// Finding 1: max/min cost ratio across algorithms, base parameters.
+void CheckFinding1() {
+  double worst_ratio = 0;
+  std::string where;
+  for (const TrecProfile& a : AllTrecProfiles()) {
+    for (const TrecProfile& b : AllTrecProfiles()) {
+      CostComparison c =
+          CompareCosts(MakeInputs(ToStatistics(a), ToStatistics(b)));
+      double lo = c.of(c.BestSequential()).seq;
+      double hi = std::max({c.hhnl.seq, c.hvnl.seq, c.vvm.seq});
+      if (hi / lo > worst_ratio) {
+        worst_ratio = hi / lo;
+        where = a.name + "x" + b.name;
+      }
+    }
+  }
+  char detail[128];
+  std::snprintf(detail, sizeof(detail),
+                "largest cost spread %.0fx (at %s); drastic differences "
+                "confirmed",
+                worst_ratio, where.c_str());
+  Verdict("Finding 1 (cost spread)", worst_ratio > 10, detail);
+}
+
+// Finding 2: HVNL wins when the outer side becomes very small, with the
+// break-even "likely limited by 100" documents (and depending mainly on
+// the terms per document of the outer collection).
+void CheckFinding2() {
+  bool ok = true;
+  std::string detail = "crossover m:";
+  for (const TrecProfile& p : AllTrecProfiles()) {
+    int64_t last_win = 0;
+    for (int64_t m = 1; m <= 200; ++m) {
+      CostInputs in = MakeInputs(ToStatistics(p), ToStatistics(p));
+      in.participating_outer = m;
+      in.outer_reads_random = true;
+      if (CompareCosts(in).BestSequential() == Algorithm::kHvnl) {
+        last_win = m;
+      }
+    }
+    // HVNL must win for the smallest m and stop winning by m = 100.
+    ok = ok && last_win >= 1 && last_win <= 100;
+    detail += " " + p.name + "=" + std::to_string(last_win);
+  }
+  Verdict("Finding 2 (HVNL for small outer)", ok, detail);
+}
+
+// Finding 3: VVM wins when N1*N2 < 10000*B and collections exceed memory.
+void CheckFinding3() {
+  int wins = 0, cases = 0;
+  for (const TrecProfile& p : AllTrecProfiles()) {
+    for (int64_t k : {32, 64, 128, 256}) {
+      CollectionStatistics s = RescaledStatistics(ToStatistics(p), k);
+      if (s.avg_terms_per_doc > static_cast<double>(s.num_distinct_terms)) {
+        continue;
+      }
+      double n = static_cast<double>(s.num_documents);
+      bool vvm_zone =
+          n * n < 10000.0 * static_cast<double>(bench_util::kBaseB) &&
+          s.CollectionPages(bench_util::kPageSize) >
+              static_cast<double>(bench_util::kBaseB);
+      if (!vvm_zone) continue;
+      ++cases;
+      CostInputs in = MakeInputs(s, s);
+      if (CompareCosts(in).BestSequential() == Algorithm::kVvm) ++wins;
+    }
+  }
+  char detail[128];
+  std::snprintf(detail, sizeof(detail),
+                "VVM wins %d/%d cases inside its predicted zone", wins,
+                cases);
+  Verdict("Finding 3 (VVM zone)", cases > 0 && wins == cases, detail);
+}
+
+// Finding 4: HHNL wins the base self-joins and cross-joins.
+void CheckFinding4() {
+  int wins = 0, cases = 0;
+  for (const TrecProfile& a : AllTrecProfiles()) {
+    for (const TrecProfile& b : AllTrecProfiles()) {
+      for (int64_t B : {2000, 10000, 50000}) {
+        ++cases;
+        CostComparison c =
+            CompareCosts(MakeInputs(ToStatistics(a), ToStatistics(b), B));
+        if (c.BestSequential() == Algorithm::kHhnl) ++wins;
+      }
+    }
+  }
+  char detail[128];
+  std::snprintf(detail, sizeof(detail),
+                "HHNL wins %d/%d unreduced real-collection joins", wins,
+                cases);
+  Verdict("Finding 4 (HHNL for most cases)", wins >= cases * 3 / 4, detail);
+}
+
+// Finding 5: ranking under the random model equals the sequential ranking
+// once VVM is set aside.
+void CheckFinding5() {
+  int stable = 0, cases = 0;
+  for (const TrecProfile& a : AllTrecProfiles()) {
+    for (const TrecProfile& b : AllTrecProfiles()) {
+      for (int64_t B : {2000, 10000, 50000}) {
+        ++cases;
+        CostComparison c =
+            CompareCosts(MakeInputs(ToStatistics(a), ToStatistics(b), B));
+        // Compare HHNL vs HVNL order under both models (VVM excepted).
+        bool seq_order = c.hhnl.seq <= c.hvnl.seq;
+        bool rand_order = c.hhnl.rand <= c.hvnl.rand;
+        if (seq_order == rand_order) ++stable;
+      }
+    }
+  }
+  char detail[128];
+  std::snprintf(detail, sizeof(detail),
+                "HHNL/HVNL ranking unchanged by the random model in %d/%d "
+                "cases",
+                stable, cases);
+  Verdict("Finding 5 (random model ranking)", stable == cases, detail);
+}
+
+}  // namespace
+}  // namespace textjoin
+
+int main() {
+  std::printf("== Section 6.1 findings check ==\n");
+  textjoin::CheckFinding1();
+  textjoin::CheckFinding2();
+  textjoin::CheckFinding3();
+  textjoin::CheckFinding4();
+  textjoin::CheckFinding5();
+  std::printf("\n%d checks, %d failures\n", textjoin::checks,
+              textjoin::failures);
+  return textjoin::failures == 0 ? 0 : 1;
+}

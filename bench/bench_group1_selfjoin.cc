@@ -1,0 +1,58 @@
+// Simulation Group 1 (Section 6): C1 = C2 = one real collection. Six
+// simulations: for each of WSJ, FR and DOE, sweep the memory size B (with
+// alpha at its base value 5) and sweep alpha (with B at its base value
+// 10000 pages). Prints all six cost series (hhs/hhr, hvs/hvr, vvs/vvr)
+// and the winner under the sequential device model.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace textjoin {
+namespace {
+
+using bench_util::MakeInputs;
+using bench_util::PrintCostHeader;
+using bench_util::PrintCostRow;
+using bench_util::PrintRule;
+
+void SweepB(const TrecProfile& p) {
+  std::printf("\n-- Group 1: %s self-join, vary B (alpha = %.0f) --\n",
+              p.name.c_str(), bench_util::kBaseAlpha);
+  PrintCostHeader("B(pages)");
+  PrintRule();
+  CollectionStatistics s = ToStatistics(p);
+  for (int64_t B : {1000, 2000, 4000, 8000, 10000, 16000, 32000, 64000,
+                    128000}) {
+    CostInputs in = MakeInputs(s, s, B);
+    PrintCostRow(std::to_string(B), CompareCosts(in));
+  }
+}
+
+void SweepAlpha(const TrecProfile& p) {
+  std::printf("\n-- Group 1: %s self-join, vary alpha (B = %lld) --\n",
+              p.name.c_str(), static_cast<long long>(bench_util::kBaseB));
+  PrintCostHeader("alpha");
+  PrintRule();
+  CollectionStatistics s = ToStatistics(p);
+  for (double alpha : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0}) {
+    CostInputs in = MakeInputs(s, s, bench_util::kBaseB, alpha);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.0f", alpha);
+    PrintCostRow(label, CompareCosts(in));
+  }
+}
+
+}  // namespace
+}  // namespace textjoin
+
+int main() {
+  std::printf(
+      "== Group 1: identical real collections (6 simulations) ==\n"
+      "Costs in pages (1 sequential page read = 1; random read = alpha).\n");
+  for (const textjoin::TrecProfile& p : textjoin::AllTrecProfiles()) {
+    textjoin::SweepB(p);
+    textjoin::SweepAlpha(p);
+  }
+  return 0;
+}

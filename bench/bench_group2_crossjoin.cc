@@ -1,0 +1,45 @@
+// Simulation Group 2 (Section 6): different real collections as C1 and
+// C2 — all six ordered pairs of {WSJ, FR, DOE} — sweeping the memory size
+// B while alpha stays at its base value. q follows the paper's piecewise
+// formula from the two distinct-term counts.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace textjoin {
+namespace {
+
+using bench_util::MakeInputs;
+
+void SweepPair(const TrecProfile& inner, const TrecProfile& outer) {
+  std::printf("\n-- Group 2: C1 = %s (inner), C2 = %s (outer), vary B --\n",
+              inner.name.c_str(), outer.name.c_str());
+  CostInputs probe = MakeInputs(ToStatistics(inner), ToStatistics(outer));
+  std::printf("q = P(term of %s also in %s) = %.3f\n", outer.name.c_str(),
+              inner.name.c_str(), probe.q);
+  bench_util::PrintCostHeader("B(pages)");
+  bench_util::PrintRule();
+  for (int64_t B : {1000, 2000, 4000, 8000, 10000, 16000, 32000, 64000,
+                    128000}) {
+    CostInputs in = MakeInputs(ToStatistics(inner), ToStatistics(outer), B);
+    bench_util::PrintCostRow(std::to_string(B), CompareCosts(in));
+  }
+}
+
+}  // namespace
+}  // namespace textjoin
+
+int main() {
+  std::printf(
+      "== Group 2: cross joins of different real collections (6 pairs) ==\n"
+      "Costs in pages (1 sequential page read = 1; random read = alpha).\n");
+  const auto& profiles = textjoin::AllTrecProfiles();
+  for (const auto& inner : profiles) {
+    for (const auto& outer : profiles) {
+      if (inner.name == outer.name) continue;
+      textjoin::SweepPair(inner, outer);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Simulation Group 4 (Section 6): the outer collection C2 is ORIGINALLY
+// small, derived from the real collection C1 by taking m documents. In
+// contrast to Group 3: (1) C2's documents are contiguous and scanned
+// sequentially; (2) C2's inverted file and B+tree are sized from the
+// small collection itself (T2' follows the distinct-term growth curve
+// f(m)). Base B and alpha; q re-estimated from the reduced T2'.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cost/statistics.h"
+
+namespace textjoin {
+namespace {
+
+void Sweep(const TrecProfile& p) {
+  std::printf("\n-- Group 4: C1 = %s, C2 = first m documents of C1 --\n",
+              p.name.c_str());
+  bench_util::PrintCostHeader("m");
+  bench_util::PrintRule();
+  CollectionStatistics c1 = ToStatistics(p);
+  for (int64_t m : {1, 5, 10, 20, 50, 100, 200, 500, 1000, 5000, 20000}) {
+    if (m > p.num_documents) continue;
+    CollectionStatistics c2 = ReducedStatistics(c1, m);
+    CostInputs in = bench_util::MakeInputs(c1, c2);
+    bench_util::PrintCostRow(std::to_string(m), CompareCosts(in));
+  }
+}
+
+}  // namespace
+}  // namespace textjoin
+
+int main() {
+  std::printf(
+      "== Group 4: originally small outer collections (3 simulations) ==\n"
+      "Costs in pages (sequential read = 1; random read = alpha).\n");
+  for (const textjoin::TrecProfile& p : textjoin::AllTrecProfiles()) {
+    textjoin::Sweep(p);
+  }
+  return 0;
+}

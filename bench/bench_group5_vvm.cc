@@ -1,0 +1,64 @@
+// Simulation Group 5 (Section 6): both collections are identical derived
+// collections — the number of documents divided by k and the terms per
+// document multiplied by k, keeping the collection size constant. This is
+// the shape aimed at VVM: large collections with few documents need
+// little memory for the intermediate similarity matrix (SM ~ N1*N2),
+// while neither collection fits in the buffer. Base B and alpha.
+//
+// This is the experiment behind the paper's finding 3: VVM wins when
+// N1 * N2 < 10000 * B and neither collection fits in memory.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cost/statistics.h"
+
+namespace textjoin {
+namespace {
+
+void Sweep(const TrecProfile& p) {
+  std::printf(
+      "\n-- Group 5: C1 = C2 = %s with documents merged by factor k --\n",
+      p.name.c_str());
+  std::printf("%-8s %10s %14s", "k", "N", "N^2/(10000*B)");
+  std::printf(" %12s %12s %12s %12s %12s %12s   %s\n", "hhs", "hhr", "hvs",
+              "hvr", "vvs", "vvr", "best(seq)");
+  bench_util::PrintRule();
+  CollectionStatistics base = ToStatistics(p);
+  for (int64_t k : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}) {
+    CollectionStatistics s = RescaledStatistics(base, k);
+    if (s.avg_terms_per_doc > static_cast<double>(s.num_distinct_terms)) {
+      break;  // documents cannot have more distinct terms than exist
+    }
+    CostInputs in = bench_util::MakeInputs(s, s);
+    CostComparison c = CompareCosts(in);
+    double pressure = static_cast<double>(s.num_documents) *
+                      static_cast<double>(s.num_documents) /
+                      (10000.0 * static_cast<double>(bench_util::kBaseB));
+    std::printf("%-8lld %10lld %14.3f", static_cast<long long>(k),
+                static_cast<long long>(s.num_documents), pressure);
+    std::printf(" %12s %12s %12s %12s %12s %12s   %s\n",
+                bench_util::FmtCost(c.hhnl, false).c_str(),
+                bench_util::FmtCost(c.hhnl, true).c_str(),
+                bench_util::FmtCost(c.hvnl, false).c_str(),
+                bench_util::FmtCost(c.hvnl, true).c_str(),
+                bench_util::FmtCost(c.vvm, false).c_str(),
+                bench_util::FmtCost(c.vvm, true).c_str(),
+                AlgorithmName(c.BestSequential()));
+  }
+}
+
+}  // namespace
+}  // namespace textjoin
+
+int main() {
+  std::printf(
+      "== Group 5: fewer, larger documents at constant collection size "
+      "==\nCosts in pages; the paper's VVM memory-pressure ratio "
+      "N1*N2/(10000*B)\nis printed alongside (VVM is expected to win once "
+      "it drops below ~1).\n");
+  for (const textjoin::TrecProfile& p : textjoin::AllTrecProfiles()) {
+    textjoin::Sweep(p);
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+// A2: google-benchmark microbenchmarks of the computational kernels the
+// executors are built from — the similarity merge, top-k maintenance,
+// cell decoding, B+tree lookups and the HVNL accumulation loop.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+
+#include "common/random.h"
+#include "index/btree.h"
+#include "index/inverted_file.h"
+#include "join/similarity.h"
+#include "join/topk.h"
+#include "text/collection.h"
+
+namespace textjoin {
+namespace {
+
+Document MakeDoc(int64_t terms, int64_t vocab, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<char> used(static_cast<size_t>(vocab), 0);
+  std::vector<DCell> cells;
+  while (static_cast<int64_t>(cells.size()) < terms) {
+    TermId t = static_cast<TermId>(rng.NextBounded(static_cast<uint64_t>(vocab)));
+    if (used[t]) continue;
+    used[t] = 1;
+    cells.push_back(DCell{t, static_cast<Weight>(1 + rng.NextBounded(4))});
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const DCell& a, const DCell& b) { return a.term < b.term; });
+  return Document::FromSortedCells(std::move(cells));
+}
+
+void BM_DotSimilarity(benchmark::State& state) {
+  const int64_t terms = state.range(0);
+  Document a = MakeDoc(terms, terms * 4, 1);
+  Document b = MakeDoc(terms, terms * 4, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DotSimilarity(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * terms * 2);
+}
+BENCHMARK(BM_DotSimilarity)->Arg(32)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_WeightedDot(benchmark::State& state) {
+  const int64_t terms = state.range(0);
+  SimulatedDisk disk(4096);
+  CollectionBuilder b1(&disk, "a"), b2(&disk, "b");
+  TEXTJOIN_CHECK_OK(
+      b1.AddDocument(Document::FromSortedCells({{1, 1}})).status());
+  TEXTJOIN_CHECK_OK(
+      b2.AddDocument(Document::FromSortedCells({{1, 1}})).status());
+  auto c1 = std::move(b1.Finish()).value();
+  auto c2 = std::move(b2.Finish()).value();
+  auto ctx = SimilarityContext::Create(c1, c2, {});
+  Document a = MakeDoc(terms, terms * 4, 1);
+  Document b = MakeDoc(terms, terms * 4, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WeightedDot(a, b, *ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * terms * 2);
+}
+BENCHMARK(BM_WeightedDot)->Arg(32)->Arg(512);
+
+void BM_TopKAdd(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  Rng rng(7);
+  std::vector<Match> stream;
+  for (int i = 0; i < 10000; ++i) {
+    stream.push_back(Match{static_cast<DocId>(i),
+                           static_cast<double>(rng.NextBounded(1000) + 1)});
+  }
+  for (auto _ : state) {
+    TopKAccumulator acc(k);
+    for (const Match& m : stream) acc.Add(m.doc, m.score);
+    benchmark::DoNotOptimize(acc.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_TopKAdd)->Arg(1)->Arg(20)->Arg(200);
+
+void BM_DecodeICells(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<ICell> cells;
+  for (int64_t i = 0; i < n; ++i) {
+    cells.push_back(ICell{static_cast<DocId>(i), 2});
+  }
+  std::vector<uint8_t> bytes;
+  EncodeICells(cells, &bytes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeICells(bytes.data(), n));
+  }
+  state.SetBytesProcessed(state.iterations() * n * kICellBytes);
+}
+BENCHMARK(BM_DecodeICells)->Arg(64)->Arg(4096);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  SimulatedDisk disk(4096);
+  std::vector<BPlusTree::LeafCell> cells;
+  for (int64_t i = 0; i < n; ++i) {
+    cells.push_back(BPlusTree::LeafCell{static_cast<TermId>(i * 2),
+                                        static_cast<uint32_t>(i), 1});
+  }
+  auto tree = BPlusTree::BulkLoad(&disk, "t", cells);
+  TEXTJOIN_CHECK_OK(tree.status());
+  Rng rng(9);
+  for (auto _ : state) {
+    TermId t = static_cast<TermId>(rng.NextBounded(static_cast<uint64_t>(n)) * 2);
+    benchmark::DoNotOptimize(tree->Lookup(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup)->Arg(1000)->Arg(100000);
+
+void BM_AccumulateEntry(benchmark::State& state) {
+  // The HVNL inner loop: merge one inverted entry into the accumulator.
+  const int64_t n = state.range(0);
+  std::vector<ICell> entry;
+  for (int64_t i = 0; i < n; ++i) {
+    entry.push_back(ICell{static_cast<DocId>(i * 3), 2});
+  }
+  std::unordered_map<DocId, double> acc;
+  for (auto _ : state) {
+    for (const ICell& c : entry) {
+      acc[c.doc] += static_cast<double>(c.weight) * 2.0;
+    }
+    benchmark::DoNotOptimize(acc.size());
+    if (acc.size() > 500000) acc.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AccumulateEntry)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace textjoin
+
+BENCHMARK_MAIN();

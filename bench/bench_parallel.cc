@@ -1,0 +1,114 @@
+// Parallel text joins (Section 7 further-work item 3): speedup curves of
+// the shared-nothing partitioned evaluation. The outer collection is
+// range-partitioned across W workers, each node bringing its own buffer;
+// the parallel elapsed cost is the makespan (most expensive worker).
+//
+// Two opposing effects are visible in the work-ratio column:
+//   * extra memory: with more nodes, per-worker VVM similarity matrices
+//     fit in one pass, so total work can DROP below the serial cost;
+//   * replication tax: every worker still scans its full C1 replica (or
+//     reloads its own B+tree for HVNL), so once the passes are gone,
+//     total work grows roughly linearly with W while the makespan
+//     bottoms out at "one scan of the inner replica".
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "index/inverted_file.h"
+#include "join/hhnl.h"
+#include "join/hvnl.h"
+#include "join/vvm.h"
+#include "parallel/parallel_join.h"
+#include "sim/synthetic.h"
+
+namespace textjoin {
+namespace {
+
+constexpr int64_t kPage = 512;
+constexpr double kAlpha = 5.0;
+
+void Sweep(Algorithm algo, const JoinContext& ctx, const JoinSpec& spec,
+           double serial_cost) {
+  std::printf("\n-- %s --\n", AlgorithmName(algo));
+  std::printf("%-8s %14s %14s %10s %14s\n", "workers", "makespan",
+              "total work", "speedup", "work ratio");
+  for (int64_t w : {1, 2, 4, 8, 16}) {
+    ParallelTextJoin parallel(ParallelTextJoin::Options{algo, w});
+    auto report = parallel.Run(ctx, spec);
+    if (!report.ok()) {
+      std::printf("%-8lld %s\n", static_cast<long long>(w),
+                  report.status().ToString().c_str());
+      continue;
+    }
+    double makespan = report->MakespanCost(kAlpha);
+    double total = report->TotalCost(kAlpha);
+    std::printf("%-8lld %14.0f %14.0f %9.2fx %13.2fx\n",
+                static_cast<long long>(w), makespan, total,
+                serial_cost / makespan, total / serial_cost);
+  }
+}
+
+}  // namespace
+}  // namespace textjoin
+
+int main() {
+  using namespace textjoin;
+  std::printf(
+      "== Parallel partitioned text join: speedup vs work inflation ==\n");
+
+  SimulatedDisk disk(kPage);
+  SyntheticSpec s1{800, 12.0, 1200, 1.0, 0, 31};
+  SyntheticSpec s2{600, 10.0, 1200, 1.0, 0, 32};
+  auto c1 = GenerateCollection(&disk, "par.c1", s1);
+  auto c2 = GenerateCollection(&disk, "par.c2", s2);
+  TEXTJOIN_CHECK_OK(c1.status());
+  TEXTJOIN_CHECK_OK(c2.status());
+  auto i1 = InvertedFile::Build(&disk, "par.i1", *c1);
+  auto i2 = InvertedFile::Build(&disk, "par.i2", *c2);
+  TEXTJOIN_CHECK_OK(i1.status());
+  TEXTJOIN_CHECK_OK(i2.status());
+  auto simctx = SimilarityContext::Create(*c1, *c2, {});
+  TEXTJOIN_CHECK_OK(simctx.status());
+
+  JoinContext ctx;
+  ctx.inner = &c1.value();
+  ctx.outer = &c2.value();
+  ctx.inner_index = &i1.value();
+  ctx.outer_index = &i2.value();
+  ctx.similarity = &simctx.value();
+  ctx.sys = SystemParams{64, kPage, kAlpha};
+
+  JoinSpec spec;
+  spec.lambda = 10;
+
+  for (Algorithm algo :
+       {Algorithm::kHhnl, Algorithm::kHvnl, Algorithm::kVvm}) {
+    // Serial baseline for this algorithm.
+    disk.ResetStats();
+    disk.ResetHeads();
+    Result<JoinResult> serial(Status::OK());
+    switch (algo) {
+      case Algorithm::kHhnl: {
+        HhnlJoin join;
+        serial = join.Run(ctx, spec);
+        break;
+      }
+      case Algorithm::kHvnl: {
+        HvnlJoin join;
+        serial = join.Run(ctx, spec);
+        break;
+      }
+      case Algorithm::kVvm: {
+        VvmJoin join;
+        serial = join.Run(ctx, spec);
+        break;
+      }
+    }
+    TEXTJOIN_CHECK_OK(serial.status());
+    double serial_cost = disk.stats().Cost(kAlpha);
+    std::printf("\nserial %s cost: %.0f pages\n", AlgorithmName(algo),
+                serial_cost);
+    Sweep(algo, ctx, spec, serial_cost);
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Regenerates the collection-statistics table of Section 6 (the paper's
+// only table): for each of WSJ, FR and DOE, the document count, terms per
+// document, distinct terms, collection size in pages, average document
+// size and average inverted-entry size.
+//
+// Two derivations are printed:
+//   1. Analytic, from the paper's first three rows. The paper's own
+//      derived values reproduce exactly with P = 4000 bytes (the paper
+//      says "4k" but evidently used 10^3-based kilobytes for this table).
+//   2. Measured, from a synthetic collection generated at 1/16 scale
+//      (documents scaled down, statistics rescaled back up), showing that
+//      the generator reproduces the statistics the cost model consumes.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "cost/statistics.h"
+#include "sim/synthetic.h"
+#include "sim/trec_profiles.h"
+
+namespace textjoin {
+namespace {
+
+void PrintAnalytic(int64_t page_size) {
+  std::printf("Analytic derivation at P = %lld bytes:\n",
+              static_cast<long long>(page_size));
+  std::printf("%-28s %12s %12s %12s\n", "", "WSJ", "FR", "DOE");
+  auto row = [&](const char* name, auto getter) {
+    std::printf("%-28s", name);
+    for (const TrecProfile& p : AllTrecProfiles()) {
+      std::printf(" %12s", getter(p).c_str());
+    }
+    std::printf("\n");
+  };
+  auto i64 = [](int64_t v) { return std::to_string(v); };
+  auto f3 = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return std::string(buf);
+  };
+  row("#documents",
+      [&](const TrecProfile& p) { return i64(p.num_documents); });
+  row("#terms per doc",
+      [&](const TrecProfile& p) { return i64(p.terms_per_doc); });
+  row("total # of distinct terms",
+      [&](const TrecProfile& p) { return i64(p.distinct_terms); });
+  row("collection size in pages", [&](const TrecProfile& p) {
+    return i64(static_cast<int64_t>(
+        ToStatistics(p).CollectionPages(page_size) + 0.5));
+  });
+  row("avg. size of a document", [&](const TrecProfile& p) {
+    return f3(ToStatistics(p).AvgDocPages(page_size));
+  });
+  row("avg. size of an inv. entry", [&](const TrecProfile& p) {
+    return f3(ToStatistics(p).AvgEntryPages(page_size));
+  });
+}
+
+void PrintPaperReference() {
+  std::printf("Paper's reported values (Section 6 table):\n");
+  std::printf("%-28s %12s %12s %12s\n", "", "WSJ", "FR", "DOE");
+  std::printf("%-28s", "collection size in pages");
+  for (const TrecProfile& p : AllTrecProfiles()) {
+    std::printf(" %12lld", static_cast<long long>(p.collection_pages));
+  }
+  std::printf("\n%-28s", "avg. size of a document");
+  for (const TrecProfile& p : AllTrecProfiles()) {
+    std::printf(" %12.3f", p.avg_doc_pages);
+  }
+  std::printf("\n%-28s", "avg. size of an inv. entry");
+  for (const TrecProfile& p : AllTrecProfiles()) {
+    std::printf(" %12.3f", p.avg_entry_pages);
+  }
+  std::printf("\n");
+}
+
+void PrintMeasured() {
+  constexpr int64_t kScale = 16;
+  std::printf(
+      "Measured from synthetic collections at 1/%lld document scale\n"
+      "(documents and distinct terms scaled by 1/%lld, page P = %lld; "
+      "per-document\nstatistics are scale-invariant):\n",
+      static_cast<long long>(kScale), static_cast<long long>(kScale),
+      static_cast<long long>(bench_util::kPageSize));
+  std::printf("%-28s %12s %12s %12s\n", "", "WSJ/16", "FR/16", "DOE/16");
+
+  std::vector<CollectionStatistics> measured;
+  for (const TrecProfile& p : AllTrecProfiles()) {
+    SimulatedDisk disk(bench_util::kPageSize);
+    SyntheticSpec spec;
+    spec.num_documents = p.num_documents / kScale;
+    spec.avg_terms_per_doc = static_cast<double>(p.terms_per_doc);
+    spec.vocabulary_size = p.distinct_terms / kScale;
+    spec.seed = 1996;
+    auto col = GenerateCollection(&disk, p.name, spec);
+    TEXTJOIN_CHECK_OK(col.status());
+    measured.push_back(StatisticsOf(*col));
+  }
+  auto row = [&](const char* name, auto getter) {
+    std::printf("%-28s", name);
+    for (const CollectionStatistics& s : measured) {
+      std::printf(" %12s", getter(s).c_str());
+    }
+    std::printf("\n");
+  };
+  auto f3 = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return std::string(buf);
+  };
+  row("#documents", [](const CollectionStatistics& s) {
+    return std::to_string(s.num_documents);
+  });
+  row("#terms per doc", [&](const CollectionStatistics& s) {
+    return f3(s.avg_terms_per_doc);
+  });
+  row("total # of distinct terms", [](const CollectionStatistics& s) {
+    return std::to_string(s.num_distinct_terms);
+  });
+  row("avg. size of a document", [&](const CollectionStatistics& s) {
+    return f3(s.AvgDocPages(bench_util::kPageSize));
+  });
+  row("avg. size of an inv. entry", [&](const CollectionStatistics& s) {
+    return f3(s.AvgEntryPages(bench_util::kPageSize));
+  });
+}
+
+}  // namespace
+}  // namespace textjoin
+
+int main() {
+  std::printf("== Table 1: TREC collection statistics (Section 6) ==\n\n");
+  textjoin::PrintPaperReference();
+  std::printf("\n");
+  textjoin::PrintAnalytic(4000);
+  std::printf("\n");
+  textjoin::PrintAnalytic(4096);
+  std::printf("\n");
+  textjoin::PrintMeasured();
+  return 0;
+}

@@ -1,0 +1,69 @@
+#ifndef TEXTJOIN_BENCH_BENCH_UTIL_H_
+#define TEXTJOIN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "cost/cost_model.h"
+#include "sim/trec_profiles.h"
+
+namespace textjoin {
+namespace bench_util {
+
+// The paper's fixed simulation parameters (Section 6): P = 4 KB pages,
+// delta = 0.1, lambda = 20, base B = 10000 pages, base alpha = 5.
+inline constexpr int64_t kPageSize = 4096;
+inline constexpr double kDelta = 0.1;
+inline constexpr int64_t kLambda = 20;
+inline constexpr int64_t kBaseB = 10000;
+inline constexpr double kBaseAlpha = 5.0;
+
+// Cost inputs for a join of two TREC statistic profiles under the paper's
+// parameters, with q from the paper's piecewise formula.
+inline CostInputs MakeInputs(const CollectionStatistics& c1,
+                             const CollectionStatistics& c2,
+                             int64_t B = kBaseB, double alpha = kBaseAlpha) {
+  CostInputs in;
+  in.c1 = c1;
+  in.c2 = c2;
+  in.sys.buffer_pages = B;
+  in.sys.page_size = kPageSize;
+  in.sys.alpha = alpha;
+  in.query.lambda = kLambda;
+  in.query.delta = kDelta;
+  in.q = EstimateTermOverlap(c2.num_distinct_terms, c1.num_distinct_terms);
+  return in;
+}
+
+inline std::string FmtCost(const AlgorithmCost& c, bool random_model) {
+  if (!c.feasible) return "inf";
+  double v = random_model ? c.rand : c.seq;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+// Prints one row of the standard six-cost table.
+inline void PrintCostRow(const std::string& label, const CostComparison& c) {
+  std::printf("%-14s %12s %12s %12s %12s %12s %12s   %s\n", label.c_str(),
+              FmtCost(c.hhnl, false).c_str(), FmtCost(c.hhnl, true).c_str(),
+              FmtCost(c.hvnl, false).c_str(), FmtCost(c.hvnl, true).c_str(),
+              FmtCost(c.vvm, false).c_str(), FmtCost(c.vvm, true).c_str(),
+              AlgorithmName(c.BestSequential()));
+}
+
+inline void PrintCostHeader(const char* label_name) {
+  std::printf("%-14s %12s %12s %12s %12s %12s %12s   %s\n", label_name,
+              "hhs", "hhr", "hvs", "hvr", "vvs", "vvr", "best(seq)");
+}
+
+inline void PrintRule() {
+  std::printf(
+      "---------------------------------------------------------------------"
+      "---------------------------------\n");
+}
+
+}  // namespace bench_util
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,245 @@
+// Model validation (experiment V1, ours): runs the REAL HHNL, HVNL and
+// VVM executors against the simulated disk on scaled-down synthetic
+// collections shaped like the three TREC profiles, and compares the
+// metered I/O cost with the Section 5 analytic formulas evaluated on the
+// same statistics. All three executors must also agree on the join
+// result (checked here as well).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "cost/statistics.h"
+#include "index/inverted_file.h"
+#include "join/hhnl.h"
+#include "join/hvnl.h"
+#include "join/vvm.h"
+#include "planner/planner.h"
+#include "sim/synthetic.h"
+
+namespace textjoin {
+namespace {
+
+struct Workload {
+  const char* name;
+  int64_t n1, k1, t1;
+  int64_t n2, k2, t2;
+  int64_t buffer_pages;
+};
+
+// Miniatures of the TREC shapes: WSJ-ish (mid/mid), FR-ish (few large
+// documents), DOE-ish (many small documents), plus a reduced-outer case.
+constexpr Workload kWorkloads[] = {
+    {"wsj-mini", 400, 20, 1200, 400, 20, 1200, 60},
+    {"fr-mini", 100, 64, 1000, 100, 64, 1000, 40},
+    {"doe-mini", 900, 6, 1500, 900, 6, 1500, 30},
+    {"cross-mini", 500, 16, 1200, 150, 10, 600, 50},
+};
+
+constexpr int64_t kPage = 512;
+constexpr double kAlpha = 5.0;
+constexpr int64_t kLambda = 10;
+
+void RunWorkload(const Workload& w) {
+  SimulatedDisk disk(kPage);
+  SyntheticSpec s1{w.n1, static_cast<double>(w.k1), w.t1, 1.0, 0, 77};
+  SyntheticSpec s2{w.n2, static_cast<double>(w.k2), w.t2, 1.0, 0, 78};
+  auto c1 = GenerateCollection(&disk, std::string(w.name) + ".c1", s1);
+  auto c2 = GenerateCollection(&disk, std::string(w.name) + ".c2", s2);
+  TEXTJOIN_CHECK_OK(c1.status());
+  TEXTJOIN_CHECK_OK(c2.status());
+  auto i1 = InvertedFile::Build(&disk, std::string(w.name) + ".i1", *c1);
+  auto i2 = InvertedFile::Build(&disk, std::string(w.name) + ".i2", *c2);
+  TEXTJOIN_CHECK_OK(i1.status());
+  TEXTJOIN_CHECK_OK(i2.status());
+  auto simctx = SimilarityContext::Create(*c1, *c2, {});
+  TEXTJOIN_CHECK_OK(simctx.status());
+
+  JoinContext ctx;
+  ctx.inner = &c1.value();
+  ctx.outer = &c2.value();
+  ctx.inner_index = &i1.value();
+  ctx.outer_index = &i2.value();
+  ctx.similarity = &simctx.value();
+  ctx.sys = SystemParams{w.buffer_pages, kPage, kAlpha};
+
+  JoinSpec spec;
+  spec.lambda = kLambda;
+
+  CostInputs in;
+  in.c1 = StatisticsOf(*c1);
+  in.c2 = StatisticsOf(*c2);
+  in.sys = ctx.sys;
+  in.query.lambda = kLambda;
+  in.query.delta = spec.delta;
+  in.q = MeasuredTermOverlap(*c2, *c1);
+  CostComparison model = CompareCosts(in);
+
+  std::printf(
+      "\n-- %s: N1=%lld K1=%.0f | N2=%lld K2=%.0f | B=%lld pages, "
+      "P=%lld --\n",
+      w.name, static_cast<long long>(in.c1.num_documents),
+      in.c1.avg_terms_per_doc, static_cast<long long>(in.c2.num_documents),
+      in.c2.avg_terms_per_doc, static_cast<long long>(w.buffer_pages),
+      static_cast<long long>(kPage));
+  std::printf("%-8s %14s %14s %14s %10s\n", "algo", "model(seq)",
+              "measured", "meas.pages", "ratio");
+
+  JoinResult reference;
+  bool have_reference = false;
+  auto run = [&](TextJoinAlgorithm& algo, const AlgorithmCost& m) {
+    disk.ResetStats();
+    disk.ResetHeads();
+    auto result = algo.Run(ctx, spec);
+    if (!result.ok()) {
+      std::printf("%-8s %14s %14s %14s %10s  (%s)\n", algo.name().c_str(),
+                  bench_util::FmtCost(m, false).c_str(), "-", "-", "-",
+                  result.status().ToString().c_str());
+      return;
+    }
+    if (!have_reference) {
+      reference = *result;
+      have_reference = true;
+    } else if (!(*result == reference)) {
+      std::printf("!! %s result differs from reference\n",
+                  algo.name().c_str());
+    }
+    double measured = disk.stats().Cost(kAlpha);
+    std::printf("%-8s %14s %14.0f %14lld %10.2f\n", algo.name().c_str(),
+                bench_util::FmtCost(m, false).c_str(), measured,
+                static_cast<long long>(disk.stats().total_reads()),
+                m.feasible ? measured / m.seq : 0.0);
+  };
+
+  HhnlJoin hhnl;
+  HvnlJoin hvnl;
+  VvmJoin vvm;
+  run(hhnl, model.hhnl);
+  run(hvnl, model.hvnl);
+  run(vvm, model.vvm);
+
+  JoinPlanner planner;
+  auto plan = planner.Plan(ctx, spec);
+  if (plan.ok()) {
+    std::printf("planner: %s\n", plan->explanation.c_str());
+  }
+}
+
+// Does the planner's predicted winner actually win when the real
+// executors are metered? Sweeps join shapes mirroring the paper's five
+// groups at mini scale.
+void WinnerAgreement() {
+  std::printf(
+      "\n== V1b: predicted winner vs measured winner (group shapes at "
+      "mini scale) ==\n");
+  std::printf("%-22s %12s %12s %8s   %s\n", "shape", "predicted",
+              "measured", "agree", "measured costs (HHNL/HVNL/VVM)");
+
+  struct Shape {
+    const char* name;
+    int64_t n1, k1, t1;
+    int64_t outer_docs;   // -1: same collection shape as inner
+    int64_t subset;       // >0: Group-3 style reduced outer
+    int64_t merge_factor; // >1: Group-5 style merged documents
+    int64_t buffer;
+  };
+  const Shape shapes[] = {
+      {"G1 self-join", 500, 12, 900, -1, 0, 1, 40},
+      {"G2 cross-join", 500, 12, 900, 300, 0, 1, 40},
+      {"G3 subset m=4", 600, 12, 1000, -1, 4, 1, 60},
+      {"G3 subset m=60", 600, 12, 1000, -1, 60, 1, 60},
+      {"G5 merged x16", 512, 8, 4000, -1, 0, 16, 40},
+  };
+  int agreements = 0, cases = 0;
+  for (const Shape& s : shapes) {
+    SimulatedDisk disk(kPage);
+    SyntheticSpec s1{s.n1, static_cast<double>(s.k1), s.t1, 1.0, 0, 171};
+    auto base1 = GenerateCollection(&disk, "wa.c1", s1);
+    TEXTJOIN_CHECK_OK(base1.status());
+    Result<DocumentCollection> c1(Status::OK());
+    Result<DocumentCollection> c2(Status::OK());
+    if (s.merge_factor > 1) {
+      c1 = MergeDocuments(&disk, "wa.m1", *base1, s.merge_factor);
+      c2 = MergeDocuments(&disk, "wa.m2", *base1, s.merge_factor);
+    } else {
+      c1 = CopyCollection(&disk, "wa.c1b", *base1);
+      if (s.outer_docs > 0) {
+        SyntheticSpec s2{s.outer_docs, static_cast<double>(s.k1), s.t1, 1.0,
+                         0, 172};
+        c2 = GenerateCollection(&disk, "wa.c2", s2);
+      } else {
+        c2 = CopyCollection(&disk, "wa.c2", *base1);
+      }
+    }
+    TEXTJOIN_CHECK_OK(c1.status());
+    TEXTJOIN_CHECK_OK(c2.status());
+    auto i1 = InvertedFile::Build(&disk, "wa.i1", *c1);
+    auto i2 = InvertedFile::Build(&disk, "wa.i2", *c2);
+    TEXTJOIN_CHECK_OK(i1.status());
+    TEXTJOIN_CHECK_OK(i2.status());
+    auto simctx = SimilarityContext::Create(*c1, *c2, {});
+    TEXTJOIN_CHECK_OK(simctx.status());
+
+    JoinContext ctx;
+    ctx.inner = &c1.value();
+    ctx.outer = &c2.value();
+    ctx.inner_index = &i1.value();
+    ctx.outer_index = &i2.value();
+    ctx.similarity = &simctx.value();
+    ctx.sys = SystemParams{s.buffer, kPage, kAlpha};
+
+    JoinSpec spec;
+    spec.lambda = kLambda;
+    if (s.subset > 0) {
+      for (DocId d = 0; d < s.subset; ++d) {
+        spec.outer_subset.push_back(
+            static_cast<DocId>(d * (ctx.outer->num_documents() / s.subset)));
+      }
+    }
+
+    JoinPlanner planner;
+    auto plan = planner.Plan(ctx, spec);
+    TEXTJOIN_CHECK_OK(plan.status());
+
+    Algorithm measured_best = Algorithm::kHhnl;
+    double best_cost = -1;
+    double costs[3] = {-1, -1, -1};
+    HhnlJoin hhnl;
+    HvnlJoin hvnl;
+    VvmJoin vvm;
+    TextJoinAlgorithm* algos[] = {&hhnl, &hvnl, &vvm};
+    for (int i = 0; i < 3; ++i) {
+      disk.ResetStats();
+      disk.ResetHeads();
+      auto r = algos[i]->Run(ctx, spec);
+      if (!r.ok()) continue;
+      double cost = disk.stats().Cost(kAlpha);
+      costs[i] = cost;
+      if (best_cost < 0 || cost < best_cost) {
+        best_cost = cost;
+        measured_best = algos[i]->kind();
+      }
+    }
+    bool agree = measured_best == plan->algorithm;
+    ++cases;
+    if (agree) ++agreements;
+    std::printf("%-22s %12s %12s %8s   %.0f / %.0f / %.0f\n", s.name,
+                AlgorithmName(plan->algorithm),
+                AlgorithmName(measured_best), agree ? "yes" : "NO",
+                costs[0], costs[1], costs[2]);
+  }
+  std::printf("winner agreement: %d/%d shapes\n", agreements, cases);
+}
+
+}  // namespace
+}  // namespace textjoin
+
+int main() {
+  std::printf(
+      "== V1: analytic model vs metered executors (scaled-down synthetic "
+      "collections) ==\nmeasured = sequential_reads + alpha * "
+      "random_reads; ratio = measured / model.\n");
+  for (const auto& w : textjoin::kWorkloads) textjoin::RunWorkload(w);
+  textjoin::WinnerAgreement();
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run every test, every benchmark and
+# every example. Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "== $b =="
+  "$b"
+done
+
+for e in build/examples/example_*; do
+  [ -x "$e" ] || continue
+  echo "== $e =="
+  "$e"
+done
+
+echo "ALL CHECKS PASSED"

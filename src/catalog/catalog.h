@@ -1,0 +1,47 @@
+#ifndef TEXTJOIN_CATALOG_CATALOG_H_
+#define TEXTJOIN_CATALOG_CATALOG_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "index/inverted_file.h"
+#include "text/collection.h"
+
+namespace textjoin {
+
+// Durable catalogs: the in-memory metadata of a DocumentCollection or an
+// InvertedFile (document directory, norms, document frequencies, posting
+// offsets, B+tree anchors) serialized into a file ON the simulated disk,
+// so that a disk snapshot (storage/snapshot.h) is a complete database
+// that can be reopened later:
+//
+//   SaveCollectionCatalog(col, &disk, "docs.cat");
+//   SaveDiskSnapshot(disk, "/path/db.tjsn");
+//   ...
+//   auto disk2 = LoadDiskSnapshot("/path/db.tjsn");
+//   auto col2  = OpenCollection(disk2->get(), "docs.cat");
+//
+// Each catalog is one CRC-protected record; Open* verify the checksum
+// and the referenced data files.
+
+// Writes the catalog of `collection` into a new file named
+// `catalog_file_name` on the collection's disk.
+Status SaveCollectionCatalog(const DocumentCollection& collection,
+                             const std::string& catalog_file_name);
+
+// Reopens a collection from its catalog. The data file is located by the
+// name recorded at save time.
+Result<DocumentCollection> OpenCollection(
+    SimulatedDisk* disk, const std::string& catalog_file_name);
+
+// Same for inverted files (records the posting file, its B+tree and the
+// compression mode).
+Status SaveInvertedFileCatalog(const InvertedFile& inverted,
+                               const std::string& catalog_file_name);
+
+Result<InvertedFile> OpenInvertedFile(SimulatedDisk* disk,
+                                      const std::string& catalog_file_name);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_CATALOG_CATALOG_H_

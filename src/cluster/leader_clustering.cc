@@ -1,0 +1,87 @@
+#include "cluster/leader_clustering.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "text/document.h"
+
+namespace textjoin {
+
+Result<Clustering> ClusterCollection(const DocumentCollection& collection,
+                                     const ClusteringOptions& options) {
+  if (options.cosine_threshold < 0.0 || options.cosine_threshold > 1.0) {
+    return Status::InvalidArgument("cosine threshold must be in [0, 1]");
+  }
+  Clustering out;
+  out.cluster_of.resize(static_cast<size_t>(collection.num_documents()), 0);
+
+  struct Leader {
+    Document doc;
+    double norm;
+    int32_t cluster;
+  };
+  std::vector<Leader> leaders;
+
+  auto scan = collection.Scan();
+  while (!scan.Done()) {
+    DocId id = scan.next_doc();
+    TEXTJOIN_ASSIGN_OR_RETURN(Document doc, scan.Next());
+    const double norm = doc.Norm();
+    int32_t chosen = -1;
+    if (norm > 0) {
+      double best = options.cosine_threshold;
+      const int64_t limit =
+          options.max_leaders > 0
+              ? std::min<int64_t>(options.max_leaders,
+                                  static_cast<int64_t>(leaders.size()))
+              : static_cast<int64_t>(leaders.size());
+      for (int64_t i = 0; i < limit; ++i) {
+        const Leader& leader = leaders[static_cast<size_t>(i)];
+        double cosine = static_cast<double>(DotSimilarity(leader.doc, doc)) /
+                        (leader.norm * norm);
+        if (cosine >= best) {
+          best = cosine;
+          chosen = leader.cluster;
+        }
+      }
+    }
+    if (chosen < 0) {
+      chosen = static_cast<int32_t>(out.num_clusters++);
+      leaders.push_back(Leader{std::move(doc), norm > 0 ? norm : 1.0,
+                               chosen});
+    }
+    out.cluster_of[id] = chosen;
+  }
+  return out;
+}
+
+Result<ReorderedCollection> ReorderByCluster(
+    SimulatedDisk* disk, std::string name, const DocumentCollection& source,
+    const Clustering& clustering) {
+  const int64_t n = source.num_documents();
+  if (static_cast<int64_t>(clustering.cluster_of.size()) != n) {
+    return Status::InvalidArgument(
+        "clustering does not match the collection");
+  }
+  // Stable order: by cluster id (first-appearance order is the id order
+  // of leader clustering), then by original document number.
+  std::vector<DocId> order;
+  order.reserve(static_cast<size_t>(n));
+  for (int64_t d = 0; d < n; ++d) order.push_back(static_cast<DocId>(d));
+  std::stable_sort(order.begin(), order.end(), [&](DocId a, DocId b) {
+    return clustering.cluster_of[a] < clustering.cluster_of[b];
+  });
+
+  std::vector<DocId> new_id_of(static_cast<size_t>(n));
+  CollectionBuilder builder(disk, std::move(name));
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    new_id_of[order[pos]] = static_cast<DocId>(pos);
+    TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.ReadDocument(order[pos]));
+    TEXTJOIN_RETURN_IF_ERROR(builder.AddDocument(doc).status());
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(DocumentCollection collection, builder.Finish());
+  return ReorderedCollection{std::move(collection), std::move(new_id_of),
+                             std::move(order)};
+}
+
+}  // namespace textjoin

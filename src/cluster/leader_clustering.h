@@ -1,0 +1,56 @@
+#ifndef TEXTJOIN_CLUSTER_LEADER_CLUSTERING_H_
+#define TEXTJOIN_CLUSTER_LEADER_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "text/collection.h"
+
+namespace textjoin {
+
+// Single-pass leader-follower clustering (the classic IR scheme from
+// Salton & McGill [12], which the paper cites for the clustering
+// problem). Section 4.2 observes that HVNL benefits "when the documents
+// in the collection are clustered" — close documents in storage order
+// share many terms, so cached inverted entries get reused. This module
+// provides that storage order: cluster a collection, then rewrite it
+// with cluster members adjacent. Section 7 lists studying the impact of
+// clusters as further work; bench_clustering quantifies it.
+struct ClusteringOptions {
+  // A document joins the first cluster whose leader's cosine similarity
+  // reaches this threshold; otherwise it founds a new cluster.
+  double cosine_threshold = 0.3;
+  // Cap on the number of leaders compared per document (0 = unlimited).
+  int64_t max_leaders = 0;
+};
+
+struct Clustering {
+  // cluster_of[doc] = cluster id, 0-based, dense.
+  std::vector<int32_t> cluster_of;
+  int64_t num_clusters = 0;
+};
+
+// Clusters `collection` in one scan. O(N * #leaders * K) similarity work.
+Result<Clustering> ClusterCollection(const DocumentCollection& collection,
+                                     const ClusteringOptions& options);
+
+// A collection physically reordered so cluster members are adjacent.
+struct ReorderedCollection {
+  DocumentCollection collection;
+  // new_id_of[old_doc] = position of the document in the new collection.
+  std::vector<DocId> new_id_of;
+  // old_id_of[new_doc] = the document's original number.
+  std::vector<DocId> old_id_of;
+};
+
+// Rewrites `source` into a new file in cluster order (clusters by first
+// appearance; original order within a cluster).
+Result<ReorderedCollection> ReorderByCluster(SimulatedDisk* disk,
+                                             std::string name,
+                                             const DocumentCollection& source,
+                                             const Clustering& clustering);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_CLUSTER_LEADER_CLUSTERING_H_

@@ -1,0 +1,18 @@
+#ifndef TEXTJOIN_COMMON_CRC32_H_
+#define TEXTJOIN_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace textjoin {
+
+// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant). Used to protect
+// disk snapshots and serialized catalogs against corruption.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+// Incremental form: crc = Crc32Update(crc, chunk, n) starting from 0.
+uint32_t Crc32Update(uint32_t crc, const uint8_t* data, size_t size);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_COMMON_CRC32_H_

@@ -1,0 +1,49 @@
+#ifndef TEXTJOIN_COMMON_LOGGING_H_
+#define TEXTJOIN_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+// CHECK-style assertions for programmer errors (invariant violations).
+// These are always on; they guard invariants whose violation would make
+// continuing meaningless. Recoverable conditions use Status instead.
+
+#define TEXTJOIN_CHECK(cond)                                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define TEXTJOIN_CHECK_OP(a, op, b)                                        \
+  do {                                                                     \
+    if (!((a)op(b))) {                                                     \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s %s %s\n", __FILE__,  \
+                   __LINE__, #a, #op, #b);                                 \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define TEXTJOIN_CHECK_EQ(a, b) TEXTJOIN_CHECK_OP(a, ==, b)
+#define TEXTJOIN_CHECK_NE(a, b) TEXTJOIN_CHECK_OP(a, !=, b)
+#define TEXTJOIN_CHECK_LT(a, b) TEXTJOIN_CHECK_OP(a, <, b)
+#define TEXTJOIN_CHECK_LE(a, b) TEXTJOIN_CHECK_OP(a, <=, b)
+#define TEXTJOIN_CHECK_GT(a, b) TEXTJOIN_CHECK_OP(a, >, b)
+#define TEXTJOIN_CHECK_GE(a, b) TEXTJOIN_CHECK_OP(a, >=, b)
+
+// Checks that a Status-returning expression is OK.
+#define TEXTJOIN_CHECK_OK(expr)                                            \
+  do {                                                                     \
+    ::textjoin::Status _st = (expr);                                       \
+    if (!_st.ok()) {                                                       \
+      std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, _st.ToString().c_str());                      \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // TEXTJOIN_COMMON_LOGGING_H_

@@ -1,0 +1,17 @@
+#include "common/math_util.h"
+
+#include <cmath>
+#include <limits>
+
+namespace textjoin {
+
+int64_t CeilPages(double frac) {
+  TEXTJOIN_CHECK_GE(frac, 0.0);
+  double c = std::ceil(frac);
+  if (c >= static_cast<double>(std::numeric_limits<int64_t>::max())) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return static_cast<int64_t>(c);
+}
+
+}  // namespace textjoin

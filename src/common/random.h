@@ -1,0 +1,69 @@
+#ifndef TEXTJOIN_COMMON_RANDOM_H_
+#define TEXTJOIN_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace textjoin {
+
+// Deterministic 64-bit PRNG (xoshiro256**), seeded via SplitMix64.
+// All synthetic-data generation in this library goes through Rng so that
+// experiments are reproducible bit-for-bit across runs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  // Uniform in [0, bound). Requires bound > 0. Uses rejection sampling to
+  // avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+// Samples from a Zipf(s) distribution over {0, 1, ..., n-1}: rank r has
+// probability proportional to 1/(r+1)^s. Term occurrences in text follow a
+// Zipfian law, so the synthetic collection generator draws terms from this.
+//
+// Uses an O(log n) inverse-CDF lookup over precomputed cumulative weights;
+// construction is O(n).
+class ZipfSampler {
+ public:
+  // n: number of distinct outcomes; s: skew parameter (s=0 is uniform,
+  // s=1 is classic Zipf).
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i), cdf_.back() == 1.0
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_COMMON_RANDOM_H_

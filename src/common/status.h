@@ -1,0 +1,132 @@
+#ifndef TEXTJOIN_COMMON_STATUS_H_
+#define TEXTJOIN_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace textjoin {
+
+// Error codes for the textjoin library. The library does not use C++
+// exceptions; fallible operations return a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeToString(StatusCode code);
+
+// A Status carries either success (ok) or an error code plus a message.
+// Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Result<T> holds either a value of type T or an error Status.
+// Accessing the value of an error Result aborts (see logging.h CHECK).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : rep_(std::move(value)) {}
+  Result(Status status) : rep_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagates an error Status from an expression that yields a Status.
+#define TEXTJOIN_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::textjoin::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define TEXTJOIN_ASSIGN_OR_RETURN(lhs, rexpr)     \
+  auto TEXTJOIN_CONCAT_(_res_, __LINE__) = (rexpr);              \
+  if (!TEXTJOIN_CONCAT_(_res_, __LINE__).ok())                   \
+    return TEXTJOIN_CONCAT_(_res_, __LINE__).status();           \
+  lhs = std::move(TEXTJOIN_CONCAT_(_res_, __LINE__)).value()
+
+#define TEXTJOIN_CONCAT_IMPL_(a, b) a##b
+#define TEXTJOIN_CONCAT_(a, b) TEXTJOIN_CONCAT_IMPL_(a, b)
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_COMMON_STATUS_H_

@@ -1,0 +1,78 @@
+#ifndef TEXTJOIN_COST_COMM_MODEL_H_
+#define TEXTJOIN_COST_COMM_MODEL_H_
+
+#include "cost/cost_model.h"
+
+namespace textjoin {
+
+// Communication-cost model for the paper's multidatabase setting:
+// collection C1 (and its inverted file) lives at one local system, C2 at
+// another, and the join executes at one of the two sites or at the
+// global front-end ("third site"). Section 7 names cost formulas that
+// include communication cost as further work; Section 3 argues that a
+// standard term-number mapping saves communication because no actual
+// term strings need to be transferred — `term_expansion` quantifies
+// that: 1.0 with the standard 3-byte numbers, ~5.0 when terms travel as
+// strings (the paper: "5 or more times larger").
+//
+// Assumptions, in the spirit of the I/O model's averages:
+//   * shipped inputs are spooled at the executing site, so each remote
+//     input crosses the network once (no per-scan reshipping);
+//   * HVNL ships only the needed inverted entries (q * T2' of them) plus
+//     the B+tree leaf level; HHNL ships documents; VVM ships inverted
+//     files;
+//   * the result (lambda matches per participating outer document, 8
+//     bytes each: document number + similarity) is shipped back to the
+//     front-end unless it already executes there.
+enum class ExecutionSite {
+  kInnerSite,  // where C1 and its inverted file live
+  kOuterSite,  // where C2 lives
+  kThirdSite,  // the global front-end
+};
+
+const char* ExecutionSiteName(ExecutionSite site);
+
+struct CommEstimate {
+  double input_bytes = 0;   // data shipped to the executing site
+  double result_bytes = 0;  // result shipped to the front-end
+
+  double TotalBytes() const { return input_bytes + result_bytes; }
+  double TotalPages(int64_t page_size) const {
+    return TotalBytes() / static_cast<double>(page_size);
+  }
+};
+
+CommEstimate HhnlCommCost(const CostInputs& in, ExecutionSite site,
+                          double term_expansion = 1.0);
+CommEstimate HvnlCommCost(const CostInputs& in, ExecutionSite site,
+                          double term_expansion = 1.0);
+CommEstimate VvmCommCost(const CostInputs& in, ExecutionSite site,
+                         double term_expansion = 1.0);
+
+// The cheapest execution site for an algorithm.
+ExecutionSite CheapestSite(Algorithm algorithm, const CostInputs& in,
+                           double term_expansion = 1.0);
+
+// The full multidatabase decision: choose the (algorithm, execution
+// site) pair minimizing
+//   io_cost(algorithm) + network_page_cost * shipped_pages(algorithm, site)
+// where network_page_cost is the cost of shipping one page relative to
+// one sequential page read (0 = free network, the paper's centralized
+// assumption; large values make the join gravitate to where the big
+// inputs live). Infeasible algorithms are skipped.
+struct DistributedPlan {
+  Algorithm algorithm = Algorithm::kHhnl;
+  ExecutionSite site = ExecutionSite::kInnerSite;
+  double io_cost = 0;
+  double comm_pages = 0;
+  double total_cost = 0;
+  bool feasible = false;
+};
+
+DistributedPlan ChooseDistributedPlan(const CostInputs& in,
+                                      double network_page_cost,
+                                      double term_expansion = 1.0);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_COST_COMM_MODEL_H_

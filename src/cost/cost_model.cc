@@ -1,0 +1,334 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace textjoin {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+AlgorithmCost Infeasible(std::string note) {
+  AlgorithmCost c;
+  c.seq = kInf;
+  c.rand = kInf;
+  c.feasible = false;
+  c.note = std::move(note);
+  return c;
+}
+
+// Shared per-evaluation quantities.
+struct Derived {
+  double P;      // page size
+  double B;      // buffer pages
+  double alpha;
+  double lambda;
+  double delta;
+  double N1, N2, m;        // m = participating outer documents
+  double K2;
+  double T1, T2;
+  double S1, S2;           // avg document pages
+  double D1;               // inner collection pages
+  double D2_eff;           // pages occupied by participating outer docs
+  double J1, J2;           // avg entry pages
+  double I1, I2;           // inverted file pages
+  double Bt1;              // C1 B+tree pages (ceil, it is read whole)
+  double q;
+  bool outer_random;
+
+  // Cost of bringing in the participating outer documents once.
+  // Sequential scan when they are contiguous; one random read per
+  // document's page span when they are scattered (Group 3).
+  double OuterDocCost() const {
+    if (!outer_random) return D2_eff;
+    return m * std::ceil(S2) * alpha;
+  }
+};
+
+Derived MakeDerived(const CostInputs& in) {
+  Derived d;
+  d.P = static_cast<double>(in.sys.page_size);
+  d.B = static_cast<double>(in.sys.buffer_pages);
+  d.alpha = in.sys.alpha;
+  d.lambda = static_cast<double>(in.query.lambda);
+  d.delta = in.query.delta;
+  d.N1 = static_cast<double>(in.c1.num_documents);
+  d.N2 = static_cast<double>(in.c2.num_documents);
+  d.m = in.participating_outer < 0
+            ? d.N2
+            : std::min(static_cast<double>(in.participating_outer), d.N2);
+  d.K2 = in.c2.avg_terms_per_doc;
+  d.T1 = static_cast<double>(in.c1.num_distinct_terms);
+  d.T2 = static_cast<double>(in.c2.num_distinct_terms);
+  d.S1 = in.c1.AvgDocPages(in.sys.page_size);
+  d.S2 = in.c2.AvgDocPages(in.sys.page_size);
+  d.D1 = in.c1.CollectionPages(in.sys.page_size);
+  d.D2_eff = d.m * d.S2;
+  d.J1 = in.c1.AvgEntryPages(in.sys.page_size);
+  d.J2 = in.c2.AvgEntryPages(in.sys.page_size);
+  d.I1 = in.c1.InvertedFilePages(in.sys.page_size);
+  d.I2 = in.c2.InvertedFilePages(in.sys.page_size);
+  d.Bt1 = static_cast<double>(CeilPages(in.c1.BTreePages(in.sys.page_size)));
+  d.q = in.q;
+  d.outer_random = in.outer_reads_random;
+  return d;
+}
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kHhnl:
+      return "HHNL";
+    case Algorithm::kHvnl:
+      return "HVNL";
+    case Algorithm::kVvm:
+      return "VVM";
+  }
+  return "?";
+}
+
+double EstimateTermOverlap(int64_t t_from, int64_t t_to) {
+  TEXTJOIN_CHECK_GT(t_from, 0);
+  TEXTJOIN_CHECK_GT(t_to, 0);
+  const double from = static_cast<double>(t_from);
+  const double to = static_cast<double>(t_to);
+  if (to <= from) return 0.8 * to / from;
+  if (to < 5.0 * from) return 0.8;
+  return 1.0 - from / to;
+}
+
+double DistinctTermsAfter(double m, double avg_terms_per_doc,
+                          int64_t num_distinct_terms) {
+  const double T = static_cast<double>(num_distinct_terms);
+  if (T <= 0.0) return 0.0;
+  const double ratio = 1.0 - avg_terms_per_doc / T;  // in [0, 1]
+  if (ratio <= 0.0) return T;
+  return T - std::pow(ratio, m) * T;
+}
+
+// floor() with protection against 49.999999-style floating-point error.
+static double FloorEps(double x) { return std::floor(x + 1e-9); }
+
+double HhnlBatchSize(const CostInputs& in) {
+  Derived d = MakeDerived(in);
+  double denom = d.S2 + 4.0 * d.lambda / d.P;
+  if (denom <= 0.0) return 0.0;
+  return FloorEps((d.B - std::ceil(d.S1)) / denom);
+}
+
+AlgorithmCost HhnlCost(const CostInputs& in) {
+  Derived d = MakeDerived(in);
+  const double X = HhnlBatchSize(in);
+  if (X < 1.0) {
+    return Infeasible("HHNL: buffer cannot hold one outer + one inner doc");
+  }
+  AlgorithmCost c;
+  const double scans = std::ceil(d.m / X);
+  const double outer = d.OuterDocCost();
+  // hhs = D2 + ceil(N2/X) * D1  (outer scan + repeated inner scans).
+  c.seq = outer + scans * d.D1;
+  if (d.m >= X) {
+    // Worst case: every inner document read becomes a positioned I/O, plus
+    // one positioned I/O per outer batch.
+    const double inner_rand = std::min(d.D1, d.N1);
+    c.rand = c.seq + scans * (1.0 + inner_rand) * (d.alpha - 1.0);
+    c.note = "outer does not fit in memory";
+  } else {
+    // Whole outer collection fits; the inner collection is read in blocks
+    // using the leftover space, one positioned I/O per block.
+    const double leftover = (X - d.m) * d.S2;
+    const double blocks = std::ceil(d.D1 / std::max(leftover, 1e-12));
+    c.rand = c.seq + blocks * (d.alpha - 1.0);
+    c.note = "outer fits in memory";
+  }
+  return c;
+}
+
+double HhnlBackwardBatchSize(const CostInputs& in) {
+  Derived d = MakeDerived(in);
+  if (d.S1 <= 0.0) return 0.0;
+  const double heap_pages = 4.0 * d.lambda * d.m / d.P;
+  return FloorEps((d.B - std::ceil(d.S2) - heap_pages) / d.S1);
+}
+
+AlgorithmCost HhnlBackwardCost(const CostInputs& in) {
+  Derived d = MakeDerived(in);
+  const double X = HhnlBackwardBatchSize(in);
+  if (X < 1.0) {
+    return Infeasible(
+        "HHNL backward: buffer cannot hold the per-outer-document heaps "
+        "plus one document of each collection");
+  }
+  AlgorithmCost c;
+  const double scans = std::ceil(d.N1 / X);
+  // The outer collection is re-read once per inner batch.
+  c.seq = d.D1 + scans * d.OuterDocCost();
+  // Worst case: inner documents become positioned reads, plus one
+  // positioned read per outer pass.
+  const double inner_rand = std::min(d.D1, d.N1);
+  const double outer_rand =
+      d.outer_random ? 0.0 : scans * std::min(d.D2_eff, d.m);
+  c.rand = c.seq + (inner_rand + outer_rand) * (d.alpha - 1.0);
+  c.note = std::to_string(static_cast<int64_t>(scans)) +
+           " outer pass(es)";
+  return c;
+}
+
+double HvnlCacheCapacity(const CostInputs& in) {
+  Derived d = MakeDerived(in);
+  const double fixed =
+      std::ceil(d.S2) + d.Bt1 + 4.0 * d.N1 * d.delta / d.P;
+  const double per_entry = d.J1 + 3.0 / d.P;  // |t#| = 3 bytes of term list
+  if (per_entry <= 0.0) return 0.0;
+  return FloorEps((d.B - fixed) / per_entry);
+}
+
+AlgorithmCost HvnlCost(const CostInputs& in) {
+  Derived d = MakeDerived(in);
+  const double X = HvnlCacheCapacity(in);
+  if (X < 0.0) {
+    return Infeasible(
+        "HVNL: buffer cannot hold B+tree, accumulator and one outer doc");
+  }
+  const double outer = d.OuterDocCost();
+  const double cJ1 = std::ceil(std::max(d.J1, 1e-12));
+  // Inverted entries of C1 needed over the whole join. The paper uses
+  // T2 * q; with a reduced outer set, only terms of the m participating
+  // documents matter, i.e. q * f(m).
+  const bool reduced = d.m < d.N2;
+  const double needed =
+      reduced ? d.q * DistinctTermsAfter(d.m, d.K2, in.c2.num_distinct_terms)
+              : d.q * d.T2;
+
+  AlgorithmCost c;
+  auto rand_tail = [&](double cache_left_entries) {
+    // Extra cost of reading outer documents with positioned I/Os, using
+    // leftover cache space to read several documents per positioned I/O.
+    if (d.outer_random) return 0.0;  // already charged at alpha
+    const double left_pages = cache_left_entries * d.J1;
+    if (left_pages <= 0.0) {
+      return std::min(d.D2_eff, d.m) * (d.alpha - 1.0);
+    }
+    return std::ceil(d.D2_eff / left_pages) * (d.alpha - 1.0);
+  };
+
+  if (X >= d.T1) {
+    // Case 1: the whole inverted file of C1 fits in the cache. Either scan
+    // it in sequentially or fetch only the needed entries randomly.
+    const double scan_all = outer + d.I1 + d.Bt1;
+    const double fetch_needed = outer + needed * cJ1 * d.alpha + d.Bt1;
+    c.seq = std::min(scan_all, fetch_needed);
+    c.rand = std::min(scan_all + rand_tail(X - d.T1),
+                      fetch_needed + rand_tail(X - needed));
+    c.note = "cache holds entire inverted file";
+  } else if (X >= needed) {
+    // Case 2: all *needed* entries fit; each is fetched exactly once.
+    c.seq = outer + needed * cJ1 * d.alpha + d.Bt1;
+    c.rand = c.seq + rand_tail(X - needed);
+    c.note = "cache holds all needed entries";
+  } else {
+    // Case 3: the cache fills up after the first s + X1 - 1 outer
+    // documents; each later document forces Y fresh entry reads.
+    const double T2f = static_cast<double>(in.c2.num_distinct_terms);
+    auto qf = [&](double mm) {
+      return d.q * DistinctTermsAfter(mm, d.K2, in.c2.num_distinct_terms);
+    };
+    // Smallest integer s with q*f(s) > X (closed form via logarithms).
+    double s;
+    const double ratio = 1.0 - d.K2 / std::max(T2f, 1.0);
+    if (d.q <= 0.0 || ratio <= 0.0 || ratio >= 1.0) {
+      s = 1.0;
+    } else {
+      const double arg = 1.0 - X / (d.q * T2f);
+      s = arg <= 0.0 ? d.m
+                     : std::floor(std::log(arg) / std::log(ratio)) + 1.0;
+      while (s > 1.0 && qf(s - 1.0) > X) s -= 1.0;
+      while (qf(s) <= X && s < d.m) s += 1.0;
+    }
+    s = std::min(s, d.m);
+    const double fs = qf(s), fs1 = qf(s - 1.0);
+    const double X1 = (fs - fs1) > 0.0 ? (X - fs1) / (fs - fs1) : 0.0;
+    const double Y = std::max(qf(s + X1) - X, 0.0);
+    const double remaining = std::max(d.m - s - X1 + 1.0, 0.0);
+    c.seq = outer + X * cJ1 * d.alpha + d.Bt1 +
+            remaining * Y * cJ1 * d.alpha;
+    c.rand = c.seq + (d.outer_random
+                          ? 0.0
+                          : std::min(d.D2_eff, d.m) * (d.alpha - 1.0));
+    c.note = "cache thrashes (case 3)";
+  }
+  return c;
+}
+
+int64_t VvmPasses(const CostInputs& in) {
+  Derived d = MakeDerived(in);
+  const double SM = 4.0 * d.delta * d.N1 * d.m / d.P;
+  const double M = d.B - std::ceil(d.J1) - std::ceil(d.J2);
+  if (M <= 0.0) return -1;
+  return std::max<int64_t>(1, CeilPages(SM / M));
+}
+
+AlgorithmCost VvmCost(const CostInputs& in) {
+  Derived d = MakeDerived(in);
+  const int64_t passes = VvmPasses(in);
+  if (passes < 0) {
+    return Infeasible("VVM: buffer cannot hold two inverted entries");
+  }
+  AlgorithmCost c;
+  const double p = static_cast<double>(passes);
+  c.seq = (d.I1 + d.I2) * p;
+  c.rand = (std::min(d.I1, d.T1) + std::min(d.I2, d.T2)) * d.alpha * p;
+  c.note = std::to_string(passes) + " pass(es)";
+  return c;
+}
+
+const AlgorithmCost& CostComparison::of(Algorithm a) const {
+  switch (a) {
+    case Algorithm::kHhnl:
+      return hhnl;
+    case Algorithm::kHvnl:
+      return hvnl;
+    case Algorithm::kVvm:
+      return vvm;
+  }
+  return hhnl;
+}
+
+namespace {
+Algorithm BestBy(const CostComparison& c, double AlgorithmCost::*field) {
+  Algorithm best = Algorithm::kHhnl;
+  double best_cost = c.hhnl.*field;
+  if (c.hvnl.*field < best_cost) {
+    best = Algorithm::kHvnl;
+    best_cost = c.hvnl.*field;
+  }
+  if (c.vvm.*field < best_cost) {
+    best = Algorithm::kVvm;
+  }
+  return best;
+}
+}  // namespace
+
+Algorithm CostComparison::BestSequential() const {
+  return BestBy(*this, &AlgorithmCost::seq);
+}
+
+Algorithm CostComparison::BestRandom() const {
+  return BestBy(*this, &AlgorithmCost::rand);
+}
+
+CostComparison CompareCosts(const CostInputs& in) {
+  CostComparison c;
+  c.hhnl = HhnlCost(in);
+  c.hvnl = HvnlCost(in);
+  c.vvm = VvmCost(in);
+  return c;
+}
+
+}  // namespace textjoin

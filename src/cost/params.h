@@ -1,0 +1,73 @@
+#ifndef TEXTJOIN_COST_PARAMS_H_
+#define TEXTJOIN_COST_PARAMS_H_
+
+#include <cstdint>
+
+#include "text/types.h"
+
+namespace textjoin {
+
+// System characteristics (Section 3 notation).
+struct SystemParams {
+  int64_t buffer_pages = 10000;   // B: memory buffer size in pages
+  int64_t page_size = 4096;       // P: page size in bytes
+  double alpha = 5.0;             // cost ratio random I/O : sequential I/O
+};
+
+// Query characteristics.
+struct QueryParams {
+  int64_t lambda = 20;   // SIMILAR_TO(lambda)
+  double delta = 0.1;    // fraction of similarities that are non-zero
+};
+
+// Aggregate statistics of a document collection, the only inputs the
+// paper's cost model needs about the data. Derived quantities follow the
+// paper's formulas with |t#| = |d#| = 3 and |w| = 2 (5-byte cells).
+struct CollectionStatistics {
+  int64_t num_documents = 0;      // N_i
+  double avg_terms_per_doc = 0;   // K_i
+  int64_t num_distinct_terms = 0; // T_i
+
+  // Skew of the document-frequency distribution:
+  //   T * sum_t df(t)^2 / (sum_t df(t))^2,
+  // 1.0 for uniformly used terms (the paper's implicit assumption) and
+  // larger under Zipfian usage. Only the CPU model consumes it — the
+  // number of per-pair accumulations scales with E[df^2], not E[df]^2.
+  double df_skew = 1.0;
+
+  // S_i = 5 * K_i / P: average document size in pages.
+  double AvgDocPages(int64_t page_size) const {
+    return static_cast<double>(kDCellBytes) * avg_terms_per_doc /
+           static_cast<double>(page_size);
+  }
+
+  // D_i = S_i * N_i: collection size in pages (tightly packed).
+  double CollectionPages(int64_t page_size) const {
+    return AvgDocPages(page_size) * static_cast<double>(num_documents);
+  }
+
+  // J_i = 5 * K_i * N_i / (T_i * P): average inverted entry size in pages.
+  double AvgEntryPages(int64_t page_size) const {
+    if (num_distinct_terms == 0) return 0.0;
+    return static_cast<double>(kICellBytes) * avg_terms_per_doc *
+           static_cast<double>(num_documents) /
+           (static_cast<double>(num_distinct_terms) *
+            static_cast<double>(page_size));
+  }
+
+  // I_i = J_i * T_i: inverted file size in pages (tightly packed).
+  double InvertedFilePages(int64_t page_size) const {
+    return AvgEntryPages(page_size) *
+           static_cast<double>(num_distinct_terms);
+  }
+
+  // Bt_i ~ 9 * T_i / P: B+tree size in pages (leaf level, 9-byte cells).
+  double BTreePages(int64_t page_size) const {
+    return 9.0 * static_cast<double>(num_distinct_terms) /
+           static_cast<double>(page_size);
+  }
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_COST_PARAMS_H_

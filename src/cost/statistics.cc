@@ -1,0 +1,84 @@
+#include "cost/statistics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "cost/cost_model.h"
+
+namespace textjoin {
+
+CollectionStatistics StatisticsOf(const DocumentCollection& collection) {
+  CollectionStatistics s;
+  s.num_documents = collection.num_documents();
+  s.avg_terms_per_doc = collection.avg_terms_per_doc();
+  s.num_distinct_terms = collection.num_distinct_terms();
+  if (s.num_distinct_terms > 0) {
+    double sum = 0, sum_sq = 0;
+    for (const auto& [term, df] : collection.doc_freq_map()) {
+      double d = static_cast<double>(df);
+      sum += d;
+      sum_sq += d * d;
+    }
+    s.df_skew = static_cast<double>(s.num_distinct_terms) * sum_sq /
+                (sum * sum);
+  }
+  return s;
+}
+
+CollectionStatistics ReducedStatistics(const CollectionStatistics& stats,
+                                       int64_t m) {
+  TEXTJOIN_CHECK_GE(m, 0);
+  TEXTJOIN_CHECK_LE(m, stats.num_documents);
+  CollectionStatistics s = stats;
+  s.num_documents = m;
+  s.num_distinct_terms = static_cast<int64_t>(std::llround(
+      DistinctTermsAfter(static_cast<double>(m), stats.avg_terms_per_doc,
+                         stats.num_distinct_terms)));
+  if (m > 0 && s.num_distinct_terms < 1) s.num_distinct_terms = 1;
+  return s;
+}
+
+CollectionStatistics RescaledStatistics(const CollectionStatistics& stats,
+                                        int64_t factor) {
+  TEXTJOIN_CHECK_GT(factor, 0);
+  CollectionStatistics s = stats;
+  s.num_documents = std::max<int64_t>(1, stats.num_documents / factor);
+  s.avg_terms_per_doc = stats.avg_terms_per_doc *
+                        static_cast<double>(stats.num_documents) /
+                        static_cast<double>(s.num_documents);
+  return s;
+}
+
+double MeasuredDelta(const DocumentCollection& c1,
+                     const DocumentCollection& c2) {
+  // Expected fraction of document pairs sharing at least one term, under
+  // independence of term occurrences across documents:
+  //   delta ~ 1 - prod_t (1 - df1(t)/N1 * df2(t)/N2).
+  // Computed in log space over the terms common to both collections.
+  const double n1 = static_cast<double>(c1.num_documents());
+  const double n2 = static_cast<double>(c2.num_documents());
+  if (n1 == 0 || n2 == 0) return 0.0;
+  double log_none = 0.0;
+  for (const auto& [term, df1] : c1.doc_freq_map()) {
+    int64_t df2 = c2.DocumentFrequency(term);
+    if (df2 == 0) continue;
+    double p = (static_cast<double>(df1) / n1) *
+               (static_cast<double>(df2) / n2);
+    if (p >= 1.0) return 1.0;
+    log_none += std::log1p(-p);
+  }
+  return 1.0 - std::exp(log_none);
+}
+
+double MeasuredTermOverlap(const DocumentCollection& from,
+                           const DocumentCollection& to) {
+  if (from.num_distinct_terms() == 0) return 0.0;
+  int64_t shared = 0;
+  for (const auto& [term, df] : from.doc_freq_map()) {
+    if (to.DocumentFrequency(term) > 0) ++shared;
+  }
+  return static_cast<double>(shared) /
+         static_cast<double>(from.num_distinct_terms());
+}
+
+}  // namespace textjoin

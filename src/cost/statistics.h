@@ -1,0 +1,40 @@
+#ifndef TEXTJOIN_COST_STATISTICS_H_
+#define TEXTJOIN_COST_STATISTICS_H_
+
+#include "cost/params.h"
+#include "text/collection.h"
+
+namespace textjoin {
+
+// Extracts the cost model's inputs from a built collection's catalog.
+CollectionStatistics StatisticsOf(const DocumentCollection& collection);
+
+// Statistics of the sub-collection formed by the first `m` documents of a
+// collection with statistics `stats`: N' = m, K' = K, and the expected
+// distinct-term count T' = f(m) = T - (1 - K/T)^m * T. Used by simulation
+// Group 4, where the outer collection is an ORIGINALLY small collection
+// derived from a large one.
+CollectionStatistics ReducedStatistics(const CollectionStatistics& stats,
+                                       int64_t m);
+
+// Statistics of the Group 5 transform: divide the number of documents by
+// `factor` and multiply the terms per document by `factor`, keeping the
+// collection size unchanged. The distinct-term count is kept (the same
+// underlying vocabulary is spread over fewer, larger documents).
+CollectionStatistics RescaledStatistics(const CollectionStatistics& stats,
+                                        int64_t factor);
+
+// Measured fraction of (outer, inner) document pairs with non-zero
+// similarity — the paper's delta. O(T1 + T2 + matching postings) using the
+// document-frequency catalogs; exact when computed on built collections.
+double MeasuredDelta(const DocumentCollection& c1,
+                     const DocumentCollection& c2);
+
+// Measured probability that a distinct term of `from` also occurs in `to`
+// — the paper's p/q, computed exactly from the catalogs.
+double MeasuredTermOverlap(const DocumentCollection& from,
+                           const DocumentCollection& to);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_COST_STATISTICS_H_

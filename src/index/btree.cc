@@ -1,0 +1,248 @@
+#include "index/btree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "storage/coding.h"
+
+namespace textjoin {
+
+namespace {
+
+// Number of cells that fit in one page after the 3-byte header.
+int64_t LeafCapacity(int64_t page_size) {
+  return (page_size - BPlusTree::kHeaderBytes) / BPlusTree::kLeafCellBytes;
+}
+
+int64_t InternalCapacity(int64_t page_size) {
+  return (page_size - BPlusTree::kHeaderBytes) /
+         BPlusTree::kInternalCellBytes;
+}
+
+struct InternalCell {
+  TermId key;        // smallest term under the child subtree
+  uint32_t child;    // child page number
+};
+
+void SerializeLeaf(const std::vector<BPlusTree::LeafCell>& cells,
+                   std::vector<uint8_t>* page) {
+  page->clear();
+  page->push_back(0);  // level 0 = leaf
+  PutFixed16(page, static_cast<uint16_t>(cells.size()));
+  for (const auto& c : cells) {
+    PutFixed24(page, c.term);
+    PutFixed32(page, c.address);
+    PutFixed16(page, c.doc_freq);
+  }
+}
+
+void SerializeInternal(int level, const std::vector<InternalCell>& cells,
+                       std::vector<uint8_t>* page) {
+  page->clear();
+  page->push_back(static_cast<uint8_t>(level));
+  PutFixed16(page, static_cast<uint16_t>(cells.size()));
+  for (const auto& c : cells) {
+    PutFixed24(page, c.key);
+    PutFixed32(page, c.child);
+  }
+}
+
+}  // namespace
+
+Result<BPlusTree> BPlusTree::BulkLoad(SimulatedDisk* disk, std::string name,
+                                      const std::vector<LeafCell>& cells) {
+  for (size_t i = 1; i < cells.size(); ++i) {
+    if (cells[i - 1].term >= cells[i].term) {
+      return Status::InvalidArgument("bulk-load cells not strictly sorted");
+    }
+  }
+  const int64_t page_size = disk->page_size();
+  const int64_t leaf_cap = LeafCapacity(page_size);
+  const int64_t internal_cap = InternalCapacity(page_size);
+  if (leaf_cap < 2 || internal_cap < 2) {
+    return Status::InvalidArgument("page size too small for B+tree nodes");
+  }
+
+  BPlusTree tree;
+  tree.disk_ = disk;
+  tree.file_ = disk->CreateFile(std::move(name));
+  tree.num_terms_ = static_cast<int64_t>(cells.size());
+
+  std::vector<uint8_t> page;
+  // Level 0: pack leaves tightly.
+  std::vector<InternalCell> level_refs;
+  {
+    int64_t i = 0;
+    const int64_t n = static_cast<int64_t>(cells.size());
+    while (i < n || (n == 0 && level_refs.empty())) {
+      int64_t take = std::min(leaf_cap, n - i);
+      std::vector<LeafCell> chunk(cells.begin() + i,
+                                  cells.begin() + i + take);
+      SerializeLeaf(chunk, &page);
+      TEXTJOIN_ASSIGN_OR_RETURN(
+          PageNumber pno,
+          disk->AppendPage(tree.file_, page.data(),
+                           static_cast<int64_t>(page.size())));
+      level_refs.push_back(InternalCell{
+          take > 0 ? chunk.front().term : 0, static_cast<uint32_t>(pno)});
+      i += take;
+      if (n == 0) break;  // empty tree: single empty leaf as root
+    }
+  }
+  tree.leaf_pages_ = static_cast<int64_t>(level_refs.size());
+  tree.height_ = 1;
+
+  // Build internal levels until a single root remains.
+  int level = 1;
+  while (level_refs.size() > 1) {
+    std::vector<InternalCell> next_refs;
+    int64_t i = 0;
+    const int64_t n = static_cast<int64_t>(level_refs.size());
+    while (i < n) {
+      int64_t take = std::min(internal_cap, n - i);
+      std::vector<InternalCell> chunk(level_refs.begin() + i,
+                                      level_refs.begin() + i + take);
+      SerializeInternal(level, chunk, &page);
+      TEXTJOIN_ASSIGN_OR_RETURN(
+          PageNumber pno,
+          disk->AppendPage(tree.file_, page.data(),
+                           static_cast<int64_t>(page.size())));
+      next_refs.push_back(
+          InternalCell{chunk.front().key, static_cast<uint32_t>(pno)});
+      i += take;
+    }
+    level_refs = std::move(next_refs);
+    ++level;
+    ++tree.height_;
+  }
+  tree.root_page_ = level_refs.empty() ? 0 : level_refs.front().child;
+  return tree;
+}
+
+Result<BPlusTree::LeafCell> BPlusTree::Lookup(TermId term) const {
+  if (disk_ == nullptr) return Status::FailedPrecondition("empty tree");
+  std::vector<uint8_t> page(static_cast<size_t>(disk_->page_size()));
+  PageNumber current = root_page_;
+  for (;;) {
+    TEXTJOIN_RETURN_IF_ERROR(disk_->ReadPage(file_, current, page.data()));
+    const uint8_t level = page[0];
+    const uint16_t count = GetFixed16(page.data() + 1);
+    if (level == 0) {
+      // Binary search the leaf cells.
+      int64_t lo = 0, hi = count;
+      while (lo < hi) {
+        int64_t mid = (lo + hi) / 2;
+        const uint8_t* p = page.data() + kHeaderBytes + mid * kLeafCellBytes;
+        TermId t = GetFixed24(p);
+        if (t < term) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo < count) {
+        const uint8_t* p = page.data() + kHeaderBytes + lo * kLeafCellBytes;
+        if (GetFixed24(p) == term) {
+          return LeafCell{GetFixed24(p), GetFixed32(p + 3),
+                          GetFixed16(p + 7)};
+        }
+      }
+      return Status::NotFound("term " + std::to_string(term) +
+                              " not in B+tree");
+    }
+    // Internal node: find the rightmost child whose key <= term.
+    int64_t lo = 0, hi = count;
+    while (lo < hi) {
+      int64_t mid = (lo + hi) / 2;
+      const uint8_t* p =
+          page.data() + kHeaderBytes + mid * kInternalCellBytes;
+      TermId t = GetFixed24(p);
+      if (t <= term) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    int64_t child_idx = std::max<int64_t>(0, lo - 1);
+    const uint8_t* p =
+        page.data() + kHeaderBytes + child_idx * kInternalCellBytes;
+    current = static_cast<PageNumber>(GetFixed32(p + 3));
+  }
+}
+
+Result<std::vector<BPlusTree::LeafCell>> BPlusTree::LoadAllCells() const {
+  if (disk_ == nullptr) return Status::FailedPrecondition("empty tree");
+  std::vector<LeafCell> out;
+  out.reserve(static_cast<size_t>(num_terms_));
+  std::vector<uint8_t> page(static_cast<size_t>(disk_->page_size()));
+  TEXTJOIN_ASSIGN_OR_RETURN(int64_t pages, disk_->FileSizeInPages(file_));
+  for (PageNumber pno = 0; pno < pages; ++pno) {
+    TEXTJOIN_RETURN_IF_ERROR(disk_->ReadPage(file_, pno, page.data()));
+    if (page[0] != 0) continue;  // internal node
+    const uint16_t count = GetFixed16(page.data() + 1);
+    for (int64_t i = 0; i < count; ++i) {
+      const uint8_t* p = page.data() + kHeaderBytes + i * kLeafCellBytes;
+      out.push_back(
+          LeafCell{GetFixed24(p), GetFixed32(p + 3), GetFixed16(p + 7)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LeafCell& a, const LeafCell& b) {
+              return a.term < b.term;
+            });
+  return out;
+}
+
+BPlusTree BPlusTree::FromParts(SimulatedDisk* disk, FileId file,
+                               PageNumber root_page, int64_t leaf_pages,
+                               int64_t num_terms, int height) {
+  BPlusTree tree;
+  tree.disk_ = disk;
+  tree.file_ = file;
+  tree.root_page_ = root_page;
+  tree.leaf_pages_ = leaf_pages;
+  tree.num_terms_ = num_terms;
+  tree.height_ = height;
+  return tree;
+}
+
+int64_t BPlusTree::size_in_pages() const {
+  if (disk_ == nullptr) return 0;
+  auto size = disk_->FileSizeInPages(file_);
+  TEXTJOIN_CHECK(size.ok());
+  return size.value();
+}
+
+ResidentTermDirectory::ResidentTermDirectory(
+    std::vector<BPlusTree::LeafCell> cells, int64_t file_size_bytes)
+    : cells_(std::move(cells)), file_size_bytes_(file_size_bytes) {
+  for (size_t i = 1; i < cells_.size(); ++i) {
+    TEXTJOIN_CHECK_LT(cells_[i - 1].term, cells_[i].term);
+  }
+}
+
+int64_t ResidentTermDirectory::IndexOf(TermId term) const {
+  auto it = std::lower_bound(
+      cells_.begin(), cells_.end(), term,
+      [](const BPlusTree::LeafCell& c, TermId t) { return c.term < t; });
+  if (it == cells_.end() || it->term != term) return -1;
+  return it - cells_.begin();
+}
+
+std::optional<BPlusTree::LeafCell> ResidentTermDirectory::Lookup(
+    TermId term) const {
+  int64_t i = IndexOf(term);
+  if (i < 0) return std::nullopt;
+  return cells_[static_cast<size_t>(i)];
+}
+
+std::optional<int64_t> ResidentTermDirectory::EntryLength(TermId term) const {
+  int64_t i = IndexOf(term);
+  if (i < 0) return std::nullopt;
+  int64_t end = (static_cast<size_t>(i + 1) < cells_.size())
+                    ? cells_[static_cast<size_t>(i + 1)].address
+                    : file_size_bytes_;
+  return end - cells_[static_cast<size_t>(i)].address;
+}
+
+}  // namespace textjoin

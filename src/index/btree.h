@@ -1,0 +1,116 @@
+#ifndef TEXTJOIN_INDEX_BTREE_H_
+#define TEXTJOIN_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "text/types.h"
+
+namespace textjoin {
+
+// Disk-resident B+tree keyed by term number, the term directory of an
+// inverted file (Section 5.2 of the paper).
+//
+// Leaf cells are 9 bytes, exactly the paper's layout: 3-byte term number,
+// 4-byte address (byte offset of the term's inverted file entry) and 2-byte
+// document frequency (clamped at 65535 on disk; exact frequencies live in
+// the collection catalog). Internal cells are 7 bytes: 3-byte separator key
+// and 4-byte child page number.
+//
+// Page layout: [level:u8][cell_count:u16][cells...]. level 0 = leaf.
+class BPlusTree {
+ public:
+  struct LeafCell {
+    TermId term = 0;
+    uint32_t address = 0;  // byte offset of the inverted file entry
+    uint16_t doc_freq = 0;
+
+    friend bool operator==(const LeafCell& a, const LeafCell& b) {
+      return a.term == b.term && a.address == b.address &&
+             a.doc_freq == b.doc_freq;
+    }
+  };
+
+  static constexpr int64_t kLeafCellBytes = 9;
+  static constexpr int64_t kInternalCellBytes = 7;
+  static constexpr int64_t kHeaderBytes = 3;
+
+  BPlusTree() = default;
+  BPlusTree(BPlusTree&&) = default;
+  BPlusTree& operator=(BPlusTree&&) = default;
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  // Builds a tightly packed tree from cells sorted by ascending term.
+  static Result<BPlusTree> BulkLoad(SimulatedDisk* disk, std::string name,
+                                    const std::vector<LeafCell>& cells);
+
+  // Point lookup descending from the root; every page touched is a metered
+  // disk read. NotFound if the term is absent.
+  Result<LeafCell> Lookup(TermId term) const;
+
+  // Reads the whole tree file front to back (the paper's one-time cost of
+  // Bt_i pages) and returns all leaf cells in term order for in-memory use.
+  Result<std::vector<LeafCell>> LoadAllCells() const;
+
+  // Total pages in the tree file (leaves + internal levels).
+  int64_t size_in_pages() const;
+
+  // Pages occupied by leaves only — the paper's Bt_i ~ 9*T/P estimate
+  // counts only the leaf level.
+  int64_t leaf_pages() const { return leaf_pages_; }
+
+  PageNumber root_page() const { return root_page_; }
+
+  // Reattaches a tree to an existing file (catalog reopen).
+  static BPlusTree FromParts(SimulatedDisk* disk, FileId file,
+                             PageNumber root_page, int64_t leaf_pages,
+                             int64_t num_terms, int height);
+
+  int height() const { return height_; }
+  int64_t num_terms() const { return num_terms_; }
+  SimulatedDisk* disk() const { return disk_; }
+  FileId file() const { return file_; }
+
+ private:
+  SimulatedDisk* disk_ = nullptr;
+  FileId file_ = kInvalidFileId;
+  PageNumber root_page_ = -1;
+  int64_t leaf_pages_ = 0;
+  int64_t num_terms_ = 0;
+  int height_ = 0;  // number of levels; 1 = root is a leaf
+};
+
+// In-memory image of a B+tree's leaf level, produced after paying the
+// one-time LoadAllCells cost. Lookups are unmetered binary searches; also
+// answers "what is the byte length of term t's inverted entry" from the
+// distance to the next cell's address.
+class ResidentTermDirectory {
+ public:
+  // `cells` must be sorted by term; `file_size_bytes` is the total byte
+  // length of the inverted file (end address of the last entry).
+  ResidentTermDirectory(std::vector<BPlusTree::LeafCell> cells,
+                        int64_t file_size_bytes);
+
+  std::optional<BPlusTree::LeafCell> Lookup(TermId term) const;
+
+  // Byte length of the inverted entry of `term`, or nullopt if absent.
+  std::optional<int64_t> EntryLength(TermId term) const;
+
+  int64_t size() const { return static_cast<int64_t>(cells_.size()); }
+  const std::vector<BPlusTree::LeafCell>& cells() const { return cells_; }
+
+ private:
+  int64_t IndexOf(TermId term) const;  // -1 if absent
+
+  std::vector<BPlusTree::LeafCell> cells_;
+  int64_t file_size_bytes_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_INDEX_BTREE_H_

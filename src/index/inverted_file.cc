@@ -1,0 +1,214 @@
+#include "index/inverted_file.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "index/varint.h"
+#include "storage/coding.h"
+
+namespace textjoin {
+
+void EncodeICells(const std::vector<ICell>& cells, std::vector<uint8_t>* out) {
+  out->clear();
+  out->reserve(cells.size() * kICellBytes);
+  for (const ICell& c : cells) {
+    PutFixed24(out, c.doc);
+    PutFixed16(out, c.weight);
+  }
+}
+
+std::vector<ICell> DecodeICells(const uint8_t* bytes, int64_t count) {
+  std::vector<ICell> cells;
+  cells.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    const uint8_t* p = bytes + i * kICellBytes;
+    cells.push_back(ICell{GetFixed24(p), GetFixed16(p + 3)});
+  }
+  return cells;
+}
+
+void EncodePostings(const std::vector<ICell>& cells,
+                    PostingCompression compression,
+                    std::vector<uint8_t>* out) {
+  if (compression == PostingCompression::kNone) {
+    EncodeICells(cells, out);
+    return;
+  }
+  out->clear();
+  DocId prev = 0;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    // Ascending document numbers: the first gap is the document number
+    // itself, later gaps are strictly positive deltas.
+    uint64_t gap = i == 0 ? cells[i].doc : cells[i].doc - prev;
+    prev = cells[i].doc;
+    PutVarint(out, gap);
+    PutVarint(out, cells[i].weight);
+  }
+}
+
+std::vector<ICell> DecodePostings(const uint8_t* bytes, int64_t count,
+                                  PostingCompression compression) {
+  if (compression == PostingCompression::kNone) {
+    return DecodeICells(bytes, count);
+  }
+  std::vector<ICell> cells;
+  cells.reserve(static_cast<size_t>(count));
+  const uint8_t* p = bytes;
+  DocId doc = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    doc = i == 0 ? static_cast<DocId>(GetVarint(&p))
+                 : doc + static_cast<DocId>(GetVarint(&p));
+    Weight w = static_cast<Weight>(GetVarint(&p));
+    cells.push_back(ICell{doc, w});
+  }
+  return cells;
+}
+
+Result<InvertedFile> InvertedFile::Build(SimulatedDisk* disk,
+                                         std::string name,
+                                         const DocumentCollection& collection) {
+  return Build(disk, std::move(name), collection, BuildOptions{});
+}
+
+Result<InvertedFile> InvertedFile::Build(SimulatedDisk* disk,
+                                         std::string name,
+                                         const DocumentCollection& collection,
+                                         const BuildOptions& options) {
+  // Accumulate postings. Documents are scanned in ascending document
+  // number, so each posting list comes out sorted by document number.
+  std::unordered_map<TermId, std::vector<ICell>> postings;
+  postings.reserve(
+      static_cast<size_t>(collection.num_distinct_terms()) * 2 + 1);
+  auto scanner = collection.Scan();
+  while (!scanner.Done()) {
+    DocId doc = scanner.next_doc();
+    TEXTJOIN_ASSIGN_OR_RETURN(Document d, scanner.Next());
+    for (const DCell& c : d.cells()) {
+      postings[c.term].push_back(ICell{doc, c.weight});
+    }
+  }
+
+  std::vector<TermId> terms;
+  terms.reserve(postings.size());
+  for (const auto& [term, cells] : postings) terms.push_back(term);
+  std::sort(terms.begin(), terms.end());
+
+  InvertedFile inv;
+  inv.disk_ = disk;
+  inv.name_ = std::move(name);
+  inv.file_ = disk->CreateFile(inv.name_);
+  inv.compression_ = options.compression;
+
+  PageStreamWriter writer(disk, inv.file_);
+  std::vector<BPlusTree::LeafCell> leaf_cells;
+  leaf_cells.reserve(terms.size());
+  std::vector<uint8_t> bytes;
+  for (TermId term : terms) {
+    const std::vector<ICell>& cells = postings[term];
+    EncodePostings(cells, options.compression, &bytes);
+    int64_t offset = writer.Append(bytes);
+    if (offset > 0xFFFFFFFFll) {
+      return Status::ResourceExhausted(
+          "inverted file exceeds 4-byte address space");
+    }
+    inv.entries_.push_back(EntryMeta{
+        term, offset, static_cast<int64_t>(cells.size()),
+        static_cast<int64_t>(bytes.size())});
+    uint16_t df16 = cells.size() > 0xFFFF
+                        ? uint16_t{0xFFFF}
+                        : static_cast<uint16_t>(cells.size());
+    leaf_cells.push_back(
+        BPlusTree::LeafCell{term, static_cast<uint32_t>(offset), df16});
+  }
+  inv.total_bytes_ = writer.size();
+  TEXTJOIN_RETURN_IF_ERROR(writer.Finish());
+  TEXTJOIN_ASSIGN_OR_RETURN(
+      inv.btree_, BPlusTree::BulkLoad(disk, inv.name_ + ".btree", leaf_cells));
+  return inv;
+}
+
+InvertedFile InvertedFile::FromParts(SimulatedDisk* disk, FileId file,
+                                     std::string name, BPlusTree btree,
+                                     std::vector<EntryMeta> entries,
+                                     int64_t total_bytes,
+                                     PostingCompression compression) {
+  InvertedFile inv;
+  inv.disk_ = disk;
+  inv.file_ = file;
+  inv.name_ = std::move(name);
+  inv.btree_ = std::move(btree);
+  inv.entries_ = std::move(entries);
+  inv.total_bytes_ = total_bytes;
+  inv.compression_ = compression;
+  return inv;
+}
+
+int64_t InvertedFile::size_in_pages() const {
+  auto size = disk_->FileSizeInPages(file_);
+  TEXTJOIN_CHECK(size.ok());
+  return size.value();
+}
+
+double InvertedFile::avg_entry_size_pages() const {
+  if (entries_.empty()) return 0.0;
+  return static_cast<double>(total_bytes_) /
+         static_cast<double>(num_terms()) /
+         static_cast<double>(disk_->page_size());
+}
+
+int64_t InvertedFile::FindEntry(TermId term) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), term,
+      [](const EntryMeta& e, TermId t) { return e.term < t; });
+  if (it == entries_.end() || it->term != term) return -1;
+  return it - entries_.begin();
+}
+
+Result<std::vector<ICell>> InvertedFile::FetchEntry(TermId term) const {
+  int64_t idx = FindEntry(term);
+  if (idx < 0) {
+    return Status::NotFound("term " + std::to_string(term) +
+                            " has no inverted entry");
+  }
+  const EntryMeta& e = entries_[static_cast<size_t>(idx)];
+  std::vector<uint8_t> bytes;
+  PageStreamReader reader(disk_, file_);
+  TEXTJOIN_RETURN_IF_ERROR(
+      reader.Read(e.offset_bytes, e.byte_length, &bytes));
+  return DecodePostings(bytes.data(), e.cell_count, compression_);
+}
+
+int64_t InvertedFile::EntryPageSpan(int64_t index) const {
+  TEXTJOIN_CHECK_GE(index, 0);
+  TEXTJOIN_CHECK_LT(index, static_cast<int64_t>(entries_.size()));
+  const EntryMeta& e = entries_[static_cast<size_t>(index)];
+  if (e.byte_length == 0) return 0;
+  const int64_t page_size = disk_->page_size();
+  int64_t first = e.offset_bytes / page_size;
+  int64_t last = (e.offset_bytes + e.byte_length - 1) / page_size;
+  return last - first + 1;
+}
+
+InvertedFile::Scanner::Scanner(const InvertedFile* file)
+    : file_(file), reader_(file->disk_, file->file_) {}
+
+Result<std::vector<ICell>> InvertedFile::Scanner::Next() {
+  if (Done()) return Status::OutOfRange("scan past end of inverted file");
+  const EntryMeta& e = file_->entries_[static_cast<size_t>(next_)];
+  ++next_;
+  std::vector<uint8_t> bytes(static_cast<size_t>(e.byte_length));
+  TEXTJOIN_RETURN_IF_ERROR(reader_.Read(e.byte_length, bytes.data()));
+  return DecodePostings(bytes.data(), e.cell_count, file_->compression_);
+}
+
+Status InvertedFile::Scanner::SkipEntry() {
+  if (Done()) return Status::OutOfRange("scan past end of inverted file");
+  const EntryMeta& e = file_->entries_[static_cast<size_t>(next_)];
+  ++next_;
+  std::vector<uint8_t> bytes(static_cast<size_t>(e.byte_length));
+  return reader_.Read(e.byte_length, bytes.data());
+}
+
+}  // namespace textjoin

@@ -1,0 +1,46 @@
+#ifndef TEXTJOIN_INDEX_VARINT_H_
+#define TEXTJOIN_INDEX_VARINT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace textjoin {
+
+// LEB128 variable-length unsigned integers, used by the compressed
+// inverted-entry format (delta-encoded document numbers).
+
+inline void PutVarint(std::vector<uint8_t>* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  dst->push_back(static_cast<uint8_t>(v));
+}
+
+// Decodes one varint starting at `p` (must have at most 10 valid bytes);
+// advances *p past it. Returns the value.
+inline uint64_t GetVarint(const uint8_t** p) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    uint8_t byte = *(*p)++;
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+// Encoded size of v in bytes.
+inline int VarintLength(uint64_t v) {
+  int n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_INDEX_VARINT_H_

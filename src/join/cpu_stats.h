@@ -1,0 +1,51 @@
+#ifndef TEXTJOIN_JOIN_CPU_STATS_H_
+#define TEXTJOIN_JOIN_CPU_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace textjoin {
+
+// CPU work counters for one join execution. The paper's cost analysis is
+// I/O-only ("as if we have a centralized environment where I/O cost
+// dominates CPU cost", Section 3) and names CPU-inclusive cost formulas
+// as further work (Section 7); these counters are the measurement side
+// of that extension — see cost/cpu_model.h for the analytic side.
+struct CpuStats {
+  // Steps of the sorted-merge walk over d-cells (HHNL) — one per cell
+  // visited while intersecting two documents.
+  int64_t cell_compares = 0;
+  // Similarity accumulations: one multiply-add into a running pair score.
+  int64_t accumulations = 0;
+  // Candidate offers to a top-lambda heap.
+  int64_t heap_offers = 0;
+  // i-cells decoded from fetched or scanned inverted entries.
+  int64_t cells_decoded = 0;
+
+  CpuStats& operator+=(const CpuStats& o) {
+    cell_compares += o.cell_compares;
+    accumulations += o.accumulations;
+    heap_offers += o.heap_offers;
+    cells_decoded += o.cells_decoded;
+    return *this;
+  }
+
+  // A single scalar for comparisons: every counted operation weighted
+  // equally (callers can weight the fields themselves when they know
+  // their machine).
+  double Total() const {
+    return static_cast<double>(cell_compares + accumulations + heap_offers +
+                               cells_decoded);
+  }
+
+  std::string ToString() const {
+    return "CpuStats{compares=" + std::to_string(cell_compares) +
+           ", accum=" + std::to_string(accumulations) +
+           ", heap=" + std::to_string(heap_offers) +
+           ", decoded=" + std::to_string(cells_decoded) + "}";
+  }
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_JOIN_CPU_STATS_H_

@@ -1,0 +1,170 @@
+#include "join/hhnl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace textjoin {
+
+int64_t HhnlJoin::BatchSize(const JoinContext& ctx, const JoinSpec& spec) {
+  const double P = static_cast<double>(ctx.sys.page_size);
+  const double B = static_cast<double>(ctx.sys.buffer_pages);
+  const double s1 = std::ceil(ctx.inner->avg_doc_size_pages());
+  const double s2 = ctx.outer->avg_doc_size_pages();
+  const double denom = s2 + 4.0 * static_cast<double>(spec.lambda) / P;
+  if (denom <= 0.0) return 0;
+  return static_cast<int64_t>(std::floor((B - s1) / denom + 1e-9));
+}
+
+Result<JoinResult> HhnlJoin::Run(const JoinContext& ctx,
+                                 const JoinSpec& spec) {
+  TEXTJOIN_RETURN_IF_ERROR(ValidateJoinInputs(ctx, spec));
+  return options_.backward ? RunBackward(ctx, spec) : RunForward(ctx, spec);
+}
+
+Result<JoinResult> HhnlJoin::RunForward(const JoinContext& ctx,
+                                        const JoinSpec& spec) {
+  const int64_t X = BatchSize(ctx, spec);
+  if (X < 1) {
+    return Status::ResourceExhausted(
+        "HHNL: buffer cannot hold one outer and one inner document");
+  }
+  const std::vector<DocId> participating = ParticipatingOuterDocs(ctx, spec);
+  const bool random_outer = !spec.outer_subset.empty();
+
+  JoinResult result;
+  result.reserve(participating.size());
+
+  // Sequential outer scan state (only used when no subset is given). The
+  // scanner persists across batches so the outer collection is read once.
+  auto outer_scan = ctx.outer->Scan();
+
+  size_t pos = 0;
+  while (pos < participating.size()) {
+    const size_t batch_size =
+        std::min<size_t>(static_cast<size_t>(X), participating.size() - pos);
+    // Bring the next batch of outer documents into memory.
+    std::vector<DocId> batch_docs(participating.begin() + pos,
+                                  participating.begin() + pos + batch_size);
+    std::vector<Document> batch;
+    batch.reserve(batch_size);
+    for (DocId d : batch_docs) {
+      if (random_outer) {
+        TEXTJOIN_ASSIGN_OR_RETURN(Document doc, ctx.outer->ReadDocument(d));
+        batch.push_back(std::move(doc));
+      } else {
+        TEXTJOIN_CHECK_EQ(outer_scan.next_doc(), d);
+        TEXTJOIN_ASSIGN_OR_RETURN(Document doc, outer_scan.Next());
+        batch.push_back(std::move(doc));
+      }
+    }
+    pos += batch_size;
+
+    std::vector<TopKAccumulator> heaps(batch_size,
+                                       TopKAccumulator(spec.lambda));
+    // Pass over the (participating) inner documents for this batch.
+    TEXTJOIN_RETURN_IF_ERROR(ForEachInnerDoc(
+        ctx, spec, [&](DocId inner_doc, const Document& d1) {
+          for (size_t i = 0; i < batch_size; ++i) {
+            double acc;
+            if (ctx.cpu != nullptr) {
+              DotDetail d = WeightedDotDetailed(d1, batch[i],
+                                                *ctx.similarity);
+              ctx.cpu->cell_compares += d.merge_steps;
+              ctx.cpu->accumulations += d.common_terms;
+              acc = d.acc;
+            } else {
+              acc = WeightedDot(d1, batch[i], *ctx.similarity);
+            }
+            if (acc <= 0) continue;
+            if (ctx.cpu != nullptr) ++ctx.cpu->heap_offers;
+            heaps[i].Add(inner_doc, ctx.similarity->Finalize(
+                                        acc, inner_doc, batch_docs[i]));
+          }
+        }));
+    for (size_t i = 0; i < batch_size; ++i) {
+      result.push_back(OuterMatches{batch_docs[i], heaps[i].TakeSorted()});
+    }
+  }
+  return result;
+}
+
+Result<JoinResult> HhnlJoin::RunBackward(const JoinContext& ctx,
+                                         const JoinSpec& spec) {
+  const std::vector<DocId> participating = ParticipatingOuterDocs(ctx, spec);
+  const bool random_outer = !spec.outer_subset.empty();
+  const double P = static_cast<double>(ctx.sys.page_size);
+  const double B = static_cast<double>(ctx.sys.buffer_pages);
+  const double s1 = ctx.inner->avg_doc_size_pages();
+  const double s2 = std::ceil(ctx.outer->avg_doc_size_pages());
+  const double heap_pages = 4.0 * static_cast<double>(spec.lambda) *
+                            static_cast<double>(participating.size()) / P;
+  if (s1 <= 0.0) {
+    return Status::InvalidArgument("backward HHNL: empty inner documents");
+  }
+  const int64_t X =
+      static_cast<int64_t>(std::floor((B - s2 - heap_pages) / s1 + 1e-9));
+  if (X < 1) {
+    return Status::ResourceExhausted(
+        "HHNL backward: buffer cannot hold intermediate heaps plus one "
+        "document of each collection");
+  }
+
+  // One heap per participating outer document, alive for the whole run.
+  std::vector<TopKAccumulator> heaps(participating.size(),
+                                     TopKAccumulator(spec.lambda));
+
+  const std::vector<char> inner_member = InnerMembership(ctx, spec);
+  auto inner_scan = ctx.inner->Scan();
+  while (!inner_scan.Done()) {
+    // Load the next batch of (participating) inner documents.
+    std::vector<DocId> batch_docs;
+    std::vector<Document> batch;
+    while (!inner_scan.Done() &&
+           static_cast<int64_t>(batch.size()) < X) {
+      DocId doc = inner_scan.next_doc();
+      TEXTJOIN_ASSIGN_OR_RETURN(Document d, inner_scan.Next());
+      if (!inner_member.empty() && !inner_member[doc]) continue;
+      batch_docs.push_back(doc);
+      batch.push_back(std::move(d));
+    }
+    if (batch.empty()) continue;
+    // Pass over the outer documents.
+    auto outer_scan = ctx.outer->Scan();
+    for (size_t oi = 0; oi < participating.size(); ++oi) {
+      DocId outer_doc = participating[oi];
+      Document d2;
+      if (random_outer) {
+        TEXTJOIN_ASSIGN_OR_RETURN(d2, ctx.outer->ReadDocument(outer_doc));
+      } else {
+        TEXTJOIN_CHECK_EQ(outer_scan.next_doc(), outer_doc);
+        TEXTJOIN_ASSIGN_OR_RETURN(d2, outer_scan.Next());
+      }
+      for (size_t i = 0; i < batch.size(); ++i) {
+        double acc;
+        if (ctx.cpu != nullptr) {
+          DotDetail d = WeightedDotDetailed(batch[i], d2, *ctx.similarity);
+          ctx.cpu->cell_compares += d.merge_steps;
+          ctx.cpu->accumulations += d.common_terms;
+          acc = d.acc;
+        } else {
+          acc = WeightedDot(batch[i], d2, *ctx.similarity);
+        }
+        if (acc <= 0) continue;
+        if (ctx.cpu != nullptr) ++ctx.cpu->heap_offers;
+        heaps[oi].Add(batch_docs[i], ctx.similarity->Finalize(
+                                         acc, batch_docs[i], outer_doc));
+      }
+    }
+  }
+
+  JoinResult result;
+  result.reserve(participating.size());
+  for (size_t oi = 0; oi < participating.size(); ++oi) {
+    result.push_back(OuterMatches{participating[oi], heaps[oi].TakeSorted()});
+  }
+  return result;
+}
+
+}  // namespace textjoin

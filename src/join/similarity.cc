@@ -1,0 +1,110 @@
+#include "join/similarity.h"
+
+#include <cmath>
+
+namespace textjoin {
+
+IdfWeights::IdfWeights(const DocumentCollection& c1,
+                       const DocumentCollection& c2,
+                       const SimilarityConfig& config)
+    : enabled_(config.use_idf),
+      n_total_(static_cast<double>(c1.num_documents() + c2.num_documents())),
+      c1_(&c1),
+      c2_(&c2) {}
+
+double IdfWeights::Squared(TermId term) const {
+  if (!enabled_) return 1.0;
+  double df = static_cast<double>(c1_->DocumentFrequency(term) +
+                                  c2_->DocumentFrequency(term));
+  if (df <= 0) return 0.0;
+  double idf = std::log(1.0 + n_total_ / df);
+  return idf * idf;
+}
+
+Result<DocumentNorms> DocumentNorms::Create(
+    const DocumentCollection& collection, const IdfWeights& idf,
+    const SimilarityConfig& config) {
+  DocumentNorms norms;
+  if (!config.cosine_normalize) return norms;
+  norms.norms_.reserve(static_cast<size_t>(collection.num_documents()));
+  if (!config.use_idf) {
+    // Raw norms are precomputed in the collection catalog.
+    for (int64_t d = 0; d < collection.num_documents(); ++d) {
+      norms.norms_.push_back(collection.raw_norm(static_cast<DocId>(d)));
+    }
+    return norms;
+  }
+  // Idf-weighted norms need the document vectors: one setup scan.
+  auto scanner = collection.Scan();
+  while (!scanner.Done()) {
+    TEXTJOIN_ASSIGN_OR_RETURN(Document doc, scanner.Next());
+    double s = 0;
+    for (const DCell& c : doc.cells()) {
+      double w2 = static_cast<double>(c.weight) *
+                  static_cast<double>(c.weight) * idf.Squared(c.term);
+      s += w2;
+    }
+    norms.norms_.push_back(std::sqrt(s));
+  }
+  return norms;
+}
+
+Result<SimilarityContext> SimilarityContext::Create(
+    const DocumentCollection& inner, const DocumentCollection& outer,
+    const SimilarityConfig& config) {
+  SimilarityContext ctx;
+  ctx.config = config;
+  ctx.idf = IdfWeights(inner, outer, config);
+  TEXTJOIN_ASSIGN_OR_RETURN(ctx.inner_norms,
+                            DocumentNorms::Create(inner, ctx.idf, config));
+  TEXTJOIN_ASSIGN_OR_RETURN(ctx.outer_norms,
+                            DocumentNorms::Create(outer, ctx.idf, config));
+  return ctx;
+}
+
+double WeightedDot(const Document& d1, const Document& d2,
+                   const SimilarityContext& ctx) {
+  const auto& a = d1.cells();
+  const auto& b = d2.cells();
+  double acc = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].term < b[j].term) {
+      ++i;
+    } else if (a[i].term > b[j].term) {
+      ++j;
+    } else {
+      acc += static_cast<double>(a[i].weight) *
+             static_cast<double>(b[j].weight) * ctx.TermFactor(a[i].term);
+      ++i;
+      ++j;
+    }
+  }
+  return acc;
+}
+
+DotDetail WeightedDotDetailed(const Document& d1, const Document& d2,
+                              const SimilarityContext& ctx) {
+  const auto& a = d1.cells();
+  const auto& b = d2.cells();
+  DotDetail out;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    ++out.merge_steps;
+    if (a[i].term < b[j].term) {
+      ++i;
+    } else if (a[i].term > b[j].term) {
+      ++j;
+    } else {
+      out.acc += static_cast<double>(a[i].weight) *
+                 static_cast<double>(b[j].weight) *
+                 ctx.TermFactor(a[i].term);
+      ++out.common_terms;
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,42 @@
+#include "join/topk.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace textjoin {
+
+namespace {
+// Heap comparator: the *worst* match must surface at the root, so the heap
+// orders by "is better" (std::push_heap keeps the max of the comparator on
+// top; with BetterMatch as "less", the top is the worst).
+bool HeapCmp(const Match& a, const Match& b) { return BetterMatch(a, b); }
+}  // namespace
+
+TopKAccumulator::TopKAccumulator(int64_t k) : k_(k) {
+  TEXTJOIN_CHECK_GE(k, 0);
+  heap_.reserve(static_cast<size_t>(k));
+}
+
+void TopKAccumulator::Add(DocId doc, double score) {
+  if (score <= 0 || k_ == 0) return;
+  Match m{doc, score};
+  if (static_cast<int64_t>(heap_.size()) < k_) {
+    heap_.push_back(m);
+    std::push_heap(heap_.begin(), heap_.end(), HeapCmp);
+    return;
+  }
+  if (!BetterMatch(m, heap_.front())) return;
+  std::pop_heap(heap_.begin(), heap_.end(), HeapCmp);
+  heap_.back() = m;
+  std::push_heap(heap_.begin(), heap_.end(), HeapCmp);
+}
+
+std::vector<Match> TopKAccumulator::TakeSorted() {
+  std::vector<Match> out = std::move(heap_);
+  heap_.clear();
+  std::sort(out.begin(), out.end(), BetterMatch);
+  return out;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,62 @@
+#ifndef TEXTJOIN_PARALLEL_PARALLEL_JOIN_H_
+#define TEXTJOIN_PARALLEL_PARALLEL_JOIN_H_
+
+#include <vector>
+
+#include "join/executor.h"
+
+namespace textjoin {
+
+// Shared-nothing parallel evaluation of the text join — the Section 7
+// further-work item "develop algorithms that process textual joins in
+// parallel".
+//
+// The outer collection is range-partitioned into `workers` contiguous
+// fragments; every worker owns a physical fragment of C2 plus a replica
+// of C1 (and of the needed inverted files) on its own drives, and runs
+// the chosen basic algorithm on its slice. Workers are independent, so
+// the simulation executes them one after another with the disk heads
+// reset in between (each worker's drives are dedicated) and meters each
+// worker in isolation. The parallel elapsed cost is the *makespan* — the
+// most expensive worker — while the total cost shows the work inflation
+// parallelism causes (e.g. every VVM worker rescans its whole C1
+// inverted file replica).
+//
+// Semantics are identical to the serial join: the concatenated worker
+// results equal the single-machine result bit for bit (idf weights are
+// computed against the GLOBAL collections, not per fragment).
+struct ParallelJoinReport {
+  JoinResult result;  // outer documents in original numbering
+  std::vector<IoStats> worker_io;
+  std::vector<CpuStats> worker_cpu;
+  IoStats setup_io;  // partitioning + per-fragment index builds
+
+  // Parallel elapsed cost: the most expensive worker.
+  double MakespanCost(double alpha) const;
+  // Total device work across workers.
+  double TotalCost(double alpha) const;
+};
+
+class ParallelTextJoin {
+ public:
+  struct Options {
+    Algorithm algorithm = Algorithm::kHhnl;
+    int64_t workers = 2;
+  };
+
+  explicit ParallelTextJoin(Options options) : options_(options) {}
+
+  // Runs the parallel join. Every worker node has its own buffer of
+  // ctx.sys.buffer_pages (shared-nothing memory). spec.outer_subset is
+  // not supported (partitioning already determines each worker's slice);
+  // spec.inner_subset passes through.
+  Result<ParallelJoinReport> Run(const JoinContext& ctx,
+                                 const JoinSpec& spec) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_PARALLEL_PARALLEL_JOIN_H_

@@ -1,0 +1,113 @@
+#include "planner/planner.h"
+
+#include <limits>
+#include <sstream>
+
+#include "cost/statistics.h"
+#include "join/hhnl.h"
+#include "join/hvnl.h"
+#include "join/vvm.h"
+
+namespace textjoin {
+
+Result<PlanChoice> JoinPlanner::Plan(const JoinContext& ctx,
+                                     const JoinSpec& spec) const {
+  TEXTJOIN_RETURN_IF_ERROR(ValidateJoinInputs(ctx, spec));
+
+  CostInputs in;
+  in.c1 = StatisticsOf(*ctx.inner);
+  in.c2 = StatisticsOf(*ctx.outer);
+  in.sys = ctx.sys;
+  in.query.lambda = spec.lambda;
+  in.query.delta = spec.delta;
+  in.q = options_.measure_term_overlap
+             ? MeasuredTermOverlap(*ctx.outer, *ctx.inner)
+             : EstimateTermOverlap(in.c2.num_distinct_terms,
+                                   in.c1.num_distinct_terms);
+  if (!spec.outer_subset.empty()) {
+    in.participating_outer = static_cast<int64_t>(spec.outer_subset.size());
+    in.outer_reads_random = true;
+  }
+
+  PlanChoice choice;
+  choice.inputs = in;
+  choice.costs = CompareCosts(in);
+  if (options_.consider_backward_hhnl && spec.inner_subset.empty()) {
+    choice.hhnl_backward_cost = HhnlBackwardCost(in);
+    const double fwd = options_.use_random_model ? choice.costs.hhnl.rand
+                                                 : choice.costs.hhnl.seq;
+    const double bwd = options_.use_random_model
+                           ? choice.hhnl_backward_cost.rand
+                           : choice.hhnl_backward_cost.seq;
+    if (choice.hhnl_backward_cost.feasible && bwd < fwd) {
+      choice.hhnl_backward = true;
+      choice.costs.hhnl = choice.hhnl_backward_cost;
+    }
+  }
+  // An algorithm is only eligible if its inputs exist in this context.
+  if (ctx.inner_index == nullptr) {
+    choice.costs.hvnl.feasible = false;
+    choice.costs.hvnl.seq = std::numeric_limits<double>::infinity();
+    choice.costs.hvnl.rand = choice.costs.hvnl.seq;
+    choice.costs.hvnl.note = "no inverted file on C1";
+  }
+  if (ctx.inner_index == nullptr || ctx.outer_index == nullptr) {
+    choice.costs.vvm.feasible = false;
+    choice.costs.vvm.seq = std::numeric_limits<double>::infinity();
+    choice.costs.vvm.rand = choice.costs.vvm.seq;
+    choice.costs.vvm.note = "missing an inverted file";
+  }
+  choice.algorithm = options_.use_random_model ? choice.costs.BestRandom()
+                                               : choice.costs.BestSequential();
+  if (!choice.costs.of(choice.algorithm).feasible) {
+    return Status::ResourceExhausted(
+        "no algorithm is feasible with this buffer size");
+  }
+
+  std::ostringstream os;
+  os << "estimated cost (pages, "
+     << (options_.use_random_model ? "random" : "sequential") << " model): ";
+  auto show = [&](Algorithm a) {
+    const AlgorithmCost& c = choice.costs.of(a);
+    os << AlgorithmName(a) << "=";
+    if (!c.feasible) {
+      os << "infeasible";
+    } else {
+      os << static_cast<int64_t>(options_.use_random_model ? c.rand : c.seq);
+    }
+    os << " ";
+  };
+  show(Algorithm::kHhnl);
+  show(Algorithm::kHvnl);
+  show(Algorithm::kVvm);
+  os << "=> " << AlgorithmName(choice.algorithm);
+  if (choice.algorithm == Algorithm::kHhnl && choice.hhnl_backward) {
+    os << " (backward order)";
+  }
+  choice.explanation = os.str();
+  return choice;
+}
+
+Result<JoinResult> JoinPlanner::Execute(const JoinContext& ctx,
+                                        const JoinSpec& spec,
+                                        PlanChoice* chosen) const {
+  TEXTJOIN_ASSIGN_OR_RETURN(PlanChoice choice, Plan(ctx, spec));
+  if (chosen != nullptr) *chosen = choice;
+  switch (choice.algorithm) {
+    case Algorithm::kHhnl: {
+      HhnlJoin join(HhnlJoin::Options{choice.hhnl_backward});
+      return join.Run(ctx, spec);
+    }
+    case Algorithm::kHvnl: {
+      HvnlJoin join;
+      return join.Run(ctx, spec);
+    }
+    case Algorithm::kVvm: {
+      VvmJoin join;
+      return join.Run(ctx, spec);
+    }
+  }
+  return Status::Internal("unknown algorithm");
+}
+
+}  // namespace textjoin

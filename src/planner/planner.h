@@ -1,0 +1,57 @@
+#ifndef TEXTJOIN_PLANNER_PLANNER_H_
+#define TEXTJOIN_PLANNER_PLANNER_H_
+
+#include <string>
+
+#include "cost/cost_model.h"
+#include "join/executor.h"
+
+namespace textjoin {
+
+// The paper's integrated algorithm (Sections 6.1 and 7): estimate the cost
+// of HHNL, HVNL and VVM from the collections' statistics, the system
+// parameters and the query parameters, then run the cheapest one.
+struct PlanChoice {
+  Algorithm algorithm = Algorithm::kHhnl;
+  // When the algorithm is HHNL, whether the backward order (C1 drives the
+  // outer loop) was estimated cheaper and will be executed.
+  bool hhnl_backward = false;
+  CostComparison costs;
+  AlgorithmCost hhnl_backward_cost;
+  CostInputs inputs;
+  std::string explanation;
+};
+
+class JoinPlanner {
+ public:
+  struct Options {
+    // Rank by the worst-case random-I/O cost instead of the sequential
+    // cost (a busy-device deployment).
+    bool use_random_model = false;
+    // Estimate q from the collection catalogs (exact shared-term count)
+    // rather than the paper's piecewise T1/T2 heuristic.
+    bool measure_term_overlap = true;
+    // Also consider the backward HHNL order (Section 4.1) and run it when
+    // it is estimated cheaper than the forward order.
+    bool consider_backward_hhnl = true;
+  };
+
+  JoinPlanner() : JoinPlanner(Options{}) {}
+  explicit JoinPlanner(Options options) : options_(options) {}
+
+  // Estimates all three costs for this join. Algorithms whose required
+  // inverted files are absent from the context are marked infeasible.
+  Result<PlanChoice> Plan(const JoinContext& ctx, const JoinSpec& spec) const;
+
+  // Plans and runs the chosen algorithm. If `chosen` is non-null the plan
+  // is reported through it.
+  Result<JoinResult> Execute(const JoinContext& ctx, const JoinSpec& spec,
+                             PlanChoice* chosen = nullptr) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_PLANNER_PLANNER_H_

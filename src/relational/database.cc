@@ -1,0 +1,263 @@
+#include "relational/database.h"
+
+#include "catalog/catalog.h"
+#include "common/crc32.h"
+#include "storage/coding.h"
+#include "storage/page_stream.h"
+#include "storage/snapshot.h"
+
+namespace textjoin {
+
+namespace {
+
+constexpr const char* kManifestFile = "__db.manifest";
+constexpr const char* kVocabularyFile = "__db.vocab";
+constexpr uint32_t kManifestMagic = 0x544A444Du;  // "TJDM"
+
+std::string CatalogName(const std::string& object_name, bool is_index) {
+  return "__cat." + object_name + (is_index ? ".idx" : ".col");
+}
+
+}  // namespace
+
+Database::Database(int64_t page_size)
+    : disk_(std::make_unique<SimulatedDisk>(page_size)),
+      sys_{10000, page_size, 5.0} {}
+
+Result<const DocumentCollection*> Database::AddCollectionFromText(
+    const std::string& name, const std::vector<std::string>& documents) {
+  CollectionBuilder builder(disk_.get(), name);
+  for (const std::string& text : documents) {
+    TEXTJOIN_ASSIGN_OR_RETURN(Document doc,
+                              tokenizer_.MakeDocument(text, &vocabulary_));
+    TEXTJOIN_RETURN_IF_ERROR(builder.AddDocument(doc).status());
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(DocumentCollection collection, builder.Finish());
+  return AddCollection(name, std::move(collection));
+}
+
+Result<const DocumentCollection*> Database::AddCollection(
+    const std::string& name, DocumentCollection collection) {
+  if (collections_.count(name) > 0) {
+    return Status::AlreadyExists("collection '" + name + "' exists");
+  }
+  if (collection.disk() != disk_.get()) {
+    return Status::InvalidArgument(
+        "collection lives on a different simulated disk");
+  }
+  auto owned = std::make_unique<DocumentCollection>(std::move(collection));
+  const DocumentCollection* ptr = owned.get();
+  collections_.emplace(name, std::move(owned));
+  return ptr;
+}
+
+Result<const InvertedFile*> Database::BuildIndex(
+    const std::string& collection_name, PostingCompression compression) {
+  auto it = collections_.find(collection_name);
+  if (it == collections_.end()) {
+    return Status::NotFound("no collection '" + collection_name + "'");
+  }
+  if (indexes_.count(collection_name) > 0) {
+    return Status::AlreadyExists("index on '" + collection_name +
+                                 "' exists");
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(
+      InvertedFile inv,
+      InvertedFile::Build(disk_.get(), collection_name + ".inv",
+                          *it->second,
+                          InvertedFile::BuildOptions{compression}));
+  auto owned = std::make_unique<InvertedFile>(std::move(inv));
+  const InvertedFile* ptr = owned.get();
+  indexes_.emplace(collection_name, std::move(owned));
+  return ptr;
+}
+
+const DocumentCollection* Database::collection(const std::string& name) const {
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.get();
+}
+
+const InvertedFile* Database::index(const std::string& name) const {
+  auto it = indexes_.find(name);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::collection_names() const {
+  std::vector<std::string> names;
+  names.reserve(collections_.size());
+  for (const auto& [name, col] : collections_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<JoinResult> Database::Join(const std::string& inner_name,
+                                  const std::string& outer_name,
+                                  const JoinSpec& spec, PlanChoice* chosen) {
+  const DocumentCollection* inner = collection(inner_name);
+  const DocumentCollection* outer = collection(outer_name);
+  if (inner == nullptr || outer == nullptr) {
+    return Status::NotFound("unknown collection in join");
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(
+      SimilarityContext simctx,
+      SimilarityContext::Create(*inner, *outer, spec.similarity));
+  JoinContext ctx;
+  ctx.inner = inner;
+  ctx.outer = outer;
+  ctx.inner_index = index(inner_name);
+  ctx.outer_index = index(outer_name);
+  ctx.similarity = &simctx;
+  ctx.sys = sys_;
+  JoinPlanner planner;
+  return planner.Execute(ctx, spec, chosen);
+}
+
+Status Database::Save(const std::string& path) {
+  if (saved_) {
+    return Status::FailedPrecondition(
+        "Save may be called once per Database instance");
+  }
+  saved_ = true;
+
+  // Vocabulary: term strings in id order, CRC-protected.
+  {
+    std::vector<uint8_t> payload;
+    PutFixed64(&payload, static_cast<uint64_t>(vocabulary_.size()));
+    for (int64_t id = 0; id < vocabulary_.size(); ++id) {
+      TEXTJOIN_ASSIGN_OR_RETURN(std::string term,
+                                vocabulary_.TermOf(static_cast<TermId>(id)));
+      PutFixed32(&payload, static_cast<uint32_t>(term.size()));
+      payload.insert(payload.end(), term.begin(), term.end());
+    }
+    FileId file = disk_->CreateFile(kVocabularyFile);
+    PageStreamWriter writer(disk_.get(), file);
+    std::vector<uint8_t> header;
+    PutFixed32(&header, kManifestMagic);
+    PutFixed64(&header, static_cast<uint64_t>(payload.size()));
+    PutFixed32(&header, Crc32(payload.data(), payload.size()));
+    writer.Append(header);
+    writer.Append(payload);
+    TEXTJOIN_RETURN_IF_ERROR(writer.Finish());
+  }
+
+  // Catalogs for every registered object.
+  std::vector<uint8_t> manifest;
+  PutFixed64(&manifest, static_cast<uint64_t>(collections_.size()));
+  for (const std::string& name : collection_names()) {
+    TEXTJOIN_RETURN_IF_ERROR(SaveCollectionCatalog(
+        *collections_.at(name), CatalogName(name, /*is_index=*/false)));
+    PutFixed32(&manifest, static_cast<uint32_t>(name.size()));
+    manifest.insert(manifest.end(), name.begin(), name.end());
+    uint8_t has_index = indexes_.count(name) > 0 ? 1 : 0;
+    manifest.push_back(has_index);
+    if (has_index) {
+      TEXTJOIN_RETURN_IF_ERROR(SaveInvertedFileCatalog(
+          *indexes_.at(name), CatalogName(name, /*is_index=*/true)));
+    }
+  }
+  {
+    FileId file = disk_->CreateFile(kManifestFile);
+    PageStreamWriter writer(disk_.get(), file);
+    std::vector<uint8_t> header;
+    PutFixed32(&header, kManifestMagic);
+    PutFixed64(&header, static_cast<uint64_t>(manifest.size()));
+    PutFixed32(&header, Crc32(manifest.data(), manifest.size()));
+    writer.Append(header);
+    writer.Append(manifest);
+    TEXTJOIN_RETURN_IF_ERROR(writer.Finish());
+  }
+  return SaveDiskSnapshot(*disk_, path);
+}
+
+namespace {
+
+// Reads one "TJDM" record written by Save.
+Result<std::vector<uint8_t>> ReadDbRecord(SimulatedDisk* disk,
+                                          const std::string& file_name) {
+  TEXTJOIN_ASSIGN_OR_RETURN(FileId file, disk->FindFile(file_name));
+  PageStreamReader reader(disk, file);
+  std::vector<uint8_t> header;
+  TEXTJOIN_RETURN_IF_ERROR(reader.Read(0, 16, &header));
+  if (GetFixed32(header.data()) != kManifestMagic) {
+    return Status::InvalidArgument(file_name + " has the wrong magic");
+  }
+  const uint64_t len = GetFixed64(header.data() + 4);
+  const uint32_t crc = GetFixed32(header.data() + 12);
+  std::vector<uint8_t> payload;
+  TEXTJOIN_RETURN_IF_ERROR(
+      reader.Read(16, static_cast<int64_t>(len), &payload));
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return Status::Internal(file_name + " failed its checksum");
+  }
+  return payload;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& path) {
+  TEXTJOIN_ASSIGN_OR_RETURN(std::unique_ptr<SimulatedDisk> disk,
+                            LoadDiskSnapshot(path));
+  auto db = std::unique_ptr<Database>(new Database(disk->page_size()));
+  db->disk_ = std::move(disk);
+  db->sys_ = SystemParams{10000, db->disk_->page_size(), 5.0};
+  db->saved_ = true;  // the snapshot already contains catalogs
+
+  // Vocabulary.
+  {
+    TEXTJOIN_ASSIGN_OR_RETURN(
+        std::vector<uint8_t> payload,
+        ReadDbRecord(db->disk_.get(), kVocabularyFile));
+    if (payload.size() < 8) {
+      return Status::InvalidArgument("truncated vocabulary record");
+    }
+    const uint8_t* p = payload.data();
+    const uint8_t* end = payload.data() + payload.size();
+    uint64_t count = GetFixed64(p);
+    p += 8;
+    for (uint64_t i = 0; i < count; ++i) {
+      if (p + 4 > end) return Status::InvalidArgument("bad vocabulary");
+      uint32_t len = GetFixed32(p);
+      p += 4;
+      if (p + len > end) return Status::InvalidArgument("bad vocabulary");
+      TEXTJOIN_RETURN_IF_ERROR(
+          db->vocabulary_
+              .AddOrGet(std::string_view(
+                  reinterpret_cast<const char*>(p), len))
+              .status());
+      p += len;
+    }
+  }
+
+  // Manifest -> collections and indexes.
+  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<uint8_t> manifest,
+                            ReadDbRecord(db->disk_.get(), kManifestFile));
+  const uint8_t* p = manifest.data();
+  const uint8_t* end = manifest.data() + manifest.size();
+  if (p + 8 > end) return Status::InvalidArgument("truncated manifest");
+  uint64_t count = GetFixed64(p);
+  p += 8;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (p + 4 > end) return Status::InvalidArgument("truncated manifest");
+    uint32_t len = GetFixed32(p);
+    p += 4;
+    if (p + len + 1 > end) return Status::InvalidArgument("bad manifest");
+    std::string name(reinterpret_cast<const char*>(p), len);
+    p += len;
+    uint8_t has_index = *p++;
+    TEXTJOIN_ASSIGN_OR_RETURN(
+        DocumentCollection col,
+        OpenCollection(db->disk_.get(), CatalogName(name, false)));
+    db->collections_.emplace(
+        name, std::make_unique<DocumentCollection>(std::move(col)));
+    if (has_index != 0) {
+      TEXTJOIN_ASSIGN_OR_RETURN(
+          InvertedFile inv,
+          OpenInvertedFile(db->disk_.get(), CatalogName(name, true)));
+      db->indexes_.emplace(name,
+                           std::make_unique<InvertedFile>(std::move(inv)));
+    }
+  }
+  return db;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,93 @@
+#ifndef TEXTJOIN_RELATIONAL_DATABASE_H_
+#define TEXTJOIN_RELATIONAL_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "index/inverted_file.h"
+#include "planner/planner.h"
+#include "storage/disk_manager.h"
+#include "text/collection.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace textjoin {
+
+// Convenience facade over the whole stack: one simulated disk, one shared
+// vocabulary (the paper's standard term-number mapping), named document
+// collections and inverted files, planner-driven joins, and save/open via
+// disk snapshots + durable catalogs.
+//
+//   Database db;
+//   db.AddCollectionFromText("resumes", {...lines...});
+//   db.AddCollectionFromText("jobs", {...lines...});
+//   db.BuildIndex("resumes");
+//   auto result = db.Join("resumes", "jobs", spec);
+//   db.Save("/tmp/db.tjsn");
+//   ...
+//   auto db2 = Database::Open("/tmp/db.tjsn");
+//   auto again = (*db2)->Join("resumes", "jobs", spec);
+//
+// Persisted: collections, inverted files, the vocabulary. Tables
+// (relational rows) are not persisted. Save() may be called once per
+// Database instance (the snapshot format has no file replacement).
+class Database {
+ public:
+  explicit Database(int64_t page_size = 4096);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  static Result<std::unique_ptr<Database>> Open(const std::string& path);
+
+  Status Save(const std::string& path);
+
+  SimulatedDisk* disk() { return disk_.get(); }
+  Vocabulary* vocabulary() { return &vocabulary_; }
+
+  // Builds a collection by tokenizing one document per string.
+  Result<const DocumentCollection*> AddCollectionFromText(
+      const std::string& name, const std::vector<std::string>& documents);
+
+  // Registers an already-built collection under `name`.
+  Result<const DocumentCollection*> AddCollection(
+      const std::string& name, DocumentCollection collection);
+
+  // Builds (and registers) the inverted file + B+tree on a collection.
+  Result<const InvertedFile*> BuildIndex(
+      const std::string& collection_name,
+      PostingCompression compression = PostingCompression::kNone);
+
+  const DocumentCollection* collection(const std::string& name) const;
+  const InvertedFile* index(const std::string& collection_name) const;
+  std::vector<std::string> collection_names() const;
+
+  // Planner-driven join: for each document of `outer_name`, the
+  // spec.lambda most similar documents of `inner_name`.
+  Result<JoinResult> Join(const std::string& inner_name,
+                          const std::string& outer_name, const JoinSpec& spec,
+                          PlanChoice* chosen = nullptr);
+
+  // System parameters used by Join (default: B=10000, P=page size,
+  // alpha=5).
+  void set_system_params(const SystemParams& sys) { sys_ = sys; }
+  const SystemParams& system_params() const { return sys_; }
+
+ private:
+  std::unique_ptr<SimulatedDisk> disk_;
+  Vocabulary vocabulary_;
+  Tokenizer tokenizer_;
+  SystemParams sys_;
+  // node-stable maps: executors hold pointers into these.
+  std::unordered_map<std::string, std::unique_ptr<DocumentCollection>>
+      collections_;
+  std::unordered_map<std::string, std::unique_ptr<InvertedFile>> indexes_;
+  bool saved_ = false;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_RELATIONAL_DATABASE_H_

@@ -1,0 +1,126 @@
+#include "relational/predicate.h"
+
+#include "common/logging.h"
+
+namespace textjoin {
+
+LikePredicate::LikePredicate(std::string column, std::string pattern)
+    : column_(std::move(column)), pattern_(std::move(pattern)) {}
+
+bool LikePredicate::Matches(const std::string& text,
+                            const std::string& pattern) {
+  // Classic two-pointer wildcard match with backtracking on the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+bool LikePredicate::Eval(const Table& table, int64_t r) const {
+  int64_t c = table.ColumnIndex(column_);
+  TEXTJOIN_CHECK_GE(c, 0);
+  const Value& v = table.at(r, c);
+  TEXTJOIN_CHECK(TypeOf(v) == ColumnType::kString);
+  return Matches(std::get<std::string>(v), pattern_);
+}
+
+std::string LikePredicate::ToString() const {
+  return column_ + " LIKE \"" + pattern_ + "\"";
+}
+
+ComparePredicate::ComparePredicate(std::string column, CompareOp op,
+                                   Value constant)
+    : column_(std::move(column)), op_(op), constant_(std::move(constant)) {}
+
+namespace {
+
+template <typename T>
+bool ApplyOp(const T& a, CompareOp op, const T& b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+const char* OpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool ComparePredicate::Eval(const Table& table, int64_t r) const {
+  int64_t c = table.ColumnIndex(column_);
+  TEXTJOIN_CHECK_GE(c, 0);
+  const Value& v = table.at(r, c);
+  TEXTJOIN_CHECK(TypeOf(v) == TypeOf(constant_));
+  if (TypeOf(v) == ColumnType::kInt) {
+    return ApplyOp(std::get<int64_t>(v), op_, std::get<int64_t>(constant_));
+  }
+  if (TypeOf(v) == ColumnType::kString) {
+    return ApplyOp(std::get<std::string>(v), op_,
+                   std::get<std::string>(constant_));
+  }
+  return false;  // TEXT columns are not comparable
+}
+
+std::string ComparePredicate::ToString() const {
+  return column_ + " " + OpName(op_) + " " + ValueToString(constant_);
+}
+
+std::vector<int64_t> SelectRows(
+    const Table& table, const std::vector<const Predicate*>& predicates) {
+  std::vector<int64_t> rows;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    bool all = true;
+    for (const Predicate* p : predicates) {
+      if (!p->Eval(table, r)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,65 @@
+#ifndef TEXTJOIN_RELATIONAL_PREDICATE_H_
+#define TEXTJOIN_RELATIONAL_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace textjoin {
+
+// A selection predicate on non-textual attributes, e.g. the motivating
+// query's  P.Title LIKE "%Engineer%".
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  // True when row `r` of `table` satisfies the predicate.
+  virtual bool Eval(const Table& table, int64_t r) const = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+// SQL LIKE with % (any sequence) and _ (any single character) wildcards on
+// a STRING column.
+class LikePredicate : public Predicate {
+ public:
+  LikePredicate(std::string column, std::string pattern);
+
+  bool Eval(const Table& table, int64_t r) const override;
+  std::string ToString() const override;
+
+  // The LIKE matcher itself, exposed for tests.
+  static bool Matches(const std::string& text, const std::string& pattern);
+
+ private:
+  std::string column_;
+  std::string pattern_;
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+// Comparison against a constant on an INT or STRING column.
+class ComparePredicate : public Predicate {
+ public:
+  ComparePredicate(std::string column, CompareOp op, Value constant);
+
+  bool Eval(const Table& table, int64_t r) const override;
+  std::string ToString() const override;
+
+ private:
+  std::string column_;
+  CompareOp op_;
+  Value constant_;
+};
+
+// Rows of `table` satisfying every predicate (ascending row index).
+std::vector<int64_t> SelectRows(
+    const Table& table,
+    const std::vector<const Predicate*>& predicates);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_RELATIONAL_PREDICATE_H_

@@ -1,0 +1,491 @@
+#include "relational/sql_parser.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace textjoin {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,
+  kSymbol,  // punctuation / operators
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // identifier/number/string body or symbol spelling
+};
+
+// Uppercases ASCII for keyword comparison.
+std::string Upper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(
+                          static_cast<unsigned char>(c)));
+  return out;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(LexIdentifier());
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        tokens.push_back(LexNumber());
+      } else if (c == '\'' || c == '"') {
+        TEXTJOIN_ASSIGN_OR_RETURN(Token t, LexString());
+        tokens.push_back(std::move(t));
+      } else {
+        TEXTJOIN_ASSIGN_OR_RETURN(Token t, LexSymbol());
+        tokens.push_back(std::move(t));
+      }
+    }
+    tokens.push_back(Token{TokenKind::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  Token LexIdentifier() {
+    size_t start = pos_;
+    // '#' is allowed inside identifiers for the paper's "P#".
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_' || input_[pos_] == '#')) {
+      ++pos_;
+    }
+    return Token{TokenKind::kIdentifier, input_.substr(start, pos_ - start)};
+  }
+
+  Token LexNumber() {
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    return Token{TokenKind::kNumber, input_.substr(start, pos_ - start)};
+  }
+
+  Result<Token> LexString() {
+    char quote = input_[pos_++];
+    std::string body;
+    while (pos_ < input_.size() && input_[pos_] != quote) {
+      body.push_back(input_[pos_++]);
+    }
+    if (pos_ >= input_.size()) {
+      return Status::InvalidArgument("unterminated string literal");
+    }
+    ++pos_;  // closing quote
+    return Token{TokenKind::kString, std::move(body)};
+  }
+
+  Result<Token> LexSymbol() {
+    // Two-character operators first.
+    static constexpr const char* kTwo[] = {"<>", "!=", "<=", ">="};
+    for (const char* op : kTwo) {
+      if (input_.compare(pos_, 2, op) == 0) {
+        pos_ += 2;
+        return Token{TokenKind::kSymbol, op};
+      }
+    }
+    char c = input_[pos_];
+    if (std::string(".,()=<>*").find(c) == std::string::npos) {
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "'");
+    }
+    ++pos_;
+    return Token{TokenKind::kSymbol, std::string(1, c)};
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+struct ColumnRef {
+  std::string qualifier;  // table name or alias; may be empty
+  std::string column;
+
+  std::string ToString() const {
+    return qualifier.empty() ? column : qualifier + "." + column;
+  }
+};
+
+struct TableRef {
+  std::string name;
+  std::string alias;  // == name when absent
+};
+
+struct Condition {
+  enum class Kind { kSimilarTo, kLike, kCompare } kind;
+  ColumnRef lhs;
+  // SIMILAR_TO:
+  int64_t lambda = 0;
+  ColumnRef rhs;
+  // LIKE:
+  std::string pattern;
+  // Compare:
+  CompareOp op = CompareOp::kEq;
+  bool rhs_is_number = false;
+  int64_t number = 0;
+  std::string string_value;
+};
+
+struct ParsedQuery {
+  bool select_all = false;
+  std::vector<ColumnRef> select;
+  std::vector<TableRef> tables;
+  std::vector<Condition> conditions;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Run() {
+    ParsedQuery q;
+    TEXTJOIN_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    if (PeekSymbol("*")) {
+      Advance();
+      q.select_all = true;
+    } else {
+      TEXTJOIN_ASSIGN_OR_RETURN(ColumnRef c, ParseColumnRef());
+      q.select.push_back(c);
+      while (PeekSymbol(",")) {
+        Advance();
+        TEXTJOIN_ASSIGN_OR_RETURN(ColumnRef more, ParseColumnRef());
+        q.select.push_back(more);
+      }
+    }
+    TEXTJOIN_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    TEXTJOIN_ASSIGN_OR_RETURN(TableRef t1, ParseTableRef());
+    q.tables.push_back(t1);
+    TEXTJOIN_RETURN_IF_ERROR(ExpectSymbol(","));
+    TEXTJOIN_ASSIGN_OR_RETURN(TableRef t2, ParseTableRef());
+    q.tables.push_back(t2);
+    TEXTJOIN_RETURN_IF_ERROR(ExpectKeyword("WHERE"));
+    TEXTJOIN_ASSIGN_OR_RETURN(Condition c, ParseCondition());
+    q.conditions.push_back(std::move(c));
+    while (PeekKeyword("AND")) {
+      Advance();
+      TEXTJOIN_ASSIGN_OR_RETURN(Condition more, ParseCondition());
+      q.conditions.push_back(std::move(more));
+    }
+    if (tokens_[pos_].kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("trailing input after query: '" +
+                                     tokens_[pos_].text + "'");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == TokenKind::kIdentifier && Upper(Peek().text) == kw;
+  }
+  bool PeekSymbol(const char* sym) const {
+    return Peek().kind == TokenKind::kSymbol && Peek().text == sym;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) {
+      return Status::InvalidArgument(std::string("expected ") + kw +
+                                     ", got '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const char* sym) {
+    if (!PeekSymbol(sym)) {
+      return Status::InvalidArgument(std::string("expected '") + sym +
+                                     "', got '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::InvalidArgument("expected identifier, got '" +
+                                     Peek().text + "'");
+    }
+    std::string text = Peek().text;
+    Advance();
+    return text;
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    TEXTJOIN_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier());
+    ColumnRef ref;
+    if (PeekSymbol(".")) {
+      Advance();
+      TEXTJOIN_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      ref.qualifier = first;
+      ref.column = col;
+    } else {
+      ref.column = first;
+    }
+    return ref;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TEXTJOIN_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    TableRef ref{name, name};
+    // An alias is any identifier that is not a clause keyword.
+    if (Peek().kind == TokenKind::kIdentifier && !PeekKeyword("WHERE")) {
+      ref.alias = Peek().text;
+      Advance();
+    }
+    return ref;
+  }
+
+  Result<Condition> ParseCondition() {
+    Condition c{};
+    TEXTJOIN_ASSIGN_OR_RETURN(c.lhs, ParseColumnRef());
+    if (PeekKeyword("SIMILAR_TO")) {
+      Advance();
+      c.kind = Condition::Kind::kSimilarTo;
+      TEXTJOIN_RETURN_IF_ERROR(ExpectSymbol("("));
+      if (Peek().kind != TokenKind::kNumber) {
+        return Status::InvalidArgument("SIMILAR_TO needs an integer lambda");
+      }
+      c.lambda = std::stoll(Peek().text);
+      Advance();
+      TEXTJOIN_RETURN_IF_ERROR(ExpectSymbol(")"));
+      TEXTJOIN_ASSIGN_OR_RETURN(c.rhs, ParseColumnRef());
+      return c;
+    }
+    if (PeekKeyword("LIKE")) {
+      Advance();
+      c.kind = Condition::Kind::kLike;
+      if (Peek().kind != TokenKind::kString) {
+        return Status::InvalidArgument("LIKE needs a string pattern");
+      }
+      c.pattern = Peek().text;
+      Advance();
+      return c;
+    }
+    // Comparison.
+    c.kind = Condition::Kind::kCompare;
+    if (Peek().kind != TokenKind::kSymbol) {
+      return Status::InvalidArgument("expected comparison operator, got '" +
+                                     Peek().text + "'");
+    }
+    const std::string sym = Peek().text;
+    if (sym == "=") {
+      c.op = CompareOp::kEq;
+    } else if (sym == "<>" || sym == "!=") {
+      c.op = CompareOp::kNe;
+    } else if (sym == "<") {
+      c.op = CompareOp::kLt;
+    } else if (sym == "<=") {
+      c.op = CompareOp::kLe;
+    } else if (sym == ">") {
+      c.op = CompareOp::kGt;
+    } else if (sym == ">=") {
+      c.op = CompareOp::kGe;
+    } else {
+      return Status::InvalidArgument("unknown operator '" + sym + "'");
+    }
+    Advance();
+    if (Peek().kind == TokenKind::kNumber) {
+      c.rhs_is_number = true;
+      c.number = std::stoll(Peek().text);
+      Advance();
+    } else if (Peek().kind == TokenKind::kString) {
+      c.string_value = Peek().text;
+      Advance();
+    } else {
+      return Status::InvalidArgument("expected literal after operator");
+    }
+    return c;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string BoundQuery::FormatRow(const QueryResultRow& row) const {
+  std::string out;
+  auto append_value = [&](const Table* table, int64_t r,
+                          const std::string& column) {
+    int64_t c = table->ColumnIndex(column);
+    if (c < 0) return;
+    if (!out.empty()) out += "  ";
+    out += column + "=" + ValueToString(table->at(r, c));
+  };
+  if (select_all_) {
+    for (const Column& c : query_.outer_table->schema()) {
+      append_value(query_.outer_table, row.outer_row, c.name);
+    }
+    for (const Column& c : query_.inner_table->schema()) {
+      append_value(query_.inner_table, row.inner_row, c.name);
+    }
+  } else {
+    for (const SelectItem& item : select_) {
+      // The binder guarantees each item resolves to exactly one table.
+      if (item.table_or_alias == "__outer__") {
+        append_value(query_.outer_table, row.outer_row, item.column);
+      } else {
+        append_value(query_.inner_table, row.inner_row, item.column);
+      }
+    }
+  }
+  char score[32];
+  std::snprintf(score, sizeof(score), "  similarity=%.4g", row.score);
+  out += score;
+  return out;
+}
+
+Result<BoundQuery> SqlParser::Parse(const std::string& sql) const {
+  Lexer lexer(sql);
+  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Run());
+  Parser parser(std::move(tokens));
+  TEXTJOIN_ASSIGN_OR_RETURN(ParsedQuery parsed, parser.Run());
+
+  // Resolve the two table references.
+  auto find_table = [&](const std::string& name) -> const Table* {
+    for (const Table* t : tables_) {
+      if (t->name() == name) return t;
+    }
+    return nullptr;
+  };
+  const Table* t1 = find_table(parsed.tables[0].name);
+  const Table* t2 = find_table(parsed.tables[1].name);
+  if (t1 == nullptr || t2 == nullptr) {
+    return Status::NotFound("unknown table in FROM clause");
+  }
+  if (parsed.tables[0].alias == parsed.tables[1].alias) {
+    return Status::InvalidArgument("duplicate table alias");
+  }
+
+  // Resolves a column reference to one of the two tables.
+  auto resolve = [&](const ColumnRef& ref)
+      -> Result<std::pair<const Table*, int64_t>> {
+    if (!ref.qualifier.empty()) {
+      const Table* t = nullptr;
+      if (ref.qualifier == parsed.tables[0].alias ||
+          ref.qualifier == parsed.tables[0].name) {
+        t = t1;
+      } else if (ref.qualifier == parsed.tables[1].alias ||
+                 ref.qualifier == parsed.tables[1].name) {
+        t = t2;
+      } else {
+        return Status::NotFound("unknown qualifier '" + ref.qualifier + "'");
+      }
+      int64_t c = t->ColumnIndex(ref.column);
+      if (c < 0) {
+        return Status::NotFound("no column " + ref.ToString());
+      }
+      return std::make_pair(t, c);
+    }
+    int64_t c1 = t1->ColumnIndex(ref.column);
+    int64_t c2 = t2->ColumnIndex(ref.column);
+    if (c1 >= 0 && c2 >= 0) {
+      return Status::InvalidArgument("ambiguous column '" + ref.column + "'");
+    }
+    if (c1 >= 0) return std::make_pair(t1, c1);
+    if (c2 >= 0) return std::make_pair(t2, c2);
+    return Status::NotFound("no column '" + ref.column + "'");
+  };
+
+  // Locate the single SIMILAR_TO condition.
+  const Condition* similar = nullptr;
+  for (const Condition& c : parsed.conditions) {
+    if (c.kind != Condition::Kind::kSimilarTo) continue;
+    if (similar != nullptr) {
+      return Status::InvalidArgument("more than one SIMILAR_TO condition");
+    }
+    similar = &c;
+  }
+  if (similar == nullptr) {
+    return Status::InvalidArgument("query has no SIMILAR_TO condition");
+  }
+
+  BoundQuery bound;
+  TEXTJOIN_ASSIGN_OR_RETURN(auto inner_rc, resolve(similar->lhs));
+  TEXTJOIN_ASSIGN_OR_RETURN(auto outer_rc, resolve(similar->rhs));
+  if (inner_rc.first == outer_rc.first) {
+    return Status::InvalidArgument(
+        "SIMILAR_TO attributes must come from different tables");
+  }
+  if (inner_rc.first->schema()[inner_rc.second].type != ColumnType::kText ||
+      outer_rc.first->schema()[outer_rc.second].type != ColumnType::kText) {
+    return Status::InvalidArgument("SIMILAR_TO needs TEXT attributes");
+  }
+  bound.query_.inner_table = inner_rc.first;
+  bound.query_.inner_text_column =
+      inner_rc.first->schema()[inner_rc.second].name;
+  bound.query_.outer_table = outer_rc.first;
+  bound.query_.outer_text_column =
+      outer_rc.first->schema()[outer_rc.second].name;
+  bound.query_.lambda = similar->lambda;
+
+  // Bind the remaining conditions as selection predicates.
+  for (const Condition& c : parsed.conditions) {
+    if (c.kind == Condition::Kind::kSimilarTo) continue;
+    TEXTJOIN_ASSIGN_OR_RETURN(auto rc, resolve(c.lhs));
+    const Table* table = rc.first;
+    const Column& column = table->schema()[rc.second];
+    std::unique_ptr<Predicate> pred;
+    if (c.kind == Condition::Kind::kLike) {
+      if (column.type != ColumnType::kString) {
+        return Status::InvalidArgument("LIKE needs a STRING column");
+      }
+      pred = std::make_unique<LikePredicate>(column.name, c.pattern);
+    } else {
+      Value constant;
+      if (c.rhs_is_number) {
+        if (column.type != ColumnType::kInt) {
+          return Status::InvalidArgument("numeric literal vs non-INT column");
+        }
+        constant = c.number;
+      } else {
+        if (column.type != ColumnType::kString) {
+          return Status::InvalidArgument(
+              "string literal vs non-STRING column");
+        }
+        constant = c.string_value;
+      }
+      pred = std::make_unique<ComparePredicate>(column.name, c.op,
+                                                std::move(constant));
+    }
+    if (table == bound.query_.inner_table) {
+      bound.query_.inner_predicates.push_back(pred.get());
+    } else {
+      bound.query_.outer_predicates.push_back(pred.get());
+    }
+    bound.owned_predicates_.push_back(std::move(pred));
+  }
+
+  // Bind the select list (tagging each item with the side it came from so
+  // FormatRow can pick the right result row).
+  bound.select_all_ = parsed.select_all;
+  for (const ColumnRef& ref : parsed.select) {
+    TEXTJOIN_ASSIGN_OR_RETURN(auto rc, resolve(ref));
+    SelectItem item;
+    item.table_or_alias =
+        rc.first == bound.query_.outer_table ? "__outer__" : "__inner__";
+    item.column = rc.first->schema()[rc.second].name;
+    bound.select_.push_back(std::move(item));
+  }
+  return bound;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,114 @@
+#include "relational/text_join_query.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace textjoin {
+
+namespace {
+
+// Resolves one side of the query: the participating documents (ascending)
+// and the doc -> row mapping.
+struct Side {
+  const DocumentCollection* collection = nullptr;
+  std::vector<DocId> docs;                      // ascending
+  std::unordered_map<DocId, int64_t> row_of;
+  bool reduced = false;  // a selection filtered some rows out
+};
+
+Result<Side> ResolveSide(const Table* table, const std::string& column,
+                         const std::vector<const Predicate*>& predicates) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("query is missing a table");
+  }
+  int64_t c = table->ColumnIndex(column);
+  if (c < 0) {
+    return Status::NotFound("no column " + column + " in table " +
+                            table->name());
+  }
+  if (table->schema()[c].type != ColumnType::kText) {
+    return Status::InvalidArgument(column + " is not a TEXT column");
+  }
+  Side side;
+  side.collection = table->CollectionOf(c);
+  if (side.collection == nullptr) {
+    return Status::FailedPrecondition("TEXT column " + column +
+                                      " has no attached collection");
+  }
+  std::vector<int64_t> rows = SelectRows(*table, predicates);
+  side.reduced = static_cast<int64_t>(rows.size()) < table->num_rows();
+  side.docs.reserve(rows.size());
+  for (int64_t r : rows) {
+    DocId doc = std::get<TextRef>(table->at(r, c)).doc;
+    if (!side.row_of.emplace(doc, r).second) {
+      return Status::InvalidArgument(
+          "two rows reference the same document in " + table->name());
+    }
+    side.docs.push_back(doc);
+  }
+  std::sort(side.docs.begin(), side.docs.end());
+  // The join must also ignore collection documents no selected row
+  // references (the table may cover only part of the collection).
+  side.reduced = side.reduced || static_cast<int64_t>(side.docs.size()) <
+                                     side.collection->num_documents();
+  return side;
+}
+
+}  // namespace
+
+Result<QueryResult> TextJoinQueryExecutor::Run(
+    const TextJoinQuery& query, const InvertedFile* inner_index,
+    const InvertedFile* outer_index) const {
+  TEXTJOIN_ASSIGN_OR_RETURN(
+      Side inner, ResolveSide(query.inner_table, query.inner_text_column,
+                              query.inner_predicates));
+  TEXTJOIN_ASSIGN_OR_RETURN(
+      Side outer, ResolveSide(query.outer_table, query.outer_text_column,
+                              query.outer_predicates));
+  if (inner.collection->disk() != outer.collection->disk()) {
+    return Status::InvalidArgument(
+        "both collections must live on the same simulated disk");
+  }
+
+  TEXTJOIN_ASSIGN_OR_RETURN(
+      SimilarityContext simctx,
+      SimilarityContext::Create(*inner.collection, *outer.collection,
+                                query.similarity));
+
+  JoinContext ctx;
+  ctx.inner = inner.collection;
+  ctx.outer = outer.collection;
+  ctx.inner_index = inner_index;
+  ctx.outer_index = outer_index;
+  ctx.similarity = &simctx;
+  ctx.sys = sys_;
+
+  JoinSpec spec;
+  spec.lambda = query.lambda;
+  spec.similarity = query.similarity;
+  if (outer.reduced) spec.outer_subset = outer.docs;
+  if (inner.reduced) spec.inner_subset = inner.docs;
+
+  SimulatedDisk* disk = inner.collection->disk();
+  const IoStats before = disk->stats();
+  QueryResult result;
+  TEXTJOIN_ASSIGN_OR_RETURN(JoinResult join,
+                            planner_.Execute(ctx, spec, &result.plan));
+  result.io = disk->stats() - before;
+
+  for (const OuterMatches& om : join) {
+    auto oit = outer.row_of.find(om.outer_doc);
+    if (oit == outer.row_of.end()) continue;  // outer doc not selected
+    for (const Match& m : om.matches) {
+      auto iit = inner.row_of.find(m.doc);
+      if (iit == inner.row_of.end()) continue;
+      result.rows.push_back(
+          QueryResultRow{oit->second, iit->second, m.score});
+    }
+  }
+  return result;
+}
+
+}  // namespace textjoin

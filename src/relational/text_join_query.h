@@ -1,0 +1,72 @@
+#ifndef TEXTJOIN_RELATIONAL_TEXT_JOIN_QUERY_H_
+#define TEXTJOIN_RELATIONAL_TEXT_JOIN_QUERY_H_
+
+#include <vector>
+
+#include "planner/planner.h"
+#include "relational/predicate.h"
+#include "relational/table.h"
+#include "storage/io_stats.h"
+
+namespace textjoin {
+
+// A query of the paper's Section 2 shape:
+//
+//   SELECT ...
+//   FROM   inner_table I, outer_table O
+//   WHERE  <inner predicates on I> AND <outer predicates on O>
+//     AND  I.inner_text SIMILAR_TO(lambda) O.outer_text
+//
+// For every qualifying row of the outer table, report the lambda rows of
+// the inner table whose text attribute is most similar to the outer row's
+// text attribute. ("A.Resume SIMILAR_TO(20) P.Job_descr" makes Applicants
+// the inner and Positions the outer table.)
+struct TextJoinQuery {
+  const Table* inner_table = nullptr;
+  std::string inner_text_column;
+  const Table* outer_table = nullptr;
+  std::string outer_text_column;
+
+  int64_t lambda = 20;
+  SimilarityConfig similarity;
+
+  std::vector<const Predicate*> inner_predicates;
+  std::vector<const Predicate*> outer_predicates;
+};
+
+// One result pair.
+struct QueryResultRow {
+  int64_t outer_row = 0;
+  int64_t inner_row = 0;
+  double score = 0;
+};
+
+struct QueryResult {
+  std::vector<QueryResultRow> rows;  // grouped by outer row, best first
+  PlanChoice plan;                   // which algorithm ran and why
+  IoStats io;                        // pages read by the join itself
+};
+
+// Runs SIMILAR_TO queries: evaluates the selections, reduces the
+// participating documents, lets the planner pick HHNL/HVNL/VVM, executes,
+// and maps document numbers back to rows.
+class TextJoinQueryExecutor {
+ public:
+  TextJoinQueryExecutor(SystemParams sys,
+                        JoinPlanner::Options planner_options = {})
+      : sys_(sys), planner_(planner_options) {}
+
+  // `inner_index` / `outer_index` are optional; without them the planner
+  // can only choose HHNL.
+  Result<QueryResult> Run(const TextJoinQuery& query,
+                          const InvertedFile* inner_index = nullptr,
+                          const InvertedFile* outer_index = nullptr) const;
+
+ private:
+  SystemParams sys_;
+  JoinPlanner planner_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_RELATIONAL_TEXT_JOIN_QUERY_H_

@@ -1,0 +1,28 @@
+#include "relational/value.h"
+
+namespace textjoin {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt:
+      return "INT";
+    case ColumnType::kString:
+      return "STRING";
+    case ColumnType::kText:
+      return "TEXT";
+  }
+  return "?";
+}
+
+std::string ValueToString(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::to_string(std::get<int64_t>(v));
+    case 1:
+      return std::get<std::string>(v);
+    default:
+      return "doc#" + std::to_string(std::get<TextRef>(v).doc);
+  }
+}
+
+}  // namespace textjoin

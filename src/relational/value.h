@@ -1,0 +1,50 @@
+#ifndef TEXTJOIN_RELATIONAL_VALUE_H_
+#define TEXTJOIN_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "text/types.h"
+
+namespace textjoin {
+
+// Column types of the mini relational layer. TEXT columns hold references
+// into a DocumentCollection attached to the table — the "attributes of
+// textual type" of the paper's global relations.
+enum class ColumnType {
+  kInt,
+  kString,
+  kText,
+};
+
+const char* ColumnTypeName(ColumnType t);
+
+// A reference to a document in the collection attached to a TEXT column.
+struct TextRef {
+  DocId doc = 0;
+
+  friend bool operator==(const TextRef& a, const TextRef& b) {
+    return a.doc == b.doc;
+  }
+};
+
+using Value = std::variant<int64_t, std::string, TextRef>;
+
+inline ColumnType TypeOf(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return ColumnType::kInt;
+    case 1:
+      return ColumnType::kString;
+    default:
+      return ColumnType::kText;
+  }
+}
+
+// Renders a value for display (TEXT refs as "doc#<n>").
+std::string ValueToString(const Value& v);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_RELATIONAL_VALUE_H_

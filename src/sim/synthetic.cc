@@ -1,0 +1,117 @@
+#include "sim/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace textjoin {
+
+Result<DocumentCollection> GenerateCollection(SimulatedDisk* disk,
+                                              std::string name,
+                                              const SyntheticSpec& spec) {
+  if (spec.num_documents < 0 || spec.vocabulary_size <= 0) {
+    return Status::InvalidArgument("bad synthetic spec");
+  }
+  if (spec.avg_terms_per_doc > static_cast<double>(spec.vocabulary_size)) {
+    return Status::InvalidArgument(
+        "avg_terms_per_doc exceeds vocabulary size");
+  }
+  if (static_cast<int64_t>(spec.term_offset) + spec.vocabulary_size - 1 >
+      kMaxTermId) {
+    return Status::InvalidArgument("term universe exceeds 3-byte ids");
+  }
+
+  Rng rng(spec.seed);
+  ZipfSampler zipf(static_cast<uint64_t>(spec.vocabulary_size), spec.zipf_s);
+  CollectionBuilder builder(disk, std::move(name));
+
+  // Epoch-marked membership to avoid clearing a set per document.
+  std::vector<int32_t> epoch_of(static_cast<size_t>(spec.vocabulary_size),
+                                -1);
+  std::vector<Weight> weight_of(static_cast<size_t>(spec.vocabulary_size), 0);
+  std::vector<uint32_t> drawn;  // distinct universe ranks of this document
+
+  // Dither fractional per-document term counts so the average is exact.
+  double carry = 0.0;
+  for (int64_t doc = 0; doc < spec.num_documents; ++doc) {
+    double want = spec.avg_terms_per_doc + carry;
+    int64_t k = static_cast<int64_t>(std::floor(want));
+    carry = want - static_cast<double>(k);
+    k = std::min<int64_t>(std::max<int64_t>(k, 0), spec.vocabulary_size);
+
+    drawn.clear();
+    const int32_t epoch = static_cast<int32_t>(doc);
+    while (static_cast<int64_t>(drawn.size()) < k) {
+      uint32_t rank = static_cast<uint32_t>(zipf.Sample(&rng));
+      if (epoch_of[rank] != epoch) {
+        epoch_of[rank] = epoch;
+        weight_of[rank] = 1;
+        drawn.push_back(rank);
+      } else if (weight_of[rank] < 0xFFFF) {
+        ++weight_of[rank];
+      }
+    }
+    std::sort(drawn.begin(), drawn.end());
+    std::vector<DCell> cells;
+    cells.reserve(drawn.size());
+    for (uint32_t rank : drawn) {
+      cells.push_back(DCell{spec.term_offset + rank, weight_of[rank]});
+    }
+    TEXTJOIN_RETURN_IF_ERROR(
+        builder.AddDocument(Document::FromSortedCells(std::move(cells)))
+            .status());
+  }
+  return builder.Finish();
+}
+
+Result<DocumentCollection> CopyCollection(SimulatedDisk* disk,
+                                          std::string name,
+                                          const DocumentCollection& source) {
+  return TakePrefix(disk, std::move(name), source, source.num_documents());
+}
+
+Result<DocumentCollection> TakePrefix(SimulatedDisk* disk, std::string name,
+                                      const DocumentCollection& source,
+                                      int64_t m) {
+  if (m < 0 || m > source.num_documents()) {
+    return Status::InvalidArgument("prefix size out of range");
+  }
+  CollectionBuilder builder(disk, std::move(name));
+  auto scanner = source.Scan();
+  for (int64_t i = 0; i < m; ++i) {
+    TEXTJOIN_ASSIGN_OR_RETURN(Document d, scanner.Next());
+    TEXTJOIN_RETURN_IF_ERROR(builder.AddDocument(d).status());
+  }
+  return builder.Finish();
+}
+
+Result<DocumentCollection> MergeDocuments(SimulatedDisk* disk,
+                                          std::string name,
+                                          const DocumentCollection& source,
+                                          int64_t factor) {
+  if (factor <= 0) return Status::InvalidArgument("factor must be positive");
+  CollectionBuilder builder(disk, std::move(name));
+  auto scanner = source.Scan();
+  std::vector<DCell> merged;
+  int64_t in_group = 0;
+  auto flush = [&]() -> Status {
+    if (merged.empty()) return Status::OK();
+    TEXTJOIN_ASSIGN_OR_RETURN(Document d,
+                              Document::FromUnsorted(std::move(merged)));
+    merged.clear();
+    return builder.AddDocument(d).status();
+  };
+  while (!scanner.Done()) {
+    TEXTJOIN_ASSIGN_OR_RETURN(Document d, scanner.Next());
+    merged.insert(merged.end(), d.cells().begin(), d.cells().end());
+    if (++in_group == factor) {
+      TEXTJOIN_RETURN_IF_ERROR(flush());
+      in_group = 0;
+    }
+  }
+  TEXTJOIN_RETURN_IF_ERROR(flush());
+  return builder.Finish();
+}
+
+}  // namespace textjoin

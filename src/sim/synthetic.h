@@ -1,0 +1,62 @@
+#ifndef TEXTJOIN_SIM_SYNTHETIC_H_
+#define TEXTJOIN_SIM_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "text/collection.h"
+
+namespace textjoin {
+
+// Parameters of a synthetic document collection. The generator draws each
+// document's terms from a Zipf(s) distribution over a term universe (term
+// occurrences in text are Zipfian), collecting distinct terms until the
+// per-document target is reached; a term's weight is the number of times
+// it was drawn. This reproduces the aggregate statistics the cost model
+// consumes: N and K exactly, T approximately (every universe term is
+// touched with high probability when N*K >> universe size).
+struct SyntheticSpec {
+  int64_t num_documents = 0;
+  double avg_terms_per_doc = 0;  // distinct terms per document (average)
+  int64_t vocabulary_size = 0;   // term universe size (target T)
+  double zipf_s = 1.0;           // skew of the term distribution
+  TermId term_offset = 0;        // shift ids to control overlap across
+                                 // collections (same offset => shared terms)
+  uint64_t seed = 42;
+};
+
+// Generates a collection on `disk` according to `spec`. The ZipfSampler
+// construction is O(vocabulary_size); generation is roughly
+// O(num_documents * avg_terms_per_doc) draws.
+Result<DocumentCollection> GenerateCollection(SimulatedDisk* disk,
+                                              std::string name,
+                                              const SyntheticSpec& spec);
+
+// Writes an identical physical copy of `source` into a new file — a
+// self-join needs two physically distinct files so that each behaves as if
+// read by its own dedicated drive (the paper's device model).
+Result<DocumentCollection> CopyCollection(SimulatedDisk* disk,
+                                          std::string name,
+                                          const DocumentCollection& source);
+
+// New collection holding the first `m` documents of `source` (simulation
+// Group 4: an ORIGINALLY small outer collection).
+Result<DocumentCollection> TakePrefix(SimulatedDisk* disk, std::string name,
+                                      const DocumentCollection& source,
+                                      int64_t m);
+
+// The Group 5 transform: merge every `factor` consecutive documents of
+// `source` into one document (weights of repeated terms summed). The
+// result has ~N/factor documents that are ~factor times larger, with the
+// total collection size approximately unchanged.
+Result<DocumentCollection> MergeDocuments(SimulatedDisk* disk,
+                                          std::string name,
+                                          const DocumentCollection& source,
+                                          int64_t factor);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_SIM_SYNTHETIC_H_

@@ -1,0 +1,37 @@
+#include "sim/trec_profiles.h"
+
+namespace textjoin {
+
+const TrecProfile& WsjProfile() {
+  static const TrecProfile* kWsj = new TrecProfile{
+      "WSJ", 98736, 329, 156298, 40605, 0.41, 0.26};
+  return *kWsj;
+}
+
+const TrecProfile& FrProfile() {
+  static const TrecProfile* kFr = new TrecProfile{
+      "FR", 26207, 1017, 126258, 33315, 1.27, 0.264};
+  return *kFr;
+}
+
+const TrecProfile& DoeProfile() {
+  static const TrecProfile* kDoe = new TrecProfile{
+      "DOE", 226087, 89, 186225, 25152, 0.111, 0.135};
+  return *kDoe;
+}
+
+const std::vector<TrecProfile>& AllTrecProfiles() {
+  static const std::vector<TrecProfile>* kAll = new std::vector<TrecProfile>{
+      WsjProfile(), FrProfile(), DoeProfile()};
+  return *kAll;
+}
+
+CollectionStatistics ToStatistics(const TrecProfile& profile) {
+  CollectionStatistics s;
+  s.num_documents = profile.num_documents;
+  s.avg_terms_per_doc = static_cast<double>(profile.terms_per_doc);
+  s.num_distinct_terms = profile.distinct_terms;
+  return s;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,41 @@
+#ifndef TEXTJOIN_SIM_TREC_PROFILES_H_
+#define TEXTJOIN_SIM_TREC_PROFILES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/params.h"
+
+namespace textjoin {
+
+// Statistics of the three ARPA/NIST (TREC-1) collections used by the
+// paper's simulation, copied from the table in Section 6. The last three
+// values are the paper's own estimates based on |t#| = 3 (they follow from
+// the first three and P = 4096; we re-derive them in bench_table1_stats).
+struct TrecProfile {
+  std::string name;
+  int64_t num_documents;        // #documents
+  int64_t terms_per_doc;        // #terms per doc (average)
+  int64_t distinct_terms;       // total # of distinct terms
+  int64_t collection_pages;     // collection size in pages (paper's value)
+  double avg_doc_pages;         // avg. size of a document (paper's value)
+  double avg_entry_pages;       // avg. size of an inverted entry (paper's)
+};
+
+// WSJ: Wall Street Journal. Mid-sized documents, mid-sized count.
+const TrecProfile& WsjProfile();
+// FR: Federal Register. Fewer but larger documents.
+const TrecProfile& FrProfile();
+// DOE: Department of Energy. More but smaller documents.
+const TrecProfile& DoeProfile();
+
+// All three, in the paper's column order (WSJ, FR, DOE).
+const std::vector<TrecProfile>& AllTrecProfiles();
+
+// Cost-model statistics from a profile.
+CollectionStatistics ToStatistics(const TrecProfile& profile);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_SIM_TREC_PROFILES_H_

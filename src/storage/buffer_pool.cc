@@ -1,0 +1,76 @@
+#include "storage/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace textjoin {
+
+BufferPool::BufferPool(SimulatedDisk* disk, int64_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages) {
+  TEXTJOIN_CHECK_GT(capacity_, 0);
+}
+
+Result<const uint8_t*> BufferPool::Pin(FileId file, PageNumber page) {
+  Key key{file, page};
+  auto it = frames_.find(key);
+  if (it != frames_.end()) {
+    ++hits_;
+    Frame& f = it->second;
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pins;
+    return static_cast<const uint8_t*>(f.bytes.data());
+  }
+  ++misses_;
+  if (static_cast<int64_t>(frames_.size()) >= capacity_) {
+    TEXTJOIN_RETURN_IF_ERROR(EvictOne());
+  }
+  Frame f;
+  f.bytes.resize(static_cast<size_t>(disk_->page_size()));
+  TEXTJOIN_RETURN_IF_ERROR(disk_->ReadPage(file, page, f.bytes.data()));
+  f.pins = 1;
+  auto [pos, inserted] = frames_.emplace(key, std::move(f));
+  TEXTJOIN_CHECK(inserted);
+  return static_cast<const uint8_t*>(pos->second.bytes.data());
+}
+
+Status BufferPool::Unpin(FileId file, PageNumber page) {
+  auto it = frames_.find(Key{file, page});
+  if (it == frames_.end()) {
+    return Status::NotFound("unpin of uncached page");
+  }
+  Frame& f = it->second;
+  if (f.pins <= 0) {
+    return Status::FailedPrecondition("unpin of unpinned page");
+  }
+  if (--f.pins == 0) {
+    lru_.push_front(it->first);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictOne() {
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("all buffer frames are pinned");
+  }
+  Key victim = lru_.back();
+  lru_.pop_back();
+  frames_.erase(victim);
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (const auto& [key, frame] : frames_) {
+    if (frame.pins > 0) {
+      return Status::FailedPrecondition("page still pinned during FlushAll");
+    }
+  }
+  frames_.clear();
+  lru_.clear();
+  return Status::OK();
+}
+
+}  // namespace textjoin

@@ -1,0 +1,112 @@
+#ifndef TEXTJOIN_STORAGE_BUFFER_POOL_H_
+#define TEXTJOIN_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace textjoin {
+
+// A classic fixed-capacity buffer pool with pin counts and LRU replacement.
+//
+// The three join executors manage their memory budgets explicitly with the
+// paper's allocation formulas, so they read through SimulatedDisk directly;
+// the pool serves the general-purpose access paths (the relational layer,
+// examples, and B+tree point lookups in user-facing queries) and is a
+// standard database substrate in its own right.
+class BufferPool {
+ public:
+  BufferPool(SimulatedDisk* disk, int64_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Pins the page and returns a pointer to its bytes, fetching it from disk
+  // on a miss (possibly evicting an unpinned LRU victim). Fails with
+  // RESOURCE_EXHAUSTED when every frame is pinned.
+  Result<const uint8_t*> Pin(FileId file, PageNumber page);
+
+  // Releases one pin. The page stays cached until evicted.
+  Status Unpin(FileId file, PageNumber page);
+
+  // Drops every unpinned page. Fails if any page is still pinned.
+  Status FlushAll();
+
+  int64_t capacity() const { return capacity_; }
+  int64_t cached_pages() const { return static_cast<int64_t>(frames_.size()); }
+  int64_t hit_count() const { return hits_; }
+  int64_t miss_count() const { return misses_; }
+
+ private:
+  struct Key {
+    FileId file;
+    PageNumber page;
+    bool operator<(const Key& o) const {
+      return file != o.file ? file < o.file : page < o.page;
+    }
+  };
+  struct Frame {
+    std::vector<uint8_t> bytes;
+    int64_t pins = 0;
+    std::list<Key>::iterator lru_pos;  // valid only when pins == 0
+    bool in_lru = false;
+  };
+
+  Status EvictOne();
+
+  SimulatedDisk* disk_;
+  int64_t capacity_;
+  std::map<Key, Frame> frames_;
+  std::list<Key> lru_;  // front = most recent
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+// RAII pin guard.
+class PinnedPage {
+ public:
+  PinnedPage() = default;
+  PinnedPage(BufferPool* pool, FileId file, PageNumber page,
+             const uint8_t* data)
+      : pool_(pool), file_(file), page_(page), data_(data) {}
+  PinnedPage(PinnedPage&& o) noexcept { *this = std::move(o); }
+  PinnedPage& operator=(PinnedPage&& o) noexcept {
+    Release();
+    pool_ = o.pool_;
+    file_ = o.file_;
+    page_ = o.page_;
+    data_ = o.data_;
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+    return *this;
+  }
+  PinnedPage(const PinnedPage&) = delete;
+  PinnedPage& operator=(const PinnedPage&) = delete;
+  ~PinnedPage() { Release(); }
+
+  const uint8_t* data() const { return data_; }
+  bool valid() const { return data_ != nullptr; }
+
+  void Release() {
+    if (pool_ != nullptr && data_ != nullptr) {
+      (void)pool_->Unpin(file_, page_);
+    }
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  FileId file_ = kInvalidFileId;
+  PageNumber page_ = -1;
+  const uint8_t* data_ = nullptr;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_STORAGE_BUFFER_POOL_H_

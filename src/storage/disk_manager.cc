@@ -1,0 +1,145 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace textjoin {
+
+SimulatedDisk::SimulatedDisk(int64_t page_size_bytes)
+    : page_size_(page_size_bytes) {
+  TEXTJOIN_CHECK_GT(page_size_, 0);
+}
+
+FileId SimulatedDisk::CreateFile(std::string name) {
+  files_.push_back(File{std::move(name), {}, -2});
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+Status SimulatedDisk::CheckFile(FileId file) const {
+  if (file < 0 || static_cast<size_t>(file) >= files_.size()) {
+    return Status::NotFound("no such file id " + std::to_string(file));
+  }
+  return Status::OK();
+}
+
+Result<PageNumber> SimulatedDisk::AppendPage(FileId file, const uint8_t* data,
+                                             int64_t size) {
+  TEXTJOIN_RETURN_IF_ERROR(CheckFile(file));
+  if (size < 0 || size > page_size_) {
+    return Status::InvalidArgument("page data size out of range");
+  }
+  File& f = files_[file];
+  PageNumber page =
+      static_cast<PageNumber>(f.bytes.size() / static_cast<size_t>(page_size_));
+  f.bytes.resize(f.bytes.size() + static_cast<size_t>(page_size_), 0);
+  if (size > 0) {
+    std::memcpy(f.bytes.data() + page * page_size_, data,
+                static_cast<size_t>(size));
+  }
+  ++stats_.page_writes;
+  return page;
+}
+
+Status SimulatedDisk::WritePage(FileId file, PageNumber page,
+                                const uint8_t* data, int64_t size) {
+  TEXTJOIN_RETURN_IF_ERROR(CheckFile(file));
+  if (size < 0 || size > page_size_) {
+    return Status::InvalidArgument("page data size out of range");
+  }
+  File& f = files_[file];
+  int64_t pages = static_cast<int64_t>(f.bytes.size()) / page_size_;
+  if (page < 0 || page >= pages) {
+    return Status::OutOfRange("page " + std::to_string(page) +
+                              " out of range (file has " +
+                              std::to_string(pages) + " pages)");
+  }
+  std::memset(f.bytes.data() + page * page_size_, 0,
+              static_cast<size_t>(page_size_));
+  if (size > 0) {
+    std::memcpy(f.bytes.data() + page * page_size_, data,
+                static_cast<size_t>(size));
+  }
+  ++stats_.page_writes;
+  return Status::OK();
+}
+
+void SimulatedDisk::InjectReadFault(int64_t after_reads) {
+  TEXTJOIN_CHECK_GE(after_reads, 0);
+  fault_countdown_ = after_reads;
+}
+
+void SimulatedDisk::ClearReadFault() { fault_countdown_ = -1; }
+
+Status SimulatedDisk::ReadPage(FileId file, PageNumber page, uint8_t* out) {
+  TEXTJOIN_RETURN_IF_ERROR(CheckFile(file));
+  if (fault_countdown_ >= 0) {
+    if (fault_countdown_ == 0) {
+      return Status::Internal("injected read fault");
+    }
+    --fault_countdown_;
+  }
+  File& f = files_[file];
+  int64_t pages = static_cast<int64_t>(f.bytes.size()) / page_size_;
+  if (page < 0 || page >= pages) {
+    return Status::OutOfRange("page " + std::to_string(page) +
+                              " out of range (file has " +
+                              std::to_string(pages) + " pages)");
+  }
+  if (!interference_ && page == f.last_read_page + 1) {
+    ++stats_.sequential_reads;
+  } else {
+    ++stats_.random_reads;
+  }
+  f.last_read_page = page;
+  std::memcpy(out, f.bytes.data() + page * page_size_,
+              static_cast<size_t>(page_size_));
+  return Status::OK();
+}
+
+Status SimulatedDisk::ReadRun(FileId file, PageNumber first, int64_t count,
+                              uint8_t* out) {
+  for (int64_t i = 0; i < count; ++i) {
+    TEXTJOIN_RETURN_IF_ERROR(
+        ReadPage(file, first + i, out + i * page_size_));
+  }
+  return Status::OK();
+}
+
+Result<int64_t> SimulatedDisk::FileSizeInPages(FileId file) const {
+  TEXTJOIN_RETURN_IF_ERROR(CheckFile(file));
+  return static_cast<int64_t>(files_[file].bytes.size()) / page_size_;
+}
+
+const std::string& SimulatedDisk::FileName(FileId file) const {
+  TEXTJOIN_CHECK_OK(CheckFile(file));
+  return files_[file].name;
+}
+
+Result<FileId> SimulatedDisk::FindFile(const std::string& name) const {
+  for (size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].name == name) return static_cast<FileId>(i);
+  }
+  return Status::NotFound("no file named '" + name + "'");
+}
+
+void SimulatedDisk::ResetHeads() {
+  for (auto& f : files_) f.last_read_page = -2;
+}
+
+const std::vector<uint8_t>& SimulatedDisk::raw_bytes(FileId file) const {
+  TEXTJOIN_CHECK_OK(CheckFile(file));
+  return files_[file].bytes;
+}
+
+Result<FileId> SimulatedDisk::CreateFileWithBytes(std::string name,
+                                                  std::vector<uint8_t> bytes) {
+  if (static_cast<int64_t>(bytes.size()) % page_size_ != 0) {
+    return Status::InvalidArgument(
+        "file image is not a whole number of pages");
+  }
+  files_.push_back(File{std::move(name), std::move(bytes), -2});
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+}  // namespace textjoin

@@ -1,0 +1,111 @@
+#ifndef TEXTJOIN_STORAGE_DISK_MANAGER_H_
+#define TEXTJOIN_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace textjoin {
+
+// An in-memory disk that stores named page files and meters every page
+// read, classifying it as sequential or random.
+//
+// Classification follows the paper's device model: each file behaves as if
+// read by a dedicated drive, so a read of page p is *sequential* when the
+// previous read of the same file was page p-1, and *random* otherwise
+// (seek + rotation delay). An optional interference mode models a device
+// busy with other obligations: every read becomes random, which is the
+// worst case the paper's `hhr`/`hvr`/`vvr` formulas describe.
+//
+// Writes are counted but not classified; the paper's cost model covers
+// read-only query processing, and all files here are built once and then
+// only read.
+class SimulatedDisk {
+ public:
+  explicit SimulatedDisk(int64_t page_size_bytes = kDefaultPageSize);
+
+  SimulatedDisk(const SimulatedDisk&) = delete;
+  SimulatedDisk& operator=(const SimulatedDisk&) = delete;
+
+  int64_t page_size() const { return page_size_; }
+
+  // Creates an empty file and returns its id. Names are for debugging only
+  // and need not be unique.
+  FileId CreateFile(std::string name);
+
+  // Appends a page (exactly page_size bytes, or shorter — zero padded) and
+  // returns its page number.
+  Result<PageNumber> AppendPage(FileId file, const uint8_t* data,
+                                int64_t size);
+
+  // Overwrites an existing page.
+  Status WritePage(FileId file, PageNumber page, const uint8_t* data,
+                   int64_t size);
+
+  // Reads one page into `out` (page_size bytes), metering the access.
+  Status ReadPage(FileId file, PageNumber page, uint8_t* out);
+
+  // Reads `count` consecutive pages starting at `first`. The first page is
+  // metered by the usual position rule; subsequent pages are sequential.
+  Status ReadRun(FileId file, PageNumber first, int64_t count, uint8_t* out);
+
+  // Number of pages currently in the file.
+  Result<int64_t> FileSizeInPages(FileId file) const;
+
+  const std::string& FileName(FileId file) const;
+
+  // First file with this exact name, or NotFound. Used when reopening a
+  // snapshot (names are the durable identifiers).
+  Result<FileId> FindFile(const std::string& name) const;
+
+  // When true, every read is counted as random (busy device).
+  void set_interference(bool on) { interference_ = on; }
+  bool interference() const { return interference_; }
+
+  // Fault injection for testing: after `after_reads` further successful
+  // page reads, every subsequent read fails with an INTERNAL error until
+  // ClearReadFault() is called. Pass 0 to fail the next read.
+  void InjectReadFault(int64_t after_reads);
+  void ClearReadFault();
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats(); }
+
+  // Forgets per-file head positions, so the next read of every file is
+  // random. Useful between experiment repetitions.
+  void ResetHeads();
+
+  int64_t file_count() const { return static_cast<int64_t>(files_.size()); }
+
+  // Raw file image (page-padded). Used by snapshots and tests; not
+  // metered.
+  const std::vector<uint8_t>& raw_bytes(FileId file) const;
+
+  // Creates a file from a raw image whose size must be a whole number of
+  // pages (the inverse of raw_bytes, for snapshot restore).
+  Result<FileId> CreateFileWithBytes(std::string name,
+                                     std::vector<uint8_t> bytes);
+
+ private:
+  struct File {
+    std::string name;
+    std::vector<uint8_t> bytes;  // size == page_count * page_size_
+    PageNumber last_read_page = -2;  // -2: nothing read yet
+  };
+
+  Status CheckFile(FileId file) const;
+
+  int64_t page_size_;
+  std::vector<File> files_;
+  IoStats stats_;
+  bool interference_ = false;
+  int64_t fault_countdown_ = -1;  // -1: no fault armed
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_STORAGE_DISK_MANAGER_H_

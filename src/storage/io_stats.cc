@@ -1,0 +1,14 @@
+#include "storage/io_stats.h"
+
+#include <sstream>
+
+namespace textjoin {
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "IoStats{seq=" << sequential_reads << ", rand=" << random_reads
+     << ", writes=" << page_writes << "}";
+  return os.str();
+}
+
+}  // namespace textjoin

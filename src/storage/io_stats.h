@@ -1,0 +1,52 @@
+#ifndef TEXTJOIN_STORAGE_IO_STATS_H_
+#define TEXTJOIN_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace textjoin {
+
+// Page-granular I/O counters. The paper's cost metric is
+//   cost = #sequential_page_reads + alpha * #random_page_reads
+// where alpha is the cost ratio of a random over a sequential I/O.
+struct IoStats {
+  int64_t sequential_reads = 0;
+  int64_t random_reads = 0;
+  int64_t page_writes = 0;
+
+  int64_t total_reads() const { return sequential_reads + random_reads; }
+
+  // Weighted cost in units of one sequential page read.
+  double Cost(double alpha) const {
+    return static_cast<double>(sequential_reads) +
+           alpha * static_cast<double>(random_reads);
+  }
+
+  IoStats& operator+=(const IoStats& o) {
+    sequential_reads += o.sequential_reads;
+    random_reads += o.random_reads;
+    page_writes += o.page_writes;
+    return *this;
+  }
+
+  friend IoStats operator+(IoStats a, const IoStats& b) { return a += b; }
+
+  friend IoStats operator-(const IoStats& a, const IoStats& b) {
+    IoStats d;
+    d.sequential_reads = a.sequential_reads - b.sequential_reads;
+    d.random_reads = a.random_reads - b.random_reads;
+    d.page_writes = a.page_writes - b.page_writes;
+    return d;
+  }
+
+  friend bool operator==(const IoStats& a, const IoStats& b) {
+    return a.sequential_reads == b.sequential_reads &&
+           a.random_reads == b.random_reads && a.page_writes == b.page_writes;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_STORAGE_IO_STATS_H_

@@ -1,0 +1,22 @@
+#ifndef TEXTJOIN_STORAGE_PAGE_H_
+#define TEXTJOIN_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace textjoin {
+
+// The paper fixes the page size P at 4 KB; the library keeps it a runtime
+// parameter of the disk so tests can exercise small pages.
+inline constexpr int64_t kDefaultPageSize = 4096;
+
+// Identifies a file on a SimulatedDisk.
+using FileId = int32_t;
+
+// Page number within a file (0-based).
+using PageNumber = int64_t;
+
+inline constexpr FileId kInvalidFileId = -1;
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_STORAGE_PAGE_H_

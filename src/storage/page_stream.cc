@@ -1,0 +1,107 @@
+#include "storage/page_stream.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace textjoin {
+
+PageStreamWriter::PageStreamWriter(SimulatedDisk* disk, FileId file)
+    : disk_(disk), file_(file) {
+  buffer_.reserve(static_cast<size_t>(disk->page_size()));
+}
+
+int64_t PageStreamWriter::Append(const uint8_t* data, int64_t size) {
+  TEXTJOIN_CHECK(!finished_);
+  const int64_t start_offset = offset_;
+  const int64_t page_size = disk_->page_size();
+  int64_t pos = 0;
+  while (pos < size) {
+    int64_t room = page_size - static_cast<int64_t>(buffer_.size());
+    int64_t take = std::min(room, size - pos);
+    buffer_.insert(buffer_.end(), data + pos, data + pos + take);
+    pos += take;
+    if (static_cast<int64_t>(buffer_.size()) == page_size) {
+      TEXTJOIN_CHECK_OK(
+          disk_->AppendPage(file_, buffer_.data(), page_size).status());
+      buffer_.clear();
+    }
+  }
+  offset_ += size;
+  return start_offset;
+}
+
+Status PageStreamWriter::Finish() {
+  if (finished_) return Status::FailedPrecondition("Finish called twice");
+  finished_ = true;
+  if (!buffer_.empty()) {
+    TEXTJOIN_RETURN_IF_ERROR(
+        disk_->AppendPage(file_, buffer_.data(),
+                          static_cast<int64_t>(buffer_.size()))
+            .status());
+    buffer_.clear();
+  }
+  return Status::OK();
+}
+
+PageStreamReader::PageStreamReader(SimulatedDisk* disk, FileId file)
+    : disk_(disk), file_(file) {
+  scratch_.resize(static_cast<size_t>(disk->page_size()));
+}
+
+Status PageStreamReader::Read(int64_t offset, int64_t size, uint8_t* out) {
+  if (offset < 0 || size < 0) {
+    return Status::InvalidArgument("negative offset or size");
+  }
+  const int64_t page_size = disk_->page_size();
+  int64_t done = 0;
+  while (done < size) {
+    int64_t byte = offset + done;
+    PageNumber page = byte / page_size;
+    int64_t in_page = byte % page_size;
+    int64_t take = std::min(page_size - in_page, size - done);
+    TEXTJOIN_RETURN_IF_ERROR(disk_->ReadPage(file_, page, scratch_.data()));
+    std::memcpy(out + done, scratch_.data() + in_page,
+                static_cast<size_t>(take));
+    done += take;
+  }
+  return Status::OK();
+}
+
+SequentialByteReader::SequentialByteReader(SimulatedDisk* disk, FileId file,
+                                           int64_t start_offset)
+    : disk_(disk), file_(file), position_(start_offset) {
+  buffer_.resize(static_cast<size_t>(disk->page_size()));
+}
+
+Status SequentialByteReader::EnsurePage(PageNumber page) {
+  if (page == buffered_page_) return Status::OK();
+  TEXTJOIN_RETURN_IF_ERROR(disk_->ReadPage(file_, page, buffer_.data()));
+  buffered_page_ = page;
+  return Status::OK();
+}
+
+Status SequentialByteReader::Read(int64_t size, uint8_t* out) {
+  const int64_t page_size = disk_->page_size();
+  int64_t done = 0;
+  while (done < size) {
+    int64_t byte = position_ + done;
+    PageNumber page = byte / page_size;
+    int64_t in_page = byte % page_size;
+    int64_t take = std::min(page_size - in_page, size - done);
+    TEXTJOIN_RETURN_IF_ERROR(EnsurePage(page));
+    std::memcpy(out + done, buffer_.data() + in_page,
+                static_cast<size_t>(take));
+    done += take;
+  }
+  position_ += size;
+  return Status::OK();
+}
+
+Status SequentialByteReader::Skip(int64_t size) {
+  position_ += size;
+  return Status::OK();
+}
+
+}  // namespace textjoin

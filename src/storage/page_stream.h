@@ -1,0 +1,92 @@
+#ifndef TEXTJOIN_STORAGE_PAGE_STREAM_H_
+#define TEXTJOIN_STORAGE_PAGE_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace textjoin {
+
+// Appends a contiguous byte stream to a page file, packing records tightly
+// across page boundaries ("tightly packed" in the paper's terminology).
+// Records are addressed by their byte offset in the stream.
+class PageStreamWriter {
+ public:
+  PageStreamWriter(SimulatedDisk* disk, FileId file);
+
+  // Appends `size` bytes; returns the byte offset of the first byte.
+  int64_t Append(const uint8_t* data, int64_t size);
+  int64_t Append(const std::vector<uint8_t>& data) {
+    return Append(data.data(), static_cast<int64_t>(data.size()));
+  }
+
+  // Flushes the trailing partial page (zero padded). Must be called once,
+  // after which Append must not be called again.
+  Status Finish();
+
+  // Total bytes appended so far.
+  int64_t size() const { return offset_; }
+
+ private:
+  SimulatedDisk* disk_;
+  FileId file_;
+  std::vector<uint8_t> buffer_;  // current partial page
+  int64_t offset_ = 0;
+  bool finished_ = false;
+};
+
+// Random-access reader for byte ranges of a page file. Every page touched
+// is fetched through the disk (and thus metered); a range spanning k pages
+// costs one positioned read plus k-1 sequential reads.
+class PageStreamReader {
+ public:
+  PageStreamReader(SimulatedDisk* disk, FileId file);
+
+  // Reads `size` bytes starting at byte `offset` into `out`.
+  Status Read(int64_t offset, int64_t size, uint8_t* out);
+
+  Status Read(int64_t offset, int64_t size, std::vector<uint8_t>* out) {
+    out->resize(static_cast<size_t>(size));
+    return Read(offset, size, out->data());
+  }
+
+ private:
+  SimulatedDisk* disk_;
+  FileId file_;
+  std::vector<uint8_t> scratch_;  // one page
+};
+
+// Forward-only reader over a page file's byte stream. Keeps the current
+// page buffered, so consuming the whole stream costs exactly one page read
+// per page (the first positioned, the rest sequential) — the access pattern
+// the paper assumes for collection and inverted-file scans.
+class SequentialByteReader {
+ public:
+  // Starts positioned at byte `start_offset`.
+  SequentialByteReader(SimulatedDisk* disk, FileId file,
+                       int64_t start_offset = 0);
+
+  // Reads `size` bytes at the current position and advances.
+  Status Read(int64_t size, uint8_t* out);
+
+  // Advances the position without reading pages that are skipped entirely.
+  Status Skip(int64_t size);
+
+  int64_t position() const { return position_; }
+
+ private:
+  Status EnsurePage(PageNumber page);
+
+  SimulatedDisk* disk_;
+  FileId file_;
+  int64_t position_;
+  PageNumber buffered_page_ = -1;
+  std::vector<uint8_t> buffer_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_STORAGE_PAGE_STREAM_H_

@@ -1,0 +1,111 @@
+#include "storage/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/crc32.h"
+#include "storage/coding.h"
+
+namespace textjoin {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'J', 'S', 'N'};
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Status SaveDiskSnapshot(const SimulatedDisk& disk, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+
+  std::vector<uint8_t> header;
+  header.insert(header.end(), kMagic, kMagic + 4);
+  PutFixed32(&header, kVersion);
+  PutFixed64(&header, static_cast<uint64_t>(disk.page_size()));
+  PutFixed64(&header, static_cast<uint64_t>(disk.file_count()));
+  out.write(reinterpret_cast<const char*>(header.data()),
+            static_cast<std::streamsize>(header.size()));
+
+  for (FileId f = 0; f < disk.file_count(); ++f) {
+    const std::string& name = disk.FileName(f);
+    const std::vector<uint8_t>& bytes = disk.raw_bytes(f);
+    std::vector<uint8_t> meta;
+    PutFixed32(&meta, static_cast<uint32_t>(name.size()));
+    meta.insert(meta.end(), name.begin(), name.end());
+    PutFixed64(&meta, static_cast<uint64_t>(bytes.size()));
+    PutFixed32(&meta, Crc32(bytes.data(), bytes.size()));
+    out.write(reinterpret_cast<const char*>(meta.data()),
+              static_cast<std::streamsize>(meta.size()));
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SimulatedDisk>> LoadDiskSnapshot(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+
+  auto read_exact = [&](uint8_t* dst, size_t n) -> bool {
+    in.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+    return static_cast<size_t>(in.gcount()) == n;
+  };
+
+  uint8_t fixed[24];  // magic(4) + version(4) + page_size(8) + count(8)
+  if (!read_exact(fixed, sizeof(fixed))) {
+    return Status::InvalidArgument("truncated snapshot header");
+  }
+  if (std::memcmp(fixed, kMagic, 4) != 0) {
+    return Status::InvalidArgument("not a textjoin snapshot");
+  }
+  if (GetFixed32(fixed + 4) != kVersion) {
+    return Status::InvalidArgument("unsupported snapshot version");
+  }
+  const int64_t page_size = static_cast<int64_t>(GetFixed64(fixed + 8));
+  const uint64_t file_count = GetFixed64(fixed + 16);
+  if (page_size <= 0 || file_count > (1u << 20)) {
+    return Status::InvalidArgument("implausible snapshot header");
+  }
+
+  auto disk = std::make_unique<SimulatedDisk>(page_size);
+  for (uint64_t i = 0; i < file_count; ++i) {
+    uint8_t len_buf[4];
+    if (!read_exact(len_buf, 4)) {
+      return Status::InvalidArgument("truncated file header");
+    }
+    const uint32_t name_len = GetFixed32(len_buf);
+    if (name_len > 4096) {
+      return Status::InvalidArgument("implausible file name length");
+    }
+    std::string name(name_len, '\0');
+    if (name_len > 0 &&
+        !read_exact(reinterpret_cast<uint8_t*>(name.data()), name_len)) {
+      return Status::InvalidArgument("truncated file name");
+    }
+    uint8_t size_crc[12];
+    if (!read_exact(size_crc, 12)) {
+      return Status::InvalidArgument("truncated file metadata");
+    }
+    const uint64_t byte_count = GetFixed64(size_crc);
+    const uint32_t expected_crc = GetFixed32(size_crc + 8);
+    std::vector<uint8_t> bytes(byte_count);
+    if (byte_count > 0 && !read_exact(bytes.data(), byte_count)) {
+      return Status::InvalidArgument("truncated file body");
+    }
+    if (Crc32(bytes.data(), bytes.size()) != expected_crc) {
+      return Status::Internal("checksum mismatch in file '" + name + "'");
+    }
+    TEXTJOIN_RETURN_IF_ERROR(
+        disk->CreateFileWithBytes(std::move(name), std::move(bytes))
+            .status());
+  }
+  return disk;
+}
+
+}  // namespace textjoin

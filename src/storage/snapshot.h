@@ -1,0 +1,29 @@
+#ifndef TEXTJOIN_STORAGE_SNAPSHOT_H_
+#define TEXTJOIN_STORAGE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+
+namespace textjoin {
+
+// Saves every file of a SimulatedDisk into one binary image on the host
+// filesystem and restores it later — persistence for collections,
+// inverted files and catalogs built in memory.
+//
+// Format (little-endian):
+//   magic "TJSN" | version u32 | page_size u64 | file_count u64
+//   per file: name_len u32 | name | byte_count u64 | crc32 u32 | bytes
+//
+// Load verifies the magic, the version and every file's CRC-32, failing
+// with INVALID_ARGUMENT / INTERNAL on any corruption.
+Status SaveDiskSnapshot(const SimulatedDisk& disk, const std::string& path);
+
+Result<std::unique_ptr<SimulatedDisk>> LoadDiskSnapshot(
+    const std::string& path);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_STORAGE_SNAPSHOT_H_

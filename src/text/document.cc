@@ -1,0 +1,76 @@
+#include "text/document.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+
+namespace textjoin {
+
+Document Document::FromSortedCells(std::vector<DCell> cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    TEXTJOIN_CHECK_GT(cells[i].weight, 0u);
+    TEXTJOIN_CHECK_LE(cells[i].term, kMaxTermId);
+    if (i > 0) TEXTJOIN_CHECK_LT(cells[i - 1].term, cells[i].term);
+  }
+  return Document(std::move(cells));
+}
+
+Result<Document> Document::FromUnsorted(std::vector<DCell> cells) {
+  std::map<TermId, int64_t> sums;
+  for (const DCell& c : cells) {
+    if (c.term > kMaxTermId) {
+      return Status::InvalidArgument("term id exceeds 3-byte range");
+    }
+    sums[c.term] += c.weight;
+  }
+  std::vector<DCell> out;
+  out.reserve(sums.size());
+  for (const auto& [term, weight] : sums) {
+    if (weight == 0) continue;
+    if (weight > 0xFFFF) {
+      return Status::OutOfRange("summed weight exceeds 2-byte range");
+    }
+    out.push_back(DCell{term, static_cast<Weight>(weight)});
+  }
+  return Document(std::move(out));
+}
+
+double Document::Norm() const {
+  double s = 0;
+  for (const DCell& c : cells_) {
+    s += static_cast<double>(c.weight) * static_cast<double>(c.weight);
+  }
+  return std::sqrt(s);
+}
+
+Weight Document::WeightOf(TermId term) const {
+  auto it = std::lower_bound(
+      cells_.begin(), cells_.end(), term,
+      [](const DCell& c, TermId t) { return c.term < t; });
+  if (it == cells_.end() || it->term != term) return 0;
+  return it->weight;
+}
+
+int64_t DotSimilarity(const Document& d1, const Document& d2) {
+  int64_t sim = 0;
+  const auto& a = d1.cells();
+  const auto& b = d2.cells();
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].term < b[j].term) {
+      ++i;
+    } else if (a[i].term > b[j].term) {
+      ++j;
+    } else {
+      sim += static_cast<int64_t>(a[i].weight) *
+             static_cast<int64_t>(b[j].weight);
+      ++i;
+      ++j;
+    }
+  }
+  return sim;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,57 @@
+#ifndef TEXTJOIN_TEXT_DOCUMENT_H_
+#define TEXTJOIN_TEXT_DOCUMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "text/types.h"
+
+namespace textjoin {
+
+// A document in the vector representation: a list of d-cells sorted by
+// increasing term number, with no duplicate terms and no zero weights.
+class Document {
+ public:
+  Document() = default;
+
+  // Takes cells that are already sorted, duplicate-free and nonzero;
+  // verified with a CHECK in debug spirit (always on, cheap).
+  static Document FromSortedCells(std::vector<DCell> cells);
+
+  // Accepts term occurrences in any order, possibly with repeated terms
+  // (weights are summed). Fails if a term id exceeds kMaxTermId or a summed
+  // weight overflows the 2-byte on-disk weight.
+  static Result<Document> FromUnsorted(std::vector<DCell> cells);
+
+  const std::vector<DCell>& cells() const { return cells_; }
+  int64_t num_terms() const { return static_cast<int64_t>(cells_.size()); }
+  bool empty() const { return cells_.empty(); }
+
+  // On-disk size: 5 bytes per d-cell.
+  int64_t SizeBytes() const { return num_terms() * kDCellBytes; }
+
+  // Euclidean norm of the occurrence vector (for cosine normalization).
+  double Norm() const;
+
+  // Returns the weight of `term`, or 0 if absent. O(log n).
+  Weight WeightOf(TermId term) const;
+
+  friend bool operator==(const Document& a, const Document& b) {
+    return a.cells_ == b.cells_;
+  }
+
+ private:
+  explicit Document(std::vector<DCell> cells) : cells_(std::move(cells)) {}
+
+  std::vector<DCell> cells_;
+};
+
+// Raw-count similarity between two documents: sum over common terms t of
+// u_t * v_t, where u/v are occurrence counts (the paper's Section 3
+// definition). Runs in O(|d1| + |d2|) by merging the sorted cell lists.
+int64_t DotSimilarity(const Document& d1, const Document& d2);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_TEXT_DOCUMENT_H_

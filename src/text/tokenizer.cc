@@ -1,0 +1,62 @@
+#include "text/tokenizer.h"
+
+#include <array>
+#include <cctype>
+
+namespace textjoin {
+
+namespace {
+
+// A compact stopword list; enough to keep example outputs meaningful.
+constexpr std::array<std::string_view, 32> kStopwords = {
+    "a",    "an",  "and",  "are",  "as",   "at",   "be",   "by",
+    "for",  "from", "has",  "he",   "in",   "is",   "it",   "its",
+    "of",   "on",  "or",   "that", "the",  "to",   "was",  "were",
+    "will", "with", "this", "these", "those", "we",  "you",  "their"};
+
+}  // namespace
+
+Tokenizer::Tokenizer(Options options) : options_(options) {}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : text) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (auto& t : tokens) {
+    if (static_cast<int>(t.size()) < options_.min_token_length) continue;
+    if (options_.remove_stopwords && IsStopword(t)) continue;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+bool Tokenizer::IsStopword(const std::string& token) const {
+  for (std::string_view sw : kStopwords) {
+    if (token == sw) return true;
+  }
+  return false;
+}
+
+Result<Document> Tokenizer::MakeDocument(std::string_view text,
+                                         Vocabulary* vocab) const {
+  std::vector<DCell> cells;
+  for (const std::string& token : Tokenize(text)) {
+    TEXTJOIN_ASSIGN_OR_RETURN(TermId id, vocab->AddOrGet(token));
+    cells.push_back(DCell{id, 1});
+  }
+  return Document::FromUnsorted(std::move(cells));
+}
+
+}  // namespace textjoin

@@ -1,0 +1,44 @@
+#ifndef TEXTJOIN_TEXT_TOKENIZER_H_
+#define TEXTJOIN_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "text/document.h"
+#include "text/vocabulary.h"
+
+namespace textjoin {
+
+// Turns raw text into documents in the vector representation. Lowercases,
+// splits on non-alphanumeric characters, drops tokens shorter than
+// `min_token_length` and a small English stopword list. This is the bridge
+// the examples use to feed resumes / job descriptions / abstracts into the
+// join machinery; the simulation path generates d-cells directly.
+class Tokenizer {
+ public:
+  struct Options {
+    int min_token_length = 2;
+    bool remove_stopwords = true;
+  };
+
+  Tokenizer() : Tokenizer(Options{}) {}
+  explicit Tokenizer(Options options);
+
+  // Splits into normalized tokens (no vocabulary interaction).
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  // Tokenizes and converts to a Document, assigning term ids via `vocab`.
+  Result<Document> MakeDocument(std::string_view text,
+                                Vocabulary* vocab) const;
+
+ private:
+  bool IsStopword(const std::string& token) const;
+
+  Options options_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_TEXT_TOKENIZER_H_

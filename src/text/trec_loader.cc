@@ -1,0 +1,115 @@
+#include "text/trec_loader.h"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace textjoin {
+
+namespace {
+
+// Case-insensitive search for `tag` (e.g. "<DOC>") starting at `from`;
+// returns npos if absent.
+size_t FindTag(const std::string& s, const char* tag, size_t from) {
+  const size_t tag_len = std::strlen(tag);
+  if (tag_len == 0 || s.size() < tag_len) return std::string::npos;
+  for (size_t i = from; i + tag_len <= s.size(); ++i) {
+    size_t j = 0;
+    while (j < tag_len &&
+           std::toupper(static_cast<unsigned char>(s[i + j])) ==
+               std::toupper(static_cast<unsigned char>(tag[j]))) {
+      ++j;
+    }
+    if (j == tag_len) return i;
+  }
+  return std::string::npos;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// Extracts the content between <TAG> and </TAG> within [from, limit);
+// returns the position after </TAG> via *next, or npos when absent.
+std::string ExtractSection(const std::string& s, const char* open,
+                           const char* close, size_t from, size_t limit,
+                           size_t* next) {
+  *next = std::string::npos;
+  size_t begin = FindTag(s, open, from);
+  if (begin == std::string::npos || begin >= limit) return "";
+  begin += std::strlen(open);
+  size_t end = FindTag(s, close, begin);
+  if (end == std::string::npos || end > limit) return "";
+  *next = end + std::strlen(close);
+  return s.substr(begin, end - begin);
+}
+
+}  // namespace
+
+Result<std::vector<TrecDocument>> ParseTrecStream(const std::string& sgml) {
+  std::vector<TrecDocument> docs;
+  size_t pos = 0;
+  while (true) {
+    size_t doc_begin = FindTag(sgml, "<DOC>", pos);
+    if (doc_begin == std::string::npos) break;
+    size_t doc_end = FindTag(sgml, "</DOC>", doc_begin);
+    if (doc_end == std::string::npos) {
+      return Status::InvalidArgument("unterminated <DOC> element");
+    }
+    TrecDocument doc;
+    size_t next = 0;
+    doc.docno = Trim(ExtractSection(sgml, "<DOCNO>", "</DOCNO>",
+                                    doc_begin, doc_end, &next));
+    // Concatenate every <TEXT> section inside the document.
+    size_t cursor = doc_begin;
+    while (cursor < doc_end) {
+      std::string text =
+          ExtractSection(sgml, "<TEXT>", "</TEXT>", cursor, doc_end, &next);
+      if (next == std::string::npos) break;
+      if (!doc.text.empty()) doc.text += ' ';
+      doc.text += Trim(text);
+      cursor = next;
+    }
+    if (!doc.text.empty()) docs.push_back(std::move(doc));
+    pos = doc_end + 6;  // past "</DOC>"
+  }
+  return docs;
+}
+
+Result<TrecCollection> LoadTrecCollection(SimulatedDisk* disk,
+                                          const std::string& name,
+                                          const std::string& sgml,
+                                          Vocabulary* vocabulary,
+                                          const Tokenizer& tokenizer) {
+  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<TrecDocument> docs,
+                            ParseTrecStream(sgml));
+  if (docs.empty()) {
+    return Status::InvalidArgument("no documents with <TEXT> sections");
+  }
+  CollectionBuilder builder(disk, name);
+  std::vector<std::string> docnos;
+  for (TrecDocument& doc : docs) {
+    TEXTJOIN_ASSIGN_OR_RETURN(Document d,
+                              tokenizer.MakeDocument(doc.text, vocabulary));
+    TEXTJOIN_RETURN_IF_ERROR(builder.AddDocument(d).status());
+    docnos.push_back(std::move(doc.docno));
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(DocumentCollection collection, builder.Finish());
+  return TrecCollection{std::move(collection), std::move(docnos)};
+}
+
+Result<TrecCollection> LoadTrecCollectionFromFile(
+    SimulatedDisk* disk, const std::string& name, const std::string& path,
+    Vocabulary* vocabulary, const Tokenizer& tokenizer) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadTrecCollection(disk, name, buffer.str(), vocabulary, tokenizer);
+}
+
+}  // namespace textjoin

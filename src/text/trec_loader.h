@@ -1,0 +1,62 @@
+#ifndef TEXTJOIN_TEXT_TREC_LOADER_H_
+#define TEXTJOIN_TEXT_TREC_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "text/collection.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace textjoin {
+
+// Loader for the ARPA/NIST TREC SGML document format the paper's
+// collections (WSJ, FR, DOE) are distributed in:
+//
+//   <DOC>
+//   <DOCNO> WSJ870324-0001 </DOCNO>
+//   <HL> ... optional fields ... </HL>
+//   <TEXT>
+//   body text ...
+//   </TEXT>
+//   </DOC>
+//
+// The TREC tapes themselves are licensed and not included in this
+// repository; anyone holding them can load them here and run the
+// experiments on the real data instead of the synthetic statistics-
+// matched collections. Only <DOCNO> and <TEXT> are interpreted; other
+// tags are ignored. Documents without a <TEXT> section are skipped.
+
+struct TrecDocument {
+  std::string docno;  // trimmed content of <DOCNO>
+  std::string text;   // concatenated content of all <TEXT> sections
+};
+
+// Parses one TREC SGML stream.
+Result<std::vector<TrecDocument>> ParseTrecStream(const std::string& sgml);
+
+// Result of loading: the collection plus the DOCNO of each document (the
+// document number in the collection is the index in `docnos`).
+struct TrecCollection {
+  DocumentCollection collection;
+  std::vector<std::string> docnos;
+};
+
+// Parses, tokenizes (against the shared vocabulary) and builds a
+// collection from TREC SGML text.
+Result<TrecCollection> LoadTrecCollection(SimulatedDisk* disk,
+                                          const std::string& name,
+                                          const std::string& sgml,
+                                          Vocabulary* vocabulary,
+                                          const Tokenizer& tokenizer);
+
+// Convenience: reads the SGML from a host file.
+Result<TrecCollection> LoadTrecCollectionFromFile(
+    SimulatedDisk* disk, const std::string& name, const std::string& path,
+    Vocabulary* vocabulary, const Tokenizer& tokenizer);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_TEXT_TREC_LOADER_H_

@@ -1,0 +1,59 @@
+#ifndef TEXTJOIN_TEXT_TYPES_H_
+#define TEXTJOIN_TEXT_TYPES_H_
+
+#include <cstdint>
+
+namespace textjoin {
+
+// Term number. The paper assumes |t#| = 3 bytes, i.e. at most 2^24 distinct
+// terms, identified by a standard mapping shared by all local IR systems.
+using TermId = uint32_t;
+
+// Document number within a collection. |d#| = 3 bytes on disk.
+using DocId = uint32_t;
+
+// Number of occurrences of a term in a document. |w| = 2 bytes.
+using Weight = uint16_t;
+
+inline constexpr uint32_t kMaxTermId = (1u << 24) - 1;
+inline constexpr uint32_t kMaxDocId = (1u << 24) - 1;
+
+// On-disk cell sizes in bytes (|t#| + |w| and |d#| + |w|).
+inline constexpr int64_t kDCellBytes = 5;
+inline constexpr int64_t kICellBytes = 5;
+
+// Size of one stored similarity value, used by the paper when budgeting
+// memory for intermediate results.
+inline constexpr int64_t kSimilarityBytes = 4;
+
+// A document cell: (term number, number of occurrences). Documents are
+// sorted lists of d-cells in increasing term order.
+struct DCell {
+  TermId term = 0;
+  Weight weight = 0;
+
+  friend bool operator==(const DCell& a, const DCell& b) {
+    return a.term == b.term && a.weight == b.weight;
+  }
+  friend bool operator<(const DCell& a, const DCell& b) {
+    return a.term != b.term ? a.term < b.term : a.weight < b.weight;
+  }
+};
+
+// An inverted-file cell: (document number, number of occurrences). Inverted
+// file entries are sorted lists of i-cells in increasing document order.
+struct ICell {
+  DocId doc = 0;
+  Weight weight = 0;
+
+  friend bool operator==(const ICell& a, const ICell& b) {
+    return a.doc == b.doc && a.weight == b.weight;
+  }
+  friend bool operator<(const ICell& a, const ICell& b) {
+    return a.doc != b.doc ? a.doc < b.doc : a.weight < b.weight;
+  }
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_TEXT_TYPES_H_

@@ -1,0 +1,32 @@
+#include "text/vocabulary.h"
+
+namespace textjoin {
+
+Result<TermId> Vocabulary::AddOrGet(std::string_view term) {
+  auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) return it->second;
+  if (terms_.size() > kMaxTermId) {
+    return Status::ResourceExhausted("3-byte term id space exhausted");
+  }
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+Result<TermId> Vocabulary::Lookup(std::string_view term) const {
+  auto it = ids_.find(std::string(term));
+  if (it == ids_.end()) {
+    return Status::NotFound("unknown term: " + std::string(term));
+  }
+  return it->second;
+}
+
+Result<std::string> Vocabulary::TermOf(TermId id) const {
+  if (id >= terms_.size()) {
+    return Status::NotFound("unknown term id " + std::to_string(id));
+  }
+  return terms_[id];
+}
+
+}  // namespace textjoin

@@ -1,0 +1,42 @@
+#ifndef TEXTJOIN_TEXT_VOCABULARY_H_
+#define TEXTJOIN_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "text/types.h"
+
+namespace textjoin {
+
+// The "standard mapping" from terms to term numbers that the paper assumes
+// all local IR systems share (Section 3). One Vocabulary instance plays the
+// role of that multidatabase-wide standard: every collection built against
+// the same Vocabulary uses the same numbers for the same terms, so joins
+// can compare numbers instead of strings.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // Returns the id of `term`, assigning the next free id on first sight.
+  // Fails when the 3-byte id space is exhausted.
+  Result<TermId> AddOrGet(std::string_view term);
+
+  // Returns the id of `term` or NotFound.
+  Result<TermId> Lookup(std::string_view term) const;
+
+  // Returns the term string for `id` or NotFound.
+  Result<std::string> TermOf(TermId id) const;
+
+  int64_t size() const { return static_cast<int64_t>(terms_.size()); }
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_TEXT_VOCABULARY_H_

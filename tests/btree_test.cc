@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "index/btree.h"
+#include "storage/disk_manager.h"
+
+namespace textjoin {
+namespace {
+
+std::vector<BPlusTree::LeafCell> MakeCells(int64_t n, TermId stride = 1) {
+  std::vector<BPlusTree::LeafCell> cells;
+  for (int64_t i = 0; i < n; ++i) {
+    cells.push_back(BPlusTree::LeafCell{
+        static_cast<TermId>(i * stride), static_cast<uint32_t>(i * 10),
+        static_cast<uint16_t>(i % 1000 + 1)});
+  }
+  return cells;
+}
+
+TEST(BPlusTreeTest, LookupEveryKeySingleLeaf) {
+  SimulatedDisk disk(4096);
+  auto cells = MakeCells(50);
+  auto tree = BPlusTree::BulkLoad(&disk, "t", cells);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->height(), 1);
+  for (const auto& c : cells) {
+    auto hit = tree->Lookup(c.term);
+    ASSERT_TRUE(hit.ok());
+    EXPECT_EQ(hit.value(), c);
+  }
+}
+
+TEST(BPlusTreeTest, MultiLevelLookup) {
+  // Page size 64: leaf capacity (64-3)/9 = 6, internal (64-3)/7 = 8.
+  // 500 keys -> ~84 leaves -> ~11 internal -> 2 internal levels.
+  SimulatedDisk disk(64);
+  auto cells = MakeCells(500, /*stride=*/3);
+  auto tree = BPlusTree::BulkLoad(&disk, "t", cells);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GE(tree->height(), 3);
+  for (const auto& c : cells) {
+    auto hit = tree->Lookup(c.term);
+    ASSERT_TRUE(hit.ok());
+    EXPECT_EQ(hit.value(), c);
+  }
+}
+
+TEST(BPlusTreeTest, MissingKeysNotFound) {
+  SimulatedDisk disk(64);
+  auto cells = MakeCells(200, /*stride=*/2);  // even keys only
+  auto tree = BPlusTree::BulkLoad(&disk, "t", cells);
+  ASSERT_TRUE(tree.ok());
+  for (TermId t = 1; t < 399; t += 2) {
+    EXPECT_FALSE(tree->Lookup(t).ok());
+  }
+  EXPECT_FALSE(tree->Lookup(400).ok());  // beyond the last key
+}
+
+TEST(BPlusTreeTest, RejectsUnsortedInput) {
+  SimulatedDisk disk(4096);
+  std::vector<BPlusTree::LeafCell> cells{{5, 0, 1}, {3, 0, 1}};
+  EXPECT_FALSE(BPlusTree::BulkLoad(&disk, "t", cells).ok());
+  std::vector<BPlusTree::LeafCell> dup{{5, 0, 1}, {5, 0, 1}};
+  EXPECT_FALSE(BPlusTree::BulkLoad(&disk, "t", dup).ok());
+}
+
+TEST(BPlusTreeTest, EmptyTree) {
+  SimulatedDisk disk(4096);
+  auto tree = BPlusTree::BulkLoad(&disk, "t", {});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(tree->Lookup(1).ok());
+  auto all = tree->LoadAllCells();
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->empty());
+}
+
+TEST(BPlusTreeTest, LoadAllCellsReturnsEverythingSorted) {
+  SimulatedDisk disk(64);
+  auto cells = MakeCells(300, 2);
+  auto tree = BPlusTree::BulkLoad(&disk, "t", cells);
+  ASSERT_TRUE(tree.ok());
+  auto all = tree->LoadAllCells();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) EXPECT_EQ((*all)[i], cells[i]);
+}
+
+TEST(BPlusTreeTest, LoadAllCostsWholeFileOnce) {
+  SimulatedDisk disk(64);
+  auto tree = BPlusTree::BulkLoad(&disk, "t", MakeCells(300));
+  ASSERT_TRUE(tree.ok());
+  disk.ResetStats();
+  ASSERT_TRUE(tree->LoadAllCells().ok());
+  EXPECT_EQ(disk.stats().total_reads(), tree->size_in_pages());
+  EXPECT_EQ(disk.stats().random_reads, 1);  // sequential front-to-back
+}
+
+TEST(BPlusTreeTest, LeafSizeMatchesPaperEstimate) {
+  // The paper: ~9*T/P pages of leaves. With T=10000 and P=4096, about 22.
+  SimulatedDisk disk(4096);
+  auto tree = BPlusTree::BulkLoad(&disk, "t", MakeCells(10000));
+  ASSERT_TRUE(tree.ok());
+  int64_t paper_estimate = (9 * 10000 + 4095) / 4096;  // 22
+  EXPECT_NEAR(static_cast<double>(tree->leaf_pages()),
+              static_cast<double>(paper_estimate), 2.0);
+  // Internal levels add little.
+  EXPECT_LE(tree->size_in_pages(), tree->leaf_pages() + 2);
+}
+
+TEST(BPlusTreeTest, LookupTouchesHeightPages) {
+  SimulatedDisk disk(64);
+  auto tree = BPlusTree::BulkLoad(&disk, "t", MakeCells(500));
+  ASSERT_TRUE(tree.ok());
+  disk.ResetStats();
+  disk.ResetHeads();
+  ASSERT_TRUE(tree->Lookup(250).ok());
+  EXPECT_EQ(disk.stats().total_reads(), tree->height());
+}
+
+TEST(ResidentTermDirectoryTest, LookupAndEntryLength) {
+  // Entries packed back to back: lengths are address deltas.
+  std::vector<BPlusTree::LeafCell> cells{
+      {10, 0, 3}, {20, 30, 1}, {30, 45, 7}};
+  ResidentTermDirectory dir(cells, /*file_size_bytes=*/100);
+  EXPECT_EQ(dir.Lookup(20)->address, 30u);
+  EXPECT_FALSE(dir.Lookup(15).has_value());
+  EXPECT_EQ(dir.EntryLength(10).value(), 30);
+  EXPECT_EQ(dir.EntryLength(20).value(), 15);
+  EXPECT_EQ(dir.EntryLength(30).value(), 55);  // to end of file
+  EXPECT_FALSE(dir.EntryLength(99).has_value());
+}
+
+}  // namespace
+}  // namespace textjoin

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace textjoin {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<SimulatedDisk>(8);
+    file_ = disk_->CreateFile("f");
+    for (uint8_t i = 0; i < 10; ++i) {
+      std::vector<uint8_t> page(8, i);
+      ASSERT_TRUE(disk_->AppendPage(file_, page.data(), 8).ok());
+    }
+  }
+
+  std::unique_ptr<SimulatedDisk> disk_;
+  FileId file_;
+};
+
+TEST_F(BufferPoolTest, PinReturnsPageContent) {
+  BufferPool pool(disk_.get(), 4);
+  auto p = pool.Pin(file_, 3);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p.value()), 3);
+  EXPECT_TRUE(pool.Unpin(file_, 3).ok());
+}
+
+TEST_F(BufferPoolTest, HitDoesNotTouchDisk) {
+  BufferPool pool(disk_.get(), 4);
+  ASSERT_TRUE(pool.Pin(file_, 2).ok());
+  ASSERT_TRUE(pool.Unpin(file_, 2).ok());
+  disk_->ResetStats();
+  ASSERT_TRUE(pool.Pin(file_, 2).ok());
+  EXPECT_EQ(disk_->stats().total_reads(), 0);
+  EXPECT_EQ(pool.hit_count(), 1);
+  EXPECT_EQ(pool.miss_count(), 1);
+  ASSERT_TRUE(pool.Unpin(file_, 2).ok());
+}
+
+TEST_F(BufferPoolTest, EvictsLruUnpinned) {
+  BufferPool pool(disk_.get(), 2);
+  for (PageNumber p : {0, 1}) {
+    ASSERT_TRUE(pool.Pin(file_, p).ok());
+    ASSERT_TRUE(pool.Unpin(file_, p).ok());
+  }
+  // Page 0 is least recently used; pinning page 2 evicts it.
+  ASSERT_TRUE(pool.Pin(file_, 2).ok());
+  ASSERT_TRUE(pool.Unpin(file_, 2).ok());
+  disk_->ResetStats();
+  ASSERT_TRUE(pool.Pin(file_, 1).ok());  // still cached
+  EXPECT_EQ(disk_->stats().total_reads(), 0);
+  ASSERT_TRUE(pool.Pin(file_, 0).ok());  // was evicted
+  EXPECT_EQ(disk_->stats().total_reads(), 1);
+  ASSERT_TRUE(pool.Unpin(file_, 1).ok());
+  ASSERT_TRUE(pool.Unpin(file_, 0).ok());
+}
+
+TEST_F(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  BufferPool pool(disk_.get(), 2);
+  ASSERT_TRUE(pool.Pin(file_, 0).ok());  // stays pinned
+  ASSERT_TRUE(pool.Pin(file_, 1).ok());
+  ASSERT_TRUE(pool.Unpin(file_, 1).ok());
+  ASSERT_TRUE(pool.Pin(file_, 2).ok());  // evicts 1, not pinned 0
+  disk_->ResetStats();
+  auto p = pool.Pin(file_, 0);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(disk_->stats().total_reads(), 0);
+}
+
+TEST_F(BufferPoolTest, AllPinnedExhaustsPool) {
+  BufferPool pool(disk_.get(), 2);
+  ASSERT_TRUE(pool.Pin(file_, 0).ok());
+  ASSERT_TRUE(pool.Pin(file_, 1).ok());
+  auto p = pool.Pin(file_, 2);
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(BufferPoolTest, UnpinErrors) {
+  BufferPool pool(disk_.get(), 2);
+  EXPECT_FALSE(pool.Unpin(file_, 0).ok());  // never pinned
+  ASSERT_TRUE(pool.Pin(file_, 0).ok());
+  ASSERT_TRUE(pool.Unpin(file_, 0).ok());
+  EXPECT_FALSE(pool.Unpin(file_, 0).ok());  // double unpin
+}
+
+TEST_F(BufferPoolTest, FlushAllFailsWhenPinned) {
+  BufferPool pool(disk_.get(), 2);
+  ASSERT_TRUE(pool.Pin(file_, 0).ok());
+  EXPECT_FALSE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.Unpin(file_, 0).ok());
+  EXPECT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pool.cached_pages(), 0);
+}
+
+TEST_F(BufferPoolTest, PinnedPageGuardReleases) {
+  BufferPool pool(disk_.get(), 2);
+  {
+    auto p = pool.Pin(file_, 0);
+    ASSERT_TRUE(p.ok());
+    PinnedPage guard(&pool, file_, 0, p.value());
+    EXPECT_TRUE(guard.valid());
+  }
+  // Guard released its pin: flushing succeeds.
+  EXPECT_TRUE(pool.FlushAll().ok());
+}
+
+}  // namespace
+}  // namespace textjoin

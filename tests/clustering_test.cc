@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "cluster/leader_clustering.h"
+#include "test_util.h"
+
+namespace textjoin {
+namespace {
+
+using testing_util::BuildCollection;
+
+TEST(ClusteringTest, GroupsIdenticalDocuments) {
+  SimulatedDisk disk(256);
+  auto col = BuildCollection(&disk, "c",
+                             {{{1, 1}, {2, 1}},     // A
+                              {{5, 2}, {6, 1}},     // B
+                              {{1, 1}, {2, 1}},     // A again
+                              {{5, 2}, {6, 1}},     // B again
+                              {{9, 3}}});           // C
+  auto clustering = ClusterCollection(col, ClusteringOptions{0.9, 0});
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_EQ(clustering->num_clusters, 3);
+  EXPECT_EQ(clustering->cluster_of[0], clustering->cluster_of[2]);
+  EXPECT_EQ(clustering->cluster_of[1], clustering->cluster_of[3]);
+  EXPECT_NE(clustering->cluster_of[0], clustering->cluster_of[1]);
+  EXPECT_NE(clustering->cluster_of[0], clustering->cluster_of[4]);
+}
+
+TEST(ClusteringTest, ThresholdExtremes) {
+  SimulatedDisk disk(256);
+  auto col = testing_util::RandomCollection(&disk, "c", 30, 6, 20, 9);
+  // Threshold 0: everything joins the first leader.
+  auto all_one = ClusterCollection(col, ClusteringOptions{0.0, 0});
+  ASSERT_TRUE(all_one.ok());
+  EXPECT_EQ(all_one->num_clusters, 1);
+  // Threshold 1: only exact duplicates merge; random docs stay apart.
+  auto singletons = ClusterCollection(col, ClusteringOptions{1.0, 0});
+  ASSERT_TRUE(singletons.ok());
+  EXPECT_GE(singletons->num_clusters, 25);
+}
+
+TEST(ClusteringTest, RejectsBadThreshold) {
+  SimulatedDisk disk(256);
+  auto col = BuildCollection(&disk, "c", {{{1, 1}}});
+  EXPECT_FALSE(ClusterCollection(col, ClusteringOptions{1.5, 0}).ok());
+  EXPECT_FALSE(ClusterCollection(col, ClusteringOptions{-0.1, 0}).ok());
+}
+
+TEST(ClusteringTest, EmptyDocumentGetsItsOwnCluster) {
+  SimulatedDisk disk(256);
+  auto col = BuildCollection(&disk, "c", {{{1, 1}}, {}});
+  auto clustering = ClusterCollection(col, ClusteringOptions{0.0, 0});
+  ASSERT_TRUE(clustering.ok());
+  // The empty document has norm 0 and can never reach a threshold.
+  EXPECT_EQ(clustering->num_clusters, 2);
+}
+
+TEST(ClusteringTest, ReorderPreservesDocuments) {
+  SimulatedDisk disk(256);
+  auto col = BuildCollection(&disk, "c",
+                             {{{1, 1}, {2, 1}},
+                              {{5, 2}, {6, 1}},
+                              {{1, 1}, {2, 1}},
+                              {{5, 2}, {6, 1}},
+                              {{9, 3}}});
+  auto clustering = ClusterCollection(col, ClusteringOptions{0.9, 0});
+  ASSERT_TRUE(clustering.ok());
+  auto reordered = ReorderByCluster(&disk, "c2", col, *clustering);
+  ASSERT_TRUE(reordered.ok());
+
+  EXPECT_EQ(reordered->collection.num_documents(), 5);
+  // Cluster members are adjacent: docs 0 and 2 land in positions 0,1.
+  EXPECT_EQ(reordered->old_id_of[0], 0u);
+  EXPECT_EQ(reordered->old_id_of[1], 2u);
+  EXPECT_EQ(reordered->old_id_of[2], 1u);
+  EXPECT_EQ(reordered->old_id_of[3], 3u);
+  EXPECT_EQ(reordered->old_id_of[4], 4u);
+  // new_id_of inverts old_id_of and documents travel intact.
+  for (int64_t d = 0; d < 5; ++d) {
+    DocId new_id = reordered->new_id_of[d];
+    EXPECT_EQ(reordered->old_id_of[new_id], static_cast<DocId>(d));
+    EXPECT_EQ(reordered->collection.ReadDocument(new_id).value(),
+              col.ReadDocument(static_cast<DocId>(d)).value());
+  }
+}
+
+TEST(ClusteringTest, MaxLeadersCapIsRespected) {
+  SimulatedDisk disk(256);
+  auto col = testing_util::RandomCollection(&disk, "c", 50, 6, 200, 10);
+  // With the cap, a document is only compared against the first leader;
+  // clustering still terminates and assigns everything.
+  auto clustering = ClusterCollection(col, ClusteringOptions{0.99, 1});
+  ASSERT_TRUE(clustering.ok());
+  for (int32_t c : clustering->cluster_of) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, clustering->num_clusters);
+  }
+}
+
+}  // namespace
+}  // namespace textjoin

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "text/collection.h"
+
+namespace textjoin {
+namespace {
+
+using testing_util::BuildCollection;
+
+TEST(CollectionTest, BuildAndReadBack) {
+  SimulatedDisk disk(64);
+  auto col = BuildCollection(&disk, "c",
+                             {{{1, 2}, {3, 1}}, {{2, 5}}, {{1, 1}, {2, 1}, {3, 1}}});
+  EXPECT_EQ(col.num_documents(), 3);
+  EXPECT_EQ(col.total_cells(), 6);
+  EXPECT_EQ(col.num_distinct_terms(), 3);
+  EXPECT_DOUBLE_EQ(col.avg_terms_per_doc(), 2.0);
+
+  auto d1 = col.ReadDocument(1);
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(d1->cells(), (std::vector<DCell>{{2, 5}}));
+}
+
+TEST(CollectionTest, DocumentFrequencies) {
+  SimulatedDisk disk(64);
+  auto col = BuildCollection(&disk, "c",
+                             {{{1, 2}, {3, 1}}, {{2, 5}}, {{1, 1}, {2, 1}, {3, 1}}});
+  EXPECT_EQ(col.DocumentFrequency(1), 2);
+  EXPECT_EQ(col.DocumentFrequency(2), 2);
+  EXPECT_EQ(col.DocumentFrequency(3), 2);
+  EXPECT_EQ(col.DocumentFrequency(99), 0);
+}
+
+TEST(CollectionTest, DistinctTermsSorted) {
+  SimulatedDisk disk(64);
+  auto col = BuildCollection(&disk, "c", {{{7, 1}}, {{2, 1}, {9, 1}}});
+  EXPECT_EQ(col.distinct_terms(), (std::vector<TermId>{2, 7, 9}));
+}
+
+TEST(CollectionTest, PackedSizeMatchesPaperModel) {
+  // 100 documents x 10 cells x 5 bytes = 5000 bytes -> ceil(5000/64) pages.
+  SimulatedDisk disk(64);
+  std::vector<std::vector<DCell>> docs;
+  for (int d = 0; d < 100; ++d) {
+    std::vector<DCell> cells;
+    for (TermId t = 0; t < 10; ++t) cells.push_back({t, 1});
+    docs.push_back(cells);
+  }
+  auto col = BuildCollection(&disk, "c", docs);
+  EXPECT_EQ(col.size_in_pages(), (100 * 10 * 5 + 63) / 64);
+  EXPECT_DOUBLE_EQ(col.avg_doc_size_pages(), 10.0 * 5 / 64);
+}
+
+TEST(CollectionTest, ScanVisitsAllInOrderWithOnePassIo) {
+  SimulatedDisk disk(32);
+  std::vector<std::vector<DCell>> docs;
+  for (int d = 0; d < 20; ++d) {
+    docs.push_back({{static_cast<TermId>(d), static_cast<Weight>(d + 1)}});
+  }
+  auto col = BuildCollection(&disk, "c", docs);
+  disk.ResetStats();
+
+  auto scan = col.Scan();
+  int count = 0;
+  while (!scan.Done()) {
+    EXPECT_EQ(scan.next_doc(), static_cast<DocId>(count));
+    auto d = scan.Next();
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(d->cells()[0].term, static_cast<TermId>(count));
+    ++count;
+  }
+  EXPECT_EQ(count, 20);
+  EXPECT_EQ(disk.stats().total_reads(), col.size_in_pages());
+  EXPECT_EQ(disk.stats().random_reads, 1);  // only the first page
+}
+
+TEST(CollectionTest, RandomReadIsPositioned) {
+  SimulatedDisk disk(32);
+  std::vector<std::vector<DCell>> docs;
+  for (int d = 0; d < 20; ++d) {
+    docs.push_back({{static_cast<TermId>(d), 1}, {static_cast<TermId>(d + 100), 1}});
+  }
+  auto col = BuildCollection(&disk, "c", docs);
+  disk.ResetStats();
+  disk.ResetHeads();
+  ASSERT_TRUE(col.ReadDocument(13).ok());
+  EXPECT_GE(disk.stats().random_reads, 1);
+}
+
+TEST(CollectionTest, ReadOutOfRangeFails) {
+  SimulatedDisk disk(32);
+  auto col = BuildCollection(&disk, "c", {{{1, 1}}});
+  EXPECT_FALSE(col.ReadDocument(5).ok());
+}
+
+TEST(CollectionTest, NormsPrecomputed) {
+  SimulatedDisk disk(64);
+  auto col = BuildCollection(&disk, "c", {{{1, 3}, {2, 4}}, {{1, 1}}});
+  EXPECT_DOUBLE_EQ(col.raw_norm(0), 5.0);
+  EXPECT_DOUBLE_EQ(col.raw_norm(1), 1.0);
+}
+
+TEST(CollectionTest, EmptyCollection) {
+  SimulatedDisk disk(64);
+  auto col = BuildCollection(&disk, "c", {});
+  EXPECT_EQ(col.num_documents(), 0);
+  EXPECT_EQ(col.size_in_pages(), 0);
+  EXPECT_DOUBLE_EQ(col.avg_terms_per_doc(), 0.0);
+  auto scan = col.Scan();
+  EXPECT_TRUE(scan.Done());
+}
+
+TEST(CollectionTest, BuilderRejectsUseAfterFinish) {
+  SimulatedDisk disk(64);
+  CollectionBuilder builder(&disk, "c");
+  ASSERT_TRUE(builder.Finish().ok());
+  EXPECT_FALSE(builder.AddDocument(Document::FromSortedCells({{1, 1}})).ok());
+  EXPECT_FALSE(builder.Finish().ok());
+}
+
+TEST(DCellCodingTest, RoundTrip) {
+  std::vector<DCell> cells{{1, 2}, {0xABCDEF, 0xFFFF}, {42, 1}};
+  std::vector<uint8_t> bytes;
+  EncodeDCells(cells, &bytes);
+  EXPECT_EQ(bytes.size(), cells.size() * kDCellBytes);
+  EXPECT_EQ(DecodeDCells(bytes.data(), 3), cells);
+}
+
+}  // namespace
+}  // namespace textjoin

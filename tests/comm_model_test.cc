@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "cost/comm_model.h"
+
+namespace textjoin {
+namespace {
+
+CostInputs BaseInputs() {
+  CostInputs in;
+  in.c1 = {1000, 50, 5000};   // 50000 cells = 250000 bytes of documents
+  in.c2 = {400, 30, 3000};    // 12000 cells = 60000 bytes
+  in.sys = {10000, 4096, 5.0};
+  in.query = {10, 0.1};
+  in.q = 0.8;
+  return in;
+}
+
+TEST(CommModelTest, HhnlShipsTheRemoteDocuments) {
+  CostInputs in = BaseInputs();
+  CommEstimate at_inner = HhnlCommCost(in, ExecutionSite::kInnerSite);
+  CommEstimate at_outer = HhnlCommCost(in, ExecutionSite::kOuterSite);
+  CommEstimate at_third = HhnlCommCost(in, ExecutionSite::kThirdSite);
+  EXPECT_DOUBLE_EQ(at_inner.input_bytes, 400 * 30 * 5.0);
+  EXPECT_DOUBLE_EQ(at_outer.input_bytes, 1000 * 50 * 5.0);
+  EXPECT_DOUBLE_EQ(at_third.input_bytes,
+                   at_inner.input_bytes + at_outer.input_bytes);
+  // Result shipping only when not already at the front-end.
+  EXPECT_GT(at_inner.result_bytes, 0);
+  EXPECT_DOUBLE_EQ(at_third.result_bytes, 0);
+}
+
+TEST(CommModelTest, SelectionShrinksShippedOuterDocs) {
+  CostInputs in = BaseInputs();
+  in.participating_outer = 10;
+  CommEstimate e = HhnlCommCost(in, ExecutionSite::kInnerSite);
+  EXPECT_DOUBLE_EQ(e.input_bytes, 10 * 30 * 5.0);
+}
+
+TEST(CommModelTest, HvnlShipsOnlyNeededEntries) {
+  CostInputs in = BaseInputs();
+  CommEstimate at_outer = HvnlCommCost(in, ExecutionSite::kOuterSite);
+  // needed terms = q*T2 = 2400, entry length = 50*1000/5000 = 10 cells.
+  double expected_entries = 2400.0 * 10 * 5.0;
+  double expected_btree = 9.0 * 5000;
+  EXPECT_DOUBLE_EQ(at_outer.input_bytes, expected_entries + expected_btree);
+  // At the inner site only the outer documents travel.
+  EXPECT_DOUBLE_EQ(HvnlCommCost(in, ExecutionSite::kInnerSite).input_bytes,
+                   400 * 30 * 5.0);
+}
+
+TEST(CommModelTest, VvmShipsInvertedFiles) {
+  CostInputs in = BaseInputs();
+  EXPECT_DOUBLE_EQ(VvmCommCost(in, ExecutionSite::kOuterSite).input_bytes,
+                   1000 * 50 * 5.0);
+  EXPECT_DOUBLE_EQ(VvmCommCost(in, ExecutionSite::kInnerSite).input_bytes,
+                   400 * 30 * 5.0);
+}
+
+TEST(CommModelTest, TermExpansionScalesShippedData) {
+  // The paper's standardization argument: without a shared term-number
+  // mapping, terms travel as strings, ~5x larger.
+  CostInputs in = BaseInputs();
+  CommEstimate numbers = HhnlCommCost(in, ExecutionSite::kInnerSite, 1.0);
+  CommEstimate strings = HhnlCommCost(in, ExecutionSite::kInnerSite, 5.0);
+  EXPECT_DOUBLE_EQ(strings.input_bytes, 5.0 * numbers.input_bytes);
+  // Results are numbers either way.
+  EXPECT_DOUBLE_EQ(strings.result_bytes, numbers.result_bytes);
+}
+
+TEST(CommModelTest, CheapestSiteFollowsDataSizes) {
+  CostInputs in = BaseInputs();
+  // C2 is smaller than C1: execute where the big collection lives.
+  EXPECT_EQ(CheapestSite(Algorithm::kHhnl, in), ExecutionSite::kInnerSite);
+  EXPECT_EQ(CheapestSite(Algorithm::kVvm, in), ExecutionSite::kInnerSite);
+  // Swap the sizes: now C1 is the small one.
+  std::swap(in.c1, in.c2);
+  EXPECT_EQ(CheapestSite(Algorithm::kHhnl, in), ExecutionSite::kOuterSite);
+}
+
+TEST(CommModelTest, HvnlWithTinyOuterPrefersInnerSite) {
+  CostInputs in = BaseInputs();
+  in.participating_outer = 3;
+  // Three small documents vs thousands of entries: ship the documents.
+  EXPECT_EQ(CheapestSite(Algorithm::kHvnl, in), ExecutionSite::kInnerSite);
+  CommEstimate inner = HvnlCommCost(in, ExecutionSite::kInnerSite);
+  CommEstimate outer = HvnlCommCost(in, ExecutionSite::kOuterSite);
+  EXPECT_LT(inner.TotalBytes(), outer.TotalBytes());
+}
+
+TEST(CommModelTest, PagesConversion) {
+  CommEstimate e;
+  e.input_bytes = 8192;
+  e.result_bytes = 4096;
+  EXPECT_DOUBLE_EQ(e.TotalPages(4096), 3.0);
+}
+
+TEST(DistributedPlanTest, FreeNetworkReducesToIoRanking) {
+  CostInputs in = BaseInputs();
+  DistributedPlan plan = ChooseDistributedPlan(in, /*network_page_cost=*/0);
+  ASSERT_TRUE(plan.feasible);
+  CostComparison io = CompareCosts(in);
+  EXPECT_EQ(plan.algorithm, io.BestSequential());
+  EXPECT_DOUBLE_EQ(plan.total_cost, io.of(plan.algorithm).seq);
+}
+
+TEST(DistributedPlanTest, ExpensiveNetworkMinimizesShipping) {
+  CostInputs in = BaseInputs();
+  // With a very expensive network, shipping dominates: the chosen pair
+  // must have the smallest shipped volume among feasible options, which
+  // for a reduced outer side is HVNL at the inner site.
+  in.participating_outer = 3;
+  DistributedPlan plan = ChooseDistributedPlan(in, /*network_page_cost=*/1e6);
+  ASSERT_TRUE(plan.feasible);
+  double chosen_pages = plan.comm_pages;
+  for (Algorithm a :
+       {Algorithm::kHhnl, Algorithm::kHvnl, Algorithm::kVvm}) {
+    for (ExecutionSite s :
+         {ExecutionSite::kInnerSite, ExecutionSite::kOuterSite,
+          ExecutionSite::kThirdSite}) {
+      CommEstimate e = a == Algorithm::kHhnl ? HhnlCommCost(in, s)
+                       : a == Algorithm::kHvnl ? HvnlCommCost(in, s)
+                                               : VvmCommCost(in, s);
+      EXPECT_LE(chosen_pages, e.TotalPages(in.sys.page_size) + 1e-9);
+    }
+  }
+}
+
+TEST(DistributedPlanTest, CostsAreConsistent) {
+  CostInputs in = BaseInputs();
+  for (double net : {0.0, 0.5, 2.0, 50.0}) {
+    DistributedPlan plan = ChooseDistributedPlan(in, net);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_NEAR(plan.total_cost, plan.io_cost + net * plan.comm_pages,
+                1e-6);
+  }
+}
+
+TEST(CommModelTest, SiteNames) {
+  EXPECT_STREQ(ExecutionSiteName(ExecutionSite::kInnerSite), "inner-site");
+  EXPECT_STREQ(ExecutionSiteName(ExecutionSite::kOuterSite), "outer-site");
+  EXPECT_STREQ(ExecutionSiteName(ExecutionSite::kThirdSite), "third-site");
+}
+
+}  // namespace
+}  // namespace textjoin

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace textjoin {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kResourceExhausted, StatusCode::kFailedPrecondition,
+        StatusCode::kInternal, StatusCode::kUnimplemented}) {
+    EXPECT_STRNE(StatusCodeToString(code), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  TEXTJOIN_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0);
+  EXPECT_EQ(CeilDiv(1, 4), 1);
+  EXPECT_EQ(CeilDiv(4, 4), 1);
+  EXPECT_EQ(CeilDiv(5, 4), 2);
+}
+
+TEST(MathTest, CeilPages) {
+  EXPECT_EQ(CeilPages(0.0), 0);
+  EXPECT_EQ(CeilPages(0.1), 1);
+  EXPECT_EQ(CeilPages(1.0), 1);
+  EXPECT_EQ(CeilPages(1.0001), 2);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(17);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextInRange(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);  // all of -2..2 hit
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(ZipfTest, UniformWhenSIsZero) {
+  ZipfSampler zipf(4, 0.0);
+  Rng rng(31);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 500);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  ZipfSampler zipf(1000, 1.0);
+  Rng rng(37);
+  int head = 0, tail = 0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t r = zipf.Sample(&rng);
+    if (r < 10) ++head;
+    if (r >= 990) ++tail;
+  }
+  EXPECT_GT(head, 10 * std::max(tail, 1));
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfSampler zipf(5, 1.5);
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(&rng), 5u);
+}
+
+}  // namespace
+}  // namespace textjoin

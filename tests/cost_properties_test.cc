@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "cost/cost_model.h"
+#include "sim/trec_profiles.h"
+
+namespace textjoin {
+namespace {
+
+// Property sweeps over the Section 5 formulas: invariants that must hold
+// at every point of the parameter space, not just at hand-checked values.
+
+CostInputs Inputs(const CollectionStatistics& c1,
+                  const CollectionStatistics& c2, int64_t B, double alpha,
+                  int64_t lambda, double delta) {
+  CostInputs in;
+  in.c1 = c1;
+  in.c2 = c2;
+  in.sys = {B, 4096, alpha};
+  in.query = {lambda, delta};
+  in.q = EstimateTermOverlap(c2.num_distinct_terms, c1.num_distinct_terms);
+  return in;
+}
+
+// A small family of collection shapes to sweep over.
+std::vector<CollectionStatistics> Shapes() {
+  return {
+      {1000, 50, 5000},
+      {200, 300, 8000},     // few large documents
+      {20000, 10, 30000},   // many small documents
+      ToStatistics(WsjProfile()),
+      ToStatistics(DoeProfile()),
+  };
+}
+
+TEST(CostPropertyTest, MoreMemoryNeverHurts) {
+  for (const auto& c1 : Shapes()) {
+    for (const auto& c2 : Shapes()) {
+      double prev_hh = std::numeric_limits<double>::infinity();
+      double prev_hv = std::numeric_limits<double>::infinity();
+      double prev_vv = std::numeric_limits<double>::infinity();
+      for (int64_t B : {500, 1000, 2000, 5000, 10000, 30000, 100000,
+                        300000}) {
+        CostInputs in = Inputs(c1, c2, B, 5.0, 20, 0.1);
+        double hh = HhnlCost(in).seq;
+        double hv = HvnlCost(in).seq;
+        double vv = VvmCost(in).seq;
+        EXPECT_LE(hh, prev_hh * (1 + 1e-9)) << "HHNL B=" << B;
+        EXPECT_LE(hv, prev_hv * (1 + 1e-9)) << "HVNL B=" << B;
+        EXPECT_LE(vv, prev_vv * (1 + 1e-9)) << "VVM B=" << B;
+        prev_hh = hh;
+        prev_hv = hv;
+        prev_vv = vv;
+      }
+    }
+  }
+}
+
+TEST(CostPropertyTest, RandomModelDominatesSequential) {
+  for (const auto& c1 : Shapes()) {
+    for (const auto& c2 : Shapes()) {
+      for (int64_t B : {1000, 10000, 100000}) {
+        for (double alpha : {1.0, 2.0, 5.0, 10.0}) {
+          CostInputs in = Inputs(c1, c2, B, alpha, 20, 0.1);
+          for (auto c : {HhnlCost(in), HvnlCost(in), VvmCost(in),
+                         HhnlBackwardCost(in)}) {
+            if (!c.feasible) continue;
+            EXPECT_GE(c.rand, c.seq - 1e-6);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CostPropertyTest, AlphaScalesRandomCostsMonotonically) {
+  CostInputs base = Inputs(Shapes()[0], Shapes()[1], 10000, 1.0, 20, 0.1);
+  double prev_hh = 0, prev_hv = 0, prev_vv = 0;
+  for (double alpha : {1.0, 2.0, 4.0, 8.0}) {
+    CostInputs in = base;
+    in.sys.alpha = alpha;
+    EXPECT_GE(HhnlCost(in).rand, prev_hh);
+    EXPECT_GE(HvnlCost(in).rand, prev_hv);
+    EXPECT_GE(VvmCost(in).rand, prev_vv);
+    prev_hh = HhnlCost(in).rand;
+    prev_hv = HvnlCost(in).rand;
+    prev_vv = VvmCost(in).rand;
+  }
+}
+
+TEST(CostPropertyTest, VvmPassesMonotoneInDeltaAndOuter) {
+  CollectionStatistics c = Shapes()[0];
+  int64_t prev = 0;
+  for (double delta : {0.01, 0.05, 0.1, 0.3, 0.6, 1.0}) {
+    CostInputs in = Inputs(c, c, 2000, 5.0, 20, delta);
+    int64_t passes = VvmPasses(in);
+    ASSERT_GT(passes, 0);
+    EXPECT_GE(passes, prev) << "delta=" << delta;
+    prev = passes;
+  }
+  prev = 0;
+  for (int64_t m : {10, 100, 300, 600, 1000}) {
+    CostInputs in = Inputs(c, c, 2000, 5.0, 20, 0.5);
+    in.participating_outer = m;
+    int64_t passes = VvmPasses(in);
+    EXPECT_GE(passes, prev) << "m=" << m;
+    prev = passes;
+  }
+}
+
+TEST(CostPropertyTest, HhnlScansShrinkWithLambdaSmall) {
+  // Larger lambda costs batch space: X non-increasing in lambda.
+  CollectionStatistics c = Shapes()[0];
+  double prev = std::numeric_limits<double>::infinity();
+  for (int64_t lambda : {1, 10, 100, 1000, 10000}) {
+    CostInputs in = Inputs(c, c, 2000, 5.0, lambda, 0.1);
+    double X = HhnlBatchSize(in);
+    EXPECT_LE(X, prev);
+    prev = X;
+  }
+}
+
+TEST(CostPropertyTest, ReducedOuterNeverCostsMoreSequentially) {
+  // Fewer participating outer documents cannot increase hhs or vvs
+  // (HVNL's formula is also monotone in m for fixed everything else).
+  CollectionStatistics c = ToStatistics(WsjProfile());
+  double prev_hh = 0, prev_hv = 0, prev_vv = 0;
+  for (int64_t m : {1, 10, 100, 1000, 10000, 98736}) {
+    CostInputs in = Inputs(c, c, 10000, 5.0, 20, 0.1);
+    in.participating_outer = m;
+    in.outer_reads_random = true;
+    double hh = HhnlCost(in).seq;
+    double hv = HvnlCost(in).seq;
+    double vv = VvmCost(in).seq;
+    EXPECT_GE(hh, prev_hh) << "m=" << m;
+    EXPECT_GE(hv, prev_hv) << "m=" << m;
+    EXPECT_GE(vv, prev_vv) << "m=" << m;
+    prev_hh = hh;
+    prev_hv = hv;
+    prev_vv = vv;
+  }
+}
+
+TEST(CostPropertyTest, LargerQNeverCheapensHvnl) {
+  CollectionStatistics c = Shapes()[0];
+  double prev = 0;
+  for (double q : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    CostInputs in = Inputs(c, c, 3000, 5.0, 20, 0.1);
+    in.q = q;
+    double cost = HvnlCost(in).seq;
+    EXPECT_GE(cost, prev - 1e-9) << "q=" << q;
+    prev = cost;
+  }
+}
+
+TEST(CostPropertyTest, CostsArePositiveAndFiniteWhenFeasible) {
+  for (const auto& c1 : Shapes()) {
+    for (const auto& c2 : Shapes()) {
+      for (int64_t B : {600, 10000, 200000}) {
+        CostInputs in = Inputs(c1, c2, B, 5.0, 20, 0.1);
+        for (auto c : {HhnlCost(in), HvnlCost(in), VvmCost(in),
+                       HhnlBackwardCost(in)}) {
+          if (!c.feasible) {
+            EXPECT_TRUE(std::isinf(c.seq));
+            continue;
+          }
+          EXPECT_GT(c.seq, 0);
+          EXPECT_TRUE(std::isfinite(c.rand));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace textjoin

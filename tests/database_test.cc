@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "relational/database.h"
+
+namespace textjoin {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+const std::vector<std::string> kResumes = {
+    "database indexing and query processing experience",
+    "realtime embedded control firmware for avionics",
+    "social media brand campaigns and market research",
+    "distributed storage replication and consensus",
+};
+const std::vector<std::string> kJobs = {
+    "database engineer for query processing",
+    "embedded firmware engineer realtime control",
+};
+
+TEST(DatabaseTest, BuildAndJoin) {
+  Database db;
+  ASSERT_TRUE(db.AddCollectionFromText("resumes", kResumes).ok());
+  ASSERT_TRUE(db.AddCollectionFromText("jobs", kJobs).ok());
+  ASSERT_TRUE(db.BuildIndex("resumes").ok());
+
+  JoinSpec spec;
+  spec.lambda = 1;
+  PlanChoice plan;
+  auto result = db.Join("resumes", "jobs", spec, &plan);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].matches[0].doc, 0u);  // database job -> resume 0
+  EXPECT_EQ((*result)[1].matches[0].doc, 1u);  // embedded job -> resume 1
+  EXPECT_FALSE(plan.explanation.empty());
+}
+
+TEST(DatabaseTest, DuplicateAndMissingNames) {
+  Database db;
+  ASSERT_TRUE(db.AddCollectionFromText("a", kJobs).ok());
+  EXPECT_EQ(db.AddCollectionFromText("a", kJobs).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.BuildIndex("missing").status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(db.BuildIndex("a").ok());
+  EXPECT_EQ(db.BuildIndex("a").status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.collection("nope"), nullptr);
+  EXPECT_EQ(db.index("nope"), nullptr);
+  JoinSpec spec;
+  EXPECT_FALSE(db.Join("a", "nope", spec).ok());
+}
+
+TEST(DatabaseTest, RejectsForeignCollection) {
+  Database db;
+  SimulatedDisk other(4096);
+  CollectionBuilder builder(&other, "x");
+  TEXTJOIN_CHECK_OK(
+      builder.AddDocument(Document::FromSortedCells({{1, 1}})).status());
+  auto col = builder.Finish();
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(db.AddCollection("x", std::move(col).value()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, SaveOpenJoinAgain) {
+  std::string path = TempPath("dbtest.tjsn");
+  JoinSpec spec;
+  spec.lambda = 2;
+  JoinResult expected;
+  {
+    Database db;
+    ASSERT_TRUE(db.AddCollectionFromText("resumes", kResumes).ok());
+    ASSERT_TRUE(db.AddCollectionFromText("jobs", kJobs).ok());
+    ASSERT_TRUE(
+        db.BuildIndex("resumes", PostingCompression::kDeltaVarint).ok());
+    auto result = db.Join("resumes", "jobs", spec);
+    ASSERT_TRUE(result.ok());
+    expected = *result;
+    ASSERT_TRUE(db.Save(path).ok());
+    // Second save is rejected.
+    EXPECT_EQ(db.Save(path).code(), StatusCode::kFailedPrecondition);
+  }
+  auto reopened = Database::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  Database& db2 = **reopened;
+  EXPECT_EQ(db2.collection_names(),
+            (std::vector<std::string>{"jobs", "resumes"}));
+  ASSERT_NE(db2.collection("resumes"), nullptr);
+  ASSERT_NE(db2.index("resumes"), nullptr);
+  EXPECT_EQ(db2.index("resumes")->compression(),
+            PostingCompression::kDeltaVarint);
+  // The vocabulary survived: the same term maps to the same id.
+  EXPECT_TRUE(db2.vocabulary()->Lookup("database").ok());
+
+  auto result = db2.Join("resumes", "jobs", spec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(*result, expected);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, OpenMissingFails) {
+  EXPECT_FALSE(Database::Open(TempPath("no-such-db.tjsn")).ok());
+}
+
+}  // namespace
+}  // namespace textjoin

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "text/document.h"
+
+namespace textjoin {
+namespace {
+
+TEST(DocumentTest, FromSortedCells) {
+  Document d = Document::FromSortedCells({{1, 2}, {5, 1}, {9, 3}});
+  EXPECT_EQ(d.num_terms(), 3);
+  EXPECT_EQ(d.SizeBytes(), 15);
+  EXPECT_FALSE(d.empty());
+}
+
+TEST(DocumentTest, EmptyDocument) {
+  Document d = Document::FromSortedCells({});
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.SizeBytes(), 0);
+  EXPECT_DOUBLE_EQ(d.Norm(), 0.0);
+}
+
+TEST(DocumentTest, FromUnsortedSortsAndMerges) {
+  auto d = Document::FromUnsorted({{9, 1}, {1, 2}, {9, 3}, {5, 1}});
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->num_terms(), 3);
+  EXPECT_EQ(d->cells()[0], (DCell{1, 2}));
+  EXPECT_EQ(d->cells()[1], (DCell{5, 1}));
+  EXPECT_EQ(d->cells()[2], (DCell{9, 4}));  // 1 + 3 merged
+}
+
+TEST(DocumentTest, FromUnsortedDropsZeroWeights) {
+  auto d = Document::FromUnsorted({{1, 0}, {2, 1}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_terms(), 1);
+  EXPECT_EQ(d->cells()[0].term, 2u);
+}
+
+TEST(DocumentTest, FromUnsortedRejectsWeightOverflow) {
+  auto d = Document::FromUnsorted({{1, 0xFFFF}, {1, 1}});
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DocumentTest, FromUnsortedRejectsHugeTermId) {
+  auto d = Document::FromUnsorted({{kMaxTermId + 1, 1}});
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(DocumentTest, Norm) {
+  Document d = Document::FromSortedCells({{1, 3}, {2, 4}});
+  EXPECT_DOUBLE_EQ(d.Norm(), 5.0);
+}
+
+TEST(DocumentTest, WeightOf) {
+  Document d = Document::FromSortedCells({{10, 2}, {20, 7}});
+  EXPECT_EQ(d.WeightOf(10), 2);
+  EXPECT_EQ(d.WeightOf(20), 7);
+  EXPECT_EQ(d.WeightOf(15), 0);
+  EXPECT_EQ(d.WeightOf(25), 0);
+}
+
+TEST(DotSimilarityTest, PaperDefinition) {
+  // Common terms 2 and 5: 3*1 + 2*4 = 11.
+  Document a = Document::FromSortedCells({{1, 9}, {2, 3}, {5, 2}});
+  Document b = Document::FromSortedCells({{2, 1}, {5, 4}, {7, 6}});
+  EXPECT_EQ(DotSimilarity(a, b), 11);
+  EXPECT_EQ(DotSimilarity(b, a), 11);  // symmetric
+}
+
+TEST(DotSimilarityTest, DisjointIsZero) {
+  Document a = Document::FromSortedCells({{1, 1}});
+  Document b = Document::FromSortedCells({{2, 1}});
+  EXPECT_EQ(DotSimilarity(a, b), 0);
+}
+
+TEST(DotSimilarityTest, EmptyIsZero) {
+  Document a = Document::FromSortedCells({});
+  Document b = Document::FromSortedCells({{2, 1}});
+  EXPECT_EQ(DotSimilarity(a, b), 0);
+  EXPECT_EQ(DotSimilarity(a, a), 0);
+}
+
+TEST(DotSimilarityTest, SelfSimilarityIsSquaredNorm) {
+  Document a = Document::FromSortedCells({{1, 3}, {2, 4}});
+  EXPECT_EQ(DotSimilarity(a, a), 25);
+}
+
+}  // namespace
+}  // namespace textjoin

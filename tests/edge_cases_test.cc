@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "join/hhnl.h"
+#include "join/hvnl.h"
+#include "join/vvm.h"
+#include "planner/planner.h"
+#include "test_util.h"
+
+namespace textjoin {
+namespace {
+
+using testing_util::BruteForceJoin;
+using testing_util::BuildCollection;
+using testing_util::MakeFixture;
+using testing_util::RandomCollection;
+
+// Degenerate collections must flow through every executor without
+// crashing and with the obvious results.
+
+std::vector<TextJoinAlgorithm*> AllAlgos(HhnlJoin* a, HvnlJoin* b,
+                                         VvmJoin* c) {
+  return {a, b, c};
+}
+
+TEST(EdgeCaseTest, EmptyOuterCollection) {
+  SimulatedDisk disk(256);
+  auto f = MakeFixture(&disk, RandomCollection(&disk, "c1", 10, 4, 30, 1),
+                       BuildCollection(&disk, "c2", {}));
+  JoinSpec spec;
+  spec.lambda = 3;
+  HhnlJoin a;
+  HvnlJoin b;
+  VvmJoin c;
+  for (TextJoinAlgorithm* algo : AllAlgos(&a, &b, &c)) {
+    auto r = algo->Run(f->Context(100), spec);
+    ASSERT_TRUE(r.ok()) << algo->name() << ": " << r.status();
+    EXPECT_TRUE(r->empty()) << algo->name();
+  }
+}
+
+TEST(EdgeCaseTest, EmptyInnerCollection) {
+  SimulatedDisk disk(256);
+  auto f = MakeFixture(&disk, BuildCollection(&disk, "c1", {}),
+                       RandomCollection(&disk, "c2", 8, 4, 30, 2));
+  JoinSpec spec;
+  spec.lambda = 3;
+  HhnlJoin a;
+  HvnlJoin b;
+  VvmJoin c;
+  for (TextJoinAlgorithm* algo : AllAlgos(&a, &b, &c)) {
+    auto r = algo->Run(f->Context(100), spec);
+    ASSERT_TRUE(r.ok()) << algo->name() << ": " << r.status();
+    ASSERT_EQ(static_cast<int64_t>(r->size()), f->outer.num_documents())
+        << algo->name();
+    for (const OuterMatches& om : *r) {
+      EXPECT_TRUE(om.matches.empty()) << algo->name();
+    }
+  }
+}
+
+TEST(EdgeCaseTest, SingleDocumentEachSide) {
+  SimulatedDisk disk(256);
+  auto f = MakeFixture(&disk,
+                       BuildCollection(&disk, "c1", {{{1, 2}, {3, 4}}}),
+                       BuildCollection(&disk, "c2", {{{3, 5}}}));
+  JoinSpec spec;
+  spec.lambda = 1;
+  HhnlJoin a;
+  HvnlJoin b;
+  VvmJoin c;
+  for (TextJoinAlgorithm* algo : AllAlgos(&a, &b, &c)) {
+    auto r = algo->Run(f->Context(100), spec);
+    ASSERT_TRUE(r.ok()) << algo->name();
+    ASSERT_EQ(r->size(), 1u);
+    ASSERT_EQ((*r)[0].matches.size(), 1u);
+    EXPECT_DOUBLE_EQ((*r)[0].matches[0].score, 20.0);  // 4 * 5
+  }
+}
+
+TEST(EdgeCaseTest, DisjointVocabulariesGiveEmptyMatches) {
+  SimulatedDisk disk(256);
+  auto f = MakeFixture(&disk, BuildCollection(&disk, "c1", {{{1, 1}}, {{2, 1}}}),
+                       BuildCollection(&disk, "c2", {{{50, 1}}, {{60, 1}}}));
+  JoinSpec spec;
+  spec.lambda = 5;
+  HhnlJoin a;
+  HvnlJoin b;
+  VvmJoin c;
+  for (TextJoinAlgorithm* algo : AllAlgos(&a, &b, &c)) {
+    auto r = algo->Run(f->Context(100), spec);
+    ASSERT_TRUE(r.ok()) << algo->name();
+    for (const OuterMatches& om : *r) EXPECT_TRUE(om.matches.empty());
+  }
+}
+
+TEST(EdgeCaseTest, DuplicateDocumentsTieBreakByDocId) {
+  SimulatedDisk disk(256);
+  // Three identical inner documents; all tie, ids 0,1,2 must win in order.
+  auto f = MakeFixture(
+      &disk,
+      BuildCollection(&disk, "c1", {{{7, 2}}, {{7, 2}}, {{7, 2}}}),
+      BuildCollection(&disk, "c2", {{{7, 3}}}));
+  JoinSpec spec;
+  spec.lambda = 2;
+  HhnlJoin a;
+  HvnlJoin b;
+  VvmJoin c;
+  for (TextJoinAlgorithm* algo : AllAlgos(&a, &b, &c)) {
+    auto r = algo->Run(f->Context(100), spec);
+    ASSERT_TRUE(r.ok()) << algo->name();
+    ASSERT_EQ((*r)[0].matches.size(), 2u);
+    EXPECT_EQ((*r)[0].matches[0].doc, 0u) << algo->name();
+    EXPECT_EQ((*r)[0].matches[1].doc, 1u) << algo->name();
+  }
+}
+
+TEST(EdgeCaseTest, MaxWeightCellsSurviveRoundTrip) {
+  SimulatedDisk disk(256);
+  auto f = MakeFixture(
+      &disk, BuildCollection(&disk, "c1", {{{1, 0xFFFF}, {2, 1}}}),
+      BuildCollection(&disk, "c2", {{{1, 0xFFFF}}}));
+  JoinSpec spec;
+  spec.lambda = 1;
+  HhnlJoin join;
+  auto r = join.Run(f->Context(100), spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ((*r)[0].matches[0].score, 65535.0 * 65535.0);
+}
+
+TEST(EdgeCaseTest, ValidationRejectsBadInputs) {
+  SimulatedDisk disk(256);
+  auto f = MakeFixture(&disk, RandomCollection(&disk, "c1", 5, 3, 20, 3),
+                       RandomCollection(&disk, "c2", 5, 3, 20, 4));
+  HhnlJoin join;
+  // Negative lambda.
+  {
+    JoinSpec spec;
+    spec.lambda = -1;
+    EXPECT_FALSE(join.Run(f->Context(100), spec).ok());
+  }
+  // Delta out of range.
+  {
+    JoinSpec spec;
+    spec.delta = 1.5;
+    EXPECT_FALSE(join.Run(f->Context(100), spec).ok());
+  }
+  // Unsorted subset.
+  {
+    JoinSpec spec;
+    spec.outer_subset = {3, 1};
+    EXPECT_FALSE(join.Run(f->Context(100), spec).ok());
+  }
+  // Subset out of range.
+  {
+    JoinSpec spec;
+    spec.inner_subset = {99};
+    EXPECT_FALSE(join.Run(f->Context(100), spec).ok());
+  }
+  // Page size mismatch.
+  {
+    JoinSpec spec;
+    JoinContext ctx = f->Context(100);
+    ctx.sys.page_size = 4096;
+    EXPECT_FALSE(join.Run(ctx, spec).ok());
+  }
+  // Missing similarity context.
+  {
+    JoinSpec spec;
+    JoinContext ctx = f->Context(100);
+    ctx.similarity = nullptr;
+    EXPECT_FALSE(join.Run(ctx, spec).ok());
+  }
+}
+
+// The cross-algorithm agreement property must hold at every page size —
+// page geometry affects batching, cache capacities and pass counts but
+// never results.
+class PageSizeSweepTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(PageSizeSweepTest, AgreementAcrossPageSizes) {
+  const int64_t page_size = GetParam();
+  SimulatedDisk disk(page_size);
+  auto f = MakeFixture(&disk, RandomCollection(&disk, "c1", 30, 6, 40, 5),
+                       RandomCollection(&disk, "c2", 20, 5, 40, 6));
+  JoinSpec spec;
+  spec.lambda = 3;
+  JoinContext ctx = f->Context(200);
+  JoinResult expected = BruteForceJoin(f->inner, f->outer, f->simctx, spec);
+
+  HhnlJoin a;
+  HvnlJoin b;
+  VvmJoin c;
+  for (TextJoinAlgorithm* algo : AllAlgos(&a, &b, &c)) {
+    auto r = algo->Run(ctx, spec);
+    ASSERT_TRUE(r.ok()) << algo->name() << " at P=" << page_size << ": "
+                        << r.status();
+    EXPECT_EQ(*r, expected) << algo->name() << " at P=" << page_size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, PageSizeSweepTest,
+                         ::testing::Values(64, 128, 512, 1024, 4096, 16384));
+
+}  // namespace
+}  // namespace textjoin

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "index/inverted_file.h"
+#include "join/hhnl.h"
+#include "join/hvnl.h"
+#include "join/vvm.h"
+#include "parallel/parallel_join.h"
+#include "planner/planner.h"
+#include "storage/buffer_pool.h"
+#include "test_util.h"
+
+namespace textjoin {
+namespace {
+
+using testing_util::MakeFixture;
+using testing_util::RandomCollection;
+
+// Every component must turn an I/O error into a clean non-OK Status —
+// never a crash, never a silently wrong result.
+
+TEST(FaultInjectionTest, DiskFailsAfterCountdown) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("f");
+  std::vector<uint8_t> page(64, 1);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+
+  disk.InjectReadFault(2);
+  std::vector<uint8_t> out(64);
+  EXPECT_TRUE(disk.ReadPage(f, 0, out.data()).ok());
+  EXPECT_TRUE(disk.ReadPage(f, 1, out.data()).ok());
+  Status failed = disk.ReadPage(f, 2, out.data());
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+  // Sticky until cleared.
+  EXPECT_FALSE(disk.ReadPage(f, 2, out.data()).ok());
+  disk.ClearReadFault();
+  EXPECT_TRUE(disk.ReadPage(f, 2, out.data()).ok());
+}
+
+TEST(FaultInjectionTest, CollectionReadPropagates) {
+  SimulatedDisk disk(64);
+  auto col = RandomCollection(&disk, "c", 30, 5, 40, 1);
+  disk.InjectReadFault(0);
+  auto doc = col.ReadDocument(3);
+  EXPECT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kInternal);
+  disk.ClearReadFault();
+
+  disk.InjectReadFault(1);
+  auto scan = col.Scan();
+  Status st = Status::OK();
+  while (!scan.Done()) {
+    auto d = scan.Next();
+    if (!d.ok()) {
+      st = d.status();
+      break;
+    }
+  }
+  EXPECT_FALSE(st.ok());
+  disk.ClearReadFault();
+}
+
+TEST(FaultInjectionTest, BufferPoolPropagates) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("f");
+  std::vector<uint8_t> page(64, 1);
+  ASSERT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+  BufferPool pool(&disk, 2);
+  disk.InjectReadFault(0);
+  auto pinned = pool.Pin(f, 0);
+  EXPECT_FALSE(pinned.ok());
+  disk.ClearReadFault();
+  // The failed pin must not leave a frame behind.
+  EXPECT_TRUE(pool.FlushAll().ok());
+  EXPECT_TRUE(pool.Pin(f, 0).ok());
+}
+
+TEST(FaultInjectionTest, BTreeLookupPropagates) {
+  SimulatedDisk disk(64);
+  std::vector<BPlusTree::LeafCell> cells;
+  for (TermId t = 0; t < 200; ++t) cells.push_back({t, t * 10, 1});
+  auto tree = BPlusTree::BulkLoad(&disk, "t", cells);
+  ASSERT_TRUE(tree.ok());
+  disk.InjectReadFault(1);  // fail mid-descent
+  auto hit = tree->Lookup(150);
+  EXPECT_FALSE(hit.ok());
+  disk.ClearReadFault();
+  EXPECT_TRUE(tree->Lookup(150).ok());
+}
+
+// Sweep fault positions through every executor; each run must either
+// succeed (fault armed beyond its reads) or fail cleanly.
+class ExecutorFaultTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorFaultTest, AllExecutorsFailCleanly) {
+  const int64_t fault_at = GetParam();
+  SimulatedDisk disk(256);
+  auto f = MakeFixture(&disk, RandomCollection(&disk, "c1", 30, 6, 50, 2),
+                       RandomCollection(&disk, "c2", 20, 5, 50, 3));
+  JoinSpec spec;
+  spec.lambda = 3;
+  JoinContext ctx = f->Context(60);
+
+  HhnlJoin hhnl;
+  HvnlJoin hvnl;
+  VvmJoin vvm;
+  TextJoinAlgorithm* algos[] = {&hhnl, &hvnl, &vvm};
+  for (TextJoinAlgorithm* algo : algos) {
+    disk.InjectReadFault(fault_at);
+    auto r = algo->Run(ctx, spec);
+    disk.ClearReadFault();
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kInternal)
+          << algo->name() << " fault_at=" << fault_at;
+    } else {
+      // The run finished before the fault armed; the result must be the
+      // correct one.
+      EXPECT_EQ(*r, testing_util::BruteForceJoin(f->inner, f->outer,
+                                                 f->simctx, spec))
+          << algo->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultPositions, ExecutorFaultTest,
+                         ::testing::Values(0, 1, 3, 7, 15, 40, 100, 1000,
+                                           100000));
+
+TEST(FaultInjectionTest, PlannerPropagates) {
+  SimulatedDisk disk(256);
+  auto f = MakeFixture(&disk, RandomCollection(&disk, "c1", 30, 6, 50, 4),
+                       RandomCollection(&disk, "c2", 20, 5, 50, 5));
+  JoinSpec spec;
+  JoinPlanner planner;
+  disk.InjectReadFault(0);
+  auto r = planner.Execute(f->Context(60), spec);
+  disk.ClearReadFault();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(FaultInjectionTest, ParallelJoinPropagates) {
+  SimulatedDisk disk(256);
+  auto f = MakeFixture(&disk, RandomCollection(&disk, "c1", 30, 6, 50, 6),
+                       RandomCollection(&disk, "c2", 20, 5, 50, 7));
+  JoinSpec spec;
+  ParallelTextJoin parallel(ParallelTextJoin::Options{Algorithm::kHhnl, 3});
+  disk.InjectReadFault(5);
+  auto r = parallel.Run(f->Context(60), spec);
+  disk.ClearReadFault();
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace textjoin

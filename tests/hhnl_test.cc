@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "join/hhnl.h"
+#include "test_util.h"
+
+namespace textjoin {
+namespace {
+
+using testing_util::BruteForceJoin;
+using testing_util::MakeFixture;
+using testing_util::RandomCollection;
+
+std::unique_ptr<testing_util::JoinFixture> SmallFixture(SimulatedDisk* disk) {
+  auto inner = RandomCollection(disk, "c1", 40, 6, 50, 101);
+  auto outer = RandomCollection(disk, "c2", 25, 5, 50, 202);
+  return MakeFixture(disk, std::move(inner), std::move(outer));
+}
+
+TEST(HhnlTest, MatchesBruteForce) {
+  SimulatedDisk disk(256);
+  auto f = SmallFixture(&disk);
+  JoinSpec spec;
+  spec.lambda = 4;
+  JoinContext ctx = f->Context(/*buffer_pages=*/50);
+
+  HhnlJoin join;
+  auto got = join.Run(ctx, spec);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, BruteForceJoin(f->inner, f->outer, f->simctx, spec));
+}
+
+TEST(HhnlTest, TinyBufferForcesManyBatchesSameResult) {
+  SimulatedDisk disk(256);
+  auto f = SmallFixture(&disk);
+  JoinSpec spec;
+  spec.lambda = 3;
+
+  HhnlJoin join;
+  JoinContext big = f->Context(1000);
+  JoinContext small = f->Context(3);
+  ASSERT_GE(HhnlJoin::BatchSize(big, spec), f->outer.num_documents());
+  ASSERT_LT(HhnlJoin::BatchSize(small, spec), f->outer.num_documents());
+
+  auto r1 = join.Run(big, spec);
+  auto r2 = join.Run(small, spec);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, *r2);
+}
+
+TEST(HhnlTest, MoreBatchesCostMoreInnerScans) {
+  SimulatedDisk disk(256);
+  auto f = SmallFixture(&disk);
+  JoinSpec spec;
+  spec.lambda = 3;
+  HhnlJoin join;
+
+  disk.ResetStats();
+  disk.ResetHeads();
+  ASSERT_TRUE(join.Run(f->Context(1000), spec).ok());
+  int64_t one_scan = disk.stats().total_reads();
+
+  disk.ResetStats();
+  disk.ResetHeads();
+  ASSERT_TRUE(join.Run(f->Context(3), spec).ok());
+  int64_t many_scans = disk.stats().total_reads();
+  EXPECT_GT(many_scans, one_scan);
+}
+
+TEST(HhnlTest, InfeasibleBufferErrors) {
+  SimulatedDisk disk(256);
+  auto f = SmallFixture(&disk);
+  JoinSpec spec;
+  HhnlJoin join;
+  auto r = join.Run(f->Context(1), spec);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(HhnlTest, OuterSubset) {
+  SimulatedDisk disk(256);
+  auto f = SmallFixture(&disk);
+  JoinSpec spec;
+  spec.lambda = 3;
+  spec.outer_subset = {2, 7, 11, 19};
+  HhnlJoin join;
+  auto got = join.Run(f->Context(50), spec);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), 4u);
+  EXPECT_EQ(*got, BruteForceJoin(f->inner, f->outer, f->simctx, spec));
+}
+
+TEST(HhnlTest, InnerSubsetFiltersMatches) {
+  SimulatedDisk disk(256);
+  auto f = SmallFixture(&disk);
+  JoinSpec spec;
+  spec.lambda = 5;
+  spec.inner_subset = {0, 1, 2, 3, 4, 5, 6, 7};
+  HhnlJoin join;
+  auto got = join.Run(f->Context(50), spec);
+  ASSERT_TRUE(got.ok());
+  for (const OuterMatches& om : *got) {
+    for (const Match& m : om.matches) EXPECT_LT(m.doc, 8u);
+  }
+  EXPECT_EQ(*got, BruteForceJoin(f->inner, f->outer, f->simctx, spec));
+}
+
+TEST(HhnlTest, TinyInnerSubsetUsesSelectiveReads) {
+  // A handful of selected inner documents in a large inner collection:
+  // reading them with positioned I/Os beats a full scan
+  // (m1 * ceil(S1) * alpha < D1), so the executor must not touch most of
+  // the collection's pages.
+  SimulatedDisk disk(256);
+  auto inner = RandomCollection(&disk, "big_inner", 400, 6, 80, 505);
+  auto outer = RandomCollection(&disk, "c2", 10, 5, 80, 606);
+  auto f = MakeFixture(&disk, std::move(inner), std::move(outer));
+  JoinSpec spec;
+  spec.lambda = 3;
+  spec.inner_subset = {3, 77, 311};
+
+  HhnlJoin join;
+  disk.ResetStats();
+  disk.ResetHeads();
+  auto got = join.Run(f->Context(100), spec);
+  ASSERT_TRUE(got.ok());
+  const IoStats join_io = disk.stats();
+  EXPECT_EQ(*got, BruteForceJoin(f->inner, f->outer, f->simctx, spec));
+  // Far fewer pages than a full inner scan (47 pages) would need; only
+  // the outer scan plus a few positioned reads per batch.
+  EXPECT_LT(join_io.total_reads(),
+            f->inner.size_in_pages() / 2 + f->outer.size_in_pages() + 2);
+  EXPECT_GE(join_io.random_reads, 3);
+}
+
+TEST(HhnlTest, BackwardOrderSameResults) {
+  SimulatedDisk disk(256);
+  auto f = SmallFixture(&disk);
+  JoinSpec spec;
+  spec.lambda = 4;
+  HhnlJoin forward;
+  HhnlJoin backward(HhnlJoin::Options{/*backward=*/true});
+  auto r1 = forward.Run(f->Context(100), spec);
+  auto r2 = backward.Run(f->Context(100), spec);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(*r1, *r2);
+}
+
+TEST(HhnlTest, BackwardCheaperWhenInnerTiny) {
+  // The paper: the backward order can be more efficient when C1 is much
+  // smaller than C2 (one pass over each collection instead of repeated
+  // inner scans).
+  SimulatedDisk disk(256);
+  auto inner = RandomCollection(&disk, "small", 5, 6, 50, 303);
+  auto outer = RandomCollection(&disk, "large", 200, 6, 50, 404);
+  auto f = MakeFixture(&disk, std::move(inner), std::move(outer));
+  JoinSpec spec;
+  spec.lambda = 2;
+
+  HhnlJoin forward;
+  HhnlJoin backward(HhnlJoin::Options{/*backward=*/true});
+  JoinContext ctx = f->Context(40);
+
+  disk.ResetStats();
+  disk.ResetHeads();
+  auto r1 = forward.Run(ctx, spec);
+  ASSERT_TRUE(r1.ok());
+  double fwd_cost = disk.stats().Cost(5.0);
+
+  disk.ResetStats();
+  disk.ResetHeads();
+  auto r2 = backward.Run(ctx, spec);
+  ASSERT_TRUE(r2.ok());
+  double bwd_cost = disk.stats().Cost(5.0);
+
+  EXPECT_EQ(*r1, *r2);
+  EXPECT_LE(bwd_cost, fwd_cost);
+}
+
+TEST(HhnlTest, LambdaZeroGivesEmptyMatches) {
+  SimulatedDisk disk(256);
+  auto f = SmallFixture(&disk);
+  JoinSpec spec;
+  spec.lambda = 0;
+  HhnlJoin join;
+  auto got = join.Run(f->Context(50), spec);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(static_cast<int64_t>(got->size()), f->outer.num_documents());
+  for (const OuterMatches& om : *got) EXPECT_TRUE(om.matches.empty());
+}
+
+TEST(HhnlTest, LambdaLargerThanCollection) {
+  SimulatedDisk disk(256);
+  auto f = SmallFixture(&disk);
+  JoinSpec spec;
+  spec.lambda = 1000;
+  HhnlJoin join;
+  auto got = join.Run(f->Context(200), spec);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, BruteForceJoin(f->inner, f->outer, f->simctx, spec));
+}
+
+}  // namespace
+}  // namespace textjoin

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "join/hhnl.h"
+#include "join/hvnl.h"
+#include "join/vvm.h"
+#include "planner/planner.h"
+#include "sim/synthetic.h"
+#include "test_util.h"
+
+namespace textjoin {
+namespace {
+
+using testing_util::BruteForceJoin;
+using testing_util::MakeFixture;
+
+// End-to-end: synthetic generation -> collections -> inverted files ->
+// planner -> join -> result validation, at a size where all machinery
+// (multi-page documents, multi-level B+trees, batching, caching,
+// partitioned VVM passes) engages.
+TEST(IntegrationTest, SyntheticPipelineAllAlgorithms) {
+  SimulatedDisk disk(512);
+  SyntheticSpec spec1;
+  spec1.num_documents = 120;
+  spec1.avg_terms_per_doc = 24;
+  spec1.vocabulary_size = 300;
+  spec1.seed = 1;
+  SyntheticSpec spec2 = spec1;
+  spec2.num_documents = 80;
+  spec2.avg_terms_per_doc = 18;
+  spec2.seed = 2;
+
+  auto c1 = GenerateCollection(&disk, "c1", spec1);
+  auto c2 = GenerateCollection(&disk, "c2", spec2);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  auto f = MakeFixture(&disk, std::move(c1).value(), std::move(c2).value());
+
+  JoinSpec spec;
+  spec.lambda = 10;
+  JoinContext ctx = f->Context(60);
+  JoinResult expected = BruteForceJoin(f->inner, f->outer, f->simctx, spec);
+
+  HhnlJoin hhnl;
+  HvnlJoin hvnl;
+  VvmJoin vvm;
+  auto r1 = hhnl.Run(ctx, spec);
+  auto r2 = hvnl.Run(ctx, spec);
+  auto r3 = vvm.Run(ctx, spec);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  ASSERT_TRUE(r3.ok()) << r3.status();
+  EXPECT_EQ(*r1, expected);
+  EXPECT_EQ(*r2, expected);
+  EXPECT_EQ(*r3, expected);
+
+  JoinPlanner planner;
+  PlanChoice chosen;
+  auto planned = planner.Execute(ctx, spec, &chosen);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_EQ(*planned, expected);
+}
+
+// A self-join (clustering, per the paper's introduction): C1 == C2 as two
+// physical copies. Every document's best match must be itself.
+TEST(IntegrationTest, SelfJoinFindsSelfFirst) {
+  SimulatedDisk disk(512);
+  SyntheticSpec spec1;
+  spec1.num_documents = 60;
+  spec1.avg_terms_per_doc = 12;
+  spec1.vocabulary_size = 200;
+  spec1.seed = 3;
+  auto c1 = GenerateCollection(&disk, "c1", spec1);
+  ASSERT_TRUE(c1.ok());
+  auto c2 = CopyCollection(&disk, "c2", *c1);
+  ASSERT_TRUE(c2.ok());
+  // Cosine scores make self-similarity exactly 1.0, the maximum.
+  SimilarityConfig config;
+  config.cosine_normalize = true;
+  auto f = MakeFixture(&disk, std::move(c1).value(), std::move(c2).value(),
+                       config);
+
+  JoinSpec spec;
+  spec.lambda = 3;
+  spec.similarity = config;
+  HhnlJoin join;
+  auto r = join.Run(f->Context(100), spec);
+  ASSERT_TRUE(r.ok());
+  for (const OuterMatches& om : *r) {
+    ASSERT_FALSE(om.matches.empty());
+    EXPECT_EQ(om.matches[0].doc, om.outer_doc)
+        << "document " << om.outer_doc << " is most similar to itself";
+  }
+}
+
+// Group-4 shape end-to-end: an originally small outer collection derived
+// as a prefix of the inner one; results must agree with brute force and
+// the planner should not pick HHNL blindly when the inner collection is
+// much larger.
+TEST(IntegrationTest, DerivedSmallOuterCollection) {
+  SimulatedDisk disk(512);
+  SyntheticSpec spec1;
+  spec1.num_documents = 400;
+  spec1.avg_terms_per_doc = 16;
+  spec1.vocabulary_size = 500;
+  spec1.seed = 4;
+  auto c1 = GenerateCollection(&disk, "c1", spec1);
+  ASSERT_TRUE(c1.ok());
+  auto c2 = TakePrefix(&disk, "c2", *c1, 5);
+  ASSERT_TRUE(c2.ok());
+  auto f = MakeFixture(&disk, std::move(c1).value(), std::move(c2).value());
+
+  JoinSpec spec;
+  spec.lambda = 5;
+  JoinContext ctx = f->Context(80);
+  JoinResult expected = BruteForceJoin(f->inner, f->outer, f->simctx, spec);
+  JoinPlanner planner;
+  PlanChoice chosen;
+  auto r = planner.Execute(ctx, spec, &chosen);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, expected);
+}
+
+// Group-5 shape: merged documents, VVM-friendly. All algorithms agree and
+// VVM needs only one pass over each inverted file.
+TEST(IntegrationTest, MergedDocumentsVvmFriendly) {
+  SimulatedDisk disk(512);
+  SyntheticSpec spec1;
+  spec1.num_documents = 128;
+  spec1.avg_terms_per_doc = 10;
+  spec1.vocabulary_size = 4000;
+  spec1.seed = 5;
+  auto base = GenerateCollection(&disk, "base", spec1);
+  ASSERT_TRUE(base.ok());
+  auto big1 = MergeDocuments(&disk, "big1", *base, 16);
+  auto big2 = MergeDocuments(&disk, "big2", *base, 16);
+  ASSERT_TRUE(big1.ok());
+  ASSERT_TRUE(big2.ok());
+  EXPECT_EQ(big1->num_documents(), 8);
+  auto f = MakeFixture(&disk, std::move(big1).value(),
+                       std::move(big2).value());
+
+  JoinSpec spec;
+  spec.lambda = 3;
+  JoinContext ctx = f->Context(50);
+  VvmJoin vvm;
+  EXPECT_EQ(VvmJoin::Passes(ctx, spec), 1);  // tiny N1*N2
+  auto r = vvm.Run(ctx, spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, BruteForceJoin(f->inner, f->outer, f->simctx, spec));
+}
+
+}  // namespace
+}  // namespace textjoin

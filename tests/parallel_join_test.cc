@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "join/hhnl.h"
+#include "parallel/parallel_join.h"
+#include "test_util.h"
+
+namespace textjoin {
+namespace {
+
+using testing_util::BruteForceJoin;
+using testing_util::MakeFixture;
+using testing_util::RandomCollection;
+
+std::unique_ptr<testing_util::JoinFixture> Fixture(SimulatedDisk* disk,
+                                                   SimilarityConfig cfg = {}) {
+  auto inner = RandomCollection(disk, "c1", 60, 6, 70, 81);
+  auto outer = RandomCollection(disk, "c2", 45, 5, 70, 82);
+  return MakeFixture(disk, std::move(inner), std::move(outer), cfg);
+}
+
+TEST(ParallelJoinTest, MatchesSerialResultAllAlgorithms) {
+  for (Algorithm algo :
+       {Algorithm::kHhnl, Algorithm::kHvnl, Algorithm::kVvm}) {
+    SimulatedDisk disk(256);
+    auto f = Fixture(&disk);
+    JoinSpec spec;
+    spec.lambda = 4;
+    JoinContext ctx = f->Context(120);
+    JoinResult expected = BruteForceJoin(f->inner, f->outer, f->simctx, spec);
+
+    ParallelTextJoin parallel(ParallelTextJoin::Options{algo, 3});
+    auto report = parallel.Run(ctx, spec);
+    ASSERT_TRUE(report.ok()) << AlgorithmName(algo) << ": "
+                             << report.status();
+    EXPECT_EQ(report->result, expected) << AlgorithmName(algo);
+    EXPECT_EQ(report->worker_io.size(), 3u);
+  }
+}
+
+TEST(ParallelJoinTest, IdfScoresEqualSerial) {
+  SimulatedDisk disk(256);
+  SimilarityConfig cfg;
+  cfg.cosine_normalize = true;
+  cfg.use_idf = true;
+  auto f = Fixture(&disk, cfg);
+  JoinSpec spec;
+  spec.lambda = 3;
+  spec.similarity = cfg;
+  JoinContext ctx = f->Context(120);
+  JoinResult expected = BruteForceJoin(f->inner, f->outer, f->simctx, spec);
+
+  ParallelTextJoin parallel(
+      ParallelTextJoin::Options{Algorithm::kHhnl, 4});
+  auto report = parallel.Run(ctx, spec);
+  ASSERT_TRUE(report.ok());
+  // Global idf means the fragment boundaries cannot change any score.
+  EXPECT_EQ(report->result, expected);
+}
+
+TEST(ParallelJoinTest, MakespanBelowSerialCost) {
+  SimulatedDisk disk(256);
+  auto f = Fixture(&disk);
+  JoinSpec spec;
+  spec.lambda = 3;
+  JoinContext ctx = f->Context(120);
+
+  disk.ResetStats();
+  disk.ResetHeads();
+  HhnlJoin serial;
+  ASSERT_TRUE(serial.Run(ctx, spec).ok());
+  double serial_cost = disk.stats().Cost(5.0);
+
+  ParallelTextJoin parallel(
+      ParallelTextJoin::Options{Algorithm::kHhnl, 3});
+  auto report = parallel.Run(ctx, spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->MakespanCost(5.0), serial_cost);
+  // Work is conserved or inflated, never reduced.
+  EXPECT_GE(report->TotalCost(5.0), 0.9 * serial_cost);
+}
+
+TEST(ParallelJoinTest, WorkersClampedToDocuments) {
+  SimulatedDisk disk(256);
+  auto f = Fixture(&disk);
+  JoinSpec spec;
+  spec.lambda = 2;
+  ParallelTextJoin parallel(
+      ParallelTextJoin::Options{Algorithm::kHhnl, 1000});
+  auto report = parallel.Run(f->Context(200), spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(static_cast<int64_t>(report->worker_io.size()),
+            f->outer.num_documents());
+  EXPECT_EQ(report->result,
+            BruteForceJoin(f->inner, f->outer, f->simctx, spec));
+}
+
+TEST(ParallelJoinTest, SingleWorkerEqualsSerial) {
+  SimulatedDisk disk(256);
+  auto f = Fixture(&disk);
+  JoinSpec spec;
+  spec.lambda = 4;
+  ParallelTextJoin parallel(ParallelTextJoin::Options{Algorithm::kVvm, 1});
+  auto report = parallel.Run(f->Context(120), spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->result,
+            BruteForceJoin(f->inner, f->outer, f->simctx, spec));
+  EXPECT_EQ(report->worker_io.size(), 1u);
+}
+
+TEST(ParallelJoinTest, RejectsOuterSubset) {
+  SimulatedDisk disk(256);
+  auto f = Fixture(&disk);
+  JoinSpec spec;
+  spec.outer_subset = {1, 2, 3};
+  ParallelTextJoin parallel(ParallelTextJoin::Options{Algorithm::kHhnl, 2});
+  auto report = parallel.Run(f->Context(120), spec);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(ParallelJoinTest, InnerSubsetPassesThrough) {
+  SimulatedDisk disk(256);
+  auto f = Fixture(&disk);
+  JoinSpec spec;
+  spec.lambda = 3;
+  spec.inner_subset = {0, 5, 10, 15, 20};
+  ParallelTextJoin parallel(ParallelTextJoin::Options{Algorithm::kHhnl, 3});
+  auto report = parallel.Run(f->Context(120), spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->result,
+            BruteForceJoin(f->inner, f->outer, f->simctx, spec));
+}
+
+}  // namespace
+}  // namespace textjoin

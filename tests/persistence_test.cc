@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "catalog/catalog.h"
+#include "common/crc32.h"
+#include "join/hhnl.h"
+#include "storage/snapshot.h"
+#include "test_util.h"
+
+namespace textjoin {
+namespace {
+
+using testing_util::MakeFixture;
+using testing_util::RandomCollection;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(s), 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  std::vector<uint8_t> data(1000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 7);
+  }
+  uint32_t oneshot = Crc32(data.data(), data.size());
+  uint32_t incremental = 0;
+  incremental = Crc32Update(incremental, data.data(), 100);
+  incremental = Crc32Update(incremental, data.data() + 100, 900);
+  EXPECT_EQ(incremental, oneshot);
+}
+
+TEST(SnapshotTest, RoundTripPreservesFiles) {
+  SimulatedDisk disk(128);
+  auto col = RandomCollection(&disk, "col", 40, 6, 50, 11);
+  auto inv = InvertedFile::Build(&disk, "col.inv", col);
+  ASSERT_TRUE(inv.ok());
+
+  std::string path = TempPath("roundtrip.tjsn");
+  ASSERT_TRUE(SaveDiskSnapshot(disk, path).ok());
+
+  auto loaded = LoadDiskSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  SimulatedDisk& disk2 = **loaded;
+  EXPECT_EQ(disk2.page_size(), disk.page_size());
+  ASSERT_EQ(disk2.file_count(), disk.file_count());
+  for (FileId f = 0; f < disk.file_count(); ++f) {
+    EXPECT_EQ(disk2.FileName(f), disk.FileName(f));
+    EXPECT_EQ(disk2.raw_bytes(f), disk.raw_bytes(f));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, DetectsCorruption) {
+  SimulatedDisk disk(128);
+  auto col = RandomCollection(&disk, "col", 10, 4, 30, 12);
+  std::string path = TempPath("corrupt.tjsn");
+  ASSERT_TRUE(SaveDiskSnapshot(disk, path).ok());
+
+  // Flip one byte in the file body region.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    char c;
+    f.seekg(-1, std::ios::end);
+    f.get(c);
+    f.seekp(-1, std::ios::end);
+    f.put(static_cast<char>(c ^ 0x5A));
+  }
+  auto loaded = LoadDiskSnapshot(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsGarbage) {
+  std::string path = TempPath("garbage.tjsn");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a snapshot";
+  }
+  EXPECT_FALSE(LoadDiskSnapshot(path).ok());
+  std::remove(path.c_str());
+  EXPECT_EQ(LoadDiskSnapshot(TempPath("missing.tjsn")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, CollectionRoundTrip) {
+  SimulatedDisk disk(128);
+  auto col = RandomCollection(&disk, "col", 30, 6, 40, 13);
+  ASSERT_TRUE(SaveCollectionCatalog(col, "col.cat").ok());
+
+  auto reopened = OpenCollection(&disk, "col.cat");
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->num_documents(), col.num_documents());
+  EXPECT_EQ(reopened->num_distinct_terms(), col.num_distinct_terms());
+  EXPECT_EQ(reopened->total_cells(), col.total_cells());
+  for (int64_t d = 0; d < col.num_documents(); ++d) {
+    EXPECT_EQ(reopened->ReadDocument(static_cast<DocId>(d)).value(),
+              col.ReadDocument(static_cast<DocId>(d)).value());
+    EXPECT_DOUBLE_EQ(reopened->raw_norm(static_cast<DocId>(d)),
+                     col.raw_norm(static_cast<DocId>(d)));
+  }
+  for (const auto& [term, df] : col.doc_freq_map()) {
+    EXPECT_EQ(reopened->DocumentFrequency(term), df);
+  }
+}
+
+TEST(CatalogTest, InvertedFileRoundTrip) {
+  SimulatedDisk disk(128);
+  auto col = RandomCollection(&disk, "col", 30, 6, 40, 14);
+  auto inv = InvertedFile::Build(
+      &disk, "col.inv", col,
+      InvertedFile::BuildOptions{PostingCompression::kDeltaVarint});
+  ASSERT_TRUE(inv.ok());
+  ASSERT_TRUE(SaveInvertedFileCatalog(*inv, "col.inv.cat").ok());
+
+  auto reopened = OpenInvertedFile(&disk, "col.inv.cat");
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->num_terms(), inv->num_terms());
+  EXPECT_EQ(reopened->size_in_bytes(), inv->size_in_bytes());
+  EXPECT_EQ(reopened->compression(), PostingCompression::kDeltaVarint);
+  for (const auto& e : inv->entries()) {
+    EXPECT_EQ(reopened->FetchEntry(e.term).value(),
+              inv->FetchEntry(e.term).value());
+    EXPECT_EQ(reopened->btree().Lookup(e.term).value().address,
+              inv->btree().Lookup(e.term).value().address);
+  }
+}
+
+// The full story: build, catalog, snapshot to a real file, reload in a
+// fresh process-like state, reopen, and run a join with identical
+// results.
+TEST(CatalogTest, FullDatabaseReopenEndToEnd) {
+  std::string path = TempPath("db.tjsn");
+  JoinSpec spec;
+  spec.lambda = 4;
+  JoinResult expected;
+  {
+    SimulatedDisk disk(256);
+    auto f = MakeFixture(&disk, RandomCollection(&disk, "c1", 40, 6, 50, 15),
+                         RandomCollection(&disk, "c2", 25, 5, 50, 16));
+    expected =
+        testing_util::BruteForceJoin(f->inner, f->outer, f->simctx, spec);
+    ASSERT_TRUE(SaveCollectionCatalog(f->inner, "c1.cat").ok());
+    ASSERT_TRUE(SaveCollectionCatalog(f->outer, "c2.cat").ok());
+    ASSERT_TRUE(SaveInvertedFileCatalog(f->inner_index, "c1.inv.cat").ok());
+    ASSERT_TRUE(SaveDiskSnapshot(disk, path).ok());
+  }
+
+  auto disk2 = LoadDiskSnapshot(path);
+  ASSERT_TRUE(disk2.ok());
+  auto inner = OpenCollection(disk2->get(), "c1.cat");
+  auto outer = OpenCollection(disk2->get(), "c2.cat");
+  auto inner_index = OpenInvertedFile(disk2->get(), "c1.inv.cat");
+  ASSERT_TRUE(inner.ok());
+  ASSERT_TRUE(outer.ok());
+  ASSERT_TRUE(inner_index.ok());
+
+  auto simctx = SimilarityContext::Create(*inner, *outer, {});
+  ASSERT_TRUE(simctx.ok());
+  JoinContext ctx;
+  ctx.inner = &inner.value();
+  ctx.outer = &outer.value();
+  ctx.inner_index = &inner_index.value();
+  ctx.similarity = &simctx.value();
+  ctx.sys = SystemParams{100, 256, 5.0};
+
+  HhnlJoin join;
+  auto result = join.Run(ctx, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, expected);
+  std::remove(path.c_str());
+}
+
+TEST(CatalogTest, OpenMissingCatalogFails) {
+  SimulatedDisk disk(128);
+  EXPECT_FALSE(OpenCollection(&disk, "nope.cat").ok());
+}
+
+TEST(CatalogTest, WrongMagicRejected) {
+  SimulatedDisk disk(128);
+  auto col = RandomCollection(&disk, "col", 5, 3, 20, 17);
+  auto inv = InvertedFile::Build(&disk, "col.inv", col);
+  ASSERT_TRUE(inv.ok());
+  ASSERT_TRUE(SaveCollectionCatalog(col, "col.cat").ok());
+  ASSERT_TRUE(SaveInvertedFileCatalog(*inv, "col.inv.cat").ok());
+  // Opening a collection catalog as an inverted file (and vice versa)
+  // must fail on the magic check.
+  EXPECT_FALSE(OpenInvertedFile(&disk, "col.cat").ok());
+  EXPECT_FALSE(OpenCollection(&disk, "col.inv.cat").ok());
+}
+
+}  // namespace
+}  // namespace textjoin

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "join/hhnl.h"
+#include "join/hvnl.h"
+#include "join/vvm.h"
+#include "planner/planner.h"
+#include "sim/synthetic.h"
+#include "test_util.h"
+
+namespace textjoin {
+namespace {
+
+using testing_util::MakeFixture;
+
+// A medium-scale shakeout: everything that is O(1)-ish at toy sizes must
+// also hold when batching, caching, partitioned passes, multi-level
+// B+trees and multi-page documents all engage at once. Kept to ~1s of
+// runtime.
+TEST(ScaleTest, MediumCollectionsAllMachineryEngages) {
+  SimulatedDisk disk(1024);
+  SyntheticSpec s1;
+  s1.num_documents = 1200;
+  s1.avg_terms_per_doc = 30;
+  s1.vocabulary_size = 2500;
+  s1.seed = 1001;
+  SyntheticSpec s2;
+  s2.num_documents = 500;
+  s2.avg_terms_per_doc = 24;
+  s2.vocabulary_size = 2500;
+  s2.seed = 1002;
+  auto c1 = GenerateCollection(&disk, "big1", s1);
+  auto c2 = GenerateCollection(&disk, "big2", s2);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  auto f = MakeFixture(&disk, std::move(c1).value(), std::move(c2).value());
+
+  // The B+tree has several levels at this vocabulary size.
+  EXPECT_GE(f->inner_index.btree().height(), 2);
+  // Multi-page inverted file and collection.
+  EXPECT_GT(f->inner.size_in_pages(), 100);
+
+  JoinSpec spec;
+  spec.lambda = 15;
+  JoinContext ctx = f->Context(60);
+
+  // All machinery engages: several HHNL batches, HVNL cache pressure,
+  // more than one VVM pass.
+  ASSERT_LT(HhnlJoin::BatchSize(ctx, spec), f->outer.num_documents());
+  ASSERT_LT(HvnlJoin::CacheCapacity(ctx, spec),
+            f->inner_index.num_terms());
+  spec.delta = 1.0;
+  ASSERT_GT(VvmJoin::Passes(ctx, spec), 1);
+  spec.delta = 0.1;
+
+  HhnlJoin hhnl;
+  HvnlJoin hvnl;
+  VvmJoin vvm;
+  auto r1 = hhnl.Run(ctx, spec);
+  auto r2 = hvnl.Run(ctx, spec);
+  auto r3 = vvm.Run(ctx, spec);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(*r1, *r2);
+  EXPECT_EQ(*r1, *r3);
+
+  // Spot-check the result against per-document brute force for a few
+  // outer documents (full brute force at this size is wasteful).
+  for (DocId probe : {DocId{0}, DocId{123}, DocId{499}}) {
+    auto d2 = f->outer.ReadDocument(probe);
+    ASSERT_TRUE(d2.ok());
+    TopKAccumulator heap(spec.lambda);
+    for (int64_t d = 0; d < f->inner.num_documents(); ++d) {
+      auto d1 = f->inner.ReadDocument(static_cast<DocId>(d));
+      ASSERT_TRUE(d1.ok());
+      double acc = WeightedDot(*d1, *d2, f->simctx);
+      if (acc > 0) heap.Add(static_cast<DocId>(d), acc);
+    }
+    EXPECT_EQ((*r1)[probe].matches, heap.TakeSorted()) << "doc " << probe;
+  }
+
+  // The planner runs end to end at this size.
+  JoinPlanner planner;
+  PlanChoice plan;
+  auto planned = planner.Execute(ctx, spec, &plan);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_EQ(*planned, *r1);
+}
+
+}  // namespace
+}  // namespace textjoin

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "join/similarity.h"
+#include "test_util.h"
+
+namespace textjoin {
+namespace {
+
+using testing_util::BuildCollection;
+
+class SimilarityTest : public ::testing::Test {
+ protected:
+  SimilarityTest()
+      : disk_(4096),
+        inner_(BuildCollection(&disk_, "c1",
+                               {{{1, 2}, {2, 1}}, {{2, 3}, {3, 1}}})),
+        outer_(BuildCollection(&disk_, "c2", {{{1, 1}, {2, 2}}, {{3, 5}}})) {}
+
+  SimulatedDisk disk_;
+  DocumentCollection inner_;
+  DocumentCollection outer_;
+};
+
+TEST_F(SimilarityTest, RawCountsMatchPaperDefinition) {
+  auto ctx = SimilarityContext::Create(inner_, outer_, {});
+  ASSERT_TRUE(ctx.ok());
+  Document a = *inner_.ReadDocument(0);
+  Document b = *outer_.ReadDocument(0);
+  // Shared terms 1 and 2: 2*1 + 1*2 = 4.
+  EXPECT_DOUBLE_EQ(WeightedDot(a, b, *ctx), 4.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(DotSimilarity(a, b)),
+                   WeightedDot(a, b, *ctx));
+  // Finalize is identity without cosine.
+  EXPECT_DOUBLE_EQ(ctx->Finalize(4.0, 0, 0), 4.0);
+}
+
+TEST_F(SimilarityTest, CosineDividesByNorms) {
+  SimilarityConfig config;
+  config.cosine_normalize = true;
+  auto ctx = SimilarityContext::Create(inner_, outer_, config);
+  ASSERT_TRUE(ctx.ok());
+  double raw = 4.0;
+  double expected = raw / (std::sqrt(5.0) * std::sqrt(5.0));
+  EXPECT_DOUBLE_EQ(ctx->Finalize(raw, 0, 0), expected);
+  // Self-similarity of a document with itself is 1 under cosine.
+  Document a = *inner_.ReadDocument(0);
+  double self = WeightedDot(a, a, *ctx);
+  EXPECT_NEAR(self / (a.Norm() * a.Norm()), 1.0, 1e-12);
+}
+
+TEST_F(SimilarityTest, IdfDownweightsCommonTerms) {
+  SimilarityConfig config;
+  config.use_idf = true;
+  auto ctx = SimilarityContext::Create(inner_, outer_, config);
+  ASSERT_TRUE(ctx.ok());
+  // Term 2 occurs in 3 of 4 documents; term 3 in 2 of 4. The rarer term
+  // gets the larger weight.
+  EXPECT_GT(ctx->idf.Squared(3), ctx->idf.Squared(2));
+  // A term in no document would get weight 0 via df=0 guard.
+  EXPECT_DOUBLE_EQ(ctx->idf.Squared(999), 0.0);
+}
+
+TEST_F(SimilarityTest, IdfDisabledIsUnitWeight) {
+  auto ctx = SimilarityContext::Create(inner_, outer_, {});
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_DOUBLE_EQ(ctx->idf.Squared(1), 1.0);
+  EXPECT_DOUBLE_EQ(ctx->idf.Squared(999), 1.0);
+}
+
+TEST_F(SimilarityTest, IdfWeightedDotUsesFactors) {
+  SimilarityConfig config;
+  config.use_idf = true;
+  auto ctx = SimilarityContext::Create(inner_, outer_, config);
+  ASSERT_TRUE(ctx.ok());
+  Document a = *inner_.ReadDocument(0);
+  Document b = *outer_.ReadDocument(0);
+  double expected = 2.0 * 1.0 * ctx->idf.Squared(1) +
+                    1.0 * 2.0 * ctx->idf.Squared(2);
+  EXPECT_DOUBLE_EQ(WeightedDot(a, b, *ctx), expected);
+}
+
+TEST_F(SimilarityTest, CosineIdfNormsComputedByScan) {
+  SimilarityConfig config;
+  config.cosine_normalize = true;
+  config.use_idf = true;
+  auto ctx = SimilarityContext::Create(inner_, outer_, config);
+  ASSERT_TRUE(ctx.ok());
+  // Norm of inner doc 0 under idf weights.
+  double expected = std::sqrt(4.0 * ctx->idf.Squared(1) +
+                              1.0 * ctx->idf.Squared(2));
+  EXPECT_NEAR(ctx->inner_norms.of(0), expected, 1e-12);
+}
+
+TEST_F(SimilarityTest, RawCosineNormsFromCatalog) {
+  SimilarityConfig config;
+  config.cosine_normalize = true;
+  auto ctx = SimilarityContext::Create(inner_, outer_, config);
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_DOUBLE_EQ(ctx->inner_norms.of(0), inner_.raw_norm(0));
+  EXPECT_DOUBLE_EQ(ctx->outer_norms.of(1), outer_.raw_norm(1));
+}
+
+}  // namespace
+}  // namespace textjoin

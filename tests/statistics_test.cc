@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/cost_model.h"
+#include "cost/statistics.h"
+#include "test_util.h"
+
+namespace textjoin {
+namespace {
+
+using testing_util::BuildCollection;
+
+TEST(StatisticsTest, StatisticsOfBuiltCollection) {
+  SimulatedDisk disk(100);
+  auto col = BuildCollection(&disk, "c",
+                             {{{1, 1}, {2, 1}}, {{2, 1}, {3, 1}, {4, 1}}});
+  CollectionStatistics s = StatisticsOf(col);
+  EXPECT_EQ(s.num_documents, 2);
+  EXPECT_DOUBLE_EQ(s.avg_terms_per_doc, 2.5);
+  EXPECT_EQ(s.num_distinct_terms, 4);
+  EXPECT_DOUBLE_EQ(s.AvgDocPages(100), 0.125);
+  EXPECT_DOUBLE_EQ(s.CollectionPages(100), 0.25);
+  // J = 5*K*N/(T*P) = 25/(4*100); I = J*T = collection size.
+  EXPECT_DOUBLE_EQ(s.AvgEntryPages(100), 25.0 / 400.0);
+  EXPECT_DOUBLE_EQ(s.InvertedFilePages(100), 0.25);
+  EXPECT_DOUBLE_EQ(s.BTreePages(100), 0.36);
+}
+
+TEST(StatisticsTest, ReducedStatisticsUsesGrowthCurve) {
+  CollectionStatistics s{200, 8.0, 40};
+  CollectionStatistics r = ReducedStatistics(s, 3);
+  EXPECT_EQ(r.num_documents, 3);
+  EXPECT_DOUBLE_EQ(r.avg_terms_per_doc, 8.0);
+  EXPECT_EQ(r.num_distinct_terms,
+            static_cast<int64_t>(std::llround(DistinctTermsAfter(3, 8, 40))));
+  // Reducing to everything keeps T (approximately saturated).
+  CollectionStatistics full = ReducedStatistics(s, 200);
+  EXPECT_NEAR(static_cast<double>(full.num_distinct_terms), 40.0, 1.0);
+  // Zero documents.
+  EXPECT_EQ(ReducedStatistics(s, 0).num_distinct_terms, 0);
+}
+
+TEST(StatisticsTest, RescaledKeepsCollectionSize) {
+  CollectionStatistics s{200, 8.0, 40};
+  CollectionStatistics r = RescaledStatistics(s, 4);
+  EXPECT_EQ(r.num_documents, 50);
+  EXPECT_DOUBLE_EQ(r.avg_terms_per_doc, 32.0);
+  EXPECT_DOUBLE_EQ(r.CollectionPages(100), s.CollectionPages(100));
+  EXPECT_EQ(r.num_distinct_terms, s.num_distinct_terms);
+}
+
+TEST(StatisticsTest, RescaledClampsToOneDocument) {
+  CollectionStatistics s{10, 8.0, 40};
+  CollectionStatistics r = RescaledStatistics(s, 100);
+  EXPECT_EQ(r.num_documents, 1);
+  EXPECT_DOUBLE_EQ(r.avg_terms_per_doc, 80.0);
+}
+
+TEST(StatisticsTest, MeasuredTermOverlap) {
+  SimulatedDisk disk(100);
+  auto c1 = BuildCollection(&disk, "c1", {{{1, 1}, {2, 1}, {3, 1}, {4, 1}}});
+  auto c2 = BuildCollection(&disk, "c2", {{{3, 1}, {4, 1}, {5, 1}, {6, 1}}});
+  // Of c2's four terms, two (3 and 4) appear in c1.
+  EXPECT_DOUBLE_EQ(MeasuredTermOverlap(c2, c1), 0.5);
+  EXPECT_DOUBLE_EQ(MeasuredTermOverlap(c1, c2), 0.5);
+  // Identical collections overlap fully.
+  EXPECT_DOUBLE_EQ(MeasuredTermOverlap(c1, c1), 1.0);
+}
+
+TEST(StatisticsTest, MeasuredDeltaBounds) {
+  SimulatedDisk disk(100);
+  auto c1 = BuildCollection(&disk, "c1", {{{1, 1}}, {{2, 1}}});
+  auto c2 = BuildCollection(&disk, "c2", {{{1, 1}}, {{3, 1}}});
+  double delta = MeasuredDelta(c1, c2);
+  // Only the (doc0, doc0) pair can share a term; the independence estimate
+  // is 1/4 of pairs.
+  EXPECT_NEAR(delta, 0.25, 1e-9);
+  // Disjoint collections: zero.
+  auto c3 = BuildCollection(&disk, "c3", {{{9, 1}}});
+  EXPECT_DOUBLE_EQ(MeasuredDelta(c1, c3), 0.0);
+}
+
+TEST(StatisticsTest, MeasuredDeltaSaturatesAtOne) {
+  SimulatedDisk disk(100);
+  // Every document contains term 7: every pair is non-zero.
+  auto c1 = BuildCollection(&disk, "c1", {{{7, 1}}, {{7, 2}}});
+  EXPECT_DOUBLE_EQ(MeasuredDelta(c1, c1), 1.0);
+}
+
+}  // namespace
+}  // namespace textjoin

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "storage/coding.h"
+#include "storage/disk_manager.h"
+#include "storage/page_stream.h"
+
+namespace textjoin {
+namespace {
+
+TEST(CodingTest, Fixed16RoundTrip) {
+  std::vector<uint8_t> buf;
+  PutFixed16(&buf, 0xBEEF);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(GetFixed16(buf.data()), 0xBEEF);
+}
+
+TEST(CodingTest, Fixed24RoundTrip) {
+  std::vector<uint8_t> buf;
+  PutFixed24(&buf, 0xABCDEF);
+  ASSERT_EQ(buf.size(), 3u);
+  EXPECT_EQ(GetFixed24(buf.data()), 0xABCDEFu);
+}
+
+TEST(CodingTest, Fixed24TruncatesHighByte) {
+  std::vector<uint8_t> buf;
+  PutFixed24(&buf, 0xFFABCDEF);  // top byte dropped: 3-byte field
+  EXPECT_EQ(GetFixed24(buf.data()), 0xABCDEFu);
+}
+
+TEST(CodingTest, Fixed32And64RoundTrip) {
+  std::vector<uint8_t> buf;
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(GetFixed32(buf.data()), 0xDEADBEEFu);
+  EXPECT_EQ(GetFixed64(buf.data() + 4), 0x0123456789ABCDEFull);
+}
+
+TEST(SimulatedDiskTest, AppendAndRead) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("f");
+  std::vector<uint8_t> data(64);
+  std::iota(data.begin(), data.end(), 0);
+  auto page = disk.AppendPage(f, data.data(), 64);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page.value(), 0);
+
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(disk.ReadPage(f, 0, out.data()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(SimulatedDiskTest, ShortAppendZeroPads) {
+  SimulatedDisk disk(16);
+  FileId f = disk.CreateFile("f");
+  uint8_t byte = 0xAA;
+  ASSERT_TRUE(disk.AppendPage(f, &byte, 1).ok());
+  std::vector<uint8_t> out(16);
+  ASSERT_TRUE(disk.ReadPage(f, 0, out.data()).ok());
+  EXPECT_EQ(out[0], 0xAA);
+  for (int i = 1; i < 16; ++i) EXPECT_EQ(out[i], 0);
+}
+
+TEST(SimulatedDiskTest, SequentialClassification) {
+  SimulatedDisk disk(16);
+  FileId f = disk.CreateFile("f");
+  std::vector<uint8_t> z(16, 0);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(disk.AppendPage(f, z.data(), 16).ok());
+  disk.ResetStats();
+
+  std::vector<uint8_t> out(16);
+  // 0,1,2,3,4 in order: first is positioned, rest sequential.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(disk.ReadPage(f, i, out.data()).ok());
+  EXPECT_EQ(disk.stats().random_reads, 1);
+  EXPECT_EQ(disk.stats().sequential_reads, 4);
+}
+
+TEST(SimulatedDiskTest, BackwardOrSkipIsRandom) {
+  SimulatedDisk disk(16);
+  FileId f = disk.CreateFile("f");
+  std::vector<uint8_t> z(16, 0);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(disk.AppendPage(f, z.data(), 16).ok());
+  disk.ResetStats();
+
+  std::vector<uint8_t> out(16);
+  ASSERT_TRUE(disk.ReadPage(f, 2, out.data()).ok());  // random
+  ASSERT_TRUE(disk.ReadPage(f, 1, out.data()).ok());  // backward: random
+  ASSERT_TRUE(disk.ReadPage(f, 4, out.data()).ok());  // skip: random
+  ASSERT_TRUE(disk.ReadPage(f, 4, out.data()).ok());  // same page: random
+  EXPECT_EQ(disk.stats().random_reads, 4);
+  EXPECT_EQ(disk.stats().sequential_reads, 0);
+}
+
+TEST(SimulatedDiskTest, PerFileHeads) {
+  SimulatedDisk disk(16);
+  FileId a = disk.CreateFile("a");
+  FileId b = disk.CreateFile("b");
+  std::vector<uint8_t> z(16, 0);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(disk.AppendPage(a, z.data(), 16).ok());
+    ASSERT_TRUE(disk.AppendPage(b, z.data(), 16).ok());
+  }
+  disk.ResetStats();
+  std::vector<uint8_t> out(16);
+  // Interleaved forward scans of two files: each file behaves as if it had
+  // a dedicated drive, so only the first page of each is positioned.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(disk.ReadPage(a, i, out.data()).ok());
+    ASSERT_TRUE(disk.ReadPage(b, i, out.data()).ok());
+  }
+  EXPECT_EQ(disk.stats().random_reads, 2);
+  EXPECT_EQ(disk.stats().sequential_reads, 4);
+}
+
+TEST(SimulatedDiskTest, InterferenceMakesAllReadsRandom) {
+  SimulatedDisk disk(16);
+  FileId f = disk.CreateFile("f");
+  std::vector<uint8_t> z(16, 0);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(disk.AppendPage(f, z.data(), 16).ok());
+  disk.set_interference(true);
+  disk.ResetStats();
+  std::vector<uint8_t> out(16);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(disk.ReadPage(f, i, out.data()).ok());
+  EXPECT_EQ(disk.stats().random_reads, 4);
+  EXPECT_EQ(disk.stats().sequential_reads, 0);
+}
+
+TEST(SimulatedDiskTest, ErrorsOnBadAccess) {
+  SimulatedDisk disk(16);
+  std::vector<uint8_t> out(16);
+  EXPECT_FALSE(disk.ReadPage(0, 0, out.data()).ok());  // no file
+  FileId f = disk.CreateFile("f");
+  EXPECT_FALSE(disk.ReadPage(f, 0, out.data()).ok());  // empty file
+  EXPECT_FALSE(disk.AppendPage(f, out.data(), 99).ok());  // oversized
+  EXPECT_FALSE(disk.WritePage(f, 3, out.data(), 4).ok());  // no such page
+}
+
+TEST(SimulatedDiskTest, WritePageOverwrites) {
+  SimulatedDisk disk(8);
+  FileId f = disk.CreateFile("f");
+  std::vector<uint8_t> a(8, 1), b(8, 2), out(8);
+  ASSERT_TRUE(disk.AppendPage(f, a.data(), 8).ok());
+  ASSERT_TRUE(disk.WritePage(f, 0, b.data(), 8).ok());
+  ASSERT_TRUE(disk.ReadPage(f, 0, out.data()).ok());
+  EXPECT_EQ(out, b);
+}
+
+TEST(SimulatedDiskTest, ResetHeadsForcesRandom) {
+  SimulatedDisk disk(16);
+  FileId f = disk.CreateFile("f");
+  std::vector<uint8_t> z(16, 0);
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(disk.AppendPage(f, z.data(), 16).ok());
+  std::vector<uint8_t> out(16);
+  ASSERT_TRUE(disk.ReadPage(f, 0, out.data()).ok());
+  disk.ResetHeads();
+  disk.ResetStats();
+  ASSERT_TRUE(disk.ReadPage(f, 1, out.data()).ok());
+  EXPECT_EQ(disk.stats().random_reads, 1);
+}
+
+TEST(IoStatsTest, CostWeighsRandomByAlpha) {
+  IoStats s;
+  s.sequential_reads = 10;
+  s.random_reads = 3;
+  EXPECT_DOUBLE_EQ(s.Cost(5.0), 25.0);
+  EXPECT_DOUBLE_EQ(s.Cost(1.0), 13.0);
+}
+
+TEST(IoStatsTest, Arithmetic) {
+  IoStats a{10, 3, 1}, b{4, 1, 0};
+  IoStats sum = a + b;
+  EXPECT_EQ(sum.sequential_reads, 14);
+  EXPECT_EQ(sum.random_reads, 4);
+  IoStats diff = sum - b;
+  EXPECT_EQ(diff, a);
+}
+
+TEST(PageStreamTest, RoundTripAcrossPages) {
+  SimulatedDisk disk(16);
+  FileId f = disk.CreateFile("f");
+  PageStreamWriter writer(&disk, f);
+  std::vector<uint8_t> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  int64_t off1 = writer.Append(data.data(), 40);
+  int64_t off2 = writer.Append(data.data() + 40, 60);
+  EXPECT_EQ(off1, 0);
+  EXPECT_EQ(off2, 40);
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(disk.FileSizeInPages(f).value(), 7);  // ceil(100/16)
+
+  PageStreamReader reader(&disk, f);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(reader.Read(0, 100, &out).ok());
+  EXPECT_EQ(out, data);
+  // A range crossing a page boundary.
+  ASSERT_TRUE(reader.Read(14, 4, &out).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>({14, 15, 16, 17}));
+}
+
+TEST(PageStreamTest, FinishTwiceFails) {
+  SimulatedDisk disk(16);
+  PageStreamWriter writer(&disk, disk.CreateFile("f"));
+  EXPECT_TRUE(writer.Finish().ok());
+  EXPECT_FALSE(writer.Finish().ok());
+}
+
+TEST(SequentialByteReaderTest, WholeStreamOnePagePerPage) {
+  SimulatedDisk disk(16);
+  FileId f = disk.CreateFile("f");
+  PageStreamWriter writer(&disk, f);
+  std::vector<uint8_t> data(64);
+  std::iota(data.begin(), data.end(), 0);
+  writer.Append(data);
+  ASSERT_TRUE(writer.Finish().ok());
+  disk.ResetStats();
+
+  SequentialByteReader reader(&disk, f);
+  std::vector<uint8_t> out(64);
+  // Read in odd-sized chunks; page boundaries must not be re-read.
+  ASSERT_TRUE(reader.Read(10, out.data()).ok());
+  ASSERT_TRUE(reader.Read(30, out.data() + 10).ok());
+  ASSERT_TRUE(reader.Read(24, out.data() + 40).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(disk.stats().total_reads(), 4);  // 64/16 pages, each once
+  EXPECT_EQ(disk.stats().sequential_reads, 3);
+}
+
+TEST(SequentialByteReaderTest, SkipAvoidsUntouchedPages) {
+  SimulatedDisk disk(16);
+  FileId f = disk.CreateFile("f");
+  PageStreamWriter writer(&disk, f);
+  std::vector<uint8_t> data(160, 7);
+  writer.Append(data);
+  ASSERT_TRUE(writer.Finish().ok());
+  disk.ResetStats();
+
+  SequentialByteReader reader(&disk, f);
+  std::vector<uint8_t> out(16);
+  ASSERT_TRUE(reader.Read(8, out.data()).ok());    // page 0
+  ASSERT_TRUE(reader.Skip(96).ok());               // lands at byte 104
+  ASSERT_TRUE(reader.Read(8, out.data()).ok());    // bytes 104..111: page 6
+  EXPECT_EQ(disk.stats().total_reads(), 2);        // pages 0 and 6 only
+}
+
+}  // namespace
+}  // namespace textjoin

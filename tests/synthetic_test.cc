@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "sim/synthetic.h"
+#include "sim/trec_profiles.h"
+
+namespace textjoin {
+namespace {
+
+TEST(SyntheticTest, HitsDocumentAndTermTargets) {
+  SimulatedDisk disk(4096);
+  SyntheticSpec spec;
+  spec.num_documents = 500;
+  spec.avg_terms_per_doc = 20;
+  spec.vocabulary_size = 300;
+  spec.seed = 7;
+  auto col = GenerateCollection(&disk, "syn", spec);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->num_documents(), 500);
+  EXPECT_DOUBLE_EQ(col->avg_terms_per_doc(), 20.0);
+  // With 10000 draws over 300 terms, nearly every term is touched.
+  EXPECT_GE(col->num_distinct_terms(), 290);
+  EXPECT_LE(col->num_distinct_terms(), 300);
+}
+
+TEST(SyntheticTest, FractionalTermsPerDocAveragesOut) {
+  SimulatedDisk disk(4096);
+  SyntheticSpec spec;
+  spec.num_documents = 1000;
+  spec.avg_terms_per_doc = 7.5;
+  spec.vocabulary_size = 200;
+  spec.seed = 8;
+  auto col = GenerateCollection(&disk, "syn", spec);
+  ASSERT_TRUE(col.ok());
+  EXPECT_NEAR(col->avg_terms_per_doc(), 7.5, 0.01);
+}
+
+TEST(SyntheticTest, DeterministicAcrossRuns) {
+  SyntheticSpec spec;
+  spec.num_documents = 50;
+  spec.avg_terms_per_doc = 10;
+  spec.vocabulary_size = 100;
+  spec.seed = 99;
+  SimulatedDisk d1(4096), d2(4096);
+  auto a = GenerateCollection(&d1, "a", spec);
+  auto b = GenerateCollection(&d2, "b", spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int64_t i = 0; i < 50; ++i) {
+    auto da = a->ReadDocument(static_cast<DocId>(i));
+    auto db = b->ReadDocument(static_cast<DocId>(i));
+    EXPECT_EQ(da.value(), db.value()) << "doc " << i;
+  }
+}
+
+TEST(SyntheticTest, TermOffsetShiftsUniverse) {
+  SimulatedDisk disk(4096);
+  SyntheticSpec spec;
+  spec.num_documents = 20;
+  spec.avg_terms_per_doc = 5;
+  spec.vocabulary_size = 50;
+  spec.term_offset = 1000;
+  spec.seed = 3;
+  auto col = GenerateCollection(&disk, "syn", spec);
+  ASSERT_TRUE(col.ok());
+  for (TermId t : col->distinct_terms()) {
+    EXPECT_GE(t, 1000u);
+    EXPECT_LT(t, 1050u);
+  }
+}
+
+TEST(SyntheticTest, RejectsBadSpecs) {
+  SimulatedDisk disk(4096);
+  SyntheticSpec spec;
+  spec.num_documents = 10;
+  spec.avg_terms_per_doc = 100;
+  spec.vocabulary_size = 50;  // fewer terms than terms-per-doc
+  EXPECT_FALSE(GenerateCollection(&disk, "syn", spec).ok());
+  spec.avg_terms_per_doc = 5;
+  spec.vocabulary_size = 0;
+  EXPECT_FALSE(GenerateCollection(&disk, "syn", spec).ok());
+  spec.vocabulary_size = 50;
+  spec.term_offset = kMaxTermId;  // universe would overflow 3-byte ids
+  EXPECT_FALSE(GenerateCollection(&disk, "syn", spec).ok());
+}
+
+TEST(SyntheticTest, CopyCollectionIsIdentical) {
+  SimulatedDisk disk(4096);
+  SyntheticSpec spec;
+  spec.num_documents = 30;
+  spec.avg_terms_per_doc = 8;
+  spec.vocabulary_size = 60;
+  spec.seed = 5;
+  auto col = GenerateCollection(&disk, "syn", spec);
+  ASSERT_TRUE(col.ok());
+  auto copy = CopyCollection(&disk, "copy", *col);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_NE(copy->file(), col->file());  // physically distinct
+  EXPECT_EQ(copy->num_documents(), col->num_documents());
+  for (int64_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(copy->ReadDocument(static_cast<DocId>(i)).value(),
+              col->ReadDocument(static_cast<DocId>(i)).value());
+  }
+}
+
+TEST(SyntheticTest, TakePrefix) {
+  SimulatedDisk disk(4096);
+  SyntheticSpec spec;
+  spec.num_documents = 30;
+  spec.avg_terms_per_doc = 8;
+  spec.vocabulary_size = 60;
+  spec.seed = 6;
+  auto col = GenerateCollection(&disk, "syn", spec);
+  ASSERT_TRUE(col.ok());
+  auto prefix = TakePrefix(&disk, "prefix", *col, 7);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(prefix->num_documents(), 7);
+  for (int64_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(prefix->ReadDocument(static_cast<DocId>(i)).value(),
+              col->ReadDocument(static_cast<DocId>(i)).value());
+  }
+  EXPECT_FALSE(TakePrefix(&disk, "bad", *col, 31).ok());
+}
+
+TEST(SyntheticTest, MergeDocumentsKeepsTotalSize) {
+  // Group 5 transform: fewer, larger documents, same collection size.
+  SimulatedDisk disk(4096);
+  SyntheticSpec spec;
+  spec.num_documents = 40;
+  spec.avg_terms_per_doc = 6;
+  spec.vocabulary_size = 5000;  // sparse: merges rarely collide on terms
+  spec.zipf_s = 0.0;            // uniform, so the head does not collide
+  spec.seed = 11;
+  auto col = GenerateCollection(&disk, "syn", spec);
+  ASSERT_TRUE(col.ok());
+  auto merged = MergeDocuments(&disk, "merged", *col, 4);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->num_documents(), 10);
+  // Without term collisions the cell count is conserved exactly; with the
+  // sparse vocabulary it is close.
+  EXPECT_NEAR(static_cast<double>(merged->total_cells()),
+              static_cast<double>(col->total_cells()),
+              0.05 * static_cast<double>(col->total_cells()));
+  EXPECT_EQ(merged->num_distinct_terms(), col->num_distinct_terms());
+}
+
+TEST(TrecProfilesTest, TableValuesFromPaper) {
+  EXPECT_EQ(WsjProfile().num_documents, 98736);
+  EXPECT_EQ(FrProfile().terms_per_doc, 1017);
+  EXPECT_EQ(DoeProfile().distinct_terms, 186225);
+  EXPECT_EQ(AllTrecProfiles().size(), 3u);
+}
+
+TEST(TrecProfilesTest, DerivedColumnsMatchPaperWithP4000) {
+  // The paper says P = "4k", but its derived table rows only reproduce
+  // with P = 4000 bytes (e.g. DOE: 5*89*226087/4000 = 25152, the paper's
+  // exact "collection size in pages"). Verify all nine derived values.
+  constexpr int64_t kPaperP = 4000;
+  for (const TrecProfile& p : AllTrecProfiles()) {
+    CollectionStatistics s = ToStatistics(p);
+    EXPECT_NEAR(s.AvgDocPages(kPaperP), p.avg_doc_pages, 0.005) << p.name;
+    EXPECT_NEAR(s.AvgEntryPages(kPaperP), p.avg_entry_pages, 0.005)
+        << p.name;
+    EXPECT_NEAR(s.CollectionPages(kPaperP),
+                static_cast<double>(p.collection_pages), 5.0)
+        << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace textjoin

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace textjoin {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("Hello, World! C++20 rocks");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"hello", "world", "20", "rocks"}));
+}
+
+TEST(TokenizerTest, DropsStopwordsAndShortTokens) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("the cat and the hat a b");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"cat", "hat"}));
+}
+
+TEST(TokenizerTest, KeepsStopwordsWhenDisabled) {
+  Tokenizer::Options opts;
+  opts.remove_stopwords = false;
+  opts.min_token_length = 1;
+  Tokenizer tok(opts);
+  auto tokens = tok.Tokenize("the cat");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"the", "cat"}));
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("  ,.;  ").empty());
+}
+
+TEST(TokenizerTest, MakeDocumentCountsOccurrences) {
+  Tokenizer tok;
+  Vocabulary vocab;
+  auto doc = tok.MakeDocument("data data systems", &vocab);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->num_terms(), 2);
+  TermId data = vocab.Lookup("data").value();
+  EXPECT_EQ(doc->WeightOf(data), 2);
+  TermId systems = vocab.Lookup("systems").value();
+  EXPECT_EQ(doc->WeightOf(systems), 1);
+}
+
+TEST(TokenizerTest, SharedVocabularyAcrossDocuments) {
+  Tokenizer tok;
+  Vocabulary vocab;
+  auto d1 = tok.MakeDocument("query processing", &vocab);
+  auto d2 = tok.MakeDocument("query optimization", &vocab);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  TermId query = vocab.Lookup("query").value();
+  EXPECT_EQ(d1->WeightOf(query), 1);
+  EXPECT_EQ(d2->WeightOf(query), 1);
+  EXPECT_EQ(DotSimilarity(*d1, *d2), 1);  // shared term "query"
+}
+
+}  // namespace
+}  // namespace textjoin

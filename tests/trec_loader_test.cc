@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "text/trec_loader.h"
+
+namespace textjoin {
+namespace {
+
+constexpr const char* kSample = R"(
+<DOC>
+<DOCNO> WSJ870324-0001 </DOCNO>
+<HL> Some headline </HL>
+<TEXT>
+Stocks rallied on strong earnings reports from technology companies.
+</TEXT>
+</DOC>
+<DOC>
+<DOCNO> WSJ870324-0002 </DOCNO>
+<TEXT>
+Bond prices fell as interest rates climbed.
+</TEXT>
+<TEXT>
+A second text section in the same document.
+</TEXT>
+</DOC>
+<DOC>
+<DOCNO> WSJ870324-0003 </DOCNO>
+<HL> A document with no text section is skipped </HL>
+</DOC>
+)";
+
+TEST(TrecLoaderTest, ParsesDocumentsAndDocnos) {
+  auto docs = ParseTrecStream(kSample);
+  ASSERT_TRUE(docs.ok()) << docs.status();
+  ASSERT_EQ(docs->size(), 2u);  // the third has no <TEXT>
+  EXPECT_EQ((*docs)[0].docno, "WSJ870324-0001");
+  EXPECT_NE((*docs)[0].text.find("Stocks rallied"), std::string::npos);
+  EXPECT_EQ((*docs)[1].docno, "WSJ870324-0002");
+  // Both <TEXT> sections concatenated.
+  EXPECT_NE((*docs)[1].text.find("Bond prices"), std::string::npos);
+  EXPECT_NE((*docs)[1].text.find("second text section"), std::string::npos);
+}
+
+TEST(TrecLoaderTest, CaseInsensitiveTags) {
+  auto docs = ParseTrecStream(
+      "<doc><docno>X1</docno><text>lower case tags work</text></doc>");
+  ASSERT_TRUE(docs.ok());
+  ASSERT_EQ(docs->size(), 1u);
+  EXPECT_EQ((*docs)[0].docno, "X1");
+}
+
+TEST(TrecLoaderTest, UnterminatedDocFails) {
+  auto docs = ParseTrecStream("<DOC><DOCNO>X</DOCNO><TEXT>abc</TEXT>");
+  EXPECT_FALSE(docs.ok());
+}
+
+TEST(TrecLoaderTest, EmptyStreamYieldsNoDocuments) {
+  auto docs = ParseTrecStream("no tags at all");
+  ASSERT_TRUE(docs.ok());
+  EXPECT_TRUE(docs->empty());
+}
+
+TEST(TrecLoaderTest, BuildsCollection) {
+  SimulatedDisk disk(4096);
+  Vocabulary vocab;
+  Tokenizer tokenizer;
+  auto loaded =
+      LoadTrecCollection(&disk, "wsj-sample", kSample, &vocab, tokenizer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->collection.num_documents(), 2);
+  EXPECT_EQ(loaded->docnos.size(), 2u);
+  // "earnings" appears in doc 0 only.
+  TermId earnings = vocab.Lookup("earnings").value();
+  EXPECT_EQ(loaded->collection.DocumentFrequency(earnings), 1);
+  auto d0 = loaded->collection.ReadDocument(0);
+  ASSERT_TRUE(d0.ok());
+  EXPECT_GT(d0->WeightOf(earnings), 0);
+}
+
+TEST(TrecLoaderTest, RejectsStreamWithoutText) {
+  SimulatedDisk disk(4096);
+  Vocabulary vocab;
+  Tokenizer tokenizer;
+  auto loaded = LoadTrecCollection(
+      &disk, "x", "<DOC><DOCNO>1</DOCNO></DOC>", &vocab, tokenizer);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(TrecLoaderTest, MissingFileFails) {
+  SimulatedDisk disk(4096);
+  Vocabulary vocab;
+  Tokenizer tokenizer;
+  EXPECT_EQ(LoadTrecCollectionFromFile(&disk, "x", "/no/such/file.sgml",
+                                       &vocab, tokenizer)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace textjoin

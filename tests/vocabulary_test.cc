@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "text/vocabulary.h"
+
+namespace textjoin {
+namespace {
+
+TEST(VocabularyTest, AssignsSequentialIds) {
+  Vocabulary v;
+  EXPECT_EQ(v.AddOrGet("alpha").value(), 0u);
+  EXPECT_EQ(v.AddOrGet("beta").value(), 1u);
+  EXPECT_EQ(v.AddOrGet("gamma").value(), 2u);
+  EXPECT_EQ(v.size(), 3);
+}
+
+TEST(VocabularyTest, AddOrGetIsIdempotent) {
+  Vocabulary v;
+  TermId a = v.AddOrGet("alpha").value();
+  EXPECT_EQ(v.AddOrGet("alpha").value(), a);
+  EXPECT_EQ(v.size(), 1);
+}
+
+TEST(VocabularyTest, LookupKnownAndUnknown) {
+  Vocabulary v;
+  TermId a = v.AddOrGet("alpha").value();
+  EXPECT_EQ(v.Lookup("alpha").value(), a);
+  auto missing = v.Lookup("nope");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(VocabularyTest, TermOfRoundTrips) {
+  Vocabulary v;
+  TermId a = v.AddOrGet("alpha").value();
+  EXPECT_EQ(v.TermOf(a).value(), "alpha");
+  EXPECT_FALSE(v.TermOf(99).ok());
+}
+
+TEST(VocabularyTest, SharedMappingAcrossCollections) {
+  // The paper's "standard mapping": the same Vocabulary instance yields the
+  // same numbers no matter which collection the term appears in first.
+  Vocabulary standard;
+  TermId from_c1 = standard.AddOrGet("database").value();
+  TermId from_c2 = standard.AddOrGet("database").value();
+  EXPECT_EQ(from_c1, from_c2);
+}
+
+}  // namespace
+}  // namespace textjoin

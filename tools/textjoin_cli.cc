@@ -1,0 +1,332 @@
+// textjoin_cli — command-line front end for the library.
+//
+//   textjoin_cli join <inner.txt> <outer.txt> [--lambda N] [--algo A]
+//                [--buffer PAGES] [--cosine] [--idf]
+//       Joins two text files (one document per line): for every line of
+//       the outer file, prints the lambda most similar inner lines.
+//       --algo auto|hhnl|hvnl|vvm (default auto = the integrated
+//       algorithm's cost-based choice).
+//
+//   textjoin_cli estimate --n1 N --k1 K --t1 T --n2 N --k2 K --t2 T
+//                [--buffer PAGES] [--alpha A] [--lambda L] [--delta D]
+//                [--m PARTICIPATING] [--random-outer]
+//       Evaluates the paper's six cost formulas for the given collection
+//       statistics and prints the comparison.
+//
+//   textjoin_cli stats <file.txt>
+//       Tokenizes a file (one document per line) and prints the
+//       statistics the cost model consumes.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "cost/cost_model.h"
+#include "cost/statistics.h"
+#include "index/inverted_file.h"
+#include "join/hhnl.h"
+#include "join/hvnl.h"
+#include "join/vvm.h"
+#include "planner/planner.h"
+#include "text/tokenizer.h"
+#include "text/trec_loader.h"
+
+namespace textjoin {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  textjoin_cli join <inner.txt> <outer.txt> [--lambda N] "
+               "[--algo auto|hhnl|hvnl|vvm]\n"
+               "               [--buffer PAGES] [--cosine] [--idf] "
+               "[--trec]\n"
+               "      --trec: inputs are TREC SGML files "
+               "(<DOC><DOCNO><TEXT>) instead of one document per line\n"
+               "  textjoin_cli estimate --n1 N --k1 K --t1 T --n2 N --k2 K "
+               "--t2 T\n"
+               "               [--buffer PAGES] [--alpha A] [--lambda L] "
+               "[--delta D] [--m M] [--random-outer]\n"
+               "  textjoin_cli stats <file.txt>\n");
+  return 2;
+}
+
+// Minimal flag scanner: --name value or boolean --name.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 0; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  std::optional<std::string> Flag(const std::string& name) {
+    for (size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == "--" + name) return args_[i + 1];
+    }
+    return std::nullopt;
+  }
+
+  bool Bool(const std::string& name) const {
+    for (const auto& a : args_) {
+      if (a == "--" + name) return true;
+    }
+    return false;
+  }
+
+  int64_t Int(const std::string& name, int64_t def) {
+    auto v = Flag(name);
+    return v ? std::stoll(*v) : def;
+  }
+
+  double Double(const std::string& name, double def) {
+    auto v = Flag(name);
+    return v ? std::stod(*v) : def;
+  }
+
+  // Positional arguments (not starting with --, not a flag's value).
+  std::vector<std::string> Positional() const {
+    std::vector<std::string> out;
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i].rfind("--", 0) == 0) {
+        // Boolean flags have no value; numeric flags consume the next
+        // token. Heuristic: skip the next token unless it also starts
+        // with "--" or the flag is a known boolean.
+        if (args_[i] == "--cosine" || args_[i] == "--idf" ||
+            args_[i] == "--random-outer" || args_[i] == "--trec") {
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      out.push_back(args_[i]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+Result<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  if (lines.empty()) return Status::InvalidArgument(path + " is empty");
+  return lines;
+}
+
+Result<DocumentCollection> BuildFromLines(
+    SimulatedDisk* disk, const std::string& name,
+    const std::vector<std::string>& lines, Vocabulary* vocab,
+    const Tokenizer& tokenizer) {
+  CollectionBuilder builder(disk, name);
+  for (const std::string& line : lines) {
+    TEXTJOIN_ASSIGN_OR_RETURN(Document doc,
+                              tokenizer.MakeDocument(line, vocab));
+    TEXTJOIN_RETURN_IF_ERROR(builder.AddDocument(doc).status());
+  }
+  return builder.Finish();
+}
+
+int RunJoin(Args& args) {
+  auto positional = args.Positional();
+  if (positional.size() != 2) return Usage();
+  const int64_t lambda = args.Int("lambda", 3);
+  const int64_t buffer = args.Int("buffer", 1000);
+  const std::string algo = args.Flag("algo").value_or("auto");
+  const bool trec = args.Bool("trec");
+
+  SimulatedDisk disk(4096);
+  Vocabulary vocab;
+  Tokenizer tokenizer;
+  Result<DocumentCollection> inner(Status::Internal("unset"));
+  Result<DocumentCollection> outer(Status::Internal("unset"));
+  // Display labels per outer/inner document.
+  std::vector<std::string> inner_labels, outer_labels;
+
+  if (trec) {
+    auto in = LoadTrecCollectionFromFile(&disk, "inner", positional[0],
+                                         &vocab, tokenizer);
+    auto out = LoadTrecCollectionFromFile(&disk, "outer", positional[1],
+                                          &vocab, tokenizer);
+    if (!in.ok() || !out.ok()) {
+      std::fprintf(
+          stderr, "%s\n",
+          (!in.ok() ? in.status() : out.status()).ToString().c_str());
+      return 1;
+    }
+    inner_labels = in->docnos;
+    outer_labels = out->docnos;
+    inner = std::move(in->collection);
+    outer = std::move(out->collection);
+  } else {
+    auto inner_lines = ReadLines(positional[0]);
+    auto outer_lines = ReadLines(positional[1]);
+    if (!inner_lines.ok() || !outer_lines.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   (!inner_lines.ok() ? inner_lines.status()
+                                      : outer_lines.status())
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    inner_labels = *inner_lines;
+    outer_labels = *outer_lines;
+    inner = BuildFromLines(&disk, "inner", *inner_lines, &vocab, tokenizer);
+    outer = BuildFromLines(&disk, "outer", *outer_lines, &vocab, tokenizer);
+  }
+  TEXTJOIN_CHECK_OK(inner.status());
+  TEXTJOIN_CHECK_OK(outer.status());
+  auto inner_index = InvertedFile::Build(&disk, "inner.inv", *inner);
+  auto outer_index = InvertedFile::Build(&disk, "outer.inv", *outer);
+  TEXTJOIN_CHECK_OK(inner_index.status());
+  TEXTJOIN_CHECK_OK(outer_index.status());
+
+  SimilarityConfig config;
+  config.cosine_normalize = args.Bool("cosine");
+  config.use_idf = args.Bool("idf");
+  auto simctx = SimilarityContext::Create(*inner, *outer, config);
+  TEXTJOIN_CHECK_OK(simctx.status());
+
+  JoinContext ctx;
+  ctx.inner = &inner.value();
+  ctx.outer = &outer.value();
+  ctx.inner_index = &inner_index.value();
+  ctx.outer_index = &outer_index.value();
+  ctx.similarity = &simctx.value();
+  ctx.sys = SystemParams{buffer, 4096, 5.0};
+
+  JoinSpec spec;
+  spec.lambda = lambda;
+  spec.similarity = config;
+
+  disk.ResetStats();
+  Result<JoinResult> result(Status::OK());
+  if (algo == "auto") {
+    JoinPlanner planner;
+    PlanChoice plan;
+    result = planner.Execute(ctx, spec, &plan);
+    if (result.ok()) std::printf("%s\n\n", plan.explanation.c_str());
+  } else if (algo == "hhnl") {
+    HhnlJoin join;
+    result = join.Run(ctx, spec);
+  } else if (algo == "hvnl") {
+    HvnlJoin join;
+    result = join.Run(ctx, spec);
+  } else if (algo == "vvm") {
+    VvmJoin join;
+    result = join.Run(ctx, spec);
+  } else {
+    return Usage();
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "join failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  for (const OuterMatches& om : *result) {
+    std::printf("outer %u: %.60s\n", om.outer_doc,
+                outer_labels[om.outer_doc].c_str());
+    for (const Match& m : om.matches) {
+      std::printf("  %8.3f  inner %u: %.60s\n", m.score, m.doc,
+                  inner_labels[m.doc].c_str());
+    }
+  }
+  std::printf("\njoin I/O: %s\n", disk.stats().ToString().c_str());
+  return 0;
+}
+
+int RunEstimate(Args& args) {
+  CostInputs in;
+  in.c1.num_documents = args.Int("n1", 0);
+  in.c1.avg_terms_per_doc = args.Double("k1", 0);
+  in.c1.num_distinct_terms = args.Int("t1", 0);
+  in.c2.num_documents = args.Int("n2", 0);
+  in.c2.avg_terms_per_doc = args.Double("k2", 0);
+  in.c2.num_distinct_terms = args.Int("t2", 0);
+  if (in.c1.num_documents <= 0 || in.c2.num_documents <= 0 ||
+      in.c1.num_distinct_terms <= 0 || in.c2.num_distinct_terms <= 0) {
+    return Usage();
+  }
+  in.sys.buffer_pages = args.Int("buffer", 10000);
+  in.sys.alpha = args.Double("alpha", 5.0);
+  in.query.lambda = args.Int("lambda", 20);
+  in.query.delta = args.Double("delta", 0.1);
+  in.participating_outer = args.Int("m", -1);
+  in.outer_reads_random = args.Bool("random-outer");
+  in.q = EstimateTermOverlap(in.c2.num_distinct_terms,
+                             in.c1.num_distinct_terms);
+
+  CostComparison c = CompareCosts(in);
+  std::printf("q = %.3f\n", in.q);
+  std::printf("%-8s %14s %14s   %s\n", "algo", "sequential", "random",
+              "note");
+  auto row = [&](Algorithm a) {
+    const AlgorithmCost& cost = c.of(a);
+    if (cost.feasible) {
+      std::printf("%-8s %14.0f %14.0f   %s\n", AlgorithmName(a), cost.seq,
+                  cost.rand, cost.note.c_str());
+    } else {
+      std::printf("%-8s %14s %14s   %s\n", AlgorithmName(a), "infeasible",
+                  "infeasible", cost.note.c_str());
+    }
+  };
+  row(Algorithm::kHhnl);
+  row(Algorithm::kHvnl);
+  row(Algorithm::kVvm);
+  std::printf("best (sequential model): %s\n",
+              AlgorithmName(c.BestSequential()));
+  std::printf("best (random model):     %s\n",
+              AlgorithmName(c.BestRandom()));
+  return 0;
+}
+
+int RunStats(Args& args) {
+  auto positional = args.Positional();
+  if (positional.size() != 1) return Usage();
+  auto lines = ReadLines(positional[0]);
+  if (!lines.ok()) {
+    std::fprintf(stderr, "%s\n", lines.status().ToString().c_str());
+    return 1;
+  }
+  SimulatedDisk disk(4096);
+  Vocabulary vocab;
+  Tokenizer tokenizer;
+  auto col = BuildFromLines(&disk, "c", *lines, &vocab, tokenizer);
+  TEXTJOIN_CHECK_OK(col.status());
+  CollectionStatistics s = StatisticsOf(*col);
+  std::printf("documents (N):        %lld\n",
+              static_cast<long long>(s.num_documents));
+  std::printf("terms per doc (K):    %.2f\n", s.avg_terms_per_doc);
+  std::printf("distinct terms (T):   %lld\n",
+              static_cast<long long>(s.num_distinct_terms));
+  std::printf("df skew:              %.2f\n", s.df_skew);
+  std::printf("collection pages (D): %.2f (at P=4096)\n",
+              s.CollectionPages(4096));
+  std::printf("doc pages (S):        %.4f\n", s.AvgDocPages(4096));
+  std::printf("entry pages (J):      %.4f\n", s.AvgEntryPages(4096));
+  std::printf("B+tree pages (Bt):    %.2f\n", s.BTreePages(4096));
+  return 0;
+}
+
+}  // namespace
+}  // namespace textjoin
+
+int main(int argc, char** argv) {
+  using namespace textjoin;
+  if (argc < 2) return Usage();
+  Args args(argc - 2, argv + 2);
+  const std::string command = argv[1];
+  if (command == "join") return RunJoin(args);
+  if (command == "estimate") return RunEstimate(args);
+  if (command == "stats") return RunStats(args);
+  return Usage();
+}
