@@ -13,6 +13,7 @@
 #include "join/hhnl.h"
 #include "join/hvnl.h"
 #include "join/vvm.h"
+#include "obs/query_stats.h"
 #include "sim/synthetic.h"
 
 namespace textjoin {
@@ -63,10 +64,11 @@ void ModelVsMeasured() {
 
   auto report = [&](const char* name, TextJoinAlgorithm& algo,
                     const CpuEstimate& est) {
-    CpuStats cpu;
-    ctx.cpu = &cpu;
+    QueryStatsCollector collector(&disk);
+    ctx.stats = &collector;
     auto r = algo.Run(ctx, spec);
     TEXTJOIN_CHECK_OK(r.status());
+    const CpuStats cpu = collector.Finish().root.cpu;
     std::printf("%-8s %16.0f %16lld %16.0f %16lld\n", name,
                 est.accumulations,
                 static_cast<long long>(cpu.accumulations),

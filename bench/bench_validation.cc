@@ -14,6 +14,8 @@
 #include "join/hhnl.h"
 #include "join/hvnl.h"
 #include "join/vvm.h"
+#include "obs/explain.h"
+#include "obs/query_stats.h"
 #include "planner/planner.h"
 #include "sim/synthetic.h"
 
@@ -87,10 +89,15 @@ void RunWorkload(const Workload& w) {
 
   JoinResult reference;
   bool have_reference = false;
+  std::string phase_reports;
   auto run = [&](TextJoinAlgorithm& algo, const AlgorithmCost& m) {
     disk.ResetStats();
     disk.ResetHeads();
-    auto result = algo.Run(ctx, spec);
+    QueryStatsCollector collector(&disk);
+    JoinContext metered = ctx;
+    metered.stats = &collector;
+    auto result = algo.Run(metered, spec);
+    QueryStats qstats = collector.Finish();
     if (!result.ok()) {
       std::printf("%-8s %14s %14s %14s %10s  (%s)\n", algo.name().c_str(),
                   bench_util::FmtCost(m, false).c_str(), "-", "-", "-",
@@ -109,6 +116,17 @@ void RunWorkload(const Workload& w) {
                 bench_util::FmtCost(m, false).c_str(), measured,
                 static_cast<long long>(disk.stats().total_reads()),
                 m.feasible ? measured / m.seq : 0.0);
+
+    // The same per-phase predicted-vs-measured table EXPLAIN ANALYZE
+    // prints; the summary row above already compares the totals.
+    ExplainPlan eplan;
+    eplan.algorithm = algo.kind();
+    eplan.costs = model;
+    eplan.inputs = in;
+    ExplainOptions opts;
+    opts.include_alternatives = false;  // the summary table covers them
+    phase_reports += RenderExplainAnalyze(eplan, qstats, opts);
+    phase_reports += "\n";
   };
 
   HhnlJoin hhnl;
@@ -123,6 +141,7 @@ void RunWorkload(const Workload& w) {
   if (plan.ok()) {
     std::printf("planner: %s\n", plan->explanation.c_str());
   }
+  std::printf("\n%s", phase_reports.c_str());
 }
 
 // Does the planner's predicted winner actually win when the real

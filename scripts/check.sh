@@ -1,8 +1,20 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, run every test, every benchmark and
 # every example. Exits non-zero on the first failure.
+#
+#   scripts/check.sh            normal mode
+#   scripts/check.sh sanitize   ASan+UBSan build (separate build dir,
+#                               tests only, selected via `ctest -L sanitize`)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "sanitize" ]; then
+  cmake -B build-sanitize -G Ninja -DTEXTJOIN_SANITIZE=ON
+  cmake --build build-sanitize
+  ctest --test-dir build-sanitize -L sanitize --output-on-failure
+  echo "SANITIZE CHECKS PASSED"
+  exit 0
+fi
 
 cmake -B build -G Ninja
 cmake --build build

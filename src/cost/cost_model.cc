@@ -288,6 +288,146 @@ AlgorithmCost VvmCost(const CostInputs& in) {
   return c;
 }
 
+namespace {
+
+// The decompositions below re-run the exact case analysis of the cost
+// functions above and split each total across the algorithm's phases, so
+// that sum(phases.seq) == AlgorithmCost.seq and likewise for rand (up to
+// floating-point rounding; stats_accuracy_test enforces this).
+
+std::vector<PhaseCost> HhnlPhases(const CostInputs& in) {
+  Derived d = MakeDerived(in);
+  const double X = HhnlBatchSize(in);
+  if (X < 1.0) return {};
+  const double scans = std::ceil(d.m / X);
+  const double outer = d.OuterDocCost();
+  PhaseCost read_outer{phase::kReadOuter, outer, outer};
+  PhaseCost scan_inner{phase::kScanInner, scans * d.D1, scans * d.D1};
+  if (d.m >= X) {
+    const double inner_rand = std::min(d.D1, d.N1);
+    scan_inner.rand += scans * (1.0 + inner_rand) * (d.alpha - 1.0);
+  } else {
+    const double leftover = (X - d.m) * d.S2;
+    const double blocks = std::ceil(d.D1 / std::max(leftover, 1e-12));
+    scan_inner.rand += blocks * (d.alpha - 1.0);
+  }
+  return {read_outer, scan_inner};
+}
+
+std::vector<PhaseCost> HhnlBackwardPhases(const CostInputs& in) {
+  Derived d = MakeDerived(in);
+  const double X = HhnlBackwardBatchSize(in);
+  if (X < 1.0) return {};
+  const double scans = std::ceil(d.N1 / X);
+  const double inner_rand = std::min(d.D1, d.N1);
+  const double outer_rand =
+      d.outer_random ? 0.0 : scans * std::min(d.D2_eff, d.m);
+  PhaseCost read_inner{phase::kReadInnerBatch, d.D1,
+                       d.D1 + inner_rand * (d.alpha - 1.0)};
+  PhaseCost rescan{phase::kRescanOuter, scans * d.OuterDocCost(),
+                   scans * d.OuterDocCost() + outer_rand * (d.alpha - 1.0)};
+  return {read_inner, rescan};
+}
+
+std::vector<PhaseCost> HvnlPhases(const CostInputs& in) {
+  Derived d = MakeDerived(in);
+  const double X = HvnlCacheCapacity(in);
+  if (X < 0.0) return {};
+  const double outer = d.OuterDocCost();
+  const double cJ1 = std::ceil(std::max(d.J1, 1e-12));
+  const bool reduced = d.m < d.N2;
+  const double needed =
+      reduced ? d.q * DistinctTermsAfter(d.m, d.K2, in.c2.num_distinct_terms)
+              : d.q * d.T2;
+
+  auto rand_tail = [&](double cache_left_entries) {
+    if (d.outer_random) return 0.0;
+    const double left_pages = cache_left_entries * d.J1;
+    if (left_pages <= 0.0) {
+      return std::min(d.D2_eff, d.m) * (d.alpha - 1.0);
+    }
+    return std::ceil(d.D2_eff / left_pages) * (d.alpha - 1.0);
+  };
+
+  PhaseCost read_outer{phase::kReadOuter, outer, outer};
+  PhaseCost btree{phase::kLoadBtree, d.Bt1, d.Bt1};
+  PhaseCost probe{phase::kProbeEntries, 0, 0};
+  if (X >= d.T1) {
+    // Case 1: the seq and rand minima may pick different branches; each
+    // variant decomposes along its own argmin so sums stay exact.
+    const double probe_scan = d.I1;
+    const double probe_fetch = needed * cJ1 * d.alpha;
+    probe.seq = std::min(probe_scan, probe_fetch);
+    const double rand_scan = probe_scan + rand_tail(X - d.T1);
+    const double rand_fetch = probe_fetch + rand_tail(X - needed);
+    if (rand_scan <= rand_fetch) {
+      probe.rand = probe_scan;
+      read_outer.rand += rand_tail(X - d.T1);
+    } else {
+      probe.rand = probe_fetch;
+      read_outer.rand += rand_tail(X - needed);
+    }
+  } else if (X >= needed) {
+    probe.seq = needed * cJ1 * d.alpha;
+    probe.rand = probe.seq;
+    read_outer.rand += rand_tail(X - needed);
+  } else {
+    // Case 3 repeats the thrashing math of HvnlCost.
+    const double T2f = static_cast<double>(in.c2.num_distinct_terms);
+    auto qf = [&](double mm) {
+      return d.q * DistinctTermsAfter(mm, d.K2, in.c2.num_distinct_terms);
+    };
+    double s;
+    const double ratio = 1.0 - d.K2 / std::max(T2f, 1.0);
+    if (d.q <= 0.0 || ratio <= 0.0 || ratio >= 1.0) {
+      s = 1.0;
+    } else {
+      const double arg = 1.0 - X / (d.q * T2f);
+      s = arg <= 0.0 ? d.m
+                     : std::floor(std::log(arg) / std::log(ratio)) + 1.0;
+      while (s > 1.0 && qf(s - 1.0) > X) s -= 1.0;
+      while (qf(s) <= X && s < d.m) s += 1.0;
+    }
+    s = std::min(s, d.m);
+    const double fs = qf(s), fs1 = qf(s - 1.0);
+    const double X1 = (fs - fs1) > 0.0 ? (X - fs1) / (fs - fs1) : 0.0;
+    const double Y = std::max(qf(s + X1) - X, 0.0);
+    const double remaining = std::max(d.m - s - X1 + 1.0, 0.0);
+    probe.seq = X * cJ1 * d.alpha + remaining * Y * cJ1 * d.alpha;
+    probe.rand = probe.seq;
+    read_outer.rand += d.outer_random
+                           ? 0.0
+                           : std::min(d.D2_eff, d.m) * (d.alpha - 1.0);
+  }
+  return {read_outer, btree, probe};
+}
+
+std::vector<PhaseCost> VvmPhases(const CostInputs& in) {
+  Derived d = MakeDerived(in);
+  const int64_t passes = VvmPasses(in);
+  if (passes < 0) return {};
+  const double p = static_cast<double>(passes);
+  PhaseCost merge{phase::kMergeScan, (d.I1 + d.I2) * p,
+                  (std::min(d.I1, d.T1) + std::min(d.I2, d.T2)) * d.alpha *
+                      p};
+  return {merge};
+}
+
+}  // namespace
+
+std::vector<PhaseCost> CostPhases(Algorithm algorithm, const CostInputs& in,
+                                  bool hhnl_backward) {
+  switch (algorithm) {
+    case Algorithm::kHhnl:
+      return hhnl_backward ? HhnlBackwardPhases(in) : HhnlPhases(in);
+    case Algorithm::kHvnl:
+      return HvnlPhases(in);
+    case Algorithm::kVvm:
+      return VvmPhases(in);
+  }
+  return {};
+}
+
 const AlgorithmCost& CostComparison::of(Algorithm a) const {
   switch (a) {
     case Algorithm::kHhnl:

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cost/params.h"
 
@@ -104,6 +105,35 @@ AlgorithmCost HhnlBackwardCost(const CostInputs& in);
 
 // Batch size X' of the backward order (fractional; < 1 means infeasible).
 double HhnlBackwardBatchSize(const CostInputs& in);
+
+// Canonical phase labels, shared between the cost model's per-phase
+// prediction (CostPhases below) and the executors' runtime reporting
+// (obs/query_stats.h), so EXPLAIN ANALYZE can pair the two by label.
+namespace phase {
+inline constexpr char kReadOuter[] = "read outer";           // HHNL fwd, HVNL
+inline constexpr char kScanInner[] = "scan inner";           // HHNL fwd
+inline constexpr char kReadInnerBatch[] = "read inner batch";  // HHNL bwd
+inline constexpr char kRescanOuter[] = "rescan outer";       // HHNL bwd
+inline constexpr char kLoadBtree[] = "load btree";           // HVNL
+inline constexpr char kProbeEntries[] = "probe inverted entries";  // HVNL
+inline constexpr char kMergeScan[] = "merge scan";           // VVM
+}  // namespace phase
+
+// One phase's share of an algorithm's predicted cost. The phases of one
+// algorithm sum (exactly, up to floating-point rounding) to the
+// corresponding AlgorithmCost.seq / AlgorithmCost.rand totals.
+struct PhaseCost {
+  std::string label;
+  double seq = 0;
+  double rand = 0;
+};
+
+// Decomposes the predicted cost of `algorithm` into its phases, using the
+// same formulas and case analysis as HhnlCost/HvnlCost/VvmCost (and
+// HhnlBackwardCost when `hhnl_backward` is set). Empty when the algorithm
+// is infeasible for these inputs.
+std::vector<PhaseCost> CostPhases(Algorithm algorithm, const CostInputs& in,
+                                  bool hhnl_backward = false);
 
 // Evaluates all three algorithms.
 struct CostComparison {

@@ -30,6 +30,17 @@ struct CpuStats {
     return *this;
   }
 
+  // Snapshot delta (see obs/query_stats.h) — meaningful when `o` is an
+  // earlier snapshot of the same accumulator.
+  CpuStats operator-(const CpuStats& o) const {
+    CpuStats d;
+    d.cell_compares = cell_compares - o.cell_compares;
+    d.accumulations = accumulations - o.accumulations;
+    d.heap_offers = heap_offers - o.heap_offers;
+    d.cells_decoded = cells_decoded - o.cells_decoded;
+    return d;
+  }
+
   // A single scalar for comparisons: every counted operation weighted
   // equally (callers can weight the fields themselves when they know
   // their machine).

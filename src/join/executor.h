@@ -18,6 +18,8 @@
 
 namespace textjoin {
 
+class QueryStatsCollector;  // obs/query_stats.h
+
 // What to compute: C1 SIMILAR_TO(lambda) C2 in forward order — for every
 // participating document of the outer collection C2, the lambda documents
 // of the inner collection C1 with the largest non-zero similarity.
@@ -67,9 +69,11 @@ struct JoinContext {
   const SimilarityContext* similarity = nullptr;
   SystemParams sys;  // buffer_pages B drives each algorithm's allocation
 
-  // Optional CPU-work metering (Section 7 extension); executors update it
-  // when non-null.
-  CpuStats* cpu = nullptr;
+  // Optional observability sink (obs/query_stats.h). When non-null the
+  // executors report their phases (labels from cost/cost_model.h phase::),
+  // algorithm-specific counters and CPU work (Section 7 extension) into
+  // it; I/O attribution happens via the collector's disk snapshots.
+  QueryStatsCollector* stats = nullptr;
 };
 
 // Common interface of the three algorithms.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/query_stats.h"
 
 namespace textjoin {
 
@@ -32,6 +33,12 @@ Result<JoinResult> HhnlJoin::RunForward(const JoinContext& ctx,
   }
   const std::vector<DocId> participating = ParticipatingOuterDocs(ctx, spec);
   const bool random_outer = !spec.outer_subset.empty();
+  QueryStatsCollector* stats = ctx.stats;
+  CpuStats* cpu = stats != nullptr ? stats->cpu() : nullptr;
+  if (stats != nullptr) {
+    stats->SetRootLabel("HHNL");
+    stats->SetCounter("batch_size_X", X);
+  }
 
   JoinResult result;
   result.reserve(participating.size());
@@ -49,36 +56,41 @@ Result<JoinResult> HhnlJoin::RunForward(const JoinContext& ctx,
                                   participating.begin() + pos + batch_size);
     std::vector<Document> batch;
     batch.reserve(batch_size);
-    for (DocId d : batch_docs) {
-      if (random_outer) {
-        TEXTJOIN_ASSIGN_OR_RETURN(Document doc, ctx.outer->ReadDocument(d));
-        batch.push_back(std::move(doc));
-      } else {
-        TEXTJOIN_CHECK_EQ(outer_scan.next_doc(), d);
-        TEXTJOIN_ASSIGN_OR_RETURN(Document doc, outer_scan.Next());
-        batch.push_back(std::move(doc));
+    {
+      PhaseScope read_outer(stats, phase::kReadOuter);
+      for (DocId d : batch_docs) {
+        if (random_outer) {
+          TEXTJOIN_ASSIGN_OR_RETURN(Document doc, ctx.outer->ReadDocument(d));
+          batch.push_back(std::move(doc));
+        } else {
+          TEXTJOIN_CHECK_EQ(outer_scan.next_doc(), d);
+          TEXTJOIN_ASSIGN_OR_RETURN(Document doc, outer_scan.Next());
+          batch.push_back(std::move(doc));
+        }
       }
     }
     pos += batch_size;
+    if (stats != nullptr) stats->AddCounter("outer_batches", 1);
 
     std::vector<TopKAccumulator> heaps(batch_size,
                                        TopKAccumulator(spec.lambda));
     // Pass over the (participating) inner documents for this batch.
+    PhaseScope scan_inner(stats, phase::kScanInner);
     TEXTJOIN_RETURN_IF_ERROR(ForEachInnerDoc(
         ctx, spec, [&](DocId inner_doc, const Document& d1) {
           for (size_t i = 0; i < batch_size; ++i) {
             double acc;
-            if (ctx.cpu != nullptr) {
+            if (cpu != nullptr) {
               DotDetail d = WeightedDotDetailed(d1, batch[i],
                                                 *ctx.similarity);
-              ctx.cpu->cell_compares += d.merge_steps;
-              ctx.cpu->accumulations += d.common_terms;
+              cpu->cell_compares += d.merge_steps;
+              cpu->accumulations += d.common_terms;
               acc = d.acc;
             } else {
               acc = WeightedDot(d1, batch[i], *ctx.similarity);
             }
             if (acc <= 0) continue;
-            if (ctx.cpu != nullptr) ++ctx.cpu->heap_offers;
+            if (cpu != nullptr) ++cpu->heap_offers;
             heaps[i].Add(inner_doc, ctx.similarity->Finalize(
                                         acc, inner_doc, batch_docs[i]));
           }
@@ -110,6 +122,12 @@ Result<JoinResult> HhnlJoin::RunBackward(const JoinContext& ctx,
         "HHNL backward: buffer cannot hold intermediate heaps plus one "
         "document of each collection");
   }
+  QueryStatsCollector* stats = ctx.stats;
+  CpuStats* cpu = stats != nullptr ? stats->cpu() : nullptr;
+  if (stats != nullptr) {
+    stats->SetRootLabel("HHNL backward");
+    stats->SetCounter("batch_size_X", X);
+  }
 
   // One heap per participating outer document, alive for the whole run.
   std::vector<TopKAccumulator> heaps(participating.size(),
@@ -121,16 +139,21 @@ Result<JoinResult> HhnlJoin::RunBackward(const JoinContext& ctx,
     // Load the next batch of (participating) inner documents.
     std::vector<DocId> batch_docs;
     std::vector<Document> batch;
-    while (!inner_scan.Done() &&
-           static_cast<int64_t>(batch.size()) < X) {
-      DocId doc = inner_scan.next_doc();
-      TEXTJOIN_ASSIGN_OR_RETURN(Document d, inner_scan.Next());
-      if (!inner_member.empty() && !inner_member[doc]) continue;
-      batch_docs.push_back(doc);
-      batch.push_back(std::move(d));
+    {
+      PhaseScope read_inner(stats, phase::kReadInnerBatch);
+      while (!inner_scan.Done() &&
+             static_cast<int64_t>(batch.size()) < X) {
+        DocId doc = inner_scan.next_doc();
+        TEXTJOIN_ASSIGN_OR_RETURN(Document d, inner_scan.Next());
+        if (!inner_member.empty() && !inner_member[doc]) continue;
+        batch_docs.push_back(doc);
+        batch.push_back(std::move(d));
+      }
     }
     if (batch.empty()) continue;
+    if (stats != nullptr) stats->AddCounter("inner_batches", 1);
     // Pass over the outer documents.
+    PhaseScope rescan(stats, phase::kRescanOuter);
     auto outer_scan = ctx.outer->Scan();
     for (size_t oi = 0; oi < participating.size(); ++oi) {
       DocId outer_doc = participating[oi];
@@ -143,16 +166,16 @@ Result<JoinResult> HhnlJoin::RunBackward(const JoinContext& ctx,
       }
       for (size_t i = 0; i < batch.size(); ++i) {
         double acc;
-        if (ctx.cpu != nullptr) {
+        if (cpu != nullptr) {
           DotDetail d = WeightedDotDetailed(batch[i], d2, *ctx.similarity);
-          ctx.cpu->cell_compares += d.merge_steps;
-          ctx.cpu->accumulations += d.common_terms;
+          cpu->cell_compares += d.merge_steps;
+          cpu->accumulations += d.common_terms;
           acc = d.acc;
         } else {
           acc = WeightedDot(batch[i], d2, *ctx.similarity);
         }
         if (acc <= 0) continue;
-        if (ctx.cpu != nullptr) ++ctx.cpu->heap_offers;
+        if (cpu != nullptr) ++cpu->heap_offers;
         heaps[oi].Add(batch_docs[i], ctx.similarity->Finalize(
                                          acc, batch_docs[i], outer_doc));
       }

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "cost/cost_model.h"
+#include "obs/query_stats.h"
 
 namespace textjoin {
 
@@ -114,10 +115,20 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
         "HVNL: buffer cannot hold the B+tree, the accumulator and one "
         "outer document");
   }
+  QueryStatsCollector* stats = ctx.stats;
+  CpuStats* cpu = stats != nullptr ? stats->cpu() : nullptr;
+  if (stats != nullptr) {
+    stats->SetRootLabel("HVNL");
+    stats->SetCounter("cache_capacity_X", X);
+  }
+  int64_t directory_probes = 0;
 
-  // One-time cost: read the whole B+tree into memory (Bt1 pages).
+  // One-time cost: read the whole B+tree into memory (Bt1 pages). An
+  // early error return may leave the phase open; Finish() closes it.
+  if (stats != nullptr) stats->BeginPhase(phase::kLoadBtree);
   TEXTJOIN_ASSIGN_OR_RETURN(auto btree_cells,
                             ctx.inner_index->btree().LoadAllCells());
+  if (stats != nullptr) stats->EndPhase();
   ResidentTermDirectory directory(std::move(btree_cells),
                                   ctx.inner_index->size_in_bytes());
 
@@ -149,12 +160,13 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
     const double scan_cost =
         static_cast<double>(ctx.inner_index->size_in_pages());
     if (scan_cost < fetch_cost) {
+      PhaseScope probe(stats, phase::kProbeEntries);
       auto scan = ctx.inner_index->Scan();
       while (!scan.Done()) {
         TermId term = scan.NextTerm();
         TEXTJOIN_ASSIGN_OR_RETURN(std::vector<ICell> cells, scan.Next());
-        if (ctx.cpu != nullptr) {
-          ctx.cpu->cells_decoded += static_cast<int64_t>(cells.size());
+        if (cpu != nullptr) {
+          cpu->cells_decoded += static_cast<int64_t>(cells.size());
         }
         cache.Put(term, std::move(cells));
       }
@@ -169,6 +181,7 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
   const bool greedy = options_.order == OuterOrder::kGreedyIntersection;
   std::vector<std::vector<TermId>> doc_terms;
   if (greedy) {
+    PhaseScope learn(stats, "learn outer term lists");
     doc_terms.resize(participating.size());
     if (random_outer) {
       for (size_t i = 0; i < participating.size(); ++i) {
@@ -204,6 +217,7 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
   for (size_t step = 0; step < participating.size(); ++step) {
     size_t pick = step;
     Document d2;
+    if (stats != nullptr) stats->BeginPhase(phase::kReadOuter);
     if (greedy) {
       // The unprocessed document whose needed entries are already cached
       // the most (first index wins ties, so storage order is the
@@ -230,10 +244,13 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
       TEXTJOIN_CHECK_EQ(outer_scan.next_doc(), participating[pick]);
       TEXTJOIN_ASSIGN_OR_RETURN(d2, outer_scan.Next());
     }
+    if (stats != nullptr) stats->EndPhase();
     const DocId outer_doc = participating[pick];
 
     acc.clear();
+    PhaseScope probe(stats, phase::kProbeEntries);
     for (const DCell& c : d2.cells()) {
+      ++directory_probes;
       if (!directory.Lookup(c.term).has_value()) continue;  // not in C1
       // Accumulate (w1 * w2) * factor in exactly the same evaluation order
       // as WeightedDot, so all algorithms produce bit-identical scores.
@@ -241,8 +258,8 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
       const double w2 = static_cast<double>(c.weight);
       const std::vector<ICell>* cells = cache.Get(c.term);
       auto accumulate = [&](const std::vector<ICell>& ics) {
-        if (ctx.cpu != nullptr) {
-          ctx.cpu->accumulations += static_cast<int64_t>(ics.size());
+        if (cpu != nullptr) {
+          cpu->accumulations += static_cast<int64_t>(ics.size());
         }
         for (const ICell& ic : ics) {
           if (!inner_member.empty() && !inner_member[ic.doc]) continue;
@@ -256,8 +273,8 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
         TEXTJOIN_ASSIGN_OR_RETURN(std::vector<ICell> fetched,
                                   ctx.inner_index->FetchEntry(c.term));
         ++run_stats_.entry_fetches;
-        if (ctx.cpu != nullptr) {
-          ctx.cpu->cells_decoded += static_cast<int64_t>(fetched.size());
+        if (cpu != nullptr) {
+          cpu->cells_decoded += static_cast<int64_t>(fetched.size());
         }
         accumulate(fetched);
         run_stats_.evictions += cache.Put(c.term, std::move(fetched));
@@ -265,8 +282,8 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
     }
 
     TopKAccumulator heap(spec.lambda);
-    if (ctx.cpu != nullptr) {
-      ctx.cpu->heap_offers += static_cast<int64_t>(acc.size());
+    if (cpu != nullptr) {
+      cpu->heap_offers += static_cast<int64_t>(acc.size());
     }
     for (const auto& [inner_doc, a] : acc) {
       heap.Add(inner_doc, ctx.similarity->Finalize(a, inner_doc, outer_doc));
@@ -279,6 +296,12 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
               [](const OuterMatches& a, const OuterMatches& b) {
                 return a.outer_doc < b.outer_doc;
               });
+  }
+  if (stats != nullptr) {
+    stats->SetCounter("directory_probes", directory_probes);
+    stats->SetCounter("entry_fetches", run_stats_.entry_fetches);
+    stats->SetCounter("cache_hits", run_stats_.cache_hits);
+    stats->SetCounter("evictions", run_stats_.evictions);
   }
   return result;
 }

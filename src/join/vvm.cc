@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "obs/query_stats.h"
 
 namespace textjoin {
 
@@ -59,6 +60,12 @@ Result<JoinResult> VvmJoin::Run(const JoinContext& ctx,
   }
 
   const std::vector<char> inner_member = InnerMembership(ctx, spec);
+  QueryStatsCollector* stats = ctx.stats;
+  CpuStats* cpu = stats != nullptr ? stats->cpu() : nullptr;
+  if (stats != nullptr) {
+    stats->SetRootLabel("VVM");
+    stats->SetCounter("passes", passes);
+  }
 
   JoinResult result;
   result.reserve(participating.size());
@@ -66,6 +73,7 @@ Result<JoinResult> VvmJoin::Run(const JoinContext& ctx,
 
   for (int64_t pass = 0; pass < passes; ++pass) {
     acc.clear();
+    PhaseScope merge(stats, phase::kMergeScan);
     // Parallel scan of both inverted files, merging on term number.
     auto scan1 = ctx.inner_index->Scan();
     auto scan2 = ctx.outer_index->Scan();
@@ -73,16 +81,16 @@ Result<JoinResult> VvmJoin::Run(const JoinContext& ctx,
       TermId t1 = scan1.NextTerm();
       TermId t2 = scan2.NextTerm();
       if (t1 < t2) {
-        if (ctx.cpu != nullptr) ctx.cpu->cells_decoded += scan1.NextCellCount();
+        if (cpu != nullptr) cpu->cells_decoded += scan1.NextCellCount();
         TEXTJOIN_RETURN_IF_ERROR(scan1.SkipEntry());
       } else if (t2 < t1) {
-        if (ctx.cpu != nullptr) ctx.cpu->cells_decoded += scan2.NextCellCount();
+        if (cpu != nullptr) cpu->cells_decoded += scan2.NextCellCount();
         TEXTJOIN_RETURN_IF_ERROR(scan2.SkipEntry());
       } else {
         TEXTJOIN_ASSIGN_OR_RETURN(std::vector<ICell> e1, scan1.Next());
         TEXTJOIN_ASSIGN_OR_RETURN(std::vector<ICell> e2, scan2.Next());
-        if (ctx.cpu != nullptr) {
-          ctx.cpu->cells_decoded +=
+        if (cpu != nullptr) {
+          cpu->cells_decoded +=
               static_cast<int64_t>(e1.size() + e2.size());
         }
         const double factor = ctx.similarity->TermFactor(t1);
@@ -90,8 +98,8 @@ Result<JoinResult> VvmJoin::Run(const JoinContext& ctx,
           if (pass_of[oc.doc] != pass) continue;
           const double w2 = static_cast<double>(oc.weight);
           const uint64_t base = static_cast<uint64_t>(oc.doc) << 32;
-          if (ctx.cpu != nullptr) {
-            ctx.cpu->accumulations += static_cast<int64_t>(e1.size());
+          if (cpu != nullptr) {
+            cpu->accumulations += static_cast<int64_t>(e1.size());
           }
           for (const ICell& icell : e1) {
             if (!inner_member.empty() && !inner_member[icell.doc]) continue;
@@ -105,11 +113,11 @@ Result<JoinResult> VvmJoin::Run(const JoinContext& ctx,
     // side is left so the measured I/O equals I1 + I2 per pass, as the
     // cost model assumes.
     while (!scan1.Done()) {
-      if (ctx.cpu != nullptr) ctx.cpu->cells_decoded += scan1.NextCellCount();
+      if (cpu != nullptr) cpu->cells_decoded += scan1.NextCellCount();
       TEXTJOIN_RETURN_IF_ERROR(scan1.SkipEntry());
     }
     while (!scan2.Done()) {
-      if (ctx.cpu != nullptr) ctx.cpu->cells_decoded += scan2.NextCellCount();
+      if (cpu != nullptr) cpu->cells_decoded += scan2.NextCellCount();
       TEXTJOIN_RETURN_IF_ERROR(scan2.SkipEntry());
     }
 
@@ -121,8 +129,8 @@ Result<JoinResult> VvmJoin::Run(const JoinContext& ctx,
     for (size_t i = lo; i < hi; ++i) {
       heaps.emplace(participating[i], TopKAccumulator(spec.lambda));
     }
-    if (ctx.cpu != nullptr) {
-      ctx.cpu->heap_offers += static_cast<int64_t>(acc.size());
+    if (cpu != nullptr) {
+      cpu->heap_offers += static_cast<int64_t>(acc.size());
     }
     for (const auto& [key, a] : acc) {
       DocId outer_doc = static_cast<DocId>(key >> 32);

@@ -1,0 +1,154 @@
+#include "obs/query_stats.h"
+
+#include <utility>
+
+namespace textjoin {
+
+namespace {
+
+PhaseCounter* FindCounter(std::vector<PhaseCounter>& counters,
+                          const std::string& name) {
+  for (PhaseCounter& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const PhaseStats* PhaseStats::Child(const std::string& child_label) const {
+  for (const PhaseStats& c : children) {
+    if (c.label == child_label) return &c;
+  }
+  return nullptr;
+}
+
+int64_t PhaseStats::Counter(const std::string& name, int64_t fallback) const {
+  for (const PhaseCounter& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return fallback;
+}
+
+IoStats PhaseStats::ChildIoSum() const {
+  IoStats sum;
+  for (const PhaseStats& c : children) sum += c.io;
+  return sum;
+}
+
+double QueryStats::BufferPoolHitRate() const {
+  const int64_t total = buffer_pool_hits + buffer_pool_misses;
+  if (!has_buffer_pool() || total == 0) return 0;
+  return static_cast<double>(buffer_pool_hits) / static_cast<double>(total);
+}
+
+QueryStatsCollector::QueryStatsCollector(const SimulatedDisk* disk)
+    : disk_(disk) {
+  Reset();
+}
+
+void QueryStatsCollector::Reset() {
+  root_ = std::make_unique<PhaseStats>();
+  root_->label = "query";
+  open_.clear();
+  cpu_total_ = CpuStats{};
+  run_.node = root_.get();
+  run_.io_before = disk_ != nullptr ? disk_->stats() : IoStats{};
+  run_.cpu_before = cpu_total_;
+  run_.t0 = std::chrono::steady_clock::now();
+  if (pool_ != nullptr) {
+    pool_hits_before_ = pool_->hit_count();
+    pool_misses_before_ = pool_->miss_count();
+  }
+}
+
+PhaseStats* QueryStatsCollector::CurrentNode() {
+  return open_.empty() ? root_.get() : open_.back().node;
+}
+
+void QueryStatsCollector::SetRootLabel(std::string label) {
+  root_->label = std::move(label);
+}
+
+void QueryStatsCollector::BeginPhase(const std::string& label) {
+  PhaseStats* parent = CurrentNode();
+  PhaseStats* node = nullptr;
+  for (PhaseStats& c : parent->children) {
+    if (c.label == label) {
+      node = &c;
+      break;
+    }
+  }
+  if (node == nullptr) {
+    parent->children.emplace_back();
+    node = &parent->children.back();
+    node->label = label;
+  }
+  Frame frame;
+  frame.node = node;
+  frame.io_before = disk_ != nullptr ? disk_->stats() : IoStats{};
+  frame.cpu_before = cpu_total_;
+  frame.t0 = std::chrono::steady_clock::now();
+  open_.push_back(frame);
+}
+
+void QueryStatsCollector::EndPhase() {
+  if (open_.empty()) return;
+  Frame frame = open_.back();
+  open_.pop_back();
+  if (disk_ != nullptr) frame.node->io += disk_->stats() - frame.io_before;
+  frame.node->cpu += cpu_total_ - frame.cpu_before;
+  frame.node->wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    frame.t0)
+          .count();
+  frame.node->entered += 1;
+}
+
+void QueryStatsCollector::AddCounter(const std::string& name, int64_t delta) {
+  PhaseStats* node = CurrentNode();
+  if (PhaseCounter* c = FindCounter(node->counters, name)) {
+    c->value += delta;
+    return;
+  }
+  node->counters.push_back(PhaseCounter{name, delta});
+}
+
+void QueryStatsCollector::SetCounter(const std::string& name, int64_t value) {
+  PhaseStats* node = CurrentNode();
+  if (PhaseCounter* c = FindCounter(node->counters, name)) {
+    c->value = value;
+    return;
+  }
+  node->counters.push_back(PhaseCounter{name, value});
+}
+
+void QueryStatsCollector::AttachBufferPool(const BufferPool* pool) {
+  pool_ = pool;
+  if (pool_ != nullptr) {
+    pool_hits_before_ = pool_->hit_count();
+    pool_misses_before_ = pool_->miss_count();
+  }
+}
+
+QueryStats QueryStatsCollector::Finish() {
+  while (!open_.empty()) EndPhase();
+  if (disk_ != nullptr) root_->io = disk_->stats() - run_.io_before;
+  root_->cpu = cpu_total_ - run_.cpu_before;
+  root_->wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    run_.t0)
+          .count();
+  root_->entered = 1;
+
+  QueryStats out;
+  out.root = std::move(*root_);
+  if (pool_ != nullptr) {
+    out.buffer_pool_hits = pool_->hit_count() - pool_hits_before_;
+    out.buffer_pool_misses = pool_->miss_count() - pool_misses_before_;
+  }
+  Reset();
+  return out;
+}
+
+}  // namespace textjoin

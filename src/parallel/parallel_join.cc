@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "obs/query_stats.h"
 #include "join/hhnl.h"
 #include "join/hvnl.h"
 #include "join/vvm.h"
@@ -110,8 +111,8 @@ Result<ParallelJoinReport> ParallelTextJoin::Run(const JoinContext& ctx,
         needs_outer_index ? &fragment_indexes[w] : nullptr;
     worker_ctx.similarity = &worker_sim;
     worker_ctx.sys = ctx.sys;
-    CpuStats cpu;
-    worker_ctx.cpu = &cpu;
+    QueryStatsCollector worker_stats(disk);
+    worker_ctx.stats = &worker_stats;
 
     JoinSpec worker_spec = spec;
 
@@ -137,7 +138,7 @@ Result<ParallelJoinReport> ParallelTextJoin::Run(const JoinContext& ctx,
     }
     TEXTJOIN_RETURN_IF_ERROR(r.status());
     report.worker_io.push_back(disk->stats() - before);
-    report.worker_cpu.push_back(cpu);
+    report.worker_cpu.push_back(worker_stats.Finish().root.cpu);
 
     // Remap the fragment-local outer ids back to the original numbering.
     for (OuterMatches& om : *r) {

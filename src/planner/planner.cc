@@ -10,6 +10,18 @@
 
 namespace textjoin {
 
+ExplainPlan PlanChoice::ToExplainPlan() const {
+  ExplainPlan plan;
+  plan.algorithm = algorithm;
+  plan.hhnl_backward = hhnl_backward;
+  plan.costs = costs;
+  if (hhnl_backward) plan.costs.hhnl = HhnlCost(inputs);  // forward order
+  plan.hhnl_backward_cost = hhnl_backward_cost;
+  plan.inputs = inputs;
+  plan.explanation = explanation;
+  return plan;
+}
+
 Result<PlanChoice> JoinPlanner::Plan(const JoinContext& ctx,
                                      const JoinSpec& spec) const {
   TEXTJOIN_RETURN_IF_ERROR(ValidateJoinInputs(ctx, spec));
@@ -108,6 +120,22 @@ Result<JoinResult> JoinPlanner::Execute(const JoinContext& ctx,
     }
   }
   return Status::Internal("unknown algorithm");
+}
+
+Result<AnalyzedJoin> JoinPlanner::ExecuteAnalyze(
+    const JoinContext& ctx, const JoinSpec& spec,
+    const ExplainOptions& options) const {
+  AnalyzedJoin out;
+  QueryStatsCollector collector(ctx.outer != nullptr ? ctx.outer->disk()
+                                                     : nullptr);
+  JoinContext metered = ctx;
+  metered.stats = &collector;
+  TEXTJOIN_ASSIGN_OR_RETURN(out.result,
+                            Execute(metered, spec, &out.plan));
+  out.stats = collector.Finish();
+  out.report = RenderExplainAnalyze(out.plan.ToExplainPlan(), out.stats,
+                                    options);
+  return out;
 }
 
 }  // namespace textjoin

@@ -5,6 +5,8 @@
 
 #include "cost/cost_model.h"
 #include "join/executor.h"
+#include "obs/explain.h"
+#include "obs/query_stats.h"
 
 namespace textjoin {
 
@@ -20,6 +22,20 @@ struct PlanChoice {
   AlgorithmCost hhnl_backward_cost;
   CostInputs inputs;
   std::string explanation;
+
+  // The cost-layer mirror the EXPLAIN ANALYZE renderer consumes.
+  // costs.hhnl always holds the FORWARD order in the mirror (Plan()
+  // overwrites it with the backward cost when that order wins).
+  ExplainPlan ToExplainPlan() const;
+};
+
+// Execute + the full observability picture of the run.
+struct AnalyzedJoin {
+  JoinResult result;
+  PlanChoice plan;
+  QueryStats stats;
+  // RenderExplainAnalyze of plan + stats, ready to print.
+  std::string report;
 };
 
 class JoinPlanner {
@@ -44,9 +60,18 @@ class JoinPlanner {
   Result<PlanChoice> Plan(const JoinContext& ctx, const JoinSpec& spec) const;
 
   // Plans and runs the chosen algorithm. If `chosen` is non-null the plan
-  // is reported through it.
+  // is reported through it. When ctx.stats is set, the executor reports
+  // its phases into it (Execute does not Finish() the collector).
   Result<JoinResult> Execute(const JoinContext& ctx, const JoinSpec& spec,
                              PlanChoice* chosen = nullptr) const;
+
+  // Plans, runs and meters the chosen algorithm, returning the result
+  // together with the QueryStats tree and the rendered EXPLAIN ANALYZE
+  // report (predicted vs measured cost per phase). Overrides ctx.stats
+  // with its own collector for the duration of the run.
+  Result<AnalyzedJoin> ExecuteAnalyze(
+      const JoinContext& ctx, const JoinSpec& spec,
+      const ExplainOptions& options = {}) const;
 
  private:
   Options options_;

@@ -2,6 +2,7 @@
 
 #include "catalog/catalog.h"
 #include "common/crc32.h"
+#include "relational/sql_parser.h"
 #include "storage/coding.h"
 #include "storage/page_stream.h"
 #include "storage/snapshot.h"
@@ -110,6 +111,78 @@ Result<JoinResult> Database::Join(const std::string& inner_name,
   ctx.sys = sys_;
   JoinPlanner planner;
   return planner.Execute(ctx, spec, chosen);
+}
+
+Result<AnalyzedJoin> Database::JoinAnalyze(const std::string& inner_name,
+                                           const std::string& outer_name,
+                                           const JoinSpec& spec,
+                                           const ExplainOptions& options) {
+  const DocumentCollection* inner = collection(inner_name);
+  const DocumentCollection* outer = collection(outer_name);
+  if (inner == nullptr || outer == nullptr) {
+    return Status::NotFound("unknown collection in join");
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(
+      SimilarityContext simctx,
+      SimilarityContext::Create(*inner, *outer, spec.similarity));
+  JoinContext ctx;
+  ctx.inner = inner;
+  ctx.outer = outer;
+  ctx.inner_index = index(inner_name);
+  ctx.outer_index = index(outer_name);
+  ctx.similarity = &simctx;
+  ctx.sys = sys_;
+  JoinPlanner planner;
+  return planner.ExecuteAnalyze(ctx, spec, options);
+}
+
+Status Database::RegisterTable(const Table* table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("null table");
+  }
+  for (const Table* t : tables_) {
+    if (t == table || t->name() == table->name()) {
+      return Status::AlreadyExists("table '" + table->name() +
+                                   "' is already registered");
+    }
+  }
+  tables_.push_back(table);
+  return Status::OK();
+}
+
+Result<Database::SqlOutput> Database::ExecuteSql(const std::string& sql) {
+  SqlParser parser(tables_);
+  TEXTJOIN_ASSIGN_OR_RETURN(BoundQuery bound, parser.Parse(sql));
+
+  // The inverted file (if any) registered for the collection a text
+  // column is attached to.
+  auto index_of = [&](const Table* table,
+                      const std::string& column) -> const InvertedFile* {
+    int64_t c = table->ColumnIndex(column);
+    if (c < 0) return nullptr;
+    const DocumentCollection* col = table->CollectionOf(c);
+    for (const auto& [name, owned] : collections_) {
+      if (owned.get() == col) {
+        auto it = indexes_.find(name);
+        return it == indexes_.end() ? nullptr : it->second.get();
+      }
+    }
+    return nullptr;
+  };
+
+  const TextJoinQuery& query = bound.query();
+  TextJoinQueryExecutor executor(sys_);
+  TEXTJOIN_ASSIGN_OR_RETURN(
+      QueryResult result,
+      executor.Run(query, index_of(query.inner_table, query.inner_text_column),
+                   index_of(query.outer_table, query.outer_text_column)));
+  SqlOutput out;
+  out.rows.reserve(result.rows.size());
+  for (const QueryResultRow& row : result.rows) {
+    out.rows.push_back(bound.FormatRow(row));
+  }
+  out.result = std::move(result);
+  return out;
 }
 
 Status Database::Save(const std::string& path) {

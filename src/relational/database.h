@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "index/inverted_file.h"
 #include "planner/planner.h"
+#include "relational/text_join_query.h"
 #include "storage/disk_manager.h"
 #include "text/collection.h"
 #include "text/tokenizer.h"
@@ -71,6 +72,29 @@ class Database {
                           const std::string& outer_name, const JoinSpec& spec,
                           PlanChoice* chosen = nullptr);
 
+  // Join with per-phase instrumentation: also returns the QueryStats tree
+  // and the rendered EXPLAIN ANALYZE report.
+  Result<AnalyzedJoin> JoinAnalyze(const std::string& inner_name,
+                                   const std::string& outer_name,
+                                   const JoinSpec& spec,
+                                   const ExplainOptions& options = {});
+
+  // Registers a relation for ExecuteSql FROM clauses. The table is not
+  // owned and must outlive the database's SQL use.
+  Status RegisterTable(const Table* table);
+
+  struct SqlOutput {
+    QueryResult result;
+    std::vector<std::string> rows;  // formatted per the select list
+  };
+
+  // Parses and runs one extended-SQL query against the registered tables
+  // (see relational/sql_parser.h for the grammar, including the
+  // `EXPLAIN ANALYZE` prefix; the report lands in result.explain).
+  // Inverted files registered for the referenced collections are used
+  // automatically.
+  Result<SqlOutput> ExecuteSql(const std::string& sql);
+
   // System parameters used by Join (default: B=10000, P=page size,
   // alpha=5).
   void set_system_params(const SystemParams& sys) { sys_ = sys; }
@@ -85,6 +109,7 @@ class Database {
   std::unordered_map<std::string, std::unique_ptr<DocumentCollection>>
       collections_;
   std::unordered_map<std::string, std::unique_ptr<InvertedFile>> indexes_;
+  std::vector<const Table*> tables_;  // not owned
   bool saved_ = false;
 };
 

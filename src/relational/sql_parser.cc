@@ -143,6 +143,7 @@ struct Condition {
 };
 
 struct ParsedQuery {
+  bool explain_analyze = false;
   bool select_all = false;
   std::vector<ColumnRef> select;
   std::vector<TableRef> tables;
@@ -155,6 +156,11 @@ class Parser {
 
   Result<ParsedQuery> Run() {
     ParsedQuery q;
+    if (PeekKeyword("EXPLAIN")) {
+      Advance();
+      TEXTJOIN_RETURN_IF_ERROR(ExpectKeyword("ANALYZE"));
+      q.explain_analyze = true;
+    }
     TEXTJOIN_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
     if (PeekSymbol("*")) {
       Advance();
@@ -419,6 +425,7 @@ Result<BoundQuery> SqlParser::Parse(const std::string& sql) const {
   }
 
   BoundQuery bound;
+  bound.query_.explain_analyze = parsed.explain_analyze;
   TEXTJOIN_ASSIGN_OR_RETURN(auto inner_rc, resolve(similar->lhs));
   TEXTJOIN_ASSIGN_OR_RETURN(auto outer_rc, resolve(similar->rhs));
   if (inner_rc.first == outer_rc.first) {

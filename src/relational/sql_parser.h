@@ -21,7 +21,8 @@ namespace textjoin {
 //
 // Grammar (case-insensitive keywords):
 //
-//   query      := SELECT select_list FROM table_ref ',' table_ref
+//   query      := [ EXPLAIN ANALYZE ] SELECT select_list
+//                 FROM table_ref ',' table_ref
 //                 WHERE condition ( AND condition )*
 //   select_list:= column_ref ( ',' column_ref )* | '*'
 //   table_ref  := identifier [ identifier ]          -- name [alias]
@@ -36,6 +37,10 @@ namespace textjoin {
 // `A.Resume SIMILAR_TO(l) P.Job_descr`, the left attribute is the INNER
 // collection (l matches are returned per right-hand document) and the
 // right attribute the OUTER one, following the paper's semantics.
+//
+// An `EXPLAIN ANALYZE` prefix runs the query with per-phase
+// instrumentation; the predicted-vs-measured report lands in
+// QueryResult::explain (see obs/explain.h).
 
 // One parsed output column.
 struct SelectItem {

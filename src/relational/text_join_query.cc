@@ -94,8 +94,19 @@ Result<QueryResult> TextJoinQueryExecutor::Run(
   SimulatedDisk* disk = inner.collection->disk();
   const IoStats before = disk->stats();
   QueryResult result;
-  TEXTJOIN_ASSIGN_OR_RETURN(JoinResult join,
-                            planner_.Execute(ctx, spec, &result.plan));
+  JoinResult join;
+  if (query.explain_analyze) {
+    TEXTJOIN_ASSIGN_OR_RETURN(
+        AnalyzedJoin analyzed,
+        planner_.ExecuteAnalyze(ctx, spec, query.explain_options));
+    join = std::move(analyzed.result);
+    result.plan = std::move(analyzed.plan);
+    result.stats = std::move(analyzed.stats);
+    result.explain = std::move(analyzed.report);
+  } else {
+    TEXTJOIN_ASSIGN_OR_RETURN(join, planner_.Execute(ctx, spec,
+                                                     &result.plan));
+  }
   result.io = disk->stats() - before;
 
   for (const OuterMatches& om : join) {

@@ -32,6 +32,11 @@ struct TextJoinQuery {
 
   std::vector<const Predicate*> inner_predicates;
   std::vector<const Predicate*> outer_predicates;
+
+  // EXPLAIN ANALYZE: run the join with per-phase instrumentation and
+  // return the predicted-vs-measured report in QueryResult::explain.
+  bool explain_analyze = false;
+  ExplainOptions explain_options;
 };
 
 // One result pair.
@@ -45,6 +50,11 @@ struct QueryResult {
   std::vector<QueryResultRow> rows;  // grouped by outer row, best first
   PlanChoice plan;                   // which algorithm ran and why
   IoStats io;                        // pages read by the join itself
+
+  // Filled only under EXPLAIN ANALYZE: the per-phase statistics tree and
+  // the rendered predicted-vs-measured report.
+  QueryStats stats;
+  std::string explain;
 };
 
 // Runs SIMILAR_TO queries: evaluates the selections, reduces the

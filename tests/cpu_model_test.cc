@@ -5,6 +5,7 @@
 
 #include "cost/cpu_model.h"
 #include "cost/statistics.h"
+#include "obs/query_stats.h"
 #include "join/hhnl.h"
 #include "join/hvnl.h"
 #include "join/vvm.h"
@@ -57,9 +58,9 @@ TEST(CpuCountingTest, AccumulationsIdenticalAcrossAlgorithms) {
   }
 
   for (int pass = 0; pass < 3; ++pass) {
-    CpuStats cpu;
+    QueryStatsCollector collector(&disk);
     JoinContext ctx = f->Context(100);
-    ctx.cpu = &cpu;
+    ctx.stats = &collector;
     Result<JoinResult> r(Status::OK());
     if (pass == 0) {
       HhnlJoin join;
@@ -72,6 +73,7 @@ TEST(CpuCountingTest, AccumulationsIdenticalAcrossAlgorithms) {
       r = join.Run(ctx, spec);
     }
     ASSERT_TRUE(r.ok());
+    const CpuStats cpu = collector.Finish().root.cpu;
     EXPECT_EQ(cpu.accumulations, expected) << "pass " << pass;
   }
 }
@@ -82,11 +84,12 @@ TEST(CpuCountingTest, HhnlComparesBoundedByCellSums) {
                        RandomCollection(&disk, "c2", 20, 5, 50, 74));
   JoinSpec spec;
   spec.lambda = 3;
-  CpuStats cpu;
+  QueryStatsCollector collector(&disk);
   JoinContext ctx = f->Context(100);
-  ctx.cpu = &cpu;
+  ctx.stats = &collector;
   HhnlJoin join;
   ASSERT_TRUE(join.Run(ctx, spec).ok());
+  const CpuStats cpu = collector.Finish().root.cpu;
   // Each pair walks at most K1 + K2 cells and at least max(K1, K2).
   int64_t pairs = f->inner.num_documents() * f->outer.num_documents();
   EXPECT_LE(cpu.cell_compares, pairs * (6 + 5));
@@ -100,13 +103,14 @@ TEST(CpuCountingTest, VvmDecodesBothFilesPerPass) {
   JoinSpec spec;
   spec.lambda = 3;
   spec.delta = 1.0;
-  CpuStats cpu;
+  QueryStatsCollector collector(&disk);
   JoinContext ctx = f->Context(6);  // forces several passes
-  ctx.cpu = &cpu;
+  ctx.stats = &collector;
   VvmJoin join;
   int64_t passes = VvmJoin::Passes(ctx, spec);
   ASSERT_GT(passes, 1);
   ASSERT_TRUE(join.Run(ctx, spec).ok());
+  const CpuStats cpu = collector.Finish().root.cpu;
   EXPECT_EQ(cpu.cells_decoded,
             passes * (f->inner.total_cells() + f->outer.total_cells()));
 }
@@ -117,7 +121,7 @@ TEST(CpuCountingTest, NullCpuPointerCountsNothing) {
                        RandomCollection(&disk, "c2", 15, 4, 40, 78));
   JoinSpec spec;
   HhnlJoin join;
-  auto r = join.Run(f->Context(100), spec);  // ctx.cpu == nullptr
+  auto r = join.Run(f->Context(100), spec);  // ctx.stats == nullptr
   EXPECT_TRUE(r.ok());
 }
 
@@ -141,11 +145,12 @@ TEST(CpuModelTest, EstimatesTrackMeasurements) {
   };
 
   {
-    CpuStats cpu;
+    QueryStatsCollector collector(&disk);
     JoinContext ctx = f->Context(100);
-    ctx.cpu = &cpu;
+    ctx.stats = &collector;
     HhnlJoin join;
     ASSERT_TRUE(join.Run(ctx, spec).ok());
+    const CpuStats cpu = collector.Finish().root.cpu;
     CpuEstimate est = HhnlCpuCost(in);
     check(static_cast<double>(cpu.cell_compares), est.cell_compares, 1.5,
           "HHNL compares");
@@ -153,21 +158,23 @@ TEST(CpuModelTest, EstimatesTrackMeasurements) {
           "HHNL accumulations");
   }
   {
-    CpuStats cpu;
+    QueryStatsCollector collector(&disk);
     JoinContext ctx = f->Context(100);
-    ctx.cpu = &cpu;
+    ctx.stats = &collector;
     HvnlJoin join;
     ASSERT_TRUE(join.Run(ctx, spec).ok());
+    const CpuStats cpu = collector.Finish().root.cpu;
     CpuEstimate est = HvnlCpuCost(in);
     check(static_cast<double>(cpu.accumulations), est.accumulations, 2.0,
           "HVNL accumulations");
   }
   {
-    CpuStats cpu;
+    QueryStatsCollector collector(&disk);
     JoinContext ctx = f->Context(100);
-    ctx.cpu = &cpu;
+    ctx.stats = &collector;
     VvmJoin join;
     ASSERT_TRUE(join.Run(ctx, spec).ok());
+    const CpuStats cpu = collector.Finish().root.cpu;
     CpuEstimate est = VvmCpuCost(in);
     check(static_cast<double>(cpu.cells_decoded), est.cells_decoded, 1.2,
           "VVM decoded");

@@ -40,6 +40,82 @@ TEST(DatabaseTest, BuildAndJoin) {
   EXPECT_FALSE(plan.explanation.empty());
 }
 
+TEST(DatabaseTest, JoinAnalyzeProducesReportAndStats) {
+  Database db;
+  ASSERT_TRUE(db.AddCollectionFromText("resumes", kResumes).ok());
+  ASSERT_TRUE(db.AddCollectionFromText("jobs", kJobs).ok());
+  ASSERT_TRUE(db.BuildIndex("resumes").ok());
+
+  JoinSpec spec;
+  spec.lambda = 1;
+  auto analyzed = db.JoinAnalyze("resumes", "jobs", spec);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  // Same matches as the plain join.
+  auto plain = db.Join("resumes", "jobs", spec);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(analyzed->result, *plain);
+  EXPECT_NE(analyzed->report.find("EXPLAIN ANALYZE"), std::string::npos);
+  EXPECT_GT(analyzed->stats.root.io.total_reads(), 0);
+}
+
+TEST(DatabaseTest, ExecuteSqlRunsRegisteredTables) {
+  Database db;
+  ASSERT_TRUE(db.AddCollectionFromText("resumes", kResumes).ok());
+  ASSERT_TRUE(db.AddCollectionFromText("jobs", kJobs).ok());
+  ASSERT_TRUE(db.BuildIndex("resumes").ok());
+
+  Table applicants("Applicants",
+                   std::vector<Column>{{"Name", ColumnType::kString},
+                                       {"Resume", ColumnType::kText}});
+  TEXTJOIN_CHECK_OK(
+      applicants.AttachCollection("Resume", db.collection("resumes")));
+  TEXTJOIN_CHECK_OK(applicants.AddRow({std::string("Ann"), TextRef{0}}));
+  TEXTJOIN_CHECK_OK(applicants.AddRow({std::string("Bob"), TextRef{1}}));
+  TEXTJOIN_CHECK_OK(applicants.AddRow({std::string("Cam"), TextRef{2}}));
+  TEXTJOIN_CHECK_OK(applicants.AddRow({std::string("Dee"), TextRef{3}}));
+
+  Table positions("Positions",
+                  std::vector<Column>{{"Title", ColumnType::kString},
+                                      {"Job_descr", ColumnType::kText}});
+  TEXTJOIN_CHECK_OK(
+      positions.AttachCollection("Job_descr", db.collection("jobs")));
+  TEXTJOIN_CHECK_OK(
+      positions.AddRow({std::string("DB Engineer"), TextRef{0}}));
+  TEXTJOIN_CHECK_OK(
+      positions.AddRow({std::string("Firmware Engineer"), TextRef{1}}));
+
+  ASSERT_TRUE(db.RegisterTable(&applicants).ok());
+  ASSERT_TRUE(db.RegisterTable(&positions).ok());
+  // Duplicate registration is rejected.
+  EXPECT_EQ(db.RegisterTable(&applicants).code(),
+            StatusCode::kAlreadyExists);
+
+  auto out = db.ExecuteSql(
+      "SELECT P.Title, A.Name FROM Positions P, Applicants A "
+      "WHERE A.Resume SIMILAR_TO(1) P.Job_descr");
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->rows.size(), 2u);
+  EXPECT_NE(out->rows[0].find("Name=Ann"), std::string::npos)
+      << out->rows[0];
+  EXPECT_NE(out->rows[1].find("Name=Bob"), std::string::npos)
+      << out->rows[1];
+  EXPECT_TRUE(out->result.explain.empty());
+
+  auto analyzed = db.ExecuteSql(
+      "EXPLAIN ANALYZE SELECT P.Title, A.Name "
+      "FROM Positions P, Applicants A "
+      "WHERE A.Resume SIMILAR_TO(1) P.Job_descr");
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  EXPECT_EQ(analyzed->rows.size(), 2u);
+  EXPECT_NE(analyzed->result.explain.find("EXPLAIN ANALYZE"),
+            std::string::npos);
+
+  // Unknown table names fail cleanly.
+  EXPECT_FALSE(db.ExecuteSql("SELECT * FROM Nope N, Positions P "
+                             "WHERE N.X SIMILAR_TO(1) P.Job_descr")
+                   .ok());
+}
+
 TEST(DatabaseTest, DuplicateAndMissingNames) {
   Database db;
   ASSERT_TRUE(db.AddCollectionFromText("a", kJobs).ok());

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "join/hvnl.h"
+#include "obs/query_stats.h"
 #include "test_util.h"
 
 namespace textjoin {
@@ -169,6 +170,68 @@ TEST(HvnlTest, GreedyOrderWithSubset) {
   auto got = greedy.Run(f->Context(60), spec);
   ASSERT_TRUE(got.ok()) << got.status();
   EXPECT_EQ(*got, BruteForceJoin(f->inner, f->outer, f->simctx, spec));
+}
+
+TEST(HvnlTest, StatsReportCacheHitsOnRepeatedTerms) {
+  // A Zipf-ish workload repeats the frequent terms across outer documents;
+  // with the cache big enough to hold every inverted entry, each repeat
+  // after the first is a cache hit, no entry is ever evicted, and the
+  // QueryStats counters must say exactly that.
+  SimulatedDisk disk(256);
+  auto f = SmallFixture(&disk);
+  JoinSpec spec;
+  spec.lambda = 4;
+  JoinContext ctx = f->Context(200);
+  ASSERT_GE(HvnlJoin::CacheCapacity(ctx, spec), f->inner_index.num_terms());
+
+  QueryStatsCollector collector(&disk);
+  ctx.stats = &collector;
+  HvnlJoin join;
+  ASSERT_TRUE(join.Run(ctx, spec).ok());
+  QueryStats stats = collector.Finish();
+
+  EXPECT_EQ(stats.root.label, "HVNL");
+  EXPECT_GT(stats.root.Counter("cache_hits"), 0);
+  EXPECT_EQ(stats.root.Counter("evictions"), 0);
+  // The counters mirror the executor's own RunStats exactly.
+  EXPECT_EQ(stats.root.Counter("cache_hits"), join.run_stats().cache_hits);
+  EXPECT_EQ(stats.root.Counter("entry_fetches"),
+            join.run_stats().entry_fetches);
+  EXPECT_EQ(stats.root.Counter("evictions"), join.run_stats().evictions);
+}
+
+TEST(HvnlTest, StatsReportEvictionsUnderCachePressure) {
+  SimulatedDisk disk(256);
+  auto f = SmallFixture(&disk);
+  JoinSpec spec;
+  spec.lambda = 4;
+  // The same pressured-cache search as SmallCacheSameResultMoreFetches:
+  // a capacity well below the number of inverted entries must thrash.
+  JoinContext ctx = f->Context(0);
+  int64_t cap = -1;
+  for (int64_t b = 4; b <= 200 && !(cap >= 1 && cap <= 12); ++b) {
+    ctx = f->Context(b);
+    cap = HvnlJoin::CacheCapacity(ctx, spec);
+  }
+  ASSERT_GE(cap, 1);
+  ASSERT_LT(cap, f->inner_index.num_terms());
+
+  QueryStatsCollector collector(&disk);
+  ctx.stats = &collector;
+  HvnlJoin join;
+  ASSERT_TRUE(join.Run(ctx, spec).ok());
+  QueryStats stats = collector.Finish();
+
+  EXPECT_EQ(stats.root.Counter("cache_capacity_X"), cap);
+  EXPECT_GT(stats.root.Counter("evictions"), 0);
+  // Every eviction frees one slot previously filled by a fetch, so the
+  // fetch count dominates the eviction count.
+  EXPECT_GE(stats.root.Counter("entry_fetches"),
+            stats.root.Counter("evictions"));
+  // The probe phase carries the fetch I/O: it must have read pages.
+  const PhaseStats* probe = stats.root.Child(phase::kProbeEntries);
+  ASSERT_NE(probe, nullptr);
+  EXPECT_GT(probe->io.total_reads(), 0);
 }
 
 TEST(HvnlTest, PaysBTreeLoadCost) {

@@ -137,6 +137,42 @@ TEST_F(SqlParserTest, EndToEndExecution) {
   EXPECT_NE(r1.find("Name=Cam"), std::string::npos) << r1;
 }
 
+TEST_F(SqlParserTest, ExplainAnalyzePrefixParsesAndRuns) {
+  auto bound = parser_->Parse(
+      "EXPLAIN ANALYZE SELECT P.Title, A.Name "
+      "FROM Positions P, Applicants A "
+      "WHERE A.Resume SIMILAR_TO(1) P.Job_descr");
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_TRUE(bound->query().explain_analyze);
+
+  TextJoinQueryExecutor exec(SystemParams{100, 4096, 5.0});
+  auto result = exec.Run(bound->query());
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Same rows as the plain query, plus the rendered report and the stats
+  // tree of the executed plan.
+  EXPECT_EQ(result->rows.size(), 2u);
+  EXPECT_NE(result->explain.find("EXPLAIN ANALYZE"), std::string::npos)
+      << result->explain;
+  EXPECT_NE(result->explain.find("predicted:"), std::string::npos);
+  EXPECT_NE(result->explain.find("measured:"), std::string::npos);
+  EXPECT_FALSE(result->stats.root.children.empty());
+  EXPECT_GT(result->stats.root.io.total_reads(), 0);
+
+  // The prefix is optional and off by default.
+  auto plain = parser_->Parse(
+      "SELECT P.Title FROM Positions P, Applicants A "
+      "WHERE A.Resume SIMILAR_TO(1) P.Job_descr");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->query().explain_analyze);
+
+  // EXPLAIN without ANALYZE is not part of the grammar.
+  EXPECT_FALSE(parser_
+                   ->Parse("EXPLAIN SELECT P.Title "
+                           "FROM Positions P, Applicants A "
+                           "WHERE A.Resume SIMILAR_TO(1) P.Job_descr")
+                   .ok());
+}
+
 TEST_F(SqlParserTest, ErrorCases) {
   // No SIMILAR_TO.
   EXPECT_FALSE(parser_
