@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "storage/disk_manager.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "index/inverted_file.h"

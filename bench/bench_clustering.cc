@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "storage/disk_manager.h"
 #include "cluster/leader_clustering.h"
 #include "common/logging.h"
 #include "common/random.h"

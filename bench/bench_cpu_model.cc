@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "storage/disk_manager.h"
 #include "bench_util.h"
 #include "common/logging.h"
 #include "cost/cpu_model.h"

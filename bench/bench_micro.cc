@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "storage/disk_manager.h"
 #include "common/logging.h"
 
 #include "common/random.h"

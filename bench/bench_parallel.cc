@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "storage/disk_manager.h"
 #include "common/logging.h"
 #include "index/inverted_file.h"
 #include "join/hhnl.h"

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "storage/disk_manager.h"
 #include "bench_util.h"
 #include "common/logging.h"
 #include "cost/statistics.h"

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "storage/disk_manager.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "index/inverted_file.h"

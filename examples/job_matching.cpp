@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/disk_manager.h"
 #include "common/logging.h"
 #include "index/inverted_file.h"
 #include "relational/text_join_query.h"

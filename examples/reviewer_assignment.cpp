@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/disk_manager.h"
 #include "common/logging.h"
 #include "index/inverted_file.h"
 #include "join/hvnl.h"

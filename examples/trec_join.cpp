@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <string>
 
+#include "storage/disk_manager.h"
 #include "common/logging.h"
 #include "index/inverted_file.h"
 #include "planner/planner.h"

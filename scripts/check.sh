@@ -5,6 +5,9 @@
 #   scripts/check.sh            normal mode
 #   scripts/check.sh sanitize   ASan+UBSan build (separate build dir,
 #                               tests only, selected via `ctest -L sanitize`)
+#   scripts/check.sh chaos      fault-tolerance suite (`ctest -L chaos`)
+#                               swept under three fixed seed offsets, each
+#                               a different deterministic fault universe
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +16,18 @@ if [ "${1:-}" = "sanitize" ]; then
   cmake --build build-sanitize
   ctest --test-dir build-sanitize -L sanitize --output-on-failure
   echo "SANITIZE CHECKS PASSED"
+  exit 0
+fi
+
+if [ "${1:-}" = "chaos" ]; then
+  cmake -B build -G Ninja
+  cmake --build build
+  for seed in 0 7919 104729; do
+    echo "== chaos sweep, seed offset ${seed} =="
+    TEXTJOIN_CHAOS_SEED=${seed} \
+      ctest --test-dir build -L chaos --output-on-failure
+  done
+  echo "CHAOS CHECKS PASSED"
   exit 0
 fi
 

@@ -87,7 +87,7 @@ class PayloadReader {
 };
 
 // Writes a CRC-protected record as its own file.
-Status WriteRecord(SimulatedDisk* disk, const std::string& file_name,
+Status WriteRecord(Disk* disk, const std::string& file_name,
                    uint32_t magic, const std::vector<uint8_t>& payload) {
   FileId file = disk->CreateFile(file_name);
   PageStreamWriter writer(disk, file);
@@ -100,7 +100,7 @@ Status WriteRecord(SimulatedDisk* disk, const std::string& file_name,
   return writer.Finish();
 }
 
-Result<std::vector<uint8_t>> ReadRecord(SimulatedDisk* disk,
+Result<std::vector<uint8_t>> ReadRecord(Disk* disk,
                                         const std::string& file_name,
                                         uint32_t expected_magic) {
   TEXTJOIN_ASSIGN_OR_RETURN(FileId file, disk->FindFile(file_name));
@@ -153,7 +153,7 @@ Status SaveCollectionCatalog(const DocumentCollection& collection,
 }
 
 Result<DocumentCollection> OpenCollection(
-    SimulatedDisk* disk, const std::string& catalog_file_name) {
+    Disk* disk, const std::string& catalog_file_name) {
   TEXTJOIN_ASSIGN_OR_RETURN(
       std::vector<uint8_t> payload,
       ReadRecord(disk, catalog_file_name, kCollectionMagic));
@@ -211,7 +211,7 @@ Status SaveInvertedFileCatalog(const InvertedFile& inverted,
                      payload);
 }
 
-Result<InvertedFile> OpenInvertedFile(SimulatedDisk* disk,
+Result<InvertedFile> OpenInvertedFile(Disk* disk,
                                       const std::string& catalog_file_name) {
   TEXTJOIN_ASSIGN_OR_RETURN(
       std::vector<uint8_t> payload,

@@ -32,14 +32,14 @@ Status SaveCollectionCatalog(const DocumentCollection& collection,
 // Reopens a collection from its catalog. The data file is located by the
 // name recorded at save time.
 Result<DocumentCollection> OpenCollection(
-    SimulatedDisk* disk, const std::string& catalog_file_name);
+    Disk* disk, const std::string& catalog_file_name);
 
 // Same for inverted files (records the posting file, its B+tree and the
 // compression mode).
 Status SaveInvertedFileCatalog(const InvertedFile& inverted,
                                const std::string& catalog_file_name);
 
-Result<InvertedFile> OpenInvertedFile(SimulatedDisk* disk,
+Result<InvertedFile> OpenInvertedFile(Disk* disk,
                                       const std::string& catalog_file_name);
 
 }  // namespace textjoin

@@ -56,7 +56,7 @@ Result<Clustering> ClusterCollection(const DocumentCollection& collection,
 }
 
 Result<ReorderedCollection> ReorderByCluster(
-    SimulatedDisk* disk, std::string name, const DocumentCollection& source,
+    Disk* disk, std::string name, const DocumentCollection& source,
     const Clustering& clustering) {
   const int64_t n = source.num_documents();
   if (static_cast<int64_t>(clustering.cluster_of.size()) != n) {

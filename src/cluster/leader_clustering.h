@@ -46,7 +46,7 @@ struct ReorderedCollection {
 
 // Rewrites `source` into a new file in cluster order (clusters by first
 // appearance; original order within a cluster).
-Result<ReorderedCollection> ReorderByCluster(SimulatedDisk* disk,
+Result<ReorderedCollection> ReorderByCluster(Disk* disk,
                                              std::string name,
                                              const DocumentCollection& source,
                                              const Clustering& clustering);

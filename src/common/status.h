@@ -20,6 +20,13 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  // A transient failure (e.g. a flaky device read) that may succeed when
+  // retried. The fault-tolerant I/O layer (storage/reliable_disk.h)
+  // retries these with exponential backoff.
+  kUnavailable,
+  // Unrecoverable data corruption or loss: a checksum mismatch that
+  // re-reads did not cure, or a permanently failed device region.
+  kDataLoss,
 };
 
 // Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
@@ -59,6 +66,12 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +91,21 @@ class Status {
 
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
+}
+
+// True for errors a bounded re-read may cure (the retry layer's
+// transient-vs-permanent classification).
+inline bool IsTransientIoError(const Status& s) {
+  return s.code() == StatusCode::kUnavailable;
+}
+
+// True for any I/O-layer failure — transient or data loss. The planner
+// falls back to another algorithm when the chosen one dies with one of
+// these (graceful degradation); logic errors (kInvalidArgument, ...) are
+// never masked by a re-plan.
+inline bool IsIoFailure(const Status& s) {
+  return s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kDataLoss;
 }
 
 // Result<T> holds either a value of type T or an error Status.

@@ -440,6 +440,11 @@ const AlgorithmCost& CostComparison::of(Algorithm a) const {
   return hhnl;
 }
 
+AlgorithmCost& CostComparison::of(Algorithm a) {
+  return const_cast<AlgorithmCost&>(
+      static_cast<const CostComparison*>(this)->of(a));
+}
+
 namespace {
 Algorithm BestBy(const CostComparison& c, double AlgorithmCost::*field) {
   Algorithm best = Algorithm::kHhnl;

@@ -142,6 +142,7 @@ struct CostComparison {
   AlgorithmCost vvm;
 
   const AlgorithmCost& of(Algorithm a) const;
+  AlgorithmCost& of(Algorithm a);
 
   // Cheapest algorithm under the sequential (resp. random) device model.
   Algorithm BestSequential() const;

@@ -49,7 +49,7 @@ void SerializeInternal(int level, const std::vector<InternalCell>& cells,
 
 }  // namespace
 
-Result<BPlusTree> BPlusTree::BulkLoad(SimulatedDisk* disk, std::string name,
+Result<BPlusTree> BPlusTree::BulkLoad(Disk* disk, std::string name,
                                       const std::vector<LeafCell>& cells) {
   for (size_t i = 1; i < cells.size(); ++i) {
     if (cells[i - 1].term >= cells[i].term) {
@@ -193,7 +193,7 @@ Result<std::vector<BPlusTree::LeafCell>> BPlusTree::LoadAllCells() const {
   return out;
 }
 
-BPlusTree BPlusTree::FromParts(SimulatedDisk* disk, FileId file,
+BPlusTree BPlusTree::FromParts(Disk* disk, FileId file,
                                PageNumber root_page, int64_t leaf_pages,
                                int64_t num_terms, int height) {
   BPlusTree tree;

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "storage/disk_manager.h"
+#include "storage/disk.h"
 #include "text/types.h"
 
 namespace textjoin {
@@ -46,7 +46,7 @@ class BPlusTree {
   BPlusTree& operator=(const BPlusTree&) = delete;
 
   // Builds a tightly packed tree from cells sorted by ascending term.
-  static Result<BPlusTree> BulkLoad(SimulatedDisk* disk, std::string name,
+  static Result<BPlusTree> BulkLoad(Disk* disk, std::string name,
                                     const std::vector<LeafCell>& cells);
 
   // Point lookup descending from the root; every page touched is a metered
@@ -67,17 +67,17 @@ class BPlusTree {
   PageNumber root_page() const { return root_page_; }
 
   // Reattaches a tree to an existing file (catalog reopen).
-  static BPlusTree FromParts(SimulatedDisk* disk, FileId file,
+  static BPlusTree FromParts(Disk* disk, FileId file,
                              PageNumber root_page, int64_t leaf_pages,
                              int64_t num_terms, int height);
 
   int height() const { return height_; }
   int64_t num_terms() const { return num_terms_; }
-  SimulatedDisk* disk() const { return disk_; }
+  Disk* disk() const { return disk_; }
   FileId file() const { return file_; }
 
  private:
-  SimulatedDisk* disk_ = nullptr;
+  Disk* disk_ = nullptr;
   FileId file_ = kInvalidFileId;
   PageNumber root_page_ = -1;
   int64_t leaf_pages_ = 0;

@@ -66,13 +66,13 @@ std::vector<ICell> DecodePostings(const uint8_t* bytes, int64_t count,
   return cells;
 }
 
-Result<InvertedFile> InvertedFile::Build(SimulatedDisk* disk,
+Result<InvertedFile> InvertedFile::Build(Disk* disk,
                                          std::string name,
                                          const DocumentCollection& collection) {
   return Build(disk, std::move(name), collection, BuildOptions{});
 }
 
-Result<InvertedFile> InvertedFile::Build(SimulatedDisk* disk,
+Result<InvertedFile> InvertedFile::Build(Disk* disk,
                                          std::string name,
                                          const DocumentCollection& collection,
                                          const BuildOptions& options) {
@@ -129,7 +129,7 @@ Result<InvertedFile> InvertedFile::Build(SimulatedDisk* disk,
   return inv;
 }
 
-InvertedFile InvertedFile::FromParts(SimulatedDisk* disk, FileId file,
+InvertedFile InvertedFile::FromParts(Disk* disk, FileId file,
                                      std::string name, BPlusTree btree,
                                      std::vector<EntryMeta> entries,
                                      int64_t total_bytes,

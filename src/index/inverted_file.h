@@ -7,7 +7,7 @@
 
 #include "common/status.h"
 #include "index/btree.h"
-#include "storage/disk_manager.h"
+#include "storage/disk.h"
 #include "storage/page_stream.h"
 #include "text/collection.h"
 #include "text/types.h"
@@ -54,16 +54,16 @@ class InvertedFile {
   // Builds the inverted file and its B+tree by scanning `collection`.
   // The scan and the writes are metered; experiment drivers reset the
   // disk's I/O stats after setup.
-  static Result<InvertedFile> Build(SimulatedDisk* disk, std::string name,
+  static Result<InvertedFile> Build(Disk* disk, std::string name,
                                     const DocumentCollection& collection);
-  static Result<InvertedFile> Build(SimulatedDisk* disk, std::string name,
+  static Result<InvertedFile> Build(Disk* disk, std::string name,
                                     const DocumentCollection& collection,
                                     const BuildOptions& options);
 
   PostingCompression compression() const { return compression_; }
 
   const std::string& name() const { return name_; }
-  SimulatedDisk* disk() const { return disk_; }
+  Disk* disk() const { return disk_; }
   FileId file() const { return file_; }
   const BPlusTree& btree() const { return btree_; }
 
@@ -127,7 +127,7 @@ class InvertedFile {
   Scanner Scan() const { return Scanner(this); }
 
   // Reassembles an inverted file from catalog parts (catalog reopen).
-  static InvertedFile FromParts(SimulatedDisk* disk, FileId file,
+  static InvertedFile FromParts(Disk* disk, FileId file,
                                 std::string name, BPlusTree btree,
                                 std::vector<EntryMeta> entries,
                                 int64_t total_bytes,
@@ -136,7 +136,7 @@ class InvertedFile {
  private:
   InvertedFile() = default;
 
-  SimulatedDisk* disk_ = nullptr;
+  Disk* disk_ = nullptr;
   FileId file_ = kInvalidFileId;
   std::string name_;
   BPlusTree btree_;

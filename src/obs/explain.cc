@@ -107,7 +107,7 @@ std::string RenderExplainAnalyze(const ExplainPlan& plan,
   }
   const IoStats unattributed = stats.root.io - stats.root.ChildIoSum();
   if (unattributed.sequential_reads != 0 || unattributed.random_reads != 0 ||
-      unattributed.page_writes != 0) {
+      unattributed.page_writes != 0 || unattributed.retry.any()) {
     Row r;
     r.label = "(unattributed)";
     r.has_measured = true;
@@ -125,6 +125,10 @@ std::string RenderExplainAnalyze(const ExplainPlan& plan,
   out += "plan: " + PlanAlgorithmLabel(plan.algorithm, plan.hhnl_backward);
   if (!chosen.note.empty()) out += "  (" + chosen.note + ")";
   out += "\n";
+  for (const FallbackEvent& f : plan.fallbacks) {
+    out += "fallback: " + std::string(AlgorithmName(f.failed)) +
+           " failed at run time (" + f.reason + ")\n";
+  }
   {
     char buf[160];
     std::snprintf(buf, sizeof(buf),
@@ -141,6 +145,18 @@ std::string RenderExplainAnalyze(const ExplainPlan& plan,
                   static_cast<long long>(io.page_writes),
                   RelError(io.Cost(alpha), chosen.seq).c_str());
     out += buf;
+    if (io.retry.any()) {
+      std::snprintf(buf, sizeof(buf),
+                    "recovery:  retries=%lld transient=%lld checksum=%lld "
+                    "recovered=%lld exhausted=%lld backoff=%.1fms\n",
+                    static_cast<long long>(io.retry.retries),
+                    static_cast<long long>(io.retry.transient_errors),
+                    static_cast<long long>(io.retry.checksum_failures),
+                    static_cast<long long>(io.retry.recovered_reads),
+                    static_cast<long long>(io.retry.exhausted_reads),
+                    io.retry.backoff_ms);
+      out += buf;
+    }
   }
   if (options.include_alternatives) {
     out += "alternatives:";
@@ -193,6 +209,17 @@ std::string RenderExplainAnalyze(const ExplainPlan& plan,
     out += (r.has_pred && r.has_measured) ? RelError(measured, r.pred_seq)
                                           : Dash(8);
     out += "\n";
+    if (r.has_measured && r.io.retry.any()) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "      recovery: retries=%lld checksum=%lld "
+                    "recovered=%lld backoff=%.1fms\n",
+                    static_cast<long long>(r.io.retry.retries),
+                    static_cast<long long>(r.io.retry.checksum_failures),
+                    static_cast<long long>(r.io.retry.recovered_reads),
+                    r.io.retry.backoff_ms);
+      out += buf;
+    }
     if (options.include_counters && r.phase != nullptr) {
       AppendCounters(*r.phase, &out);
     }

@@ -2,11 +2,20 @@
 #define TEXTJOIN_OBS_EXPLAIN_H_
 
 #include <string>
+#include <vector>
 
 #include "cost/cost_model.h"
 #include "obs/query_stats.h"
 
 namespace textjoin {
+
+// One graceful-degradation step: the algorithm the planner first picked
+// hit an unrecoverable I/O failure at run time and the join was
+// re-planned with the next-cheapest algorithm whose inputs were readable.
+struct FallbackEvent {
+  Algorithm failed = Algorithm::kHhnl;
+  std::string reason;  // the I/O failure that forced the re-plan
+};
 
 // Everything the EXPLAIN ANALYZE renderer needs to know about the chosen
 // plan, expressed in cost-layer types only (obs must not depend on the
@@ -18,6 +27,9 @@ struct ExplainPlan {
   AlgorithmCost hhnl_backward_cost;  // predicted total of the backward order
   CostInputs inputs;               // what the predictions were computed from
   std::string explanation;         // planner's reasoning, one line per fact
+  // Degradation steps that led to `algorithm`, oldest first; empty when
+  // the first choice ran to completion.
+  std::vector<FallbackEvent> fallbacks;
 };
 
 struct ExplainOptions {

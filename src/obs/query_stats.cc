@@ -42,7 +42,7 @@ double QueryStats::BufferPoolHitRate() const {
   return static_cast<double>(buffer_pool_hits) / static_cast<double>(total);
 }
 
-QueryStatsCollector::QueryStatsCollector(const SimulatedDisk* disk)
+QueryStatsCollector::QueryStatsCollector(const Disk* disk)
     : disk_(disk) {
   Reset();
 }

@@ -10,7 +10,7 @@
 
 #include "join/cpu_stats.h"
 #include "storage/buffer_pool.h"
-#include "storage/disk_manager.h"
+#include "storage/disk.h"
 #include "storage/io_stats.h"
 
 namespace textjoin {
@@ -80,7 +80,7 @@ class QueryStatsCollector {
  public:
   // `disk` is the metered device the run reads from; it must outlive the
   // collector.
-  explicit QueryStatsCollector(const SimulatedDisk* disk);
+  explicit QueryStatsCollector(const Disk* disk);
 
   QueryStatsCollector(const QueryStatsCollector&) = delete;
   QueryStatsCollector& operator=(const QueryStatsCollector&) = delete;
@@ -124,7 +124,7 @@ class QueryStatsCollector {
   PhaseStats* CurrentNode();
   void Reset();
 
-  const SimulatedDisk* disk_;
+  const Disk* disk_;
   const BufferPool* pool_ = nullptr;
   int64_t pool_hits_before_ = 0;
   int64_t pool_misses_before_ = 0;

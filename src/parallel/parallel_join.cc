@@ -43,7 +43,7 @@ Result<ParallelJoinReport> ParallelTextJoin::Run(const JoinContext& ctx,
     return Status::InvalidArgument("algorithm needs the inverted file on C1");
   }
 
-  SimulatedDisk* disk = ctx.outer->disk();
+  Disk* disk = ctx.outer->disk();
   ParallelJoinReport report;
   const IoStats before_setup = disk->stats();
 

@@ -19,6 +19,7 @@ ExplainPlan PlanChoice::ToExplainPlan() const {
   plan.hhnl_backward_cost = hhnl_backward_cost;
   plan.inputs = inputs;
   plan.explanation = explanation;
+  plan.fallbacks = fallbacks;
   return plan;
 }
 
@@ -100,14 +101,13 @@ Result<PlanChoice> JoinPlanner::Plan(const JoinContext& ctx,
   return choice;
 }
 
-Result<JoinResult> JoinPlanner::Execute(const JoinContext& ctx,
-                                        const JoinSpec& spec,
-                                        PlanChoice* chosen) const {
-  TEXTJOIN_ASSIGN_OR_RETURN(PlanChoice choice, Plan(ctx, spec));
-  if (chosen != nullptr) *chosen = choice;
-  switch (choice.algorithm) {
+namespace {
+
+Result<JoinResult> RunAlgorithm(Algorithm algorithm, bool hhnl_backward,
+                                const JoinContext& ctx, const JoinSpec& spec) {
+  switch (algorithm) {
     case Algorithm::kHhnl: {
-      HhnlJoin join(HhnlJoin::Options{choice.hhnl_backward});
+      HhnlJoin join(HhnlJoin::Options{hhnl_backward});
       return join.Run(ctx, spec);
     }
     case Algorithm::kHvnl: {
@@ -120,6 +120,49 @@ Result<JoinResult> JoinPlanner::Execute(const JoinContext& ctx,
     }
   }
   return Status::Internal("unknown algorithm");
+}
+
+}  // namespace
+
+Result<JoinResult> JoinPlanner::Execute(const JoinContext& ctx,
+                                        const JoinSpec& spec,
+                                        PlanChoice* chosen) const {
+  TEXTJOIN_ASSIGN_OR_RETURN(PlanChoice choice, Plan(ctx, spec));
+  for (;;) {
+    Result<JoinResult> result = RunAlgorithm(
+        choice.algorithm,
+        choice.algorithm == Algorithm::kHhnl && choice.hhnl_backward, ctx,
+        spec);
+    if (result.ok() || !options_.allow_fallback ||
+        !IsIoFailure(result.status())) {
+      if (chosen != nullptr) *chosen = choice;
+      return result;
+    }
+    // Graceful degradation: the device failed under this algorithm. Mark
+    // it infeasible and re-plan among the algorithms whose inputs may
+    // still be readable.
+    const Algorithm failed = choice.algorithm;
+    choice.fallbacks.push_back(
+        FallbackEvent{failed, result.status().message()});
+    AlgorithmCost& cost = choice.costs.of(failed);
+    cost.feasible = false;
+    cost.seq = std::numeric_limits<double>::infinity();
+    cost.rand = cost.seq;
+    cost.note = "failed at run time: " + result.status().message();
+    if (failed == Algorithm::kHhnl) choice.hhnl_backward = false;
+    choice.algorithm = options_.use_random_model
+                           ? choice.costs.BestRandom()
+                           : choice.costs.BestSequential();
+    if (!choice.costs.of(choice.algorithm).feasible) {
+      if (chosen != nullptr) *chosen = choice;
+      return Status(result.status().code(),
+                    "all feasible algorithms failed; last error: " +
+                        result.status().message());
+    }
+    choice.explanation += "; " + std::string(AlgorithmName(failed)) +
+                          " failed at run time => fallback to " +
+                          AlgorithmName(choice.algorithm);
+  }
 }
 
 Result<AnalyzedJoin> JoinPlanner::ExecuteAnalyze(

@@ -2,6 +2,7 @@
 #define TEXTJOIN_PLANNER_PLANNER_H_
 
 #include <string>
+#include <vector>
 
 #include "cost/cost_model.h"
 #include "join/executor.h"
@@ -22,6 +23,9 @@ struct PlanChoice {
   AlgorithmCost hhnl_backward_cost;
   CostInputs inputs;
   std::string explanation;
+  // Run-time degradation history (see Options::allow_fallback): every
+  // algorithm that failed with an I/O error before `algorithm` succeeded.
+  std::vector<FallbackEvent> fallbacks;
 
   // The cost-layer mirror the EXPLAIN ANALYZE renderer consumes.
   // costs.hhnl always holds the FORWARD order in the mirror (Plan()
@@ -50,6 +54,12 @@ class JoinPlanner {
     // Also consider the backward HHNL order (Section 4.1) and run it when
     // it is estimated cheaper than the forward order.
     bool consider_backward_hhnl = true;
+    // Graceful degradation: when the chosen algorithm fails with an I/O
+    // error (UNAVAILABLE / DATA_LOSS, e.g. a permanently failed inverted
+    // file), mark it infeasible and re-plan with the next-cheapest
+    // algorithm whose inputs are still readable. Each step is recorded in
+    // PlanChoice::fallbacks and surfaced by EXPLAIN ANALYZE.
+    bool allow_fallback = true;
   };
 
   JoinPlanner() : JoinPlanner(Options{}) {}

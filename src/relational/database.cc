@@ -21,13 +21,25 @@ std::string CatalogName(const std::string& object_name, bool is_index) {
 
 }  // namespace
 
-Database::Database(int64_t page_size)
-    : disk_(std::make_unique<SimulatedDisk>(page_size)),
-      sys_{10000, page_size, 5.0} {}
+Database::Database(const DatabaseOptions& options)
+    : options_(options), sys_{10000, options.page_size, 5.0} {
+  InstallDisk(std::make_unique<SimulatedDisk>(options.page_size));
+}
+
+void Database::InstallDisk(std::unique_ptr<SimulatedDisk> disk) {
+  disk_ = std::move(disk);
+  if (options_.reliable_storage) {
+    reliable_ = std::make_unique<ReliableDisk>(disk_.get(), options_.retry);
+    active_disk_ = reliable_.get();
+  } else {
+    reliable_.reset();
+    active_disk_ = disk_.get();
+  }
+}
 
 Result<const DocumentCollection*> Database::AddCollectionFromText(
     const std::string& name, const std::vector<std::string>& documents) {
-  CollectionBuilder builder(disk_.get(), name);
+  CollectionBuilder builder(active_disk_, name);
   for (const std::string& text : documents) {
     TEXTJOIN_ASSIGN_OR_RETURN(Document doc,
                               tokenizer_.MakeDocument(text, &vocabulary_));
@@ -42,9 +54,9 @@ Result<const DocumentCollection*> Database::AddCollection(
   if (collections_.count(name) > 0) {
     return Status::AlreadyExists("collection '" + name + "' exists");
   }
-  if (collection.disk() != disk_.get()) {
+  if (collection.disk() != active_disk_) {
     return Status::InvalidArgument(
-        "collection lives on a different simulated disk");
+        "collection lives on a different disk");
   }
   auto owned = std::make_unique<DocumentCollection>(std::move(collection));
   const DocumentCollection* ptr = owned.get();
@@ -64,7 +76,7 @@ Result<const InvertedFile*> Database::BuildIndex(
   }
   TEXTJOIN_ASSIGN_OR_RETURN(
       InvertedFile inv,
-      InvertedFile::Build(disk_.get(), collection_name + ".inv",
+      InvertedFile::Build(active_disk_, collection_name + ".inv",
                           *it->second,
                           InvertedFile::BuildOptions{compression}));
   auto owned = std::make_unique<InvertedFile>(std::move(inv));
@@ -202,8 +214,8 @@ Status Database::Save(const std::string& path) {
       PutFixed32(&payload, static_cast<uint32_t>(term.size()));
       payload.insert(payload.end(), term.begin(), term.end());
     }
-    FileId file = disk_->CreateFile(kVocabularyFile);
-    PageStreamWriter writer(disk_.get(), file);
+    FileId file = active_disk_->CreateFile(kVocabularyFile);
+    PageStreamWriter writer(active_disk_, file);
     std::vector<uint8_t> header;
     PutFixed32(&header, kManifestMagic);
     PutFixed64(&header, static_cast<uint64_t>(payload.size()));
@@ -229,8 +241,8 @@ Status Database::Save(const std::string& path) {
     }
   }
   {
-    FileId file = disk_->CreateFile(kManifestFile);
-    PageStreamWriter writer(disk_.get(), file);
+    FileId file = active_disk_->CreateFile(kManifestFile);
+    PageStreamWriter writer(active_disk_, file);
     std::vector<uint8_t> header;
     PutFixed32(&header, kManifestMagic);
     PutFixed64(&header, static_cast<uint64_t>(manifest.size()));
@@ -245,7 +257,7 @@ Status Database::Save(const std::string& path) {
 namespace {
 
 // Reads one "TJDM" record written by Save.
-Result<std::vector<uint8_t>> ReadDbRecord(SimulatedDisk* disk,
+Result<std::vector<uint8_t>> ReadDbRecord(Disk* disk,
                                           const std::string& file_name) {
   TEXTJOIN_ASSIGN_OR_RETURN(FileId file, disk->FindFile(file_name));
   PageStreamReader reader(disk, file);
@@ -268,10 +280,21 @@ Result<std::vector<uint8_t>> ReadDbRecord(SimulatedDisk* disk,
 }  // namespace
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& path) {
+  return Open(path, DatabaseOptions());
+}
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const std::string& path, const DatabaseOptions& options) {
   TEXTJOIN_ASSIGN_OR_RETURN(std::unique_ptr<SimulatedDisk> disk,
                             LoadDiskSnapshot(path));
-  auto db = std::unique_ptr<Database>(new Database(disk->page_size()));
-  db->disk_ = std::move(disk);
+  DatabaseOptions opts = options;
+  opts.page_size = disk->page_size();
+  auto db = std::make_unique<Database>(opts);
+  db->InstallDisk(std::move(disk));
+  if (db->reliable_ != nullptr) {
+    // Adopt the snapshot's pages so every subsequent read is verified.
+    TEXTJOIN_RETURN_IF_ERROR(db->reliable_->SealExistingFiles());
+  }
   db->sys_ = SystemParams{10000, db->disk_->page_size(), 5.0};
   db->saved_ = true;  // the snapshot already contains catalogs
 
@@ -279,7 +302,7 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path) {
   {
     TEXTJOIN_ASSIGN_OR_RETURN(
         std::vector<uint8_t> payload,
-        ReadDbRecord(db->disk_.get(), kVocabularyFile));
+        ReadDbRecord(db->active_disk_, kVocabularyFile));
     if (payload.size() < 8) {
       return Status::InvalidArgument("truncated vocabulary record");
     }
@@ -303,7 +326,7 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path) {
 
   // Manifest -> collections and indexes.
   TEXTJOIN_ASSIGN_OR_RETURN(std::vector<uint8_t> manifest,
-                            ReadDbRecord(db->disk_.get(), kManifestFile));
+                            ReadDbRecord(db->active_disk_, kManifestFile));
   const uint8_t* p = manifest.data();
   const uint8_t* end = manifest.data() + manifest.size();
   if (p + 8 > end) return Status::InvalidArgument("truncated manifest");
@@ -319,13 +342,13 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path) {
     uint8_t has_index = *p++;
     TEXTJOIN_ASSIGN_OR_RETURN(
         DocumentCollection col,
-        OpenCollection(db->disk_.get(), CatalogName(name, false)));
+        OpenCollection(db->active_disk_, CatalogName(name, false)));
     db->collections_.emplace(
         name, std::make_unique<DocumentCollection>(std::move(col)));
     if (has_index != 0) {
       TEXTJOIN_ASSIGN_OR_RETURN(
           InvertedFile inv,
-          OpenInvertedFile(db->disk_.get(), CatalogName(name, true)));
+          OpenInvertedFile(db->active_disk_, CatalogName(name, true)));
       db->indexes_.emplace(name,
                            std::make_unique<InvertedFile>(std::move(inv)));
     }

@@ -11,6 +11,7 @@
 #include "planner/planner.h"
 #include "relational/text_join_query.h"
 #include "storage/disk_manager.h"
+#include "storage/reliable_disk.h"
 #include "text/collection.h"
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
@@ -35,18 +36,40 @@ namespace textjoin {
 // Persisted: collections, inverted files, the vocabulary. Tables
 // (relational rows) are not persisted. Save() may be called once per
 // Database instance (the snapshot format has no file replacement).
+// Storage configuration of a Database.
+struct DatabaseOptions {
+  int64_t page_size = 4096;
+  // Route all page I/O through a ReliableDisk decorator: per-page
+  // checksums at build time, verified reads, retry with backoff. Turn on
+  // for deployments whose device may fail (see storage/reliable_disk.h);
+  // recovery counters surface in EXPLAIN ANALYZE.
+  bool reliable_storage = false;
+  RetryPolicy retry;
+};
+
 class Database {
  public:
-  explicit Database(int64_t page_size = 4096);
+  explicit Database(int64_t page_size = 4096)
+      : Database(DatabaseOptions{page_size, false, RetryPolicy()}) {}
+  explicit Database(const DatabaseOptions& options);
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
   static Result<std::unique_ptr<Database>> Open(const std::string& path);
+  static Result<std::unique_ptr<Database>> Open(const std::string& path,
+                                                const DatabaseOptions& options);
 
   Status Save(const std::string& path);
 
-  SimulatedDisk* disk() { return disk_.get(); }
+  // The device all collections and indexes of this database live on: the
+  // reliable decorator when the database was opened with
+  // DatabaseOptions::reliable_storage, else the simulated disk itself.
+  Disk* disk() { return active_disk_; }
+  // The underlying simulated device (fault injection, snapshots).
+  SimulatedDisk* simulated_disk() { return disk_.get(); }
+  // The reliability layer, or nullptr when reliable_storage is off.
+  ReliableDisk* reliable_disk() { return reliable_.get(); }
   Vocabulary* vocabulary() { return &vocabulary_; }
 
   // Builds a collection by tokenizing one document per string.
@@ -101,7 +124,13 @@ class Database {
   const SystemParams& system_params() const { return sys_; }
 
  private:
+  // Replaces the device (snapshot reopen), rebuilding the reliable layer.
+  void InstallDisk(std::unique_ptr<SimulatedDisk> disk);
+
+  DatabaseOptions options_;
   std::unique_ptr<SimulatedDisk> disk_;
+  std::unique_ptr<ReliableDisk> reliable_;  // non-null iff reliable_storage
+  Disk* active_disk_ = nullptr;
   Vocabulary vocabulary_;
   Tokenizer tokenizer_;
   SystemParams sys_;

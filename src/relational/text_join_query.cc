@@ -91,7 +91,7 @@ Result<QueryResult> TextJoinQueryExecutor::Run(
   if (outer.reduced) spec.outer_subset = outer.docs;
   if (inner.reduced) spec.inner_subset = inner.docs;
 
-  SimulatedDisk* disk = inner.collection->disk();
+  Disk* disk = inner.collection->disk();
   const IoStats before = disk->stats();
   QueryResult result;
   JoinResult join;

@@ -7,7 +7,7 @@
 
 namespace textjoin {
 
-Result<DocumentCollection> GenerateCollection(SimulatedDisk* disk,
+Result<DocumentCollection> GenerateCollection(Disk* disk,
                                               std::string name,
                                               const SyntheticSpec& spec) {
   if (spec.num_documents < 0 || spec.vocabulary_size <= 0) {
@@ -65,13 +65,13 @@ Result<DocumentCollection> GenerateCollection(SimulatedDisk* disk,
   return builder.Finish();
 }
 
-Result<DocumentCollection> CopyCollection(SimulatedDisk* disk,
+Result<DocumentCollection> CopyCollection(Disk* disk,
                                           std::string name,
                                           const DocumentCollection& source) {
   return TakePrefix(disk, std::move(name), source, source.num_documents());
 }
 
-Result<DocumentCollection> TakePrefix(SimulatedDisk* disk, std::string name,
+Result<DocumentCollection> TakePrefix(Disk* disk, std::string name,
                                       const DocumentCollection& source,
                                       int64_t m) {
   if (m < 0 || m > source.num_documents()) {
@@ -86,7 +86,7 @@ Result<DocumentCollection> TakePrefix(SimulatedDisk* disk, std::string name,
   return builder.Finish();
 }
 
-Result<DocumentCollection> MergeDocuments(SimulatedDisk* disk,
+Result<DocumentCollection> MergeDocuments(Disk* disk,
                                           std::string name,
                                           const DocumentCollection& source,
                                           int64_t factor) {

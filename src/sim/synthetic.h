@@ -6,7 +6,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
-#include "storage/disk_manager.h"
+#include "storage/disk.h"
 #include "text/collection.h"
 
 namespace textjoin {
@@ -31,20 +31,20 @@ struct SyntheticSpec {
 // Generates a collection on `disk` according to `spec`. The ZipfSampler
 // construction is O(vocabulary_size); generation is roughly
 // O(num_documents * avg_terms_per_doc) draws.
-Result<DocumentCollection> GenerateCollection(SimulatedDisk* disk,
+Result<DocumentCollection> GenerateCollection(Disk* disk,
                                               std::string name,
                                               const SyntheticSpec& spec);
 
 // Writes an identical physical copy of `source` into a new file — a
 // self-join needs two physically distinct files so that each behaves as if
 // read by its own dedicated drive (the paper's device model).
-Result<DocumentCollection> CopyCollection(SimulatedDisk* disk,
+Result<DocumentCollection> CopyCollection(Disk* disk,
                                           std::string name,
                                           const DocumentCollection& source);
 
 // New collection holding the first `m` documents of `source` (simulation
 // Group 4: an ORIGINALLY small outer collection).
-Result<DocumentCollection> TakePrefix(SimulatedDisk* disk, std::string name,
+Result<DocumentCollection> TakePrefix(Disk* disk, std::string name,
                                       const DocumentCollection& source,
                                       int64_t m);
 
@@ -52,7 +52,7 @@ Result<DocumentCollection> TakePrefix(SimulatedDisk* disk, std::string name,
 // `source` into one document (weights of repeated terms summed). The
 // result has ~N/factor documents that are ~factor times larger, with the
 // total collection size approximately unchanged.
-Result<DocumentCollection> MergeDocuments(SimulatedDisk* disk,
+Result<DocumentCollection> MergeDocuments(Disk* disk,
                                           std::string name,
                                           const DocumentCollection& source,
                                           int64_t factor);

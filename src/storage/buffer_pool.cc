@@ -4,7 +4,7 @@
 
 namespace textjoin {
 
-BufferPool::BufferPool(SimulatedDisk* disk, int64_t capacity_pages)
+BufferPool::BufferPool(Disk* disk, int64_t capacity_pages)
     : disk_(disk), capacity_(capacity_pages) {
   TEXTJOIN_CHECK_GT(capacity_, 0);
 }
@@ -23,12 +23,15 @@ Result<const uint8_t*> BufferPool::Pin(FileId file, PageNumber page) {
     return static_cast<const uint8_t*>(f.bytes.data());
   }
   ++misses_;
-  if (static_cast<int64_t>(frames_.size()) >= capacity_) {
-    TEXTJOIN_RETURN_IF_ERROR(EvictOne());
-  }
+  // Read before evicting: a failed fetch must leave the pool exactly as it
+  // was — no leaked frame, and no victim evicted for a page that never
+  // arrived.
   Frame f;
   f.bytes.resize(static_cast<size_t>(disk_->page_size()));
   TEXTJOIN_RETURN_IF_ERROR(disk_->ReadPage(file, page, f.bytes.data()));
+  if (static_cast<int64_t>(frames_.size()) >= capacity_) {
+    TEXTJOIN_RETURN_IF_ERROR(EvictOne());
+  }
   f.pins = 1;
   auto [pos, inserted] = frames_.emplace(key, std::move(f));
   TEXTJOIN_CHECK(inserted);

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "storage/disk_manager.h"
+#include "storage/disk.h"
 #include "storage/page.h"
 
 namespace textjoin {
@@ -15,13 +15,13 @@ namespace textjoin {
 // A classic fixed-capacity buffer pool with pin counts and LRU replacement.
 //
 // The three join executors manage their memory budgets explicitly with the
-// paper's allocation formulas, so they read through SimulatedDisk directly;
+// paper's allocation formulas, so they read through Disk directly;
 // the pool serves the general-purpose access paths (the relational layer,
 // examples, and B+tree point lookups in user-facing queries) and is a
 // standard database substrate in its own right.
 class BufferPool {
  public:
-  BufferPool(SimulatedDisk* disk, int64_t capacity_pages);
+  BufferPool(Disk* disk, int64_t capacity_pages);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -59,7 +59,7 @@ class BufferPool {
 
   Status EvictOne();
 
-  SimulatedDisk* disk_;
+  Disk* disk_;
   int64_t capacity_;
   std::map<Key, Frame> frames_;
   std::list<Key> lru_;  // front = most recent

@@ -1,0 +1,85 @@
+#ifndef TEXTJOIN_STORAGE_DISK_H_
+#define TEXTJOIN_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace textjoin {
+
+// The page-device abstraction every storage consumer reads through:
+// collections, inverted files, B+trees, page streams and the buffer pool
+// all hold a Disk*, so a decorated device (storage/reliable_disk.h adds
+// checksums and retry) slots in without the consumers noticing.
+//
+// SimulatedDisk (storage/disk_manager.h) is the base implementation; its
+// snapshot/raw-image and fault-injection surfaces stay on the concrete
+// class because they describe the simulated device itself, not the
+// abstraction.
+class Disk {
+ public:
+  virtual ~Disk() = default;
+
+  virtual int64_t page_size() const = 0;
+
+  // Creates an empty file and returns its id. Names are for debugging and
+  // snapshot identity; they need not be unique.
+  virtual FileId CreateFile(std::string name) = 0;
+
+  // Appends a page (exactly page_size bytes, or shorter — zero padded) and
+  // returns its page number.
+  virtual Result<PageNumber> AppendPage(FileId file, const uint8_t* data,
+                                        int64_t size) = 0;
+
+  // Overwrites an existing page.
+  virtual Status WritePage(FileId file, PageNumber page, const uint8_t* data,
+                           int64_t size) = 0;
+
+  // Reads one page into `out` (page_size bytes), metering the access.
+  virtual Status ReadPage(FileId file, PageNumber page, uint8_t* out) = 0;
+
+  // Reads `count` consecutive pages starting at `first`. The first page is
+  // metered by the usual position rule; subsequent pages are sequential.
+  virtual Status ReadRun(FileId file, PageNumber first, int64_t count,
+                         uint8_t* out) {
+    for (int64_t i = 0; i < count; ++i) {
+      TEXTJOIN_RETURN_IF_ERROR(ReadPage(file, first + i, out + i * page_size()));
+    }
+    return Status::OK();
+  }
+
+  // Maintenance read: fetches the page without metering, fault injection
+  // or recovery (the DMA path a scrubber or checksum-adoption pass uses).
+  virtual Status PeekPage(FileId file, PageNumber page, uint8_t* out) const = 0;
+
+  // Number of pages currently in the file.
+  virtual Result<int64_t> FileSizeInPages(FileId file) const = 0;
+
+  virtual const std::string& FileName(FileId file) const = 0;
+
+  // First file with this exact name, or NotFound. Used when reopening a
+  // snapshot (names are the durable identifiers).
+  virtual Result<FileId> FindFile(const std::string& name) const = 0;
+
+  virtual int64_t file_count() const = 0;
+
+  // I/O counters since the last ResetStats. A decorated device folds its
+  // recovery counters (IoStats::retry) into this view.
+  virtual const IoStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+
+  // Forgets per-file head positions, so the next read of every file is
+  // random. Useful between experiment repetitions.
+  virtual void ResetHeads() = 0;
+
+  // When true, every read is counted as random (busy device).
+  virtual void set_interference(bool on) = 0;
+  virtual bool interference() const = 0;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_STORAGE_DISK_H_

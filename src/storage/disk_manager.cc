@@ -12,7 +12,7 @@ SimulatedDisk::SimulatedDisk(int64_t page_size_bytes)
 }
 
 FileId SimulatedDisk::CreateFile(std::string name) {
-  files_.push_back(File{std::move(name), {}, -2});
+  files_.push_back(File{std::move(name), {}, -2, false});
   return static_cast<FileId>(files_.size() - 1);
 }
 
@@ -71,15 +71,44 @@ void SimulatedDisk::InjectReadFault(int64_t after_reads) {
 
 void SimulatedDisk::ClearReadFault() { fault_countdown_ = -1; }
 
+void SimulatedDisk::set_fault_schedule(const FaultSchedule& schedule) {
+  schedule_ = schedule;
+  fault_rng_ = Rng(schedule.seed);
+}
+
+void SimulatedDisk::FailFilePermanently(FileId file) {
+  TEXTJOIN_CHECK_OK(CheckFile(file));
+  files_[file].failed = true;
+}
+
+void SimulatedDisk::HealFile(FileId file) {
+  TEXTJOIN_CHECK_OK(CheckFile(file));
+  files_[file].failed = false;
+}
+
 Status SimulatedDisk::ReadPage(FileId file, PageNumber page, uint8_t* out) {
   TEXTJOIN_RETURN_IF_ERROR(CheckFile(file));
+  File& f = files_[file];
+  if (f.failed) {
+    ++fault_counters_.permanent;
+    return Status::DataLoss("permanent device failure on file '" + f.name +
+                            "'");
+  }
   if (fault_countdown_ >= 0) {
     if (fault_countdown_ == 0) {
-      return Status::Internal("injected read fault");
+      // Sticky: the countdown stays at 0 so every read fails until
+      // ClearReadFault().
+      ++fault_counters_.countdown;
+      return Status::Unavailable("injected read fault");
     }
     --fault_countdown_;
   }
-  File& f = files_[file];
+  if (schedule_.transient_rate > 0 &&
+      fault_rng_.NextDouble() < schedule_.transient_rate) {
+    ++fault_counters_.transient;
+    return Status::Unavailable("injected transient read error on file '" +
+                               f.name + "' page " + std::to_string(page));
+  }
   int64_t pages = static_cast<int64_t>(f.bytes.size()) / page_size_;
   if (page < 0 || page >= pages) {
     return Status::OutOfRange("page " + std::to_string(page) +
@@ -92,6 +121,30 @@ Status SimulatedDisk::ReadPage(FileId file, PageNumber page, uint8_t* out) {
     ++stats_.random_reads;
   }
   f.last_read_page = page;
+  std::memcpy(out, f.bytes.data() + page * page_size_,
+              static_cast<size_t>(page_size_));
+  if (schedule_.corruption_rate > 0 &&
+      fault_rng_.NextDouble() < schedule_.corruption_rate) {
+    // Silent corruption of the *returned* buffer only; the stored page
+    // stays intact, so a checksum-verified re-read recovers.
+    ++fault_counters_.corrupted;
+    const uint64_t bit =
+        fault_rng_.NextBounded(static_cast<uint64_t>(page_size_) * 8);
+    out[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+  return Status::OK();
+}
+
+Status SimulatedDisk::PeekPage(FileId file, PageNumber page,
+                               uint8_t* out) const {
+  TEXTJOIN_RETURN_IF_ERROR(CheckFile(file));
+  const File& f = files_[file];
+  int64_t pages = static_cast<int64_t>(f.bytes.size()) / page_size_;
+  if (page < 0 || page >= pages) {
+    return Status::OutOfRange("page " + std::to_string(page) +
+                              " out of range (file has " +
+                              std::to_string(pages) + " pages)");
+  }
   std::memcpy(out, f.bytes.data() + page * page_size_,
               static_cast<size_t>(page_size_));
   return Status::OK();
@@ -138,7 +191,7 @@ Result<FileId> SimulatedDisk::CreateFileWithBytes(std::string name,
     return Status::InvalidArgument(
         "file image is not a whole number of pages");
   }
-  files_.push_back(File{std::move(name), std::move(bytes), -2});
+  files_.push_back(File{std::move(name), std::move(bytes), -2, false});
   return static_cast<FileId>(files_.size() - 1);
 }
 

@@ -5,11 +5,40 @@
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "common/status.h"
+#include "storage/disk.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 
 namespace textjoin {
+
+// A deterministic fault scenario for a SimulatedDisk. All draws come from
+// one seeded PRNG stream consumed in read order, so the same schedule over
+// the same read sequence injects the same faults — chaos tests replay
+// scenarios bit-for-bit.
+//
+// Two probabilistic fault classes compose with per-file permanent failures
+// (FailFilePermanently) and the one-shot countdown fault (InjectReadFault):
+//   * transient_rate: the read fails with UNAVAILABLE; the page is intact
+//     and a re-read may succeed.
+//   * corruption_rate: the read "succeeds" but one bit of the returned
+//     buffer is flipped (silent corruption). The stored page is intact, so
+//     a checksum-verified re-read (storage/reliable_disk.h) recovers.
+struct FaultSchedule {
+  uint64_t seed = 1;
+  double transient_rate = 0.0;   // P(read fails with UNAVAILABLE)
+  double corruption_rate = 0.0;  // P(returned page has one bit flipped)
+};
+
+// How many faults a schedule actually injected (tests use this to know
+// whether a probabilistic scenario fired at all).
+struct FaultCounters {
+  int64_t transient = 0;
+  int64_t corrupted = 0;
+  int64_t permanent = 0;
+  int64_t countdown = 0;
+};
 
 // An in-memory disk that stores named page files and meters every page
 // read, classifying it as sequential or random.
@@ -24,62 +53,72 @@ namespace textjoin {
 // Writes are counted but not classified; the paper's cost model covers
 // read-only query processing, and all files here are built once and then
 // only read.
-class SimulatedDisk {
+class SimulatedDisk : public Disk {
  public:
   explicit SimulatedDisk(int64_t page_size_bytes = kDefaultPageSize);
 
   SimulatedDisk(const SimulatedDisk&) = delete;
   SimulatedDisk& operator=(const SimulatedDisk&) = delete;
 
-  int64_t page_size() const { return page_size_; }
+  int64_t page_size() const override { return page_size_; }
 
-  // Creates an empty file and returns its id. Names are for debugging only
-  // and need not be unique.
-  FileId CreateFile(std::string name);
+  FileId CreateFile(std::string name) override;
 
-  // Appends a page (exactly page_size bytes, or shorter — zero padded) and
-  // returns its page number.
   Result<PageNumber> AppendPage(FileId file, const uint8_t* data,
-                                int64_t size);
+                                int64_t size) override;
 
-  // Overwrites an existing page.
   Status WritePage(FileId file, PageNumber page, const uint8_t* data,
-                   int64_t size);
+                   int64_t size) override;
 
-  // Reads one page into `out` (page_size bytes), metering the access.
-  Status ReadPage(FileId file, PageNumber page, uint8_t* out);
+  Status ReadPage(FileId file, PageNumber page, uint8_t* out) override;
 
-  // Reads `count` consecutive pages starting at `first`. The first page is
-  // metered by the usual position rule; subsequent pages are sequential.
-  Status ReadRun(FileId file, PageNumber first, int64_t count, uint8_t* out);
+  Status ReadRun(FileId file, PageNumber first, int64_t count,
+                 uint8_t* out) override;
 
-  // Number of pages currently in the file.
-  Result<int64_t> FileSizeInPages(FileId file) const;
+  // Unmetered, fault-free maintenance read (checksum adoption, scrubbing).
+  Status PeekPage(FileId file, PageNumber page, uint8_t* out) const override;
 
-  const std::string& FileName(FileId file) const;
+  Result<int64_t> FileSizeInPages(FileId file) const override;
 
-  // First file with this exact name, or NotFound. Used when reopening a
-  // snapshot (names are the durable identifiers).
-  Result<FileId> FindFile(const std::string& name) const;
+  const std::string& FileName(FileId file) const override;
 
-  // When true, every read is counted as random (busy device).
-  void set_interference(bool on) { interference_ = on; }
-  bool interference() const { return interference_; }
+  Result<FileId> FindFile(const std::string& name) const override;
 
-  // Fault injection for testing: after `after_reads` further successful
-  // page reads, every subsequent read fails with an INTERNAL error until
-  // ClearReadFault() is called. Pass 0 to fail the next read.
+  void set_interference(bool on) override { interference_ = on; }
+  bool interference() const override { return interference_; }
+
+  // -- Fault injection (testing / chaos engineering) --------------------
+
+  // One-shot countdown fault: after `after_reads` further successful page
+  // reads, every subsequent read fails with UNAVAILABLE. The fault is
+  // STICKY — once fired it stays armed (reads keep failing) until
+  // ClearReadFault() is called. ClearReadFault is idempotent: calling it
+  // with no fault armed (or twice) is a no-op.
   void InjectReadFault(int64_t after_reads);
   void ClearReadFault();
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats(); }
+  // Installs a probabilistic fault scenario (replaces any previous one and
+  // reseeds the fault PRNG). A default-constructed schedule disables
+  // probabilistic faults.
+  void set_fault_schedule(const FaultSchedule& schedule);
+  const FaultSchedule& fault_schedule() const { return schedule_; }
 
-  // Forgets per-file head positions, so the next read of every file is
-  // random. Useful between experiment repetitions.
-  void ResetHeads();
+  // Marks every current and future read of `file` as permanently failed
+  // (DATA_LOSS), modelling a dead device region. HealFile undoes it and is
+  // idempotent, like ClearReadFault.
+  void FailFilePermanently(FileId file);
+  void HealFile(FileId file);
 
-  int64_t file_count() const { return static_cast<int64_t>(files_.size()); }
+  const FaultCounters& fault_counters() const { return fault_counters_; }
+
+  const IoStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = IoStats(); }
+
+  void ResetHeads() override;
+
+  int64_t file_count() const override {
+    return static_cast<int64_t>(files_.size());
+  }
 
   // Raw file image (page-padded). Used by snapshots and tests; not
   // metered.
@@ -95,6 +134,7 @@ class SimulatedDisk {
     std::string name;
     std::vector<uint8_t> bytes;  // size == page_count * page_size_
     PageNumber last_read_page = -2;  // -2: nothing read yet
+    bool failed = false;             // permanent device failure
   };
 
   Status CheckFile(FileId file) const;
@@ -104,6 +144,9 @@ class SimulatedDisk {
   IoStats stats_;
   bool interference_ = false;
   int64_t fault_countdown_ = -1;  // -1: no fault armed
+  FaultSchedule schedule_;
+  Rng fault_rng_{1};
+  FaultCounters fault_counters_;
 };
 
 }  // namespace textjoin

@@ -4,10 +4,21 @@
 
 namespace textjoin {
 
+std::string RetryStats::ToString() const {
+  std::ostringstream os;
+  os << "RetryStats{transient=" << transient_errors
+     << ", checksum=" << checksum_failures << ", retries=" << retries
+     << ", recovered=" << recovered_reads << ", exhausted=" << exhausted_reads
+     << ", backoff_ms=" << backoff_ms << "}";
+  return os.str();
+}
+
 std::string IoStats::ToString() const {
   std::ostringstream os;
   os << "IoStats{seq=" << sequential_reads << ", rand=" << random_reads
-     << ", writes=" << page_writes << "}";
+     << ", writes=" << page_writes;
+  if (retry.any()) os << ", retry=" << retry.ToString();
+  os << "}";
   return os.str();
 }
 

@@ -6,6 +6,54 @@
 
 namespace textjoin {
 
+// Recovery counters of the fault-tolerant I/O path (storage/reliable_disk.h).
+// All-zero on an unprotected device; folded into IoStats so the per-phase
+// EXPLAIN ANALYZE attribution covers recovery work for free.
+struct RetryStats {
+  int64_t transient_errors = 0;   // reads that failed with UNAVAILABLE
+  int64_t checksum_failures = 0;  // reads whose page CRC did not match
+  int64_t retries = 0;            // re-read attempts issued
+  int64_t recovered_reads = 0;    // reads that succeeded after >= 1 retry
+  int64_t exhausted_reads = 0;    // reads that gave up (policy or budget)
+  double backoff_ms = 0;          // simulated exponential-backoff wait
+
+  bool any() const {
+    return transient_errors != 0 || checksum_failures != 0 || retries != 0 ||
+           recovered_reads != 0 || exhausted_reads != 0 || backoff_ms != 0;
+  }
+
+  RetryStats& operator+=(const RetryStats& o) {
+    transient_errors += o.transient_errors;
+    checksum_failures += o.checksum_failures;
+    retries += o.retries;
+    recovered_reads += o.recovered_reads;
+    exhausted_reads += o.exhausted_reads;
+    backoff_ms += o.backoff_ms;
+    return *this;
+  }
+
+  friend RetryStats operator-(const RetryStats& a, const RetryStats& b) {
+    RetryStats d;
+    d.transient_errors = a.transient_errors - b.transient_errors;
+    d.checksum_failures = a.checksum_failures - b.checksum_failures;
+    d.retries = a.retries - b.retries;
+    d.recovered_reads = a.recovered_reads - b.recovered_reads;
+    d.exhausted_reads = a.exhausted_reads - b.exhausted_reads;
+    d.backoff_ms = a.backoff_ms - b.backoff_ms;
+    return d;
+  }
+
+  friend bool operator==(const RetryStats& a, const RetryStats& b) {
+    return a.transient_errors == b.transient_errors &&
+           a.checksum_failures == b.checksum_failures &&
+           a.retries == b.retries && a.recovered_reads == b.recovered_reads &&
+           a.exhausted_reads == b.exhausted_reads &&
+           a.backoff_ms == b.backoff_ms;
+  }
+
+  std::string ToString() const;
+};
+
 // Page-granular I/O counters. The paper's cost metric is
 //   cost = #sequential_page_reads + alpha * #random_page_reads
 // where alpha is the cost ratio of a random over a sequential I/O.
@@ -13,6 +61,7 @@ struct IoStats {
   int64_t sequential_reads = 0;
   int64_t random_reads = 0;
   int64_t page_writes = 0;
+  RetryStats retry;  // recovery work; zero unless a ReliableDisk is in play
 
   int64_t total_reads() const { return sequential_reads + random_reads; }
 
@@ -26,6 +75,7 @@ struct IoStats {
     sequential_reads += o.sequential_reads;
     random_reads += o.random_reads;
     page_writes += o.page_writes;
+    retry += o.retry;
     return *this;
   }
 
@@ -36,12 +86,14 @@ struct IoStats {
     d.sequential_reads = a.sequential_reads - b.sequential_reads;
     d.random_reads = a.random_reads - b.random_reads;
     d.page_writes = a.page_writes - b.page_writes;
+    d.retry = a.retry - b.retry;
     return d;
   }
 
   friend bool operator==(const IoStats& a, const IoStats& b) {
     return a.sequential_reads == b.sequential_reads &&
-           a.random_reads == b.random_reads && a.page_writes == b.page_writes;
+           a.random_reads == b.random_reads &&
+           a.page_writes == b.page_writes && a.retry == b.retry;
   }
 
   std::string ToString() const;

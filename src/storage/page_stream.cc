@@ -7,7 +7,7 @@
 
 namespace textjoin {
 
-PageStreamWriter::PageStreamWriter(SimulatedDisk* disk, FileId file)
+PageStreamWriter::PageStreamWriter(Disk* disk, FileId file)
     : disk_(disk), file_(file) {
   buffer_.reserve(static_cast<size_t>(disk->page_size()));
 }
@@ -45,7 +45,7 @@ Status PageStreamWriter::Finish() {
   return Status::OK();
 }
 
-PageStreamReader::PageStreamReader(SimulatedDisk* disk, FileId file)
+PageStreamReader::PageStreamReader(Disk* disk, FileId file)
     : disk_(disk), file_(file) {
   scratch_.resize(static_cast<size_t>(disk->page_size()));
 }
@@ -69,7 +69,7 @@ Status PageStreamReader::Read(int64_t offset, int64_t size, uint8_t* out) {
   return Status::OK();
 }
 
-SequentialByteReader::SequentialByteReader(SimulatedDisk* disk, FileId file,
+SequentialByteReader::SequentialByteReader(Disk* disk, FileId file,
                                            int64_t start_offset)
     : disk_(disk), file_(file), position_(start_offset) {
   buffer_.resize(static_cast<size_t>(disk->page_size()));

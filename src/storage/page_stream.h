@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "storage/disk_manager.h"
+#include "storage/disk.h"
 #include "storage/page.h"
 
 namespace textjoin {
@@ -15,7 +15,7 @@ namespace textjoin {
 // Records are addressed by their byte offset in the stream.
 class PageStreamWriter {
  public:
-  PageStreamWriter(SimulatedDisk* disk, FileId file);
+  PageStreamWriter(Disk* disk, FileId file);
 
   // Appends `size` bytes; returns the byte offset of the first byte.
   int64_t Append(const uint8_t* data, int64_t size);
@@ -31,7 +31,7 @@ class PageStreamWriter {
   int64_t size() const { return offset_; }
 
  private:
-  SimulatedDisk* disk_;
+  Disk* disk_;
   FileId file_;
   std::vector<uint8_t> buffer_;  // current partial page
   int64_t offset_ = 0;
@@ -43,7 +43,7 @@ class PageStreamWriter {
 // costs one positioned read plus k-1 sequential reads.
 class PageStreamReader {
  public:
-  PageStreamReader(SimulatedDisk* disk, FileId file);
+  PageStreamReader(Disk* disk, FileId file);
 
   // Reads `size` bytes starting at byte `offset` into `out`.
   Status Read(int64_t offset, int64_t size, uint8_t* out);
@@ -54,7 +54,7 @@ class PageStreamReader {
   }
 
  private:
-  SimulatedDisk* disk_;
+  Disk* disk_;
   FileId file_;
   std::vector<uint8_t> scratch_;  // one page
 };
@@ -66,7 +66,7 @@ class PageStreamReader {
 class SequentialByteReader {
  public:
   // Starts positioned at byte `start_offset`.
-  SequentialByteReader(SimulatedDisk* disk, FileId file,
+  SequentialByteReader(Disk* disk, FileId file,
                        int64_t start_offset = 0);
 
   // Reads `size` bytes at the current position and advances.
@@ -80,7 +80,7 @@ class SequentialByteReader {
  private:
   Status EnsurePage(PageNumber page);
 
-  SimulatedDisk* disk_;
+  Disk* disk_;
   FileId file_;
   int64_t position_;
   PageNumber buffered_page_ = -1;

@@ -1,0 +1,155 @@
+#include "storage/reliable_disk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace textjoin {
+
+ReliableDisk::ReliableDisk(Disk* base, RetryPolicy policy)
+    : base_(base), policy_(policy) {
+  TEXTJOIN_CHECK(base_ != nullptr);
+  TEXTJOIN_CHECK_GE(policy_.max_attempts, 1);
+}
+
+FileId ReliableDisk::CreateFile(std::string name) {
+  return base_->CreateFile(std::move(name));
+}
+
+void ReliableDisk::RecordChecksum(FileId file, PageNumber page,
+                                  const uint8_t* data, int64_t size) {
+  if (static_cast<size_t>(file) >= crcs_.size()) {
+    crcs_.resize(static_cast<size_t>(file) + 1);
+  }
+  auto& pages = crcs_[file];
+  if (static_cast<size_t>(page) >= pages.size()) {
+    pages.resize(static_cast<size_t>(page) + 1, kNoChecksum);
+  }
+  // Checksums cover the full zero-padded page image, which is what reads
+  // return.
+  if (size == base_->page_size()) {
+    pages[page] = Crc32(data, static_cast<size_t>(size));
+  } else {
+    std::vector<uint8_t> padded(static_cast<size_t>(base_->page_size()), 0);
+    if (size > 0) std::memcpy(padded.data(), data, static_cast<size_t>(size));
+    pages[page] = Crc32(padded.data(), padded.size());
+  }
+}
+
+bool ReliableDisk::ChecksumOk(FileId file, PageNumber page,
+                              const uint8_t* out) const {
+  if (!policy_.verify_checksums) return true;
+  if (static_cast<size_t>(file) >= crcs_.size()) return true;
+  const auto& pages = crcs_[file];
+  if (static_cast<size_t>(page) >= pages.size()) return true;
+  const uint64_t expected = pages[page];
+  if (expected == kNoChecksum) return true;
+  return Crc32(out, static_cast<size_t>(base_->page_size())) == expected;
+}
+
+Result<PageNumber> ReliableDisk::AppendPage(FileId file, const uint8_t* data,
+                                            int64_t size) {
+  TEXTJOIN_ASSIGN_OR_RETURN(PageNumber page,
+                            base_->AppendPage(file, data, size));
+  RecordChecksum(file, page, data, size);
+  return page;
+}
+
+Status ReliableDisk::WritePage(FileId file, PageNumber page,
+                               const uint8_t* data, int64_t size) {
+  TEXTJOIN_RETURN_IF_ERROR(base_->WritePage(file, page, data, size));
+  RecordChecksum(file, page, data, size);
+  return Status::OK();
+}
+
+Status ReliableDisk::ReadPage(FileId file, PageNumber page, uint8_t* out) {
+  Status last = Status::OK();
+  for (int attempt = 1;; ++attempt) {
+    Status st = base_->ReadPage(file, page, out);
+    if (st.ok()) {
+      if (ChecksumOk(file, page, out)) {
+        if (attempt > 1) ++retry_.recovered_reads;
+        return Status::OK();
+      }
+      ++retry_.checksum_failures;
+      last = Status::DataLoss("checksum mismatch on file '" +
+                              base_->FileName(file) + "' page " +
+                              std::to_string(page));
+    } else if (IsTransientIoError(st)) {
+      ++retry_.transient_errors;
+      last = st;
+    } else {
+      // Permanent (dead region, bad page number, ...): retrying cannot
+      // help.
+      return st;
+    }
+    if (attempt >= policy_.max_attempts) {
+      ++retry_.exhausted_reads;
+      return Status(last.code(),
+                    last.message() + " (gave up after " +
+                        std::to_string(attempt) + " attempts)");
+    }
+    if (policy_.retry_budget >= 0 && budget_used_ >= policy_.retry_budget) {
+      ++retry_.exhausted_reads;
+      return Status(last.code(),
+                    last.message() + " (query retry budget of " +
+                        std::to_string(policy_.retry_budget) + " exhausted)");
+    }
+    ++retry_.retries;
+    ++budget_used_;
+    retry_.backoff_ms += std::min(
+        policy_.max_backoff_ms,
+        policy_.backoff_base_ms *
+            std::pow(policy_.backoff_multiplier, attempt - 1));
+  }
+}
+
+Status ReliableDisk::ReadRun(FileId file, PageNumber first, int64_t count,
+                             uint8_t* out) {
+  for (int64_t i = 0; i < count; ++i) {
+    TEXTJOIN_RETURN_IF_ERROR(
+        ReadPage(file, first + i, out + i * page_size()));
+  }
+  return Status::OK();
+}
+
+const IoStats& ReliableDisk::stats() const {
+  merged_ = base_->stats();
+  merged_.retry += retry_;
+  return merged_;
+}
+
+void ReliableDisk::ResetStats() {
+  base_->ResetStats();
+  retry_ = RetryStats();
+  budget_used_ = 0;
+}
+
+Status ReliableDisk::SealExistingFiles() {
+  std::vector<uint8_t> page(static_cast<size_t>(base_->page_size()));
+  for (FileId f = 0; f < base_->file_count(); ++f) {
+    TEXTJOIN_ASSIGN_OR_RETURN(int64_t pages, base_->FileSizeInPages(f));
+    for (PageNumber p = 0; p < pages; ++p) {
+      const bool known = static_cast<size_t>(f) < crcs_.size() &&
+                         static_cast<size_t>(p) < crcs_[f].size() &&
+                         crcs_[f][p] != kNoChecksum;
+      if (known) continue;
+      TEXTJOIN_RETURN_IF_ERROR(base_->PeekPage(f, p, page.data()));
+      RecordChecksum(f, p, page.data(), base_->page_size());
+    }
+  }
+  return Status::OK();
+}
+
+int64_t ReliableDisk::checksummed_pages() const {
+  int64_t n = 0;
+  for (const auto& pages : crcs_) {
+    for (uint64_t crc : pages) n += crc != kNoChecksum ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,135 @@
+#ifndef TEXTJOIN_STORAGE_RELIABLE_DISK_H_
+#define TEXTJOIN_STORAGE_RELIABLE_DISK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk.h"
+
+namespace textjoin {
+
+// How the reliable layer retries failed or corrupted reads.
+//
+// Backoff is *simulated*: no thread sleeps, the would-be wait is metered
+// into RetryStats::backoff_ms (attempt k waits base * multiplier^(k-1),
+// capped at max_backoff_ms), matching the simulation's philosophy of
+// modelling device time instead of spending wall-clock time.
+struct RetryPolicy {
+  // Total read attempts per page (1 = retry disabled: first error is
+  // final).
+  int max_attempts = 4;
+  double backoff_base_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 64.0;
+  // Per-query retry budget: total re-read attempts allowed since the last
+  // ResetStats() (the metering epoch of one query). Exceeding it fails the
+  // read even if max_attempts remain; -1 = unlimited.
+  int64_t retry_budget = -1;
+  // Verify the per-page CRC32 on every read of a page written through
+  // this decorator; a mismatch triggers a re-read.
+  bool verify_checksums = true;
+};
+
+// Fault-tolerance decorator over any Disk: per-page CRC32 checksums
+// (recorded at append/write, verified on read) and bounded
+// exponential-backoff retry with transient-vs-permanent classification.
+//
+//   * UNAVAILABLE from the base device is transient: re-read up to
+//     RetryPolicy::max_attempts times.
+//   * A checksum mismatch is treated the same way — the stored page may be
+//     intact and the corruption confined to the transfer; if the mismatch
+//     persists the read fails with DATA_LOSS.
+//   * Everything else (DATA_LOSS from a dead region, OUT_OF_RANGE,
+//     NOT_FOUND, ...) is permanent and propagates immediately.
+//
+// All recovery work is metered into RetryStats, which this decorator folds
+// into the IoStats view (stats().retry), so the per-phase EXPLAIN ANALYZE
+// attribution shows retries, checksum failures and backoff per phase.
+//
+// Only pages written *through* the decorator carry checksums; files that
+// already existed on the base disk are unverified until SealExistingFiles()
+// adopts them via the unmetered maintenance path.
+class ReliableDisk : public Disk {
+ public:
+  explicit ReliableDisk(Disk* base, RetryPolicy policy = RetryPolicy());
+
+  ReliableDisk(const ReliableDisk&) = delete;
+  ReliableDisk& operator=(const ReliableDisk&) = delete;
+
+  Disk* base() const { return base_; }
+  const RetryPolicy& policy() const { return policy_; }
+  void set_policy(const RetryPolicy& policy) { policy_ = policy; }
+
+  int64_t page_size() const override { return base_->page_size(); }
+
+  FileId CreateFile(std::string name) override;
+
+  Result<PageNumber> AppendPage(FileId file, const uint8_t* data,
+                                int64_t size) override;
+
+  Status WritePage(FileId file, PageNumber page, const uint8_t* data,
+                   int64_t size) override;
+
+  // The protected read path: verify + retry + backoff, all metered.
+  Status ReadPage(FileId file, PageNumber page, uint8_t* out) override;
+
+  Status ReadRun(FileId file, PageNumber first, int64_t count,
+                 uint8_t* out) override;
+
+  Status PeekPage(FileId file, PageNumber page, uint8_t* out) const override {
+    return base_->PeekPage(file, page, out);
+  }
+
+  Result<int64_t> FileSizeInPages(FileId file) const override {
+    return base_->FileSizeInPages(file);
+  }
+  const std::string& FileName(FileId file) const override {
+    return base_->FileName(file);
+  }
+  Result<FileId> FindFile(const std::string& name) const override {
+    return base_->FindFile(name);
+  }
+  int64_t file_count() const override { return base_->file_count(); }
+
+  // The base device's counters with this layer's recovery counters folded
+  // into the retry field.
+  const IoStats& stats() const override;
+  void ResetStats() override;
+
+  void ResetHeads() override { base_->ResetHeads(); }
+  void set_interference(bool on) override { base_->set_interference(on); }
+  bool interference() const override { return base_->interference(); }
+
+  const RetryStats& retry_stats() const { return retry_; }
+
+  // Computes and records checksums for every page of every base file that
+  // does not have one yet, reading through the unmetered maintenance path.
+  // Call after wrapping a disk that already holds data.
+  Status SealExistingFiles();
+
+  // Number of pages currently protected by a recorded checksum.
+  int64_t checksummed_pages() const;
+
+ private:
+  // Checksum of a (zero-padded) page image; records it at `page`.
+  void RecordChecksum(FileId file, PageNumber page, const uint8_t* data,
+                      int64_t size);
+  // Recorded checksum matches `out`? True when no checksum is recorded.
+  bool ChecksumOk(FileId file, PageNumber page, const uint8_t* out) const;
+
+  Disk* base_;
+  RetryPolicy policy_;
+  RetryStats retry_;
+  int64_t budget_used_ = 0;  // retries since the last ResetStats
+  // crcs_[file][page]: recorded checksum, or kNoChecksum when the page was
+  // never written through this layer.
+  static constexpr uint64_t kNoChecksum = ~uint64_t{0};
+  std::vector<std::vector<uint64_t>> crcs_;
+  mutable IoStats merged_;  // scratch for the stats() view
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_STORAGE_RELIABLE_DISK_H_

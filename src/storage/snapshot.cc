@@ -13,7 +13,7 @@ namespace textjoin {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'J', 'S', 'N'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
 
 }  // namespace
 
@@ -26,6 +26,7 @@ Status SaveDiskSnapshot(const SimulatedDisk& disk, const std::string& path) {
   PutFixed32(&header, kVersion);
   PutFixed64(&header, static_cast<uint64_t>(disk.page_size()));
   PutFixed64(&header, static_cast<uint64_t>(disk.file_count()));
+  PutFixed32(&header, Crc32(header.data(), header.size()));
   out.write(reinterpret_cast<const char*>(header.data()),
             static_cast<std::streamsize>(header.size()));
 
@@ -37,6 +38,7 @@ Status SaveDiskSnapshot(const SimulatedDisk& disk, const std::string& path) {
     meta.insert(meta.end(), name.begin(), name.end());
     PutFixed64(&meta, static_cast<uint64_t>(bytes.size()));
     PutFixed32(&meta, Crc32(bytes.data(), bytes.size()));
+    PutFixed32(&meta, Crc32(meta.data(), meta.size()));
     out.write(reinterpret_cast<const char*>(meta.data()),
               static_cast<std::streamsize>(meta.size()));
     out.write(reinterpret_cast<const char*>(bytes.data()),
@@ -57,7 +59,8 @@ Result<std::unique_ptr<SimulatedDisk>> LoadDiskSnapshot(
     return static_cast<size_t>(in.gcount()) == n;
   };
 
-  uint8_t fixed[24];  // magic(4) + version(4) + page_size(8) + count(8)
+  // magic(4) + version(4) + page_size(8) + count(8) + header_crc(4)
+  uint8_t fixed[28];
   if (!read_exact(fixed, sizeof(fixed))) {
     return Status::InvalidArgument("truncated snapshot header");
   }
@@ -66,6 +69,9 @@ Result<std::unique_ptr<SimulatedDisk>> LoadDiskSnapshot(
   }
   if (GetFixed32(fixed + 4) != kVersion) {
     return Status::InvalidArgument("unsupported snapshot version");
+  }
+  if (Crc32(fixed, 24) != GetFixed32(fixed + 24)) {
+    return Status::DataLoss("snapshot header failed its checksum");
   }
   const int64_t page_size = static_cast<int64_t>(GetFixed64(fixed + 8));
   const uint64_t file_count = GetFixed64(fixed + 16);
@@ -81,25 +87,38 @@ Result<std::unique_ptr<SimulatedDisk>> LoadDiskSnapshot(
     }
     const uint32_t name_len = GetFixed32(len_buf);
     if (name_len > 4096) {
-      return Status::InvalidArgument("implausible file name length");
+      // Could be a corrupted length; the meta CRC cannot be located
+      // without trusting it, so fail before reading further.
+      return Status::DataLoss("implausible file name length");
     }
     std::string name(name_len, '\0');
     if (name_len > 0 &&
         !read_exact(reinterpret_cast<uint8_t*>(name.data()), name_len)) {
       return Status::InvalidArgument("truncated file name");
     }
-    uint8_t size_crc[12];
-    if (!read_exact(size_crc, 12)) {
+    // byte_count(8) + body_crc(4) + meta_crc(4)
+    uint8_t tail[16];
+    if (!read_exact(tail, sizeof(tail))) {
       return Status::InvalidArgument("truncated file metadata");
     }
-    const uint64_t byte_count = GetFixed64(size_crc);
-    const uint32_t expected_crc = GetFixed32(size_crc + 8);
+    // Verify the metadata checksum BEFORE trusting byte_count: a flipped
+    // byte in the length must fail cleanly, not drive a huge allocation.
+    std::vector<uint8_t> meta;
+    PutFixed32(&meta, name_len);
+    meta.insert(meta.end(), name.begin(), name.end());
+    meta.insert(meta.end(), tail, tail + 12);
+    if (Crc32(meta.data(), meta.size()) != GetFixed32(tail + 12)) {
+      return Status::DataLoss("metadata checksum mismatch in file '" + name +
+                              "'");
+    }
+    const uint64_t byte_count = GetFixed64(tail);
+    const uint32_t expected_crc = GetFixed32(tail + 8);
     std::vector<uint8_t> bytes(byte_count);
     if (byte_count > 0 && !read_exact(bytes.data(), byte_count)) {
       return Status::InvalidArgument("truncated file body");
     }
     if (Crc32(bytes.data(), bytes.size()) != expected_crc) {
-      return Status::Internal("checksum mismatch in file '" + name + "'");
+      return Status::DataLoss("checksum mismatch in file '" + name + "'");
     }
     TEXTJOIN_RETURN_IF_ERROR(
         disk->CreateFileWithBytes(std::move(name), std::move(bytes))

@@ -13,12 +13,18 @@ namespace textjoin {
 // filesystem and restores it later — persistence for collections,
 // inverted files and catalogs built in memory.
 //
-// Format (little-endian):
+// Format v2 (little-endian); every region is covered by some CRC-32 so a
+// single flipped byte anywhere is detected:
 //   magic "TJSN" | version u32 | page_size u64 | file_count u64
-//   per file: name_len u32 | name | byte_count u64 | crc32 u32 | bytes
+//     | header_crc u32                    (over the 24 bytes above)
+//   per file: name_len u32 | name | byte_count u64 | body_crc u32
+//     | meta_crc u32                      (over the file metadata above)
+//     | bytes
 //
-// Load verifies the magic, the version and every file's CRC-32, failing
-// with INVALID_ARGUMENT / INTERNAL on any corruption.
+// Load verifies the magic, the version, the header CRC, and each file's
+// meta CRC *before* trusting byte_count (so a corrupted length cannot
+// trigger a huge allocation), then the body CRC. Corruption fails with
+// DATA_LOSS; truncation and malformed headers with INVALID_ARGUMENT.
 Status SaveDiskSnapshot(const SimulatedDisk& disk, const std::string& path);
 
 Result<std::unique_ptr<SimulatedDisk>> LoadDiskSnapshot(

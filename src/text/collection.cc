@@ -92,7 +92,7 @@ Result<Document> DocumentCollection::Scanner::Next() {
 }
 
 DocumentCollection DocumentCollection::FromParts(
-    SimulatedDisk* disk, FileId file, std::string name,
+    Disk* disk, FileId file, std::string name,
     std::vector<DirectoryEntry> directory, std::vector<double> norms,
     std::unordered_map<TermId, int64_t> doc_freq, int64_t total_cells) {
   TEXTJOIN_CHECK_EQ(directory.size(), norms.size());
@@ -107,7 +107,7 @@ DocumentCollection DocumentCollection::FromParts(
   return c;
 }
 
-CollectionBuilder::CollectionBuilder(SimulatedDisk* disk, std::string name)
+CollectionBuilder::CollectionBuilder(Disk* disk, std::string name)
     : disk_(disk),
       name_(std::move(name)),
       file_(disk->CreateFile(name_)),

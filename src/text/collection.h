@@ -8,14 +8,14 @@
 #include <vector>
 
 #include "common/status.h"
-#include "storage/disk_manager.h"
+#include "storage/disk.h"
 #include "storage/page_stream.h"
 #include "text/document.h"
 #include "text/types.h"
 
 namespace textjoin {
 
-// A document collection stored on a SimulatedDisk: documents are packed in
+// A document collection stored on a Disk: documents are packed in
 // consecutive storage locations in document-number order, 5 bytes per
 // d-cell with no per-record header (the catalog below knows each
 // document's offset and length, matching the paper's model where the
@@ -38,7 +38,7 @@ class DocumentCollection {
   DocumentCollection& operator=(DocumentCollection&&) = default;
 
   const std::string& name() const { return name_; }
-  SimulatedDisk* disk() const { return disk_; }
+  Disk* disk() const { return disk_; }
   FileId file() const { return file_; }
 
   // N_i: number of documents.
@@ -111,7 +111,7 @@ class DocumentCollection {
   // Reassembles a collection from catalog parts (used by catalog/ when
   // reopening a snapshot; the data file must already exist on `disk`).
   static DocumentCollection FromParts(
-      SimulatedDisk* disk, FileId file, std::string name,
+      Disk* disk, FileId file, std::string name,
       std::vector<DirectoryEntry> directory, std::vector<double> norms,
       std::unordered_map<TermId, int64_t> doc_freq, int64_t total_cells);
 
@@ -120,7 +120,7 @@ class DocumentCollection {
 
   DocumentCollection() = default;
 
-  SimulatedDisk* disk_ = nullptr;
+  Disk* disk_ = nullptr;
   FileId file_ = kInvalidFileId;
   std::string name_;
   std::vector<DirectoryEntry> directory_;
@@ -135,7 +135,7 @@ class DocumentCollection {
 // drivers reset I/O stats after setup.
 class CollectionBuilder {
  public:
-  CollectionBuilder(SimulatedDisk* disk, std::string name);
+  CollectionBuilder(Disk* disk, std::string name);
 
   // Appends a document; its DocId is the number of documents added before.
   Result<DocId> AddDocument(const Document& doc);
@@ -144,7 +144,7 @@ class CollectionBuilder {
   Result<DocumentCollection> Finish();
 
  private:
-  SimulatedDisk* disk_;
+  Disk* disk_;
   std::string name_;
   FileId file_;
   PageStreamWriter writer_;

@@ -80,7 +80,7 @@ Result<std::vector<TrecDocument>> ParseTrecStream(const std::string& sgml) {
   return docs;
 }
 
-Result<TrecCollection> LoadTrecCollection(SimulatedDisk* disk,
+Result<TrecCollection> LoadTrecCollection(Disk* disk,
                                           const std::string& name,
                                           const std::string& sgml,
                                           Vocabulary* vocabulary,
@@ -103,7 +103,7 @@ Result<TrecCollection> LoadTrecCollection(SimulatedDisk* disk,
 }
 
 Result<TrecCollection> LoadTrecCollectionFromFile(
-    SimulatedDisk* disk, const std::string& name, const std::string& path,
+    Disk* disk, const std::string& name, const std::string& path,
     Vocabulary* vocabulary, const Tokenizer& tokenizer) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open " + path);

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "storage/disk_manager.h"
+#include "storage/disk.h"
 #include "text/collection.h"
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
@@ -46,7 +46,7 @@ struct TrecCollection {
 
 // Parses, tokenizes (against the shared vocabulary) and builds a
 // collection from TREC SGML text.
-Result<TrecCollection> LoadTrecCollection(SimulatedDisk* disk,
+Result<TrecCollection> LoadTrecCollection(Disk* disk,
                                           const std::string& name,
                                           const std::string& sgml,
                                           Vocabulary* vocabulary,
@@ -54,7 +54,7 @@ Result<TrecCollection> LoadTrecCollection(SimulatedDisk* disk,
 
 // Convenience: reads the SGML from a host file.
 Result<TrecCollection> LoadTrecCollectionFromFile(
-    SimulatedDisk* disk, const std::string& name, const std::string& path,
+    Disk* disk, const std::string& name, const std::string& path,
     Vocabulary* vocabulary, const Tokenizer& tokenizer);
 
 }  // namespace textjoin

@@ -2,6 +2,7 @@
 
 #include <tuple>
 
+#include "storage/disk_manager.h"
 #include "join/hhnl.h"
 #include "join/hvnl.h"
 #include "join/vvm.h"

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "storage/disk_manager.h"
 #include "test_util.h"
 #include "text/collection.h"
 

@@ -28,9 +28,29 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kResourceExhausted, StatusCode::kFailedPrecondition,
-        StatusCode::kInternal, StatusCode::kUnimplemented}) {
+        StatusCode::kInternal, StatusCode::kUnimplemented,
+        StatusCode::kUnavailable, StatusCode::kDataLoss}) {
     EXPECT_STRNE(StatusCodeToString(code), "UNKNOWN");
   }
+}
+
+TEST(StatusTest, IoErrorCodesAndClassification) {
+  Status transient = Status::Unavailable("device busy");
+  EXPECT_EQ(transient.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(transient.ToString(), "UNAVAILABLE: device busy");
+  EXPECT_TRUE(IsTransientIoError(transient));
+  EXPECT_TRUE(IsIoFailure(transient));
+
+  Status loss = Status::DataLoss("bits rotted");
+  EXPECT_EQ(loss.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(loss.ToString(), "DATA_LOSS: bits rotted");
+  EXPECT_FALSE(IsTransientIoError(loss));
+  EXPECT_TRUE(IsIoFailure(loss));
+
+  // Ordinary errors are neither transient nor I/O failures.
+  EXPECT_FALSE(IsIoFailure(Status::Internal("bug")));
+  EXPECT_FALSE(IsTransientIoError(Status::OK()));
+  EXPECT_FALSE(IsIoFailure(Status::OK()));
 }
 
 TEST(ResultTest, HoldsValue) {

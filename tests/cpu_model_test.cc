@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "storage/disk_manager.h"
 #include "cost/cpu_model.h"
 #include "cost/statistics.h"
 #include "obs/query_stats.h"

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "storage/disk_manager.h"
 #include "common/logging.h"
 #include "relational/database.h"
 

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "storage/disk_manager.h"
 #include "cost/statistics.h"
 #include "join/hhnl.h"
 #include "join/hvnl.h"

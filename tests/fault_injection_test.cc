@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "storage/disk_manager.h"
 #include "index/inverted_file.h"
 #include "join/hhnl.h"
 #include "join/hvnl.h"
@@ -30,11 +31,115 @@ TEST(FaultInjectionTest, DiskFailsAfterCountdown) {
   EXPECT_TRUE(disk.ReadPage(f, 1, out.data()).ok());
   Status failed = disk.ReadPage(f, 2, out.data());
   EXPECT_FALSE(failed.ok());
-  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
   // Sticky until cleared.
   EXPECT_FALSE(disk.ReadPage(f, 2, out.data()).ok());
   disk.ClearReadFault();
   EXPECT_TRUE(disk.ReadPage(f, 2, out.data()).ok());
+}
+
+TEST(FaultInjectionTest, StickyFaultSemantics) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("f");
+  std::vector<uint8_t> page(64, 7);
+  ASSERT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+  std::vector<uint8_t> out(64);
+
+  // Once armed with 0, EVERY read fails until cleared, regardless of the
+  // page or file being read; successive failures do not consume anything.
+  disk.InjectReadFault(0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(disk.ReadPage(f, 0, out.data()).code(),
+              StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(disk.fault_counters().countdown, 5);
+
+  // ClearReadFault is idempotent: clearing twice (or when no fault is
+  // armed) is a no-op, not an error.
+  disk.ClearReadFault();
+  disk.ClearReadFault();
+  EXPECT_TRUE(disk.ReadPage(f, 0, out.data()).ok());
+  disk.ClearReadFault();
+  EXPECT_TRUE(disk.ReadPage(f, 0, out.data()).ok());
+
+  // Re-arming replaces the previous countdown wholesale.
+  disk.InjectReadFault(3);
+  disk.InjectReadFault(1);
+  EXPECT_TRUE(disk.ReadPage(f, 0, out.data()).ok());
+  EXPECT_FALSE(disk.ReadPage(f, 0, out.data()).ok());
+  disk.ClearReadFault();
+}
+
+TEST(FaultInjectionTest, PermanentFileFailure) {
+  SimulatedDisk disk(64);
+  FileId a = disk.CreateFile("a");
+  FileId b = disk.CreateFile("b");
+  std::vector<uint8_t> page(64, 3);
+  ASSERT_TRUE(disk.AppendPage(a, page.data(), 64).ok());
+  ASSERT_TRUE(disk.AppendPage(b, page.data(), 64).ok());
+  std::vector<uint8_t> out(64);
+
+  disk.FailFilePermanently(a);
+  Status st = disk.ReadPage(a, 0, out.data());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(IsIoFailure(st));
+  EXPECT_FALSE(IsTransientIoError(st));
+  // Other files are unaffected.
+  EXPECT_TRUE(disk.ReadPage(b, 0, out.data()).ok());
+  EXPECT_EQ(disk.fault_counters().permanent, 1);
+
+  // HealFile restores the file and is idempotent.
+  disk.HealFile(a);
+  disk.HealFile(a);
+  EXPECT_TRUE(disk.ReadPage(a, 0, out.data()).ok());
+}
+
+TEST(FaultInjectionTest, FaultScheduleIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    SimulatedDisk disk(64);
+    FileId f = disk.CreateFile("f");
+    std::vector<uint8_t> page(64, 1);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+    }
+    FaultSchedule schedule;
+    schedule.seed = seed;
+    schedule.transient_rate = 0.2;
+    schedule.corruption_rate = 0.1;
+    disk.set_fault_schedule(schedule);
+    const std::vector<uint8_t> expected(64, 1);
+    std::vector<uint8_t> out(64);
+    std::string trace;
+    for (int i = 0; i < 200; ++i) {
+      Status st = disk.ReadPage(f, i % 8, out.data());
+      trace += st.ok() ? (out == expected ? 'o' : 'c') : 'x';
+    }
+    return trace;
+  };
+  // Same seed, same fault sequence; different seed, different sequence.
+  std::string a = run(42), b = run(42), c = run(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a.find('x'), std::string::npos);  // transients actually fired
+  EXPECT_NE(a.find('c'), std::string::npos);  // corruption actually fired
+}
+
+TEST(FaultInjectionTest, CorruptionLeavesStoredPageIntact) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("f");
+  std::vector<uint8_t> page(64, 9);
+  ASSERT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+  FaultSchedule schedule;
+  schedule.seed = 7;
+  schedule.corruption_rate = 1.0;  // every read corrupts the returned copy
+  disk.set_fault_schedule(schedule);
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(disk.ReadPage(f, 0, out.data()).ok());
+  EXPECT_NE(out, page);  // exactly one bit differs
+  // The stored bytes were never touched: a fault-free re-read is clean.
+  disk.set_fault_schedule(FaultSchedule{});
+  ASSERT_TRUE(disk.ReadPage(f, 0, out.data()).ok());
+  EXPECT_EQ(out, page);
 }
 
 TEST(FaultInjectionTest, CollectionReadPropagates) {
@@ -43,7 +148,7 @@ TEST(FaultInjectionTest, CollectionReadPropagates) {
   disk.InjectReadFault(0);
   auto doc = col.ReadDocument(3);
   EXPECT_FALSE(doc.ok());
-  EXPECT_EQ(doc.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(doc.status().code(), StatusCode::kUnavailable);
   disk.ClearReadFault();
 
   disk.InjectReadFault(1);
@@ -73,6 +178,43 @@ TEST(FaultInjectionTest, BufferPoolPropagates) {
   // The failed pin must not leave a frame behind.
   EXPECT_TRUE(pool.FlushAll().ok());
   EXPECT_TRUE(pool.Pin(f, 0).ok());
+}
+
+TEST(FaultInjectionTest, BufferPoolSurvivesFaultsWithoutPoisoning) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("f");
+  std::vector<uint8_t> page(64, 1);
+  for (int i = 0; i < 4; ++i) {
+    page[0] = static_cast<uint8_t>(i);
+    ASSERT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+  }
+  BufferPool pool(&disk, 2);
+  // Fill the pool and release both pages to the LRU list.
+  ASSERT_TRUE(pool.Pin(f, 0).ok());
+  ASSERT_TRUE(pool.Pin(f, 1).ok());
+  ASSERT_TRUE(pool.Unpin(f, 0).ok());
+  ASSERT_TRUE(pool.Unpin(f, 1).ok());
+
+  // A failed fetch of a NEW page must not evict a cached one.
+  disk.InjectReadFault(0);
+  EXPECT_FALSE(pool.Pin(f, 2).ok());
+  EXPECT_FALSE(pool.Pin(f, 3).ok());
+  disk.ClearReadFault();
+  const IoStats before = disk.stats();
+  ASSERT_TRUE(pool.Pin(f, 0).ok());  // still cached: no disk read
+  ASSERT_TRUE(pool.Pin(f, 1).ok());
+  EXPECT_EQ(disk.stats().sequential_reads + disk.stats().random_reads,
+            before.sequential_reads + before.random_reads);
+  ASSERT_TRUE(pool.Unpin(f, 0).ok());
+  ASSERT_TRUE(pool.Unpin(f, 1).ok());
+
+  // After the faults clear, the pool works normally: new pages pin fine
+  // and return the right bytes.
+  auto p2 = pool.Pin(f, 2);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ((*p2)[0], 2);
+  ASSERT_TRUE(pool.Unpin(f, 2).ok());
+  EXPECT_TRUE(pool.FlushAll().ok());
 }
 
 TEST(FaultInjectionTest, BTreeLookupPropagates) {
@@ -110,7 +252,7 @@ TEST_P(ExecutorFaultTest, AllExecutorsFailCleanly) {
     auto r = algo->Run(ctx, spec);
     disk.ClearReadFault();
     if (!r.ok()) {
-      EXPECT_EQ(r.status().code(), StatusCode::kInternal)
+      EXPECT_EQ(r.status().code(), StatusCode::kUnavailable)
           << algo->name() << " fault_at=" << fault_at;
     } else {
       // The run finished before the fault armed; the result must be the

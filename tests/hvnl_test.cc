@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "storage/disk_manager.h"
 #include "join/hvnl.h"
 #include "obs/query_stats.h"
 #include "test_util.h"

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "storage/disk_manager.h"
 #include "join/hhnl.h"
 #include "join/hvnl.h"
 #include "join/vvm.h"

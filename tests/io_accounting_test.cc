@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "storage/disk_manager.h"
 #include "cost/cost_model.h"
 #include "cost/statistics.h"
 #include "join/hhnl.h"

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "storage/disk_manager.h"
 #include "join/hhnl.h"
 #include "parallel/parallel_join.h"
 #include "test_util.h"

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "storage/disk_manager.h"
 #include "relational/predicate.h"
 #include "relational/table.h"
 #include "relational/text_join_query.h"

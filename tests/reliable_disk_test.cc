@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "storage/reliable_disk.h"
+
+namespace textjoin {
+namespace {
+
+std::vector<uint8_t> MakePage(int64_t size, uint8_t fill) {
+  return std::vector<uint8_t>(static_cast<size_t>(size), fill);
+}
+
+TEST(ReliableDiskTest, PassesThroughMetadataAndWrites) {
+  SimulatedDisk base(64);
+  ReliableDisk disk(&base);
+  EXPECT_EQ(disk.page_size(), 64);
+  FileId f = disk.CreateFile("data");
+  auto page = MakePage(64, 5);
+  ASSERT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+  ASSERT_TRUE(disk.AppendPage(f, page.data(), 32).ok());  // partial page
+  EXPECT_EQ(disk.FileSizeInPages(f).value(), 2);
+  EXPECT_EQ(disk.FileName(f), "data");
+  EXPECT_EQ(disk.FindFile("data").value(), f);
+  EXPECT_EQ(disk.file_count(), 1);
+  EXPECT_EQ(disk.checksummed_pages(), 2);
+
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(disk.ReadPage(f, 0, out.data()).ok());
+  EXPECT_EQ(out, page);
+  // Fault-free reads record nothing in the retry ledger.
+  EXPECT_FALSE(disk.retry_stats().any());
+  // The merged stats view carries the base device's counters.
+  EXPECT_EQ(disk.stats().page_writes, 2);
+}
+
+TEST(ReliableDiskTest, RetriesTransientErrorsWithBackoff) {
+  SimulatedDisk base(64);
+  ReliableDisk disk(&base);
+  FileId f = disk.CreateFile("f");
+  auto page = MakePage(64, 9);
+  ASSERT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+
+  FaultSchedule schedule;
+  schedule.seed = 3;
+  schedule.transient_rate = 0.4;
+  base.set_fault_schedule(schedule);
+
+  std::vector<uint8_t> out(64);
+  int64_t successes = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (disk.ReadPage(f, 0, out.data()).ok()) {
+      ++successes;
+      EXPECT_EQ(out, page);
+    }
+  }
+  const RetryStats& rs = disk.retry_stats();
+  EXPECT_GT(rs.transient_errors, 0);
+  EXPECT_GT(rs.retries, 0);
+  EXPECT_GT(rs.recovered_reads, 0);
+  EXPECT_GT(rs.backoff_ms, 0.0);
+  // At 40% per-attempt failure and 4 attempts almost everything recovers.
+  EXPECT_GT(successes, 290);
+  // The stats() view folds the ledger into IoStats.
+  EXPECT_EQ(disk.stats().retry, rs);
+}
+
+TEST(ReliableDiskTest, MaxAttemptsOneDisablesRetry) {
+  SimulatedDisk base(64);
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  ReliableDisk disk(&base, policy);
+  FileId f = disk.CreateFile("f");
+  auto page = MakePage(64, 1);
+  ASSERT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+
+  base.InjectReadFault(0);
+  std::vector<uint8_t> out(64);
+  Status st = disk.ReadPage(f, 0, out.data());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(disk.retry_stats().retries, 0);
+  EXPECT_EQ(disk.retry_stats().exhausted_reads, 1);
+  base.ClearReadFault();
+}
+
+TEST(ReliableDiskTest, GivesUpAfterMaxAttempts) {
+  SimulatedDisk base(64);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  ReliableDisk disk(&base, policy);
+  FileId f = disk.CreateFile("f");
+  auto page = MakePage(64, 1);
+  ASSERT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+
+  base.InjectReadFault(0);  // sticky: every attempt fails
+  std::vector<uint8_t> out(64);
+  Status st = disk.ReadPage(f, 0, out.data());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_NE(st.message().find("gave up after 3 attempts"), std::string::npos)
+      << st.message();
+  EXPECT_EQ(disk.retry_stats().retries, 2);
+  EXPECT_EQ(disk.retry_stats().transient_errors, 3);
+  EXPECT_EQ(disk.retry_stats().exhausted_reads, 1);
+  base.ClearReadFault();
+}
+
+TEST(ReliableDiskTest, RetryBudgetBoundsRecoveryWork) {
+  SimulatedDisk base(64);
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.retry_budget = 2;
+  ReliableDisk disk(&base, policy);
+  FileId f = disk.CreateFile("f");
+  auto page = MakePage(64, 1);
+  ASSERT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+
+  base.InjectReadFault(0);
+  std::vector<uint8_t> out(64);
+  Status st = disk.ReadPage(f, 0, out.data());
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("retry budget"), std::string::npos)
+      << st.message();
+  EXPECT_EQ(disk.retry_stats().retries, 2);
+  base.ClearReadFault();
+
+  // The budget is per metering epoch: ResetStats() (one query) refills it.
+  disk.ResetStats();
+  base.InjectReadFault(1);
+  ASSERT_TRUE(disk.ReadPage(f, 0, out.data()).ok());
+  EXPECT_FALSE(disk.ReadPage(f, 0, out.data()).ok());  // budget spent again
+  base.ClearReadFault();
+}
+
+TEST(ReliableDiskTest, RecoversFromTransferCorruption) {
+  SimulatedDisk base(64);
+  ReliableDisk disk(&base);
+  FileId f = disk.CreateFile("f");
+  auto page = MakePage(64, 0x42);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+  }
+
+  FaultSchedule schedule;
+  schedule.seed = 9;
+  schedule.corruption_rate = 0.5;  // flips a bit of the returned buffer
+  base.set_fault_schedule(schedule);
+
+  std::vector<uint8_t> out(64);
+  for (int i = 0; i < 200; ++i) {
+    Status st = disk.ReadPage(f, i % 4, out.data());
+    if (st.ok()) {
+      // Checksum verification guarantees a recovered read is bit-exact.
+      EXPECT_EQ(out, page) << "corrupted data returned as OK";
+    } else {
+      EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+    }
+  }
+  EXPECT_GT(disk.retry_stats().checksum_failures, 0);
+  EXPECT_GT(disk.retry_stats().recovered_reads, 0);
+}
+
+TEST(ReliableDiskTest, DetectsStoredCorruptionAsDataLoss) {
+  SimulatedDisk base(64);
+  ReliableDisk disk(&base);
+  FileId f = disk.CreateFile("f");
+  auto page = MakePage(64, 7);
+  ASSERT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+
+  // Corrupt the STORED page behind the decorator's back: the recorded
+  // checksum can never match again, so retries are futile and the read
+  // must fail with DATA_LOSS.
+  page[10] ^= 0xFF;
+  ASSERT_TRUE(base.WritePage(f, 0, page.data(), 64).ok());
+  std::vector<uint8_t> out(64);
+  Status st = disk.ReadPage(f, 0, out.data());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_NE(st.message().find("checksum mismatch"), std::string::npos);
+  EXPECT_GT(disk.retry_stats().checksum_failures, 0);
+  EXPECT_EQ(disk.retry_stats().recovered_reads, 0);
+}
+
+TEST(ReliableDiskTest, PermanentFailurePropagatesImmediately) {
+  SimulatedDisk base(64);
+  ReliableDisk disk(&base);
+  FileId f = disk.CreateFile("f");
+  auto page = MakePage(64, 7);
+  ASSERT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+
+  base.FailFilePermanently(f);
+  std::vector<uint8_t> out(64);
+  Status st = disk.ReadPage(f, 0, out.data());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  // No retries were burned on a dead file.
+  EXPECT_EQ(disk.retry_stats().retries, 0);
+  EXPECT_EQ(base.fault_counters().permanent, 1);
+}
+
+TEST(ReliableDiskTest, SealExistingFilesAdoptsPreexistingData) {
+  SimulatedDisk base(64);
+  FileId f = base.CreateFile("old");
+  auto page = MakePage(64, 3);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(base.AppendPage(f, page.data(), 64).ok());
+  }
+  const IoStats before = base.stats();
+
+  ReliableDisk disk(&base);
+  EXPECT_EQ(disk.checksummed_pages(), 0);
+  ASSERT_TRUE(disk.SealExistingFiles().ok());
+  EXPECT_EQ(disk.checksummed_pages(), 5);
+  // Sealing uses the unmetered maintenance path: no read counters moved.
+  EXPECT_EQ(base.stats().sequential_reads + base.stats().random_reads,
+            before.sequential_reads + before.random_reads);
+
+  // Sealed pages are verified: transfer corruption is now caught.
+  FaultSchedule schedule;
+  schedule.seed = 5;
+  schedule.corruption_rate = 1.0;
+  base.set_fault_schedule(schedule);
+  std::vector<uint8_t> out(64);
+  Status st = disk.ReadPage(f, 0, out.data());
+  EXPECT_FALSE(st.ok());
+  EXPECT_GT(disk.retry_stats().checksum_failures, 0);
+}
+
+TEST(ReliableDiskTest, ChecksumVerificationCanBeDisabled) {
+  SimulatedDisk base(64);
+  RetryPolicy policy;
+  policy.verify_checksums = false;
+  ReliableDisk disk(&base, policy);
+  FileId f = disk.CreateFile("f");
+  auto page = MakePage(64, 7);
+  ASSERT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+
+  FaultSchedule schedule;
+  schedule.seed = 5;
+  schedule.corruption_rate = 1.0;
+  base.set_fault_schedule(schedule);
+  std::vector<uint8_t> out(64);
+  // Without verification the corrupted transfer sails through as OK.
+  ASSERT_TRUE(disk.ReadPage(f, 0, out.data()).ok());
+  EXPECT_NE(out, page);
+  EXPECT_EQ(disk.retry_stats().checksum_failures, 0);
+}
+
+TEST(RetryStatsTest, ArithmeticAndToString) {
+  RetryStats a;
+  a.transient_errors = 3;
+  a.retries = 2;
+  a.backoff_ms = 5.0;
+  RetryStats b;
+  b.transient_errors = 1;
+  b.recovered_reads = 1;
+  b.backoff_ms = 1.5;
+
+  RetryStats sum = a;
+  sum += b;
+  EXPECT_EQ(sum.transient_errors, 4);
+  EXPECT_EQ(sum.retries, 2);
+  EXPECT_EQ(sum.recovered_reads, 1);
+  EXPECT_DOUBLE_EQ(sum.backoff_ms, 6.5);
+  EXPECT_EQ(sum - b, a);
+  EXPECT_TRUE(a.any());
+  EXPECT_FALSE(RetryStats().any());
+  EXPECT_NE(a.ToString().find("transient=3"), std::string::npos);
+
+  // IoStats::ToString stays byte-identical for fault-free runs and grows
+  // a retry section only when recovery work happened.
+  IoStats clean;
+  EXPECT_EQ(clean.ToString().find("retry"), std::string::npos);
+  IoStats dirty;
+  dirty.retry = a;
+  EXPECT_NE(dirty.ToString().find("retry"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace textjoin

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "storage/disk_manager.h"
 #include "join/similarity.h"
 #include "test_util.h"
 

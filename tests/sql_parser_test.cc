@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "storage/disk_manager.h"
 #include "relational/sql_parser.h"
 #include "test_util.h"
 #include "text/tokenizer.h"

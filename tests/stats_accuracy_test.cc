@@ -10,6 +10,7 @@
 #include <cmath>
 #include <string>
 
+#include "storage/disk_manager.h"
 #include "cost/cost_model.h"
 #include "cost/statistics.h"
 #include "join/hhnl.h"

@@ -169,7 +169,7 @@ TEST(IoStatsTest, CostWeighsRandomByAlpha) {
 }
 
 TEST(IoStatsTest, Arithmetic) {
-  IoStats a{10, 3, 1}, b{4, 1, 0};
+  IoStats a{10, 3, 1, {}}, b{4, 1, 0, {}};
   IoStats sum = a + b;
   EXPECT_EQ(sum.sequential_reads, 14);
   EXPECT_EQ(sum.random_reads, 4);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "storage/disk_manager.h"
 #include "sim/synthetic.h"
 #include "sim/trec_profiles.h"
 

@@ -21,7 +21,7 @@ namespace testing_util {
 
 // Builds a collection from literal documents (each a sorted d-cell list).
 inline DocumentCollection BuildCollection(
-    SimulatedDisk* disk, const std::string& name,
+    Disk* disk, const std::string& name,
     const std::vector<std::vector<DCell>>& docs) {
   CollectionBuilder builder(disk, name);
   for (const auto& cells : docs) {
@@ -35,7 +35,7 @@ inline DocumentCollection BuildCollection(
 
 // A random collection with `num_docs` documents of `terms_per_doc` distinct
 // terms drawn Zipf-ish from [0, vocab); weights in [1, 4].
-inline DocumentCollection RandomCollection(SimulatedDisk* disk,
+inline DocumentCollection RandomCollection(Disk* disk,
                                            const std::string& name,
                                            int64_t num_docs,
                                            int64_t terms_per_doc,
@@ -104,14 +104,14 @@ inline JoinResult BruteForceJoin(const DocumentCollection& inner,
 // Heap-allocated and pinned: the SimilarityContext holds pointers to the
 // collections, so the fixture must not relocate.
 struct JoinFixture {
-  SimulatedDisk* disk;
+  Disk* disk;
   DocumentCollection inner;
   DocumentCollection outer;
   InvertedFile inner_index;
   InvertedFile outer_index;
   SimilarityContext simctx;
 
-  JoinFixture(SimulatedDisk* d, DocumentCollection in, DocumentCollection out,
+  JoinFixture(Disk* d, DocumentCollection in, DocumentCollection out,
               InvertedFile in_idx, InvertedFile out_idx)
       : disk(d),
         inner(std::move(in)),
@@ -135,7 +135,7 @@ struct JoinFixture {
   }
 };
 
-inline std::unique_ptr<JoinFixture> MakeFixture(SimulatedDisk* disk,
+inline std::unique_ptr<JoinFixture> MakeFixture(Disk* disk,
                                                 DocumentCollection inner,
                                                 DocumentCollection outer,
                                                 SimilarityConfig config = {}) {

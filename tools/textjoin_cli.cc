@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "storage/disk_manager.h"
+#include "storage/reliable_disk.h"
 #include "common/logging.h"
 #include "cost/cost_model.h"
 #include "cost/statistics.h"
@@ -46,8 +48,16 @@ int Usage() {
                "[--algo auto|hhnl|hvnl|vvm]\n"
                "               [--buffer PAGES] [--cosine] [--idf] "
                "[--trec]\n"
+               "               [--fault-rate R] [--fault-seed S] "
+               "[--retries N]\n"
                "      --trec: inputs are TREC SGML files "
                "(<DOC><DOCNO><TEXT>) instead of one document per line\n"
+               "      --fault-rate: chaos mode — inject transient read "
+               "errors and silent\n"
+               "        corruption at rate R (e.g. 0.01) during the join; "
+               "--fault-seed picks\n"
+               "        the deterministic schedule, --retries the read "
+               "attempts (1 = no retry)\n"
                "  textjoin_cli estimate --n1 N --k1 K --t1 T --n2 N --k2 K "
                "--t2 T\n"
                "               [--buffer PAGES] [--alpha A] [--lambda L] "
@@ -124,7 +134,7 @@ Result<std::vector<std::string>> ReadLines(const std::string& path) {
 }
 
 Result<DocumentCollection> BuildFromLines(
-    SimulatedDisk* disk, const std::string& name,
+    Disk* disk, const std::string& name,
     const std::vector<std::string>& lines, Vocabulary* vocab,
     const Tokenizer& tokenizer) {
   CollectionBuilder builder(disk, name);
@@ -143,8 +153,15 @@ int RunJoin(Args& args) {
   const int64_t buffer = args.Int("buffer", 1000);
   const std::string algo = args.Flag("algo").value_or("auto");
   const bool trec = args.Bool("trec");
+  const double fault_rate = args.Double("fault-rate", 0.0);
+  const uint64_t fault_seed = static_cast<uint64_t>(args.Int("fault-seed", 1));
+  const int retries = static_cast<int>(args.Int("retries", 4));
+  if (fault_rate < 0 || fault_rate >= 1 || retries < 1) return Usage();
 
-  SimulatedDisk disk(4096);
+  SimulatedDisk base(4096);
+  RetryPolicy policy;
+  policy.max_attempts = retries;
+  ReliableDisk disk(&base, policy);
   Vocabulary vocab;
   Tokenizer tokenizer;
   Result<DocumentCollection> inner(Status::Internal("unset"));
@@ -208,6 +225,19 @@ int RunJoin(Args& args) {
   spec.lambda = lambda;
   spec.similarity = config;
 
+  if (fault_rate > 0) {
+    // Chaos mode: fault the query, not the build — the collections and
+    // indexes above were written cleanly.
+    FaultSchedule schedule;
+    schedule.seed = fault_seed;
+    schedule.transient_rate = fault_rate;
+    schedule.corruption_rate = fault_rate;
+    base.set_fault_schedule(schedule);
+    std::printf("chaos: fault rate %.4f, seed %llu, %d read attempts\n\n",
+                fault_rate, static_cast<unsigned long long>(fault_seed),
+                retries);
+  }
+
   disk.ResetStats();
   Result<JoinResult> result(Status::OK());
   if (algo == "auto") {
@@ -241,6 +271,9 @@ int RunJoin(Args& args) {
     }
   }
   std::printf("\njoin I/O: %s\n", disk.stats().ToString().c_str());
+  if (disk.retry_stats().any()) {
+    std::printf("recovery: %s\n", disk.retry_stats().ToString().c_str());
+  }
   return 0;
 }
 
