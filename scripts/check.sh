@@ -8,6 +8,9 @@
 #   scripts/check.sh chaos      fault-tolerance suite (`ctest -L chaos`)
 #                               swept under three fixed seed offsets, each
 #                               a different deterministic fault universe
+#   scripts/check.sh stress     lifecycle-governance suite (`ctest -L
+#                               stress`) swept under three seed offsets,
+#                               each randomizing the cancellation points
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +31,18 @@ if [ "${1:-}" = "chaos" ]; then
       ctest --test-dir build -L chaos --output-on-failure
   done
   echo "CHAOS CHECKS PASSED"
+  exit 0
+fi
+
+if [ "${1:-}" = "stress" ]; then
+  cmake -B build -G Ninja
+  cmake --build build
+  for seed in 0 7919 104729; do
+    echo "== stress sweep, seed offset ${seed} =="
+    TEXTJOIN_STRESS_SEED=${seed} \
+      ctest --test-dir build -L stress --output-on-failure
+  done
+  echo "STRESS CHECKS PASSED"
   exit 0
 fi
 

@@ -27,6 +27,14 @@ enum class StatusCode {
   // Unrecoverable data corruption or loss: a checksum mismatch that
   // re-reads did not cure, or a permanently failed device region.
   kDataLoss,
+  // The query was cooperatively stopped through its cancellation token
+  // (exec/governor.h). Not an error of the data or the device: the work is
+  // simply abandoned, and no partial result is returned.
+  kCancelled,
+  // The query's deadline expired before it finished — at a cooperative
+  // checkpoint, an I/O poll, or mid-retry (the recovery layer's simulated
+  // backoff counts against the deadline).
+  kDeadlineExceeded,
 };
 
 // Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
@@ -72,6 +80,12 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -106,6 +120,22 @@ inline bool IsTransientIoError(const Status& s) {
 inline bool IsIoFailure(const Status& s) {
   return s.code() == StatusCode::kUnavailable ||
          s.code() == StatusCode::kDataLoss;
+}
+
+// True when the query was stopped on purpose — an explicit Cancel() or an
+// expired deadline — rather than by a fault. Cancellation is never
+// retried by the recovery layer and never masked by a planner fallback:
+// the caller asked for the work to stop.
+inline bool IsCancellation(const Status& s) {
+  return s.code() == StatusCode::kCancelled ||
+         s.code() == StatusCode::kDeadlineExceeded;
+}
+
+// True for admission-control rejections a client may retry later: the
+// system shed load (queue full, memory budget exhausted, too many
+// concurrent queries), not because the query itself is wrong.
+inline bool IsRetriableAdmission(const Status& s) {
+  return s.code() == StatusCode::kResourceExhausted;
 }
 
 // Result<T> holds either a value of type T or an error Status.

@@ -1,0 +1,164 @@
+#include "exec/admission.h"
+
+#include <algorithm>
+#include <string>
+
+namespace textjoin {
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted:
+      return "admitted";
+    case AdmissionOutcome::kQueued:
+      return "queued";
+    case AdmissionOutcome::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+bool AdmissionController::HasFreeSlot() const {
+  if (options_.max_concurrent > 0 &&
+      running() >= options_.max_concurrent) {
+    return false;
+  }
+  // Under a memory budget a fully committed pool also blocks admission:
+  // a zero-page grant could not even degrade.
+  if (options_.memory_budget_pages > 0 &&
+      memory_in_use_pages_ >= options_.memory_budget_pages) {
+    return false;
+  }
+  return true;
+}
+
+AdmissionGrant AdmissionController::AdmitNow(int64_t ticket,
+                                             double predicted_cost_pages,
+                                             int64_t memory_claim_pages,
+                                             double queue_wait_ms) {
+  AdmissionGrant grant;
+  grant.ticket = ticket;
+  grant.outcome = queue_wait_ms > 0 ? AdmissionOutcome::kQueued
+                                    : AdmissionOutcome::kAdmitted;
+  grant.queue_wait_ms = queue_wait_ms;
+  grant.memory_granted_pages = memory_claim_pages;
+  if (options_.memory_budget_pages > 0) {
+    const int64_t available = options_.memory_budget_pages -
+                              memory_in_use_pages_;
+    grant.memory_granted_pages = std::min(memory_claim_pages, available);
+  }
+  if (options_.cost_unit_ms > 0) {
+    grant.predicted_runtime_ms = predicted_cost_pages * options_.cost_unit_ms;
+  }
+  running_[ticket] = grant.memory_granted_pages;
+  memory_in_use_pages_ += grant.memory_granted_pages;
+  ++total_admitted_;
+  return grant;
+}
+
+Result<AdmissionGrant> AdmissionController::Submit(
+    double predicted_cost_pages, int64_t memory_claim_pages,
+    double deadline_ms) {
+  if (options_.cost_unit_ms > 0 && deadline_ms > 0) {
+    const double predicted_ms = predicted_cost_pages * options_.cost_unit_ms;
+    if (predicted_ms > deadline_ms) {
+      ++total_shed_;
+      return Status::DeadlineExceeded(
+          "shed before execution: predicted runtime " +
+          std::to_string(predicted_ms) + " ms exceeds deadline " +
+          std::to_string(deadline_ms) + " ms");
+    }
+  }
+
+  const int64_t ticket = next_ticket_++;
+  // FIFO fairness: a newcomer may not overtake queued queries even when a
+  // slot happens to be free at this instant.
+  if (queue_.empty() && HasFreeSlot()) {
+    return AdmitNow(ticket, predicted_cost_pages, memory_claim_pages,
+                    /*queue_wait_ms=*/0);
+  }
+
+  if (static_cast<int64_t>(queue_.size()) < options_.max_queue) {
+    queue_.push_back(Waiter{ticket, now_ms_, predicted_cost_pages,
+                            memory_claim_pages});
+    ++total_queued_;
+    AdmissionGrant grant;
+    grant.ticket = ticket;
+    grant.outcome = AdmissionOutcome::kQueued;
+    return grant;
+  }
+
+  ++total_shed_;
+  return Status::ResourceExhausted(
+      "admission queue full: " + std::to_string(running()) + " running, " +
+      std::to_string(queued()) + " queued (max_concurrent=" +
+      std::to_string(options_.max_concurrent) + ", max_queue=" +
+      std::to_string(options_.max_queue) + ")");
+}
+
+void AdmissionController::PromoteWaiters() {
+  while (!queue_.empty() && HasFreeSlot()) {
+    const Waiter w = queue_.front();
+    queue_.pop_front();
+    const double waited_ms = now_ms_ - w.submitted_ms;
+    if (options_.queue_timeout_ms > 0 &&
+        waited_ms > options_.queue_timeout_ms) {
+      // Waited past its per-query timeout while queued: shed, try next.
+      timed_out_[w.ticket] = waited_ms;
+      ++total_shed_;
+      continue;
+    }
+    promoted_[w.ticket] =
+        AdmitNow(w.ticket, w.predicted_cost_pages, w.memory_claim_pages,
+                 waited_ms);
+  }
+}
+
+Result<AdmissionGrant> AdmissionController::Await(int64_t ticket) {
+  if (auto it = running_.find(ticket);
+      it != running_.end() && promoted_.find(ticket) == promoted_.end()) {
+    // Admitted directly at Submit time; nothing to wait for.
+    AdmissionGrant grant;
+    grant.ticket = ticket;
+    grant.memory_granted_pages = it->second;
+    return grant;
+  }
+  if (auto it = promoted_.find(ticket); it != promoted_.end()) {
+    AdmissionGrant grant = it->second;
+    promoted_.erase(it);
+    return grant;
+  }
+  if (auto it = timed_out_.find(ticket); it != timed_out_.end()) {
+    const double waited_ms = it->second;
+    timed_out_.erase(it);
+    return Status::ResourceExhausted(
+        "shed after queueing: waited " + std::to_string(waited_ms) +
+        " ms, queue timeout is " +
+        std::to_string(options_.queue_timeout_ms) + " ms");
+  }
+  for (const Waiter& w : queue_) {
+    if (w.ticket == ticket) {
+      // Still queued and nothing will release it (queries run serially):
+      // resolving now means the wait can only grow, so shed.
+      ++total_shed_;
+      std::erase_if(queue_,
+                    [ticket](const Waiter& q) { return q.ticket == ticket; });
+      return Status::ResourceExhausted(
+          "shed while queued: no run slot became available (ticket " +
+          std::to_string(ticket) + ")");
+    }
+  }
+  return Status::ResourceExhausted("unknown admission ticket " +
+                                   std::to_string(ticket));
+}
+
+void AdmissionController::Release(int64_t ticket, double elapsed_ms) {
+  now_ms_ += elapsed_ms;
+  if (auto it = running_.find(ticket); it != running_.end()) {
+    memory_in_use_pages_ -= it->second;
+    running_.erase(it);
+  }
+  promoted_.erase(ticket);
+  PromoteWaiters();
+}
+
+}  // namespace textjoin

@@ -1,0 +1,135 @@
+#ifndef TEXTJOIN_EXEC_ADMISSION_H_
+#define TEXTJOIN_EXEC_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace textjoin {
+
+// Admission-control configuration (DatabaseOptions::admission).
+// All-zero defaults mean admission control is off: every query is
+// admitted immediately with its full memory claim.
+struct AdmissionOptions {
+  // Maximum queries running at once. 0 = unlimited.
+  int64_t max_concurrent = 0;
+  // Bounded FIFO wait queue used when all slots are busy. A submission
+  // that finds the queue full is shed with RESOURCE_EXHAUSTED.
+  int64_t max_queue = 0;
+  // Per-query cap on simulated queue wait, in milliseconds. A queued query
+  // whose wait exceeds this is shed instead of promoted. 0 = wait forever.
+  double queue_timeout_ms = 0;
+  // Total memory budget across running queries, in pages. A query whose
+  // claim cannot be met in full is granted what remains (it degrades) or,
+  // when nothing remains, queued/shed. 0 = unlimited.
+  int64_t memory_budget_pages = 0;
+  // Deadline applied to queries that do not carry their own. 0 = none.
+  double default_deadline_ms = 0;
+  // Converts the planner's page-count cost estimate into predicted
+  // runtime: predicted_ms = cost_pages * cost_unit_ms. A query whose
+  // prediction already exceeds its deadline is shed up front with
+  // DEADLINE_EXCEEDED instead of being admitted to fail later. 0 = no
+  // runtime prediction.
+  double cost_unit_ms = 0;
+};
+
+enum class AdmissionOutcome { kAdmitted, kQueued, kShed };
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome);
+
+// What the controller granted. `outcome == kQueued` means the ticket sits
+// in the FIFO; resolve it with Await() once capacity frees up.
+struct AdmissionGrant {
+  int64_t ticket = -1;
+  AdmissionOutcome outcome = AdmissionOutcome::kAdmitted;
+  // Simulated milliseconds spent queued before the slot was granted.
+  double queue_wait_ms = 0;
+  // Pages actually granted; less than the claim under memory pressure,
+  // in which case the query's governor budget makes it degrade.
+  int64_t memory_granted_pages = 0;
+  // cost_pages * cost_unit_ms, 0 when no runtime model is configured.
+  double predicted_runtime_ms = 0;
+};
+
+// AdmissionController: the Database's front door. Each query submits its
+// planner cost estimate and memory claim and is admitted, queued in a
+// bounded FIFO, or shed with RESOURCE_EXHAUSTED (load shedding). Time is
+// simulated — Release(ticket, elapsed_ms) advances the clock by the
+// query's runtime — so the whole state machine is deterministic under
+// test. Not thread-safe: queries in this system execute serially; the
+// controller models the concurrent-arrival schedule, not real threads.
+class AdmissionController {
+ public:
+  AdmissionController() = default;
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options) {}
+
+  // Submits a query. Returns an admitted or queued grant, or:
+  //  - RESOURCE_EXHAUSTED when the run slots and the wait queue are full;
+  //  - DEADLINE_EXCEEDED when the runtime model predicts the query cannot
+  //    finish inside `deadline_ms` (> 0) — shed before any work is done.
+  Result<AdmissionGrant> Submit(double predicted_cost_pages,
+                                int64_t memory_claim_pages,
+                                double deadline_ms = 0);
+
+  // Resolves a queued ticket: an admitted grant carrying the queue wait if
+  // the ticket has been promoted, RESOURCE_EXHAUSTED if it was shed by its
+  // queue timeout (or is unknown). Admitted tickets resolve to themselves.
+  Result<AdmissionGrant> Await(int64_t ticket);
+
+  // Finishes a running query: frees its slot and memory, advances the
+  // simulated clock by `elapsed_ms`, and promotes queued queries FIFO —
+  // shedding any whose allowed queue wait has expired.
+  void Release(int64_t ticket, double elapsed_ms = 0);
+
+  // Advances the simulated clock without releasing anything (models idle
+  // time between arrivals).
+  void AdvanceTimeMs(double ms) { now_ms_ += ms; }
+
+  double now_ms() const { return now_ms_; }
+  int64_t running() const { return static_cast<int64_t>(running_.size()); }
+  int64_t queued() const { return static_cast<int64_t>(queue_.size()); }
+  int64_t memory_in_use_pages() const { return memory_in_use_pages_; }
+
+  int64_t total_admitted() const { return total_admitted_; }
+  int64_t total_queued() const { return total_queued_; }
+  int64_t total_shed() const { return total_shed_; }
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  struct Waiter {
+    int64_t ticket;
+    double submitted_ms;
+    double predicted_cost_pages;
+    int64_t memory_claim_pages;
+  };
+
+  bool HasFreeSlot() const;
+  // Grants a run slot + memory now; assumes HasFreeSlot().
+  AdmissionGrant AdmitNow(int64_t ticket, double predicted_cost_pages,
+                          int64_t memory_claim_pages, double queue_wait_ms);
+  void PromoteWaiters();
+
+  AdmissionOptions options_;
+  double now_ms_ = 0;
+  int64_t next_ticket_ = 1;
+  // ticket -> pages granted, for Release accounting.
+  std::unordered_map<int64_t, int64_t> running_;
+  std::deque<Waiter> queue_;
+  // Queued tickets promoted by Release, waiting to be picked up by Await.
+  std::unordered_map<int64_t, AdmissionGrant> promoted_;
+  // Queued tickets shed by their queue timeout.
+  std::unordered_map<int64_t, double> timed_out_;
+  int64_t memory_in_use_pages_ = 0;
+  int64_t total_admitted_ = 0;
+  int64_t total_queued_ = 0;
+  int64_t total_shed_ = 0;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_EXEC_ADMISSION_H_

@@ -1,0 +1,74 @@
+#include "exec/governor.h"
+
+#include <string>
+
+namespace textjoin {
+
+QueryGovernor::QueryGovernor(GovernorLimits limits)
+    : limits_(limits),
+      cancel_flag_(std::make_shared<std::atomic<bool>>(false)),
+      start_(std::chrono::steady_clock::now()) {}
+
+double QueryGovernor::ElapsedMs() const {
+  const auto wall = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double, std::milli>(wall).count() +
+         charged_ms_;
+}
+
+Status QueryGovernor::Checkpoint(const char* where) {
+  ++checkpoints_;
+  if (cancel_at_checkpoint_ > 0 && checkpoints_ >= cancel_at_checkpoint_) {
+    Cancel();
+  }
+  return Evaluate(where, checkpoints_);
+}
+
+Status QueryGovernor::PollIo() {
+  ++io_polls_;
+  return Evaluate("page read", io_polls_);
+}
+
+Status QueryGovernor::Evaluate(const char* where, int64_t ordinal) {
+  if (cancelled()) {
+    if (time_to_cancel_ms_ < 0) time_to_cancel_ms_ = ElapsedMs();
+    return Status::Cancelled("query cancelled at " + std::string(where) +
+                             " #" + std::to_string(ordinal));
+  }
+  if (limits_.deadline_ms > 0 && ElapsedMs() > limits_.deadline_ms) {
+    if (time_to_cancel_ms_ < 0) time_to_cancel_ms_ = ElapsedMs();
+    // Latch the flag so every other observer of this query (workers,
+    // storage-layer polls) stops at its next cancellation point instead of
+    // re-deriving the deadline.
+    Cancel();
+    return Status::DeadlineExceeded(
+        "deadline of " + std::to_string(limits_.deadline_ms) +
+        " ms exceeded at " + std::string(where) + " #" +
+        std::to_string(ordinal));
+  }
+  return Status::OK();
+}
+
+int64_t QueryGovernor::CapBufferPages(int64_t requested) {
+  if (limits_.memory_budget_pages <= 0 ||
+      requested <= limits_.memory_budget_pages) {
+    return requested;
+  }
+  degraded_ = true;
+  return limits_.memory_budget_pages;
+}
+
+QueryGovernor QueryGovernor::SpawnWorker() const {
+  GovernorLimits child = limits_;
+  if (limits_.deadline_ms > 0) {
+    // Remaining makespan budget. Workers run conceptually in parallel, so
+    // each gets the full remainder rather than a divided slice; a worker
+    // that would outlive the query's deadline is stopped, not rationed.
+    child.deadline_ms = limits_.deadline_ms - ElapsedMs();
+    if (child.deadline_ms <= 0) child.deadline_ms = 1e-9;
+  }
+  QueryGovernor worker(child);
+  worker.cancel_flag_ = cancel_flag_;  // shared: cancelling one stops all
+  return worker;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,114 @@
+#ifndef TEXTJOIN_EXEC_GOVERNOR_H_
+#define TEXTJOIN_EXEC_GOVERNOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace textjoin {
+
+// Per-query resource limits. Zero means "no limit" for every field, so a
+// default-constructed governor only provides cancellation and counters.
+struct GovernorLimits {
+  // Wall-clock deadline for the whole query, in milliseconds. Simulated
+  // time charged through ChargeSimulatedMs (e.g. retry backoff that a real
+  // system would sleep through) counts against it too.
+  double deadline_ms = 0;
+  // Page/memory budget. Join operators size their working structures from
+  // min(B, budget) instead of the full buffer pool B, degrading gracefully
+  // (more VVM passes, smaller HHNL batches) instead of failing.
+  int64_t memory_budget_pages = 0;
+};
+
+// QueryGovernor: the per-query lifecycle handle. It carries a deadline, a
+// cooperative cancellation token and a memory budget, and is threaded
+// through JoinContext into the operators' inner loops and — via
+// Disk::set_governor — into the page-read path, so even I/O-bound phases
+// observe cancellation within one page read.
+//
+// Cancellation is cooperative: Cancel() flips a shared flag; the running
+// query notices at its next Checkpoint() (operator inner loops) or
+// PollIo() (storage layer) and unwinds with kCancelled through the normal
+// Status plumbing. No partial result is ever returned: the error Status
+// replaces the JoinResult entirely.
+//
+// Worker queries in ParallelTextJoin get child governors via SpawnWorker.
+// A child shares the parent's cancellation flag (cancelling the query
+// cancels every worker) and inherits the *remaining* deadline: workers run
+// conceptually in parallel, so the makespan bound — not a divided
+// per-worker slice — is what each worker must respect.
+class QueryGovernor {
+ public:
+  QueryGovernor() : QueryGovernor(GovernorLimits{}) {}
+  explicit QueryGovernor(GovernorLimits limits);
+
+  const GovernorLimits& limits() const { return limits_; }
+
+  // Cooperative cancellation point for operator loops (one call per outer
+  // batch / outer document / merge pass / worker step). Returns OK, or
+  // kCancelled / kDeadlineExceeded naming `where` the query stopped.
+  Status Checkpoint(const char* where);
+
+  // Cancellation point for the storage layer (one call per page read or
+  // buffer-pool pin). Counted separately from Checkpoint so operator-level
+  // checkpoint numbering stays independent of I/O volume — which keeps
+  // CancelAtCheckpoint deterministic.
+  Status PollIo();
+
+  // Flips the shared cancellation flag. Thread-safe; callable from any
+  // holder of the flag (parent or worker governor).
+  void Cancel() { cancel_flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancel_flag_->load(std::memory_order_relaxed);
+  }
+
+  // Test hook for deterministic cancellation: the n-th Checkpoint() call
+  // (1-based) trips the cancellation flag, regardless of timing or I/O
+  // interleaving. n <= 0 disarms.
+  void CancelAtCheckpoint(int64_t n) { cancel_at_checkpoint_ = n; }
+
+  // Charges simulated elapsed time against the deadline. The simulated
+  // disk does not really sleep through retry backoff; charging it here
+  // keeps deadline semantics honest (and chaos tests deterministic).
+  void ChargeSimulatedMs(double ms) { charged_ms_ += ms; }
+
+  // Wall-clock milliseconds since construction plus charged simulated time.
+  double ElapsedMs() const;
+
+  // Applies the memory budget: min(requested, budget). Records that the
+  // query degraded when the budget actually bit.
+  int64_t CapBufferPages(int64_t requested);
+  bool degraded() const { return degraded_; }
+
+  // Child governor for a parallel worker: shared cancel flag, remaining
+  // deadline, same memory budget.
+  QueryGovernor SpawnWorker() const;
+
+  // Observability, reported through QueryStats / EXPLAIN ANALYZE.
+  int64_t checkpoints() const { return checkpoints_; }
+  int64_t io_polls() const { return io_polls_; }
+  // Milliseconds from construction to the first failed Checkpoint/PollIo;
+  // negative when the query was never stopped.
+  double time_to_cancel_ms() const { return time_to_cancel_ms_; }
+
+ private:
+  // Shared evaluation behind Checkpoint and PollIo.
+  Status Evaluate(const char* where, int64_t ordinal);
+
+  GovernorLimits limits_;
+  std::shared_ptr<std::atomic<bool>> cancel_flag_;
+  std::chrono::steady_clock::time_point start_;
+  double charged_ms_ = 0;
+  int64_t checkpoints_ = 0;
+  int64_t io_polls_ = 0;
+  int64_t cancel_at_checkpoint_ = 0;
+  bool degraded_ = false;
+  double time_to_cancel_ms_ = -1;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_EXEC_GOVERNOR_H_

@@ -1,8 +1,21 @@
 #include "join/executor.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "exec/governor.h"
+
 namespace textjoin {
+
+int64_t EffectiveBufferPages(const JoinContext& ctx) {
+  if (ctx.governor == nullptr) return ctx.sys.buffer_pages;
+  return ctx.governor->CapBufferPages(ctx.sys.buffer_pages);
+}
+
+Status GovernorCheckpoint(const JoinContext& ctx, const char* where) {
+  if (ctx.governor == nullptr) return Status::OK();
+  return ctx.governor->Checkpoint(where);
+}
 
 std::vector<DocId> ParticipatingOuterDocs(const JoinContext& ctx,
                                           const JoinSpec& spec) {

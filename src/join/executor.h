@@ -18,6 +18,7 @@
 
 namespace textjoin {
 
+class QueryGovernor;        // exec/governor.h
 class QueryStatsCollector;  // obs/query_stats.h
 
 // What to compute: C1 SIMILAR_TO(lambda) C2 in forward order — for every
@@ -26,6 +27,12 @@ class QueryStatsCollector;  // obs/query_stats.h
 struct JoinSpec {
   int64_t lambda = 20;
   SimilarityConfig similarity;
+
+  // Per-query lifecycle limits, forwarded into the QueryGovernor the
+  // Database builds for this query (exec/governor.h). 0 = no limit /
+  // inherit the session or DatabaseOptions default.
+  double deadline_ms = 0;
+  int64_t memory_budget_pages = 0;
 
   // Documents of C2 participating in the join (ascending, no duplicates);
   // empty means all. A non-empty subset models the result of a selection
@@ -74,6 +81,12 @@ struct JoinContext {
   // algorithm-specific counters and CPU work (Section 7 extension) into
   // it; I/O attribution happens via the collector's disk snapshots.
   QueryStatsCollector* stats = nullptr;
+
+  // Optional query-lifecycle handle (exec/governor.h). When non-null the
+  // executors checkpoint their inner loops against it (cancellation +
+  // deadline) and size their memory allocation from
+  // EffectiveBufferPages(ctx) instead of the raw sys.buffer_pages.
+  QueryGovernor* governor = nullptr;
 };
 
 // Common interface of the three algorithms.
@@ -110,6 +123,17 @@ Status ForEachInnerDoc(const JoinContext& ctx, const JoinSpec& spec,
 // Validates common preconditions (collections present, same page size,
 // subset sorted and in range).
 Status ValidateJoinInputs(const JoinContext& ctx, const JoinSpec& spec);
+
+// The buffer pages an executor may actually allocate from: sys.buffer_pages
+// capped by the governor's memory budget. Under memory pressure the
+// algorithms degrade through their own allocation formulas (HHNL shrinks
+// its outer batch X, VVM runs more and smaller matrix partitions) and
+// still produce identical results.
+int64_t EffectiveBufferPages(const JoinContext& ctx);
+
+// Cooperative cancellation point for executor loops; OK when the context
+// carries no governor.
+Status GovernorCheckpoint(const JoinContext& ctx, const char* where);
 
 }  // namespace textjoin
 

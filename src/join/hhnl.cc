@@ -10,7 +10,9 @@ namespace textjoin {
 
 int64_t HhnlJoin::BatchSize(const JoinContext& ctx, const JoinSpec& spec) {
   const double P = static_cast<double>(ctx.sys.page_size);
-  const double B = static_cast<double>(ctx.sys.buffer_pages);
+  // Under a governor memory budget the batch is sized from the capped
+  // buffer: a smaller X, more outer batches, identical results.
+  const double B = static_cast<double>(EffectiveBufferPages(ctx));
   const double s1 = std::ceil(ctx.inner->avg_doc_size_pages());
   const double s2 = ctx.outer->avg_doc_size_pages();
   const double denom = s2 + 4.0 * static_cast<double>(spec.lambda) / P;
@@ -49,6 +51,7 @@ Result<JoinResult> HhnlJoin::RunForward(const JoinContext& ctx,
 
   size_t pos = 0;
   while (pos < participating.size()) {
+    TEXTJOIN_RETURN_IF_ERROR(GovernorCheckpoint(ctx, "HHNL outer batch"));
     const size_t batch_size =
         std::min<size_t>(static_cast<size_t>(X), participating.size() - pos);
     // Bring the next batch of outer documents into memory.
@@ -107,7 +110,7 @@ Result<JoinResult> HhnlJoin::RunBackward(const JoinContext& ctx,
   const std::vector<DocId> participating = ParticipatingOuterDocs(ctx, spec);
   const bool random_outer = !spec.outer_subset.empty();
   const double P = static_cast<double>(ctx.sys.page_size);
-  const double B = static_cast<double>(ctx.sys.buffer_pages);
+  const double B = static_cast<double>(EffectiveBufferPages(ctx));
   const double s1 = ctx.inner->avg_doc_size_pages();
   const double s2 = std::ceil(ctx.outer->avg_doc_size_pages());
   const double heap_pages = 4.0 * static_cast<double>(spec.lambda) *
@@ -136,6 +139,7 @@ Result<JoinResult> HhnlJoin::RunBackward(const JoinContext& ctx,
   const std::vector<char> inner_member = InnerMembership(ctx, spec);
   auto inner_scan = ctx.inner->Scan();
   while (!inner_scan.Done()) {
+    TEXTJOIN_RETURN_IF_ERROR(GovernorCheckpoint(ctx, "HHNL inner batch"));
     // Load the next batch of (participating) inner documents.
     std::vector<DocId> batch_docs;
     std::vector<Document> batch;

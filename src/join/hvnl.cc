@@ -88,7 +88,9 @@ class EntryCache {
 int64_t HvnlJoin::CacheCapacity(const JoinContext& ctx,
                                 const JoinSpec& spec) {
   const double P = static_cast<double>(ctx.sys.page_size);
-  const double B = static_cast<double>(ctx.sys.buffer_pages);
+  // A governor memory budget shrinks the entry cache: more entry
+  // re-fetches, identical results.
+  const double B = static_cast<double>(EffectiveBufferPages(ctx));
   const double s2 = std::ceil(ctx.outer->avg_doc_size_pages());
   const double bt1 =
       static_cast<double>(ctx.inner_index->btree().size_in_pages());
@@ -215,6 +217,7 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
   std::vector<char> processed(participating.size(), 0);
 
   for (size_t step = 0; step < participating.size(); ++step) {
+    TEXTJOIN_RETURN_IF_ERROR(GovernorCheckpoint(ctx, "HVNL outer document"));
     size_t pick = step;
     Document d2;
     if (stats != nullptr) stats->BeginPhase(phase::kReadOuter);
@@ -270,6 +273,7 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
         ++run_stats_.cache_hits;
         accumulate(*cells);
       } else {
+        TEXTJOIN_RETURN_IF_ERROR(GovernorCheckpoint(ctx, "HVNL cache fill"));
         TEXTJOIN_ASSIGN_OR_RETURN(std::vector<ICell> fetched,
                                   ctx.inner_index->FetchEntry(c.term));
         ++run_stats_.entry_fetches;

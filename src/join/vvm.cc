@@ -16,7 +16,9 @@ namespace textjoin {
 
 int64_t VvmJoin::Passes(const JoinContext& ctx, const JoinSpec& spec) {
   const double P = static_cast<double>(ctx.sys.page_size);
-  const double B = static_cast<double>(ctx.sys.buffer_pages);
+  // A governor memory budget shrinks the matrix partition M: more, smaller
+  // passes over the same data, identical results.
+  const double B = static_cast<double>(EffectiveBufferPages(ctx));
   const double M = B - std::ceil(ctx.inner_index->avg_entry_size_pages()) -
                    std::ceil(ctx.outer_index->avg_entry_size_pages());
   if (M <= 0.0) return -1;
@@ -72,6 +74,7 @@ Result<JoinResult> VvmJoin::Run(const JoinContext& ctx,
   std::unordered_map<uint64_t, double> acc;
 
   for (int64_t pass = 0; pass < passes; ++pass) {
+    TEXTJOIN_RETURN_IF_ERROR(GovernorCheckpoint(ctx, "VVM merge pass"));
     acc.clear();
     PhaseScope merge(stats, phase::kMergeScan);
     // Parallel scan of both inverted files, merging on term number.
@@ -122,6 +125,7 @@ Result<JoinResult> VvmJoin::Run(const JoinContext& ctx,
     }
 
     // Emit results for this pass's subcollection, ascending by document.
+    TEXTJOIN_RETURN_IF_ERROR(GovernorCheckpoint(ctx, "VVM matrix partition"));
     const size_t lo = static_cast<size_t>(pass * per_pass);
     const size_t hi = std::min(participating.size(),
                                static_cast<size_t>((pass + 1) * per_pass));

@@ -239,6 +239,32 @@ std::string RenderExplainAnalyze(const ExplainPlan& plan,
                   stats.BufferPoolHitRate());
     out += buf;
   }
+  if (stats.governance.active) {
+    const GovernanceStats& g = stats.governance;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "governance: %s, %s; queue wait %.2fms; "
+                  "checkpoints=%lld io_polls=%lld\n",
+                  g.admission.c_str(), g.outcome.c_str(), g.queue_wait_ms,
+                  static_cast<long long>(g.checkpoints),
+                  static_cast<long long>(g.io_polls));
+    out += buf;
+    if (g.deadline_ms > 0 || g.memory_budget_pages > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "  limits: deadline=%.1fms memory=%lld pages "
+                    "(granted %lld)%s\n",
+                    g.deadline_ms,
+                    static_cast<long long>(g.memory_budget_pages),
+                    static_cast<long long>(g.memory_granted_pages),
+                    g.degraded ? " [degraded]" : "");
+      out += buf;
+    }
+    if (g.time_to_cancel_ms >= 0 && options.include_wall_time) {
+      std::snprintf(buf, sizeof(buf), "  time to cancel: %.2fms\n",
+                    g.time_to_cancel_ms);
+      out += buf;
+    }
+  }
   if (options.include_wall_time) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "wall: %.6fs\n", stats.root.wall_seconds);

@@ -36,6 +36,21 @@ IoStats PhaseStats::ChildIoSum() const {
   return sum;
 }
 
+GovernanceStats GovernanceStats::FromGovernor(const QueryGovernor& governor) {
+  GovernanceStats out;
+  out.active = true;
+  out.deadline_ms = governor.limits().deadline_ms;
+  out.memory_budget_pages = governor.limits().memory_budget_pages;
+  out.checkpoints = governor.checkpoints();
+  out.io_polls = governor.io_polls();
+  out.time_to_cancel_ms = governor.time_to_cancel_ms();
+  out.degraded = governor.degraded();
+  out.outcome = governor.cancelled()
+                    ? "cancelled"
+                    : (governor.degraded() ? "degraded" : "completed");
+  return out;
+}
+
 double QueryStats::BufferPoolHitRate() const {
   const int64_t total = buffer_pool_hits + buffer_pool_misses;
   if (!has_buffer_pool() || total == 0) return 0;

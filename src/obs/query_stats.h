@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/governor.h"
 #include "join/cpu_stats.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk.h"
@@ -53,11 +54,41 @@ struct PhaseStats {
   IoStats ChildIoSum() const;
 };
 
+// Query-lifecycle outcome of one run: what the admission controller
+// decided, what the governor observed, whether the query degraded under
+// its memory budget. Inactive (and unrendered) when the run was not
+// governed, so ungoverned reports are unchanged.
+struct GovernanceStats {
+  bool active = false;
+  // Admission outcome: "admitted" | "queued" | "uncontrolled".
+  std::string admission = "admitted";
+  // Execution outcome: "completed" | "degraded" | "cancelled".
+  std::string outcome = "completed";
+  // Simulated milliseconds spent in the admission queue.
+  double queue_wait_ms = 0;
+  double deadline_ms = 0;            // 0 = none
+  int64_t memory_budget_pages = 0;   // 0 = none
+  int64_t memory_granted_pages = 0;  // 0 = full claim
+  int64_t checkpoints = 0;           // cooperative cancellation points hit
+  int64_t io_polls = 0;              // storage-layer cancellation points hit
+  // Milliseconds from query start to the checkpoint that observed the
+  // stop; negative when the query was never stopped.
+  double time_to_cancel_ms = -1;
+  bool degraded = false;
+
+  // Snapshot of a governor after (or during) a run; admission fields keep
+  // their defaults until the Database layer fills them.
+  static GovernanceStats FromGovernor(const QueryGovernor& governor);
+};
+
 // The full statistics tree of one run. The root phase's label is the
 // algorithm that ran (e.g. "HHNL" or "HHNL backward") and its totals
 // cover the whole execution.
 struct QueryStats {
   PhaseStats root;
+
+  // Lifecycle outcome when the run was governed (see GovernanceStats).
+  GovernanceStats governance;
 
   // Optional buffer-pool counters (deltas over the run) when a pool was
   // attached to the collector; -1 when none was.

@@ -1,9 +1,11 @@
 #include "parallel/parallel_join.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "exec/governor.h"
 #include "obs/query_stats.h"
 #include "join/hhnl.h"
 #include "join/hvnl.h"
@@ -45,6 +47,7 @@ Result<ParallelJoinReport> ParallelTextJoin::Run(const JoinContext& ctx,
 
   Disk* disk = ctx.outer->disk();
   ParallelJoinReport report;
+  TEXTJOIN_RETURN_IF_ERROR(GovernorCheckpoint(ctx, "parallel setup"));
   const IoStats before_setup = disk->stats();
 
   // Partition C2 into contiguous physical fragments, each on its own
@@ -116,6 +119,19 @@ Result<ParallelJoinReport> ParallelTextJoin::Run(const JoinContext& ctx,
 
     JoinSpec worker_spec = spec;
 
+    // Each worker runs under a child governor: shared cancellation flag
+    // (cancelling the query stops every worker) and the query's remaining
+    // makespan deadline — workers model parallel nodes, so each gets the
+    // full remainder, not a divided slice.
+    std::optional<QueryGovernor> worker_governor;
+    std::optional<ScopedDiskGovernor> worker_disk_governor;
+    if (ctx.governor != nullptr) {
+      TEXTJOIN_RETURN_IF_ERROR(ctx.governor->Checkpoint("parallel worker"));
+      worker_governor.emplace(ctx.governor->SpawnWorker());
+      worker_ctx.governor = &*worker_governor;
+      worker_disk_governor.emplace(disk, &*worker_governor);
+    }
+
     disk->ResetHeads();  // this worker's drives are its own
     const IoStats before = disk->stats();
     Result<JoinResult> r(Status::OK());
@@ -136,7 +152,19 @@ Result<ParallelJoinReport> ParallelTextJoin::Run(const JoinContext& ctx,
         break;
       }
     }
-    TEXTJOIN_RETURN_IF_ERROR(r.status());
+    if (!r.ok()) {
+      // Partial-failure surfacing: name the worker that died and how much
+      // of the join had completed. Results from finished workers are
+      // discarded — an error Status is the whole answer, never a partial
+      // JoinResult.
+      const Status& st = r.status();
+      return Status(st.code(),
+                    "parallel worker " + std::to_string(w + 1) + "/" +
+                        std::to_string(workers) + " failed (" +
+                        std::to_string(w) +
+                        " workers completed, partial results discarded): " +
+                        st.message());
+    }
     report.worker_io.push_back(disk->stats() - before);
     report.worker_cpu.push_back(worker_stats.Finish().root.cpu);
 

@@ -129,6 +129,10 @@ Result<JoinResult> JoinPlanner::Execute(const JoinContext& ctx,
                                         PlanChoice* chosen) const {
   TEXTJOIN_ASSIGN_OR_RETURN(PlanChoice choice, Plan(ctx, spec));
   for (;;) {
+    // A cancelled or expired query never re-plans: IsIoFailure below
+    // excludes kCancelled/kDeadlineExceeded, and this checkpoint stops a
+    // fallback loop before it starts another full algorithm run.
+    TEXTJOIN_RETURN_IF_ERROR(GovernorCheckpoint(ctx, "plan"));
     Result<JoinResult> result = RunAlgorithm(
         choice.algorithm,
         choice.algorithm == Algorithm::kHhnl && choice.hhnl_backward, ctx,
@@ -176,6 +180,9 @@ Result<AnalyzedJoin> JoinPlanner::ExecuteAnalyze(
   TEXTJOIN_ASSIGN_OR_RETURN(out.result,
                             Execute(metered, spec, &out.plan));
   out.stats = collector.Finish();
+  if (ctx.governor != nullptr) {
+    out.stats.governance = GovernanceStats::FromGovernor(*ctx.governor);
+  }
   out.report = RenderExplainAnalyze(out.plan.ToExplainPlan(), out.stats,
                                     options);
   return out;

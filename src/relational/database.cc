@@ -1,5 +1,11 @@
 #include "relational/database.h"
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
 #include "catalog/catalog.h"
 #include "common/crc32.h"
 #include "relational/sql_parser.h"
@@ -22,7 +28,9 @@ std::string CatalogName(const std::string& object_name, bool is_index) {
 }  // namespace
 
 Database::Database(const DatabaseOptions& options)
-    : options_(options), sys_{10000, options.page_size, 5.0} {
+    : options_(options),
+      sys_{10000, options.page_size, 5.0},
+      admission_(options.admission) {
   InstallDisk(std::make_unique<SimulatedDisk>(options.page_size));
 }
 
@@ -103,6 +111,67 @@ std::vector<std::string> Database::collection_names() const {
   return names;
 }
 
+Result<Database::GovernedRun> Database::BeginGoverned(const JoinContext& ctx,
+                                                      const JoinSpec& spec) {
+  GovernedRun run;
+  const AdmissionOptions& adm = options_.admission;
+
+  // Per-query limits win over session knobs, which win over the
+  // database-wide defaults.
+  double deadline_ms = spec.deadline_ms > 0 ? spec.deadline_ms
+                       : session_deadline_ms_ > 0
+                           ? session_deadline_ms_
+                           : adm.default_deadline_ms;
+  int64_t memory_budget = spec.memory_budget_pages > 0
+                              ? spec.memory_budget_pages
+                              : session_memory_budget_pages_;
+
+  run.admission_active = adm.max_concurrent > 0 ||
+                         adm.memory_budget_pages > 0 || adm.cost_unit_ms > 0;
+  if (run.admission_active) {
+    // The planner's cost estimate is the predicted runtime/memory claim
+    // the controller charges against the system's budgets.
+    double predicted_pages = 0;
+    JoinPlanner planner;
+    Result<PlanChoice> plan = planner.Plan(ctx, spec);
+    if (plan.ok()) {
+      predicted_pages = plan->costs.of(plan->algorithm).seq;
+    }
+    TEXTJOIN_ASSIGN_OR_RETURN(
+        run.grant,
+        admission_.Submit(predicted_pages, ctx.sys.buffer_pages, deadline_ms));
+    if (run.grant.outcome == AdmissionOutcome::kQueued) {
+      TEXTJOIN_ASSIGN_OR_RETURN(run.grant, admission_.Await(run.grant.ticket));
+    }
+    if (adm.memory_budget_pages > 0 &&
+        run.grant.memory_granted_pages > 0 &&
+        run.grant.memory_granted_pages < ctx.sys.buffer_pages) {
+      // Partial memory grant: the governor budget makes the join degrade
+      // to the granted pages instead of failing.
+      memory_budget = memory_budget > 0
+                          ? std::min(memory_budget,
+                                     run.grant.memory_granted_pages)
+                          : run.grant.memory_granted_pages;
+    }
+  }
+
+  // No governor when nothing governs: ungoverned runs keep their exact
+  // pre-governance behaviour (and EXPLAIN ANALYZE output).
+  if (deadline_ms > 0 || memory_budget > 0 || run.admission_active) {
+    run.governor = std::make_unique<QueryGovernor>(
+        GovernorLimits{deadline_ms, memory_budget});
+  }
+  return run;
+}
+
+void Database::EndGoverned(GovernedRun* run) {
+  if (run->admission_active && run->grant.ticket >= 0) {
+    admission_.Release(
+        run->grant.ticket,
+        run->governor != nullptr ? run->governor->ElapsedMs() : 0);
+  }
+}
+
 Result<JoinResult> Database::Join(const std::string& inner_name,
                                   const std::string& outer_name,
                                   const JoinSpec& spec, PlanChoice* chosen) {
@@ -121,8 +190,13 @@ Result<JoinResult> Database::Join(const std::string& inner_name,
   ctx.outer_index = index(outer_name);
   ctx.similarity = &simctx;
   ctx.sys = sys_;
+  TEXTJOIN_ASSIGN_OR_RETURN(GovernedRun run, BeginGoverned(ctx, spec));
+  ScopedDiskGovernor disk_governor(active_disk_, run.governor.get());
+  ctx.governor = run.governor.get();
   JoinPlanner planner;
-  return planner.Execute(ctx, spec, chosen);
+  Result<JoinResult> result = planner.Execute(ctx, spec, chosen);
+  EndGoverned(&run);
+  return result;
 }
 
 Result<AnalyzedJoin> Database::JoinAnalyze(const std::string& inner_name,
@@ -144,8 +218,23 @@ Result<AnalyzedJoin> Database::JoinAnalyze(const std::string& inner_name,
   ctx.outer_index = index(outer_name);
   ctx.similarity = &simctx;
   ctx.sys = sys_;
+  TEXTJOIN_ASSIGN_OR_RETURN(GovernedRun run, BeginGoverned(ctx, spec));
+  ScopedDiskGovernor disk_governor(active_disk_, run.governor.get());
+  ctx.governor = run.governor.get();
   JoinPlanner planner;
-  return planner.ExecuteAnalyze(ctx, spec, options);
+  Result<AnalyzedJoin> analyzed = planner.ExecuteAnalyze(ctx, spec, options);
+  EndGoverned(&run);
+  if (analyzed.ok() && run.admission_active) {
+    // Fold the admission outcome into the governance block and re-render
+    // (rendering is pure, so this just replaces the report text).
+    GovernanceStats& g = analyzed->stats.governance;
+    g.admission = AdmissionOutcomeName(run.grant.outcome);
+    g.queue_wait_ms = run.grant.queue_wait_ms;
+    g.memory_granted_pages = run.grant.memory_granted_pages;
+    analyzed->report = RenderExplainAnalyze(analyzed->plan.ToExplainPlan(),
+                                            analyzed->stats, options);
+  }
+  return analyzed;
 }
 
 Status Database::RegisterTable(const Table* table) {
@@ -162,7 +251,83 @@ Status Database::RegisterTable(const Table* table) {
   return Status::OK();
 }
 
+namespace {
+
+// Case-insensitive keyword match at `pos`, followed by a non-identifier
+// character (or end of string).
+bool KeywordAt(const std::string& s, size_t pos, const char* kw) {
+  size_t n = std::strlen(kw);
+  if (pos + n > s.size()) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::toupper(static_cast<unsigned char>(s[pos + i])) != kw[i]) {
+      return false;
+    }
+  }
+  return pos + n == s.size() ||
+         !(std::isalnum(static_cast<unsigned char>(s[pos + n])) ||
+           s[pos + n] == '_');
+}
+
+}  // namespace
+
+Result<bool> Database::TryExecuteSet(const std::string& sql, SqlOutput* out) {
+  size_t pos = sql.find_first_not_of(" \t\r\n");
+  if (pos == std::string::npos || !KeywordAt(sql, pos, "SET")) return false;
+  pos += 3;
+
+  // SET <name> = <value>  (a trailing ';' is tolerated).
+  size_t name_begin = sql.find_first_not_of(" \t\r\n", pos);
+  if (name_begin == std::string::npos) {
+    return Status::InvalidArgument("SET: missing knob name");
+  }
+  size_t name_end = name_begin;
+  while (name_end < sql.size() &&
+         (std::isalnum(static_cast<unsigned char>(sql[name_end])) ||
+          sql[name_end] == '_')) {
+    ++name_end;
+  }
+  std::string name = sql.substr(name_begin, name_end - name_begin);
+  size_t eq = sql.find_first_not_of(" \t\r\n", name_end);
+  if (eq == std::string::npos || sql[eq] != '=') {
+    return Status::InvalidArgument("SET " + name + ": expected '='");
+  }
+  std::string value_str = sql.substr(eq + 1);
+  while (!value_str.empty() &&
+         (value_str.back() == ';' || std::isspace(static_cast<unsigned char>(
+                                         value_str.back())))) {
+    value_str.pop_back();
+  }
+  size_t value_begin = value_str.find_first_not_of(" \t\r\n");
+  value_str.erase(0, value_begin == std::string::npos ? value_str.size()
+                                                      : value_begin);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(value_str.c_str(), &end);
+  if (value_str.empty() || end != value_str.c_str() + value_str.size() ||
+      errno == ERANGE || value < 0) {
+    return Status::InvalidArgument("SET " + name + ": '" + value_str +
+                                   "' is not a non-negative number");
+  }
+
+  if (name == "deadline_ms") {
+    session_deadline_ms_ = value;
+  } else if (name == "memory_budget_pages") {
+    session_memory_budget_pages_ = static_cast<int64_t>(value);
+  } else {
+    return Status::InvalidArgument(
+        "SET: unknown knob '" + name +
+        "' (supported: deadline_ms, memory_budget_pages)");
+  }
+  out->rows.push_back("SET " + name + " = " + value_str);
+  return true;
+}
+
 Result<Database::SqlOutput> Database::ExecuteSql(const std::string& sql) {
+  {
+    SqlOutput set_out;
+    TEXTJOIN_ASSIGN_OR_RETURN(bool was_set, TryExecuteSet(sql, &set_out));
+    if (was_set) return set_out;
+  }
   SqlParser parser(tables_);
   TEXTJOIN_ASSIGN_OR_RETURN(BoundQuery bound, parser.Parse(sql));
 
@@ -182,12 +347,54 @@ Result<Database::SqlOutput> Database::ExecuteSql(const std::string& sql) {
     return nullptr;
   };
 
-  const TextJoinQuery& query = bound.query();
+  // Session lifecycle knobs apply to every SIMILAR_TO query; the executor
+  // builds the governor from these fields.
+  TextJoinQuery query = bound.query();
+  query.deadline_ms = session_deadline_ms_ > 0
+                          ? session_deadline_ms_
+                          : options_.admission.default_deadline_ms;
+  query.memory_budget_pages = session_memory_budget_pages_;
+
+  const bool admission_active = options_.admission.max_concurrent > 0 ||
+                                options_.admission.memory_budget_pages > 0 ||
+                                options_.admission.cost_unit_ms > 0;
+  AdmissionGrant grant;
+  if (admission_active) {
+    TEXTJOIN_ASSIGN_OR_RETURN(
+        grant, admission_.Submit(/*predicted_cost_pages=*/0,
+                                 sys_.buffer_pages, query.deadline_ms));
+    if (grant.outcome == AdmissionOutcome::kQueued) {
+      TEXTJOIN_ASSIGN_OR_RETURN(grant, admission_.Await(grant.ticket));
+    }
+    if (options_.admission.memory_budget_pages > 0 &&
+        grant.memory_granted_pages > 0 &&
+        grant.memory_granted_pages < sys_.buffer_pages) {
+      query.memory_budget_pages =
+          query.memory_budget_pages > 0
+              ? std::min(query.memory_budget_pages,
+                         grant.memory_granted_pages)
+              : grant.memory_granted_pages;
+    }
+  }
+
   TextJoinQueryExecutor executor(sys_);
-  TEXTJOIN_ASSIGN_OR_RETURN(
-      QueryResult result,
+  Result<QueryResult> run =
       executor.Run(query, index_of(query.inner_table, query.inner_text_column),
-                   index_of(query.outer_table, query.outer_text_column)));
+                   index_of(query.outer_table, query.outer_text_column));
+  if (admission_active) admission_.Release(grant.ticket);
+  TEXTJOIN_RETURN_IF_ERROR(run.status());
+  QueryResult result = std::move(*run);
+  if (admission_active && result.stats.governance.active) {
+    GovernanceStats& g = result.stats.governance;
+    g.admission = AdmissionOutcomeName(grant.outcome);
+    g.queue_wait_ms = grant.queue_wait_ms;
+    g.memory_granted_pages = grant.memory_granted_pages;
+    if (query.explain_analyze) {
+      result.explain = RenderExplainAnalyze(result.plan.ToExplainPlan(),
+                                            result.stats,
+                                            query.explain_options);
+    }
+  }
   SqlOutput out;
   out.rows.reserve(result.rows.size());
   for (const QueryResultRow& row : result.rows) {

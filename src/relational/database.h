@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/admission.h"
+#include "exec/governor.h"
 #include "index/inverted_file.h"
 #include "planner/planner.h"
 #include "relational/text_join_query.h"
@@ -45,12 +47,17 @@ struct DatabaseOptions {
   // recovery counters surface in EXPLAIN ANALYZE.
   bool reliable_storage = false;
   RetryPolicy retry;
+  // Query-lifecycle governance: max concurrent queries, bounded wait
+  // queue, total memory budget, default deadline (exec/admission.h).
+  // All-zero defaults keep admission control off.
+  AdmissionOptions admission;
 };
 
 class Database {
  public:
   explicit Database(int64_t page_size = 4096)
-      : Database(DatabaseOptions{page_size, false, RetryPolicy()}) {}
+      : Database(DatabaseOptions{page_size, false, RetryPolicy(),
+                                 AdmissionOptions()}) {}
   explicit Database(const DatabaseOptions& options);
 
   Database(const Database&) = delete;
@@ -123,7 +130,36 @@ class Database {
   void set_system_params(const SystemParams& sys) { sys_ = sys; }
   const SystemParams& system_params() const { return sys_; }
 
+  // The admission controller every Join/JoinAnalyze/SQL query passes
+  // through (a pass-through when DatabaseOptions::admission is all-zero).
+  AdmissionController* admission() { return &admission_; }
+
+  // Session-level lifecycle defaults, settable through SQL:
+  //   SET deadline_ms = 250
+  //   SET memory_budget_pages = 500
+  // 0 clears the knob (falls back to DatabaseOptions::admission defaults).
+  double session_deadline_ms() const { return session_deadline_ms_; }
+  int64_t session_memory_budget_pages() const {
+    return session_memory_budget_pages_;
+  }
+
  private:
+  // One query's admission ticket + governor, released by EndGoverned.
+  struct GovernedRun {
+    bool admission_active = false;
+    AdmissionGrant grant;
+    std::unique_ptr<QueryGovernor> governor;
+  };
+
+  // Admission (predicted cost -> admit/queue/shed) and governor creation
+  // for one join about to run on `ctx`.
+  Result<GovernedRun> BeginGoverned(const JoinContext& ctx,
+                                    const JoinSpec& spec);
+  void EndGoverned(GovernedRun* run);
+
+  // Handles a `SET <knob> = <value>` statement; returns true when `sql`
+  // was one.
+  Result<bool> TryExecuteSet(const std::string& sql, SqlOutput* out);
   // Replaces the device (snapshot reopen), rebuilding the reliable layer.
   void InstallDisk(std::unique_ptr<SimulatedDisk> disk);
 
@@ -134,6 +170,9 @@ class Database {
   Vocabulary vocabulary_;
   Tokenizer tokenizer_;
   SystemParams sys_;
+  AdmissionController admission_;
+  double session_deadline_ms_ = 0;
+  int64_t session_memory_budget_pages_ = 0;
   // node-stable maps: executors hold pointers into these.
   std::unordered_map<std::string, std::unique_ptr<DocumentCollection>>
       collections_;

@@ -1,9 +1,11 @@
 #include "relational/text_join_query.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "exec/governor.h"
 
 namespace textjoin {
 
@@ -88,10 +90,25 @@ Result<QueryResult> TextJoinQueryExecutor::Run(
   JoinSpec spec;
   spec.lambda = query.lambda;
   spec.similarity = query.similarity;
+  spec.deadline_ms = query.deadline_ms;
+  spec.memory_budget_pages = query.memory_budget_pages;
   if (outer.reduced) spec.outer_subset = outer.docs;
   if (inner.reduced) spec.inner_subset = inner.docs;
 
   Disk* disk = inner.collection->disk();
+
+  // Govern the run when the query carries lifecycle limits (SET knobs or
+  // TextJoinQuery fields). The governor reaches the storage layer through
+  // the disk, so selections and index probes are cancellable too.
+  std::optional<QueryGovernor> governor;
+  std::optional<ScopedDiskGovernor> disk_governor;
+  if (query.deadline_ms > 0 || query.memory_budget_pages > 0) {
+    governor.emplace(
+        GovernorLimits{query.deadline_ms, query.memory_budget_pages});
+    ctx.governor = &*governor;
+    disk_governor.emplace(disk, &*governor);
+  }
+
   const IoStats before = disk->stats();
   QueryResult result;
   JoinResult join;

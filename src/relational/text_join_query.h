@@ -30,6 +30,12 @@ struct TextJoinQuery {
   int64_t lambda = 20;
   SimilarityConfig similarity;
 
+  // Query-lifecycle limits (exec/governor.h): the executor runs the join
+  // under a QueryGovernor when either is set. The Database fills these
+  // from its session `SET deadline_ms / memory_budget_pages` knobs.
+  double deadline_ms = 0;
+  int64_t memory_budget_pages = 0;
+
   std::vector<const Predicate*> inner_predicates;
   std::vector<const Predicate*> outer_predicates;
 

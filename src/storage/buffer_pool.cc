@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include "common/logging.h"
+#include "exec/governor.h"
 
 namespace textjoin {
 
@@ -10,6 +11,11 @@ BufferPool::BufferPool(Disk* disk, int64_t capacity_pages)
 }
 
 Result<const uint8_t*> BufferPool::Pin(FileId file, PageNumber page) {
+  // Polled on the hit path too: a pin that never touches the device must
+  // still observe cancellation, or a fully cached loop would run forever.
+  if (QueryGovernor* governor = disk_->governor(); governor != nullptr) {
+    TEXTJOIN_RETURN_IF_ERROR(governor->PollIo());
+  }
   Key key{file, page};
   auto it = frames_.find(key);
   if (it != frames_.end()) {

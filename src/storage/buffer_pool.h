@@ -42,6 +42,15 @@ class BufferPool {
   int64_t hit_count() const { return hits_; }
   int64_t miss_count() const { return misses_; }
 
+  // Frames with at least one outstanding pin. Zero after a query fully
+  // unwinds — the leak invariant governance_test checks after every
+  // cancelled run.
+  int64_t pinned_frames() const {
+    int64_t n = 0;
+    for (const auto& [key, frame] : frames_) n += frame.pins > 0 ? 1 : 0;
+    return n;
+  }
+
  private:
   struct Key {
     FileId file;

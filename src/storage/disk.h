@@ -10,6 +10,8 @@
 
 namespace textjoin {
 
+class QueryGovernor;
+
 // The page-device abstraction every storage consumer reads through:
 // collections, inverted files, B+trees, page streams and the buffer pool
 // all hold a Disk*, so a decorated device (storage/reliable_disk.h adds
@@ -78,6 +80,36 @@ class Disk {
   // When true, every read is counted as random (busy device).
   virtual void set_interference(bool on) = 0;
   virtual bool interference() const = 0;
+
+  // The governor of the query currently reading through this device, or
+  // nullptr. The page-read funnels (PageStreamReader, SequentialByteReader,
+  // BufferPool::Pin) poll it so I/O-bound phases observe cancellation and
+  // deadlines within one page read; the recovery layer charges its
+  // simulated retry backoff against its deadline. Default: not supported.
+  virtual void set_governor(QueryGovernor* governor) { (void)governor; }
+  virtual QueryGovernor* governor() const { return nullptr; }
+};
+
+// Installs a governor on a device for one query's scope and restores the
+// previous one on exit (queries execute serially; nesting happens when a
+// governed Database call runs a sub-read through the same device).
+class ScopedDiskGovernor {
+ public:
+  ScopedDiskGovernor(Disk* disk, QueryGovernor* governor) : disk_(disk) {
+    if (disk_ != nullptr) {
+      previous_ = disk_->governor();
+      disk_->set_governor(governor);
+    }
+  }
+  ~ScopedDiskGovernor() {
+    if (disk_ != nullptr) disk_->set_governor(previous_);
+  }
+  ScopedDiskGovernor(const ScopedDiskGovernor&) = delete;
+  ScopedDiskGovernor& operator=(const ScopedDiskGovernor&) = delete;
+
+ private:
+  Disk* disk_;
+  QueryGovernor* previous_ = nullptr;
 };
 
 }  // namespace textjoin

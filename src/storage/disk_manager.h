@@ -87,6 +87,9 @@ class SimulatedDisk : public Disk {
   void set_interference(bool on) override { interference_ = on; }
   bool interference() const override { return interference_; }
 
+  void set_governor(QueryGovernor* governor) override { governor_ = governor; }
+  QueryGovernor* governor() const override { return governor_; }
+
   // -- Fault injection (testing / chaos engineering) --------------------
 
   // One-shot countdown fault: after `after_reads` further successful page
@@ -143,6 +146,7 @@ class SimulatedDisk : public Disk {
   std::vector<File> files_;
   IoStats stats_;
   bool interference_ = false;
+  QueryGovernor* governor_ = nullptr;
   int64_t fault_countdown_ = -1;  // -1: no fault armed
   FaultSchedule schedule_;
   Rng fault_rng_{1};

@@ -4,8 +4,18 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "exec/governor.h"
 
 namespace textjoin {
+
+namespace {
+// One cancellation check per page read, so even a long scan reacts to a
+// Cancel() or an expired deadline within one page.
+Status PollGovernor(Disk* disk) {
+  QueryGovernor* governor = disk->governor();
+  return governor != nullptr ? governor->PollIo() : Status::OK();
+}
+}  // namespace
 
 PageStreamWriter::PageStreamWriter(Disk* disk, FileId file)
     : disk_(disk), file_(file) {
@@ -61,6 +71,7 @@ Status PageStreamReader::Read(int64_t offset, int64_t size, uint8_t* out) {
     PageNumber page = byte / page_size;
     int64_t in_page = byte % page_size;
     int64_t take = std::min(page_size - in_page, size - done);
+    TEXTJOIN_RETURN_IF_ERROR(PollGovernor(disk_));
     TEXTJOIN_RETURN_IF_ERROR(disk_->ReadPage(file_, page, scratch_.data()));
     std::memcpy(out + done, scratch_.data() + in_page,
                 static_cast<size_t>(take));
@@ -77,6 +88,7 @@ SequentialByteReader::SequentialByteReader(Disk* disk, FileId file,
 
 Status SequentialByteReader::EnsurePage(PageNumber page) {
   if (page == buffered_page_) return Status::OK();
+  TEXTJOIN_RETURN_IF_ERROR(PollGovernor(disk_));
   TEXTJOIN_RETURN_IF_ERROR(disk_->ReadPage(file_, page, buffer_.data()));
   buffered_page_ = page;
   return Status::OK();

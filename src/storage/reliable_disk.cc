@@ -6,6 +6,7 @@
 
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "exec/governor.h"
 
 namespace textjoin {
 
@@ -100,10 +101,19 @@ Status ReliableDisk::ReadPage(FileId file, PageNumber page, uint8_t* out) {
     }
     ++retry_.retries;
     ++budget_used_;
-    retry_.backoff_ms += std::min(
+    const double backoff = std::min(
         policy_.max_backoff_ms,
         policy_.backoff_base_ms *
             std::pow(policy_.backoff_multiplier, attempt - 1));
+    retry_.backoff_ms += backoff;
+    if (governor_ != nullptr) {
+      // The simulated backoff wait counts against the query's deadline: a
+      // query that burns its remaining time on retries dies here with
+      // DEADLINE_EXCEEDED, not UNAVAILABLE — the device might yet recover,
+      // but the caller's time is gone.
+      governor_->ChargeSimulatedMs(backoff);
+      TEXTJOIN_RETURN_IF_ERROR(governor_->PollIo());
+    }
   }
 }
 

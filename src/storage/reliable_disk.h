@@ -102,6 +102,14 @@ class ReliableDisk : public Disk {
   void set_interference(bool on) override { base_->set_interference(on); }
   bool interference() const override { return base_->interference(); }
 
+  // Kept on the base too, so readers holding either pointer see the same
+  // governor.
+  void set_governor(QueryGovernor* governor) override {
+    governor_ = governor;
+    base_->set_governor(governor);
+  }
+  QueryGovernor* governor() const override { return governor_; }
+
   const RetryStats& retry_stats() const { return retry_; }
 
   // Computes and records checksums for every page of every base file that
@@ -121,6 +129,7 @@ class ReliableDisk : public Disk {
 
   Disk* base_;
   RetryPolicy policy_;
+  QueryGovernor* governor_ = nullptr;
   RetryStats retry_;
   int64_t budget_used_ = 0;  // retries since the last ResetStats
   // crcs_[file][page]: recorded checksum, or kNoChecksum when the page was

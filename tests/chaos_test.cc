@@ -5,6 +5,7 @@
 #include <tuple>
 #include <vector>
 
+#include "exec/governor.h"
 #include "join/hhnl.h"
 #include "join/hvnl.h"
 #include "join/vvm.h"
@@ -234,6 +235,61 @@ TEST(PlannerFallbackTest, AllAlgorithmsFailingIsATerminalError) {
             std::string::npos)
       << result.status();
   EXPECT_FALSE(chosen.fallbacks.empty());
+}
+
+// Fault-induced retries count against the query deadline: a query that
+// exhausts its deadline mid-retry reports DEADLINE_EXCEEDED — the honest
+// answer ("you ran out of time") — not UNAVAILABLE ("the device is sick").
+// Without a deadline the identical schedule exhausts its attempts and
+// reports UNAVAILABLE, and cancellation never triggers planner re-planning.
+TEST(ChaosGovernanceTest, RetryBackoffExhaustsDeadline) {
+  SimulatedDisk base(256);
+  // One backoff charges more simulated time than any realistic deadline,
+  // so the outcome is independent of wall-clock speed.
+  RetryPolicy policy;
+  policy.backoff_base_ms = 1e9;
+  policy.max_backoff_ms = 1e10;
+  ReliableDisk disk(&base, policy);
+  auto f = MakeFixture(&disk, RandomCollection(&disk, "c1", 30, 6, 50, 61),
+                       RandomCollection(&disk, "c2", 20, 5, 50, 62));
+  JoinSpec spec;
+  spec.lambda = 3;
+  JoinContext ctx = f->Context(60);
+  JoinPlanner::Options no_fallback;
+  no_fallback.allow_fallback = false;
+  JoinPlanner planner(no_fallback);
+
+  // With a deadline: the first retry's backoff blows it.
+  {
+    QueryGovernor governor(GovernorLimits{/*deadline_ms=*/600000.0, 0});
+    ScopedDiskGovernor scoped(&disk, &governor);
+    ctx.governor = &governor;
+    base.InjectReadFault(5);
+    auto result = planner.Execute(ctx, spec);
+    base.ClearReadFault();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+        << result.status();
+    EXPECT_FALSE(IsIoFailure(result.status()))
+        << "a deadline mid-retry must not be classified as an I/O failure";
+    // The backoff that killed the query is on the books.
+    EXPECT_GT(disk.retry_stats().backoff_ms, 0);
+  }
+
+  // Without a deadline: the same schedule burns through its attempts and
+  // surfaces the device error.
+  {
+    ctx.governor = nullptr;
+    base.ResetHeads();
+    disk.ResetStats();
+    base.InjectReadFault(5);
+    auto result = planner.Execute(ctx, spec);
+    base.ClearReadFault();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kUnavailable)
+        << result.status();
+    EXPECT_TRUE(IsIoFailure(result.status()));
+  }
 }
 
 }  // namespace

@@ -29,9 +29,36 @@ TEST(StatusTest, AllCodesHaveNames) {
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kResourceExhausted, StatusCode::kFailedPrecondition,
         StatusCode::kInternal, StatusCode::kUnimplemented,
-        StatusCode::kUnavailable, StatusCode::kDataLoss}) {
+        StatusCode::kUnavailable, StatusCode::kDataLoss,
+        StatusCode::kCancelled, StatusCode::kDeadlineExceeded}) {
     EXPECT_STRNE(StatusCodeToString(code), "UNKNOWN");
   }
+}
+
+TEST(StatusTest, LifecycleCodesAndClassification) {
+  Status cancelled = Status::Cancelled("user hit ^C");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "CANCELLED: user hit ^C");
+  EXPECT_TRUE(IsCancellation(cancelled));
+
+  Status late = Status::DeadlineExceeded("5ms was not enough");
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(late.ToString(), "DEADLINE_EXCEEDED: 5ms was not enough");
+  EXPECT_TRUE(IsCancellation(late));
+
+  // Cancellation must stay disjoint from I/O failure: the planner re-plans
+  // I/O failures but must never re-plan a cancelled query.
+  EXPECT_FALSE(IsIoFailure(cancelled));
+  EXPECT_FALSE(IsIoFailure(late));
+  EXPECT_FALSE(IsCancellation(Status::Unavailable("device busy")));
+  EXPECT_FALSE(IsCancellation(Status::OK()));
+
+  // Admission sheds are retriable by the client; cancellations are not.
+  Status shed = Status::ResourceExhausted("queue full");
+  EXPECT_TRUE(IsRetriableAdmission(shed));
+  EXPECT_FALSE(IsRetriableAdmission(cancelled));
+  EXPECT_FALSE(IsRetriableAdmission(late));
+  EXPECT_FALSE(IsRetriableAdmission(Status::OK()));
 }
 
 TEST(StatusTest, IoErrorCodesAndClassification) {

@@ -1,0 +1,668 @@
+// Query-lifecycle governance: cooperative cancellation at randomized
+// checkpoints, deadline enforcement, memory-budget degradation with
+// bit-identical results, and admission control / load shedding.
+//
+// `scripts/check.sh stress` re-runs this binary under several values of
+// TEXTJOIN_STRESS_SEED; the randomized cancellation points below shift
+// with it so each sweep explores different interrupt positions.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "exec/admission.h"
+#include "exec/governor.h"
+#include "join/hhnl.h"
+#include "join/hvnl.h"
+#include "join/vvm.h"
+#include "parallel/parallel_join.h"
+#include "planner/planner.h"
+#include "relational/database.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "test_util.h"
+
+namespace textjoin {
+namespace {
+
+using testing_util::MakeFixture;
+using testing_util::RandomCollection;
+
+uint64_t SeedOffset() {
+  const char* s = std::getenv("TEXTJOIN_STRESS_SEED");
+  return s != nullptr ? std::strtoull(s, nullptr, 10) : 0;
+}
+
+Result<JoinResult> RunAlgorithm(Algorithm algorithm, const JoinContext& ctx,
+                                const JoinSpec& spec) {
+  switch (algorithm) {
+    case Algorithm::kHhnl: {
+      HhnlJoin join;
+      return join.Run(ctx, spec);
+    }
+    case Algorithm::kHvnl: {
+      HvnlJoin join;
+      return join.Run(ctx, spec);
+    }
+    case Algorithm::kVvm: {
+      VvmJoin join;
+      return join.Run(ctx, spec);
+    }
+  }
+  return Status::Internal("unknown algorithm");
+}
+
+// ---------------------------------------------------------------------------
+// QueryGovernor unit behaviour.
+
+TEST(GovernorTest, DefaultGovernorNeverFires) {
+  QueryGovernor g;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(g.Checkpoint("loop").ok());
+    EXPECT_TRUE(g.PollIo().ok());
+  }
+  EXPECT_EQ(g.checkpoints(), 100);
+  EXPECT_EQ(g.io_polls(), 100);
+  EXPECT_FALSE(g.cancelled());
+  EXPECT_LT(g.time_to_cancel_ms(), 0);
+}
+
+TEST(GovernorTest, CancelStopsBothCheckpointAndIoPaths) {
+  QueryGovernor g;
+  ASSERT_TRUE(g.Checkpoint("before").ok());
+  g.Cancel();
+  Status at_checkpoint = g.Checkpoint("after");
+  EXPECT_EQ(at_checkpoint.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(IsCancellation(at_checkpoint));
+  EXPECT_EQ(g.PollIo().code(), StatusCode::kCancelled);
+  EXPECT_GE(g.time_to_cancel_ms(), 0);
+}
+
+TEST(GovernorTest, CancelAtNthCheckpointIsDeterministic) {
+  QueryGovernor g;
+  g.CancelAtCheckpoint(3);
+  EXPECT_TRUE(g.Checkpoint("a").ok());
+  // I/O polls must not advance the checkpoint ordinal.
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(g.PollIo().ok());
+  EXPECT_TRUE(g.Checkpoint("b").ok());
+  Status third = g.Checkpoint("c");
+  EXPECT_EQ(third.code(), StatusCode::kCancelled);
+  EXPECT_NE(third.message().find("c"), std::string::npos) << third;
+}
+
+TEST(GovernorTest, SimulatedTimeCountsAgainstDeadline) {
+  QueryGovernor g(GovernorLimits{/*deadline_ms=*/1000.0, 0});
+  EXPECT_TRUE(g.Checkpoint("early").ok());
+  g.ChargeSimulatedMs(2000.0);
+  Status late = g.Checkpoint("late");
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  // The deadline latches the shared cancel flag: every later observer
+  // (e.g. a sibling worker) stops too.
+  EXPECT_TRUE(g.cancelled());
+}
+
+TEST(GovernorTest, WorkerSharesCancellationAndRemainingDeadline) {
+  QueryGovernor parent(GovernorLimits{/*deadline_ms=*/1000.0, 32});
+  QueryGovernor worker = parent.SpawnWorker();
+  EXPECT_GT(worker.limits().deadline_ms, 0);
+  EXPECT_LE(worker.limits().deadline_ms, 1000.0);
+  EXPECT_EQ(worker.limits().memory_budget_pages, 32);
+  parent.Cancel();
+  EXPECT_EQ(worker.Checkpoint("worker step").code(), StatusCode::kCancelled);
+  // And the other direction: a worker failure cancels the parent.
+  QueryGovernor parent2;
+  QueryGovernor worker2 = parent2.SpawnWorker();
+  worker2.Cancel();
+  EXPECT_TRUE(parent2.cancelled());
+}
+
+TEST(GovernorTest, CapBufferPagesRecordsDegradation) {
+  QueryGovernor unlimited;
+  EXPECT_EQ(unlimited.CapBufferPages(500), 500);
+  EXPECT_FALSE(unlimited.degraded());
+
+  QueryGovernor capped(GovernorLimits{0, /*memory_budget_pages=*/100});
+  EXPECT_EQ(capped.CapBufferPages(50), 50);  // budget does not bite
+  EXPECT_FALSE(capped.degraded());
+  EXPECT_EQ(capped.CapBufferPages(500), 100);
+  EXPECT_TRUE(capped.degraded());
+}
+
+// ---------------------------------------------------------------------------
+// (a) Cancellation sweep: every algorithm, randomized interrupt points.
+
+class CancellationSweepTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(CancellationSweepTest, CleanErrorAtRandomizedCheckpoints) {
+  const Algorithm algorithm = GetParam();
+  SimulatedDisk disk(256);
+  auto f = MakeFixture(&disk, RandomCollection(&disk, "c1", 40, 6, 50, 31),
+                       RandomCollection(&disk, "c2", 25, 5, 50, 32));
+  JoinSpec spec;
+  spec.lambda = 3;
+  JoinContext ctx = f->Context(60);
+
+  // Ground truth, ungoverned.
+  auto clean = RunAlgorithm(algorithm, ctx, spec);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+
+  // A governed run with no limits must not change the result, and tells
+  // us how many checkpoints this algorithm passes on this input.
+  QueryGovernor count_governor;
+  {
+    ScopedDiskGovernor scoped(&disk, &count_governor);
+    ctx.governor = &count_governor;
+    auto governed = RunAlgorithm(algorithm, ctx, spec);
+    ASSERT_TRUE(governed.ok()) << governed.status();
+    EXPECT_EQ(*governed, *clean)
+        << AlgorithmName(algorithm) << ": a no-limit governor changed the result";
+  }
+  const int64_t total = count_governor.checkpoints();
+  ASSERT_GE(total, 1) << AlgorithmName(algorithm)
+                      << " passed no cancellation checkpoints";
+  EXPECT_GT(count_governor.io_polls(), 0)
+      << AlgorithmName(algorithm) << " never polled on the I/O path";
+
+  // Cancel at the first, the last, and three randomized checkpoints.
+  Rng rng(77 + static_cast<uint64_t>(algorithm) + SeedOffset());
+  std::vector<int64_t> cancel_points = {1, total};
+  for (int i = 0; i < 3; ++i) {
+    cancel_points.push_back(
+        1 + static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(total))));
+  }
+  for (int64_t n : cancel_points) {
+    QueryGovernor governor;
+    governor.CancelAtCheckpoint(n);
+    ScopedDiskGovernor scoped(&disk, &governor);
+    ctx.governor = &governor;
+    auto result = RunAlgorithm(algorithm, ctx, spec);
+    // Never a partial result presented as complete: the run is an error.
+    ASSERT_FALSE(result.ok())
+        << AlgorithmName(algorithm) << " ignored cancellation at checkpoint "
+        << n << "/" << total;
+    EXPECT_TRUE(IsCancellation(result.status())) << result.status();
+    EXPECT_FALSE(IsIoFailure(result.status()))
+        << "cancellation must not look like an I/O failure (the planner "
+        << "would re-plan it): " << result.status();
+    EXPECT_EQ(governor.checkpoints(), n)
+        << AlgorithmName(algorithm) << " kept running past its cancellation";
+    EXPECT_GE(governor.time_to_cancel_ms(), 0);
+
+    // Leak invariant: a cancelled query leaves no pinned buffer frames.
+    // While the cancelled governor is installed, the pool refuses new
+    // pins without pinning; once it is gone, the pool works again.
+    BufferPool pool(&disk, 4);
+    auto file = disk.FindFile("c1");
+    ASSERT_TRUE(file.ok());
+    auto pinned = pool.Pin(*file, 0);
+    ASSERT_FALSE(pinned.ok());
+    EXPECT_TRUE(IsCancellation(pinned.status())) << pinned.status();
+    EXPECT_EQ(pool.pinned_frames(), 0);
+    ctx.governor = nullptr;
+  }
+
+  // After every cancelled run the disk is untouched: the same join still
+  // produces the clean result.
+  auto again = RunAlgorithm(algorithm, ctx, spec);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(*again, *clean);
+}
+
+TEST_P(CancellationSweepTest, TinyDeadlineFailsWithDeadlineExceeded) {
+  const Algorithm algorithm = GetParam();
+  SimulatedDisk disk(256);
+  auto f = MakeFixture(&disk, RandomCollection(&disk, "c1", 30, 6, 50, 41),
+                       RandomCollection(&disk, "c2", 20, 5, 50, 42));
+  JoinSpec spec;
+  spec.lambda = 3;
+  JoinContext ctx = f->Context(60);
+
+  QueryGovernor governor(GovernorLimits{/*deadline_ms=*/1e-9, 0});
+  ScopedDiskGovernor scoped(&disk, &governor);
+  ctx.governor = &governor;
+  auto result = RunAlgorithm(algorithm, ctx, spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CancellationSweepTest,
+                         ::testing::Values(Algorithm::kHhnl, Algorithm::kHvnl,
+                                           Algorithm::kVvm),
+                         [](const auto& info) {
+                           return std::string(AlgorithmName(info.param));
+                         });
+
+// Parallel joins: the parent governor reaches every worker.
+TEST(ParallelGovernanceTest, CancellationReachesWorkers) {
+  SimulatedDisk disk(256);
+  auto f = MakeFixture(&disk, RandomCollection(&disk, "c1", 30, 6, 50, 51),
+                       RandomCollection(&disk, "c2", 24, 5, 50, 52));
+  JoinSpec spec;
+  spec.lambda = 3;
+  JoinContext ctx = f->Context(60);
+
+  ParallelTextJoin parallel({Algorithm::kHhnl, /*workers=*/3});
+  auto clean = parallel.Run(ctx, spec);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+
+  // A no-limit governor is transparent.
+  {
+    QueryGovernor governor;
+    ScopedDiskGovernor scoped(&disk, &governor);
+    ctx.governor = &governor;
+    auto governed = parallel.Run(ctx, spec);
+    ASSERT_TRUE(governed.ok()) << governed.status();
+    EXPECT_EQ(governed->result, clean->result);
+  }
+
+  // Parent checkpoints: "parallel setup", then one per worker. Cancelling
+  // at each position stops the whole query with a clean error.
+  for (int64_t n = 1; n <= 4; ++n) {
+    QueryGovernor governor;
+    governor.CancelAtCheckpoint(n);
+    ScopedDiskGovernor scoped(&disk, &governor);
+    ctx.governor = &governor;
+    auto result = parallel.Run(ctx, spec);
+    ASSERT_FALSE(result.ok()) << "parallel join ignored cancellation at " << n;
+    EXPECT_TRUE(IsCancellation(result.status())) << result.status();
+  }
+  ctx.governor = nullptr;
+}
+
+TEST(ParallelGovernanceTest, DeadlineCancelsParallelJoin) {
+  SimulatedDisk disk(256);
+  auto f = MakeFixture(&disk, RandomCollection(&disk, "c1", 30, 6, 50, 61),
+                       RandomCollection(&disk, "c2", 24, 5, 50, 62));
+  JoinSpec spec;
+  spec.lambda = 3;
+  JoinContext ctx = f->Context(60);
+
+  // The deadline expires inside a worker (the setup checkpoints pass
+  // before any simulated time is charged... so charge it up front).
+  QueryGovernor governor(GovernorLimits{/*deadline_ms=*/5.0, 0});
+  governor.ChargeSimulatedMs(10.0);
+  ScopedDiskGovernor scoped(&disk, &governor);
+  ctx.governor = &governor;
+  ParallelTextJoin parallel({Algorithm::kHhnl, /*workers=*/3});
+  auto result = parallel.Run(ctx, spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status();
+  ctx.governor = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// (b) Memory-budget degradation: bit-identical results at half the buffer.
+
+class DegradationTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(DegradationTest, HalfBudgetIsBitIdentical) {
+  const Algorithm algorithm = GetParam();
+  SimulatedDisk disk(256);
+  auto f = MakeFixture(&disk, RandomCollection(&disk, "c1", 40, 6, 50, 71),
+                       RandomCollection(&disk, "c2", 25, 5, 50, 72));
+  JoinSpec spec;
+  spec.lambda = 3;
+  const int64_t B = 60;
+  JoinContext ctx = f->Context(B);
+
+  auto unconstrained = RunAlgorithm(algorithm, ctx, spec);
+  ASSERT_TRUE(unconstrained.ok()) << unconstrained.status();
+
+  QueryGovernor governor(GovernorLimits{0, /*memory_budget_pages=*/B / 2});
+  ScopedDiskGovernor scoped(&disk, &governor);
+  ctx.governor = &governor;
+
+  if (algorithm == Algorithm::kVvm) {
+    // A budget tight enough to shrink the matrix partition forces more,
+    // smaller passes — and still the identical result. (The half-B budget
+    // below leaves the matrix whole on this input, so the pass-count
+    // assertion needs its own, tighter governor.)
+    JoinContext full = ctx;
+    full.governor = nullptr;
+    QueryGovernor tiny(GovernorLimits{0, /*memory_budget_pages=*/3});
+    JoinContext tiny_ctx = ctx;
+    tiny_ctx.governor = &tiny;
+    EXPECT_GT(VvmJoin::Passes(tiny_ctx, spec), VvmJoin::Passes(full, spec));
+    ScopedDiskGovernor tiny_scoped(&disk, &tiny);
+    auto multi_pass = RunAlgorithm(algorithm, tiny_ctx, spec);
+    ASSERT_TRUE(multi_pass.ok()) << multi_pass.status();
+    EXPECT_EQ(*multi_pass, *unconstrained)
+        << "multi-pass VVM changed the join result";
+    EXPECT_TRUE(tiny.degraded());
+  }
+  if (algorithm == Algorithm::kHhnl) {
+    JoinContext full = ctx;
+    full.governor = nullptr;
+    EXPECT_LT(HhnlJoin::BatchSize(ctx, spec), HhnlJoin::BatchSize(full, spec));
+  }
+
+  auto constrained = RunAlgorithm(algorithm, ctx, spec);
+  ASSERT_TRUE(constrained.ok()) << constrained.status();
+  EXPECT_EQ(*constrained, *unconstrained)
+      << AlgorithmName(algorithm)
+      << ": degradation changed the join result";
+  EXPECT_TRUE(governor.degraded())
+      << AlgorithmName(algorithm) << " never consulted the memory budget";
+  ctx.governor = nullptr;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DegradationTest,
+                         ::testing::Values(Algorithm::kHhnl, Algorithm::kHvnl,
+                                           Algorithm::kVvm),
+                         [](const auto& info) {
+                           return std::string(AlgorithmName(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// (c) Admission control: N slots, 4N submissions.
+
+TEST(AdmissionTest, AdmitsQueuesAndSheds) {
+  AdmissionOptions options;
+  options.max_concurrent = 2;
+  options.max_queue = 4;
+  AdmissionController controller(options);
+
+  const int64_t N = options.max_concurrent;
+  std::vector<AdmissionGrant> admitted;
+  std::vector<AdmissionGrant> queued;
+  int64_t shed = 0;
+  for (int64_t i = 0; i < 4 * N; ++i) {
+    auto grant = controller.Submit(/*predicted_cost_pages=*/100,
+                                   /*memory_claim_pages=*/10);
+    if (!grant.ok()) {
+      EXPECT_EQ(grant.status().code(), StatusCode::kResourceExhausted)
+          << grant.status();
+      EXPECT_TRUE(IsRetriableAdmission(grant.status()));
+      EXPECT_FALSE(IsCancellation(grant.status()));
+      ++shed;
+      continue;
+    }
+    if (grant->outcome == AdmissionOutcome::kAdmitted) {
+      admitted.push_back(*grant);
+    } else {
+      EXPECT_EQ(grant->outcome, AdmissionOutcome::kQueued);
+      queued.push_back(*grant);
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(admitted.size()), N);
+  EXPECT_EQ(static_cast<int64_t>(queued.size()), options.max_queue);
+  EXPECT_EQ(shed, 4 * N - N - options.max_queue);
+  EXPECT_EQ(controller.running(), N);
+  EXPECT_EQ(controller.queued(), options.max_queue);
+  EXPECT_EQ(controller.total_admitted(), N);
+  EXPECT_EQ(controller.total_queued(), options.max_queue);
+  EXPECT_EQ(controller.total_shed(), shed);
+
+  // Finishing a running query promotes the head of the FIFO, whose Await
+  // then reports the simulated queue wait.
+  controller.Release(admitted[0].ticket, /*elapsed_ms=*/25.0);
+  auto resolved = controller.Await(queued[0].ticket);
+  ASSERT_TRUE(resolved.ok()) << resolved.status();
+  EXPECT_EQ(resolved->outcome, AdmissionOutcome::kQueued);
+  EXPECT_DOUBLE_EQ(resolved->queue_wait_ms, 25.0);
+  EXPECT_EQ(controller.running(), N);
+
+  // A ticket that never got a slot resolves to a shed, not a hang.
+  controller.Release(resolved->ticket);
+  controller.Release(admitted[1].ticket);
+  auto second = controller.Await(queued[1].ticket);
+  ASSERT_TRUE(second.ok());
+  auto starved = controller.Await(queued[3].ticket);
+  EXPECT_FALSE(starved.ok());
+  EXPECT_TRUE(IsRetriableAdmission(starved.status())) << starved.status();
+}
+
+TEST(AdmissionTest, QueueTimeoutShedsWaiters) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 2;
+  options.queue_timeout_ms = 10.0;
+  AdmissionController controller(options);
+
+  auto first = controller.Submit(0, 0);
+  ASSERT_TRUE(first.ok());
+  auto waiting = controller.Submit(0, 0);
+  ASSERT_TRUE(waiting.ok());
+  EXPECT_EQ(waiting->outcome, AdmissionOutcome::kQueued);
+
+  // The running query takes longer than the waiter is allowed to wait.
+  controller.Release(first->ticket, /*elapsed_ms=*/50.0);
+  auto resolved = controller.Await(waiting->ticket);
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_EQ(resolved.status().code(), StatusCode::kResourceExhausted)
+      << resolved.status();
+  EXPECT_EQ(controller.running(), 0);
+  EXPECT_EQ(controller.total_shed(), 1);
+}
+
+TEST(AdmissionTest, PredictedRuntimeOverDeadlineIsShedUpFront) {
+  AdmissionOptions options;
+  options.max_concurrent = 4;
+  options.cost_unit_ms = 1.0;  // 1 ms per predicted page
+  AdmissionController controller(options);
+
+  auto fits = controller.Submit(/*predicted_cost_pages=*/100, 0,
+                                /*deadline_ms=*/500.0);
+  ASSERT_TRUE(fits.ok()) << fits.status();
+  EXPECT_DOUBLE_EQ(fits->predicted_runtime_ms, 100.0);
+
+  auto doomed = controller.Submit(/*predicted_cost_pages=*/1000, 0,
+                                  /*deadline_ms=*/500.0);
+  ASSERT_FALSE(doomed.ok());
+  EXPECT_EQ(doomed.status().code(), StatusCode::kDeadlineExceeded)
+      << doomed.status();
+  EXPECT_TRUE(IsCancellation(doomed.status()));
+  EXPECT_EQ(controller.total_shed(), 1);
+}
+
+TEST(AdmissionTest, MemoryPressureGrantsPartialClaims) {
+  AdmissionOptions options;
+  options.max_concurrent = 4;
+  options.memory_budget_pages = 100;
+  AdmissionController controller(options);
+
+  auto big = controller.Submit(0, /*memory_claim_pages=*/80);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->memory_granted_pages, 80);
+
+  // Only 20 pages remain: the next query is granted the remainder and
+  // must degrade instead of being rejected.
+  auto squeezed = controller.Submit(0, /*memory_claim_pages=*/50);
+  ASSERT_TRUE(squeezed.ok());
+  EXPECT_EQ(squeezed->memory_granted_pages, 20);
+  EXPECT_EQ(controller.memory_in_use_pages(), 100);
+
+  controller.Release(big->ticket);
+  EXPECT_EQ(controller.memory_in_use_pages(), 20);
+}
+
+TEST(AdmissionTest, FifoFairnessNoOvertaking) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 2;
+  AdmissionController controller(options);
+
+  auto running = controller.Submit(0, 0);
+  ASSERT_TRUE(running.ok());
+  auto waiter = controller.Submit(0, 0);
+  ASSERT_TRUE(waiter.ok());
+  EXPECT_EQ(waiter->outcome, AdmissionOutcome::kQueued);
+
+  // Even after the slot frees, a newcomer must not jump the queue.
+  controller.Release(running->ticket, 5.0);
+  auto newcomer = controller.Submit(0, 0);
+  ASSERT_TRUE(newcomer.ok());
+  EXPECT_EQ(newcomer->outcome, AdmissionOutcome::kQueued);
+  auto promoted = controller.Await(waiter->ticket);
+  ASSERT_TRUE(promoted.ok()) << promoted.status();
+}
+
+// ---------------------------------------------------------------------------
+// Database integration: admission + governor + EXPLAIN ANALYZE + SET knobs.
+
+const std::vector<std::string> kResumes = {
+    "database indexing and query processing experience",
+    "realtime embedded control firmware for avionics",
+    "social media brand campaigns and market research",
+    "distributed storage replication and consensus",
+};
+const std::vector<std::string> kJobs = {
+    "database engineer for query processing",
+    "embedded firmware engineer realtime control",
+};
+
+void FillDatabase(Database* db) {
+  ASSERT_TRUE(db->AddCollectionFromText("resumes", kResumes).ok());
+  ASSERT_TRUE(db->AddCollectionFromText("jobs", kJobs).ok());
+  ASSERT_TRUE(db->BuildIndex("resumes").ok());
+  ASSERT_TRUE(db->BuildIndex("jobs").ok());
+}
+
+TEST(DatabaseGovernanceTest, ExplainAnalyzeReportsGovernance) {
+  DatabaseOptions options;
+  options.admission.max_concurrent = 2;
+  Database db(options);
+  FillDatabase(&db);
+
+  JoinSpec spec;
+  spec.lambda = 1;
+  auto analyzed = db.JoinAnalyze("resumes", "jobs", spec);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  EXPECT_NE(analyzed->report.find("governance: admitted"), std::string::npos)
+      << analyzed->report;
+  EXPECT_NE(analyzed->report.find("queue wait"), std::string::npos);
+  EXPECT_NE(analyzed->report.find("checkpoints="), std::string::npos);
+  EXPECT_EQ(db.admission()->running(), 0) << "query never released its slot";
+  EXPECT_EQ(db.admission()->total_admitted(), 1);
+}
+
+TEST(DatabaseGovernanceTest, UngovernedReportHasNoGovernanceBlock) {
+  Database db;
+  FillDatabase(&db);
+  JoinSpec spec;
+  spec.lambda = 1;
+  auto analyzed = db.JoinAnalyze("resumes", "jobs", spec);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  EXPECT_EQ(analyzed->report.find("governance:"), std::string::npos)
+      << analyzed->report;
+}
+
+TEST(DatabaseGovernanceTest, SpecDeadlineCancelsJoin) {
+  Database db;
+  FillDatabase(&db);
+  JoinSpec spec;
+  spec.lambda = 1;
+  spec.deadline_ms = 1e-9;
+  auto result = db.Join("resumes", "jobs", spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status();
+  // Admission bookkeeping (off here) and the disk survive: the same join
+  // without the deadline succeeds.
+  spec.deadline_ms = 0;
+  auto retry = db.Join("resumes", "jobs", spec);
+  EXPECT_TRUE(retry.ok()) << retry.status();
+}
+
+TEST(DatabaseGovernanceTest, SpecMemoryBudgetDegradesNotFails) {
+  Database db;
+  FillDatabase(&db);
+  JoinSpec spec;
+  spec.lambda = 1;
+  auto full = db.Join("resumes", "jobs", spec);
+  ASSERT_TRUE(full.ok()) << full.status();
+  spec.memory_budget_pages = 8;
+  auto constrained = db.Join("resumes", "jobs", spec);
+  ASSERT_TRUE(constrained.ok()) << constrained.status();
+  EXPECT_EQ(*constrained, *full);
+}
+
+TEST(DatabaseGovernanceTest, SetKnobsApplyToSqlQueries) {
+  Database db;
+  FillDatabase(&db);
+
+  Table applicants("Applicants",
+                   std::vector<Column>{{"Name", ColumnType::kString},
+                                       {"Resume", ColumnType::kText}});
+  TEXTJOIN_CHECK_OK(
+      applicants.AttachCollection("Resume", db.collection("resumes")));
+  TEXTJOIN_CHECK_OK(applicants.AddRow({std::string("Ann"), TextRef{0}}));
+  TEXTJOIN_CHECK_OK(applicants.AddRow({std::string("Bob"), TextRef{1}}));
+  TEXTJOIN_CHECK_OK(applicants.AddRow({std::string("Cam"), TextRef{2}}));
+  TEXTJOIN_CHECK_OK(applicants.AddRow({std::string("Dee"), TextRef{3}}));
+  Table positions("Positions",
+                  std::vector<Column>{{"Title", ColumnType::kString},
+                                      {"Job_descr", ColumnType::kText}});
+  TEXTJOIN_CHECK_OK(
+      positions.AttachCollection("Job_descr", db.collection("jobs")));
+  TEXTJOIN_CHECK_OK(
+      positions.AddRow({std::string("DB Engineer"), TextRef{0}}));
+  TEXTJOIN_CHECK_OK(
+      positions.AddRow({std::string("Firmware Engineer"), TextRef{1}}));
+  ASSERT_TRUE(db.RegisterTable(&applicants).ok());
+  ASSERT_TRUE(db.RegisterTable(&positions).ok());
+
+  const std::string join_sql =
+      "SELECT P.Title, A.Name FROM Positions P, Applicants A "
+      "WHERE A.Resume SIMILAR_TO(1) P.Job_descr";
+
+  // SET parses, echoes, and sticks.
+  auto set_out = db.ExecuteSql("SET deadline_ms = 0.000001;");
+  ASSERT_TRUE(set_out.ok()) << set_out.status();
+  ASSERT_EQ(set_out->rows.size(), 1u);
+  EXPECT_EQ(set_out->rows[0], "SET deadline_ms = 0.000001");
+  EXPECT_GT(db.session_deadline_ms(), 0);
+
+  // The session deadline now cancels the SQL join...
+  auto doomed = db.ExecuteSql(join_sql);
+  ASSERT_FALSE(doomed.ok());
+  EXPECT_TRUE(IsCancellation(doomed.status())) << doomed.status();
+
+  // ...until cleared.
+  ASSERT_TRUE(db.ExecuteSql("SET deadline_ms = 0").ok());
+  EXPECT_EQ(db.session_deadline_ms(), 0);
+  auto fine = db.ExecuteSql(join_sql);
+  ASSERT_TRUE(fine.ok()) << fine.status();
+  EXPECT_EQ(fine->rows.size(), 2u);
+
+  // A memory budget degrades without changing results.
+  ASSERT_TRUE(db.ExecuteSql("set memory_budget_pages = 8").ok());
+  auto squeezed = db.ExecuteSql(join_sql);
+  ASSERT_TRUE(squeezed.ok()) << squeezed.status();
+  EXPECT_EQ(squeezed->rows, fine->rows);
+
+  // Bad knob / bad value are one-line errors, not crashes.
+  auto unknown = db.ExecuteSql("SET warp_speed = 9");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("deadline_ms"),
+            std::string::npos)
+      << "the error should list supported knobs: " << unknown.status();
+  EXPECT_FALSE(db.ExecuteSql("SET deadline_ms = banana").ok());
+  EXPECT_FALSE(db.ExecuteSql("SET deadline_ms = -5").ok());
+}
+
+TEST(DatabaseGovernanceTest, AdmissionDefaultDeadlineGovernsJoins) {
+  DatabaseOptions options;
+  options.admission.default_deadline_ms = 1e-9;
+  Database db(options);
+  FillDatabase(&db);
+  JoinSpec spec;
+  spec.lambda = 1;
+  auto result = db.Join("resumes", "jobs", spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status();
+  // A per-query deadline overrides the database default.
+  spec.deadline_ms = 60000;
+  auto generous = db.Join("resumes", "jobs", spec);
+  EXPECT_TRUE(generous.ok()) << generous.status();
+}
+
+}  // namespace
+}  // namespace textjoin

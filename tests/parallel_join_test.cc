@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "exec/governor.h"
 #include "storage/disk_manager.h"
+#include "storage/reliable_disk.h"
 #include "join/hhnl.h"
 #include "parallel/parallel_join.h"
 #include "test_util.h"
@@ -130,6 +132,85 @@ TEST(ParallelJoinTest, InnerSubsetPassesThrough) {
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->result,
             BruteForceJoin(f->inner, f->outer, f->simctx, spec));
+}
+
+// A fault inside one worker fails the whole join with a status naming the
+// worker and stating that the completed workers' partial results were
+// discarded — never a truncated result presented as complete.
+TEST(ParallelJoinTest, WorkerFailureSurfacesAsPartialFailure) {
+  SimulatedDisk disk(256);
+  auto f = Fixture(&disk);
+  JoinSpec spec;
+  spec.lambda = 3;
+  JoinContext ctx = f->Context(120);
+  ParallelTextJoin parallel(ParallelTextJoin::Options{Algorithm::kHhnl, 3});
+
+  // The clean run tells us how many reads setup and worker 1 consume; a
+  // sticky countdown fault placed just past them fires inside worker 2.
+  auto clean = parallel.Run(ctx, spec);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  ASSERT_EQ(clean->worker_io.size(), 3u);
+  const int64_t before_worker2 = clean->setup_io.total_reads() +
+                                 clean->worker_io[0].total_reads();
+
+  disk.InjectReadFault(before_worker2 + 1);
+  auto failed = parallel.Run(ctx, spec);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable)
+      << failed.status();
+  EXPECT_NE(failed.status().message().find("parallel worker 2/3"),
+            std::string::npos)
+      << failed.status();
+  EXPECT_NE(failed.status().message().find("partial results discarded"),
+            std::string::npos)
+      << failed.status();
+
+  disk.ClearReadFault();
+  auto recovered = parallel.Run(ctx, spec);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->result, clean->result);
+}
+
+// A worker that exhausts the query deadline mid-join (here: retry backoff
+// charged against it while recovering from a sticky fault) surfaces
+// DEADLINE_EXCEEDED through the same partial-failure wrapping.
+TEST(ParallelJoinTest, WorkerDeadlineMidJoinSurfaces) {
+  SimulatedDisk base(256);
+  // One retry charges far more simulated backoff than the whole deadline,
+  // so the deadline deterministically expires during recovery — wall-clock
+  // noise cannot move the failure point ahead of the fault.
+  RetryPolicy policy;
+  policy.backoff_base_ms = 1e6;
+  policy.max_backoff_ms = 1e7;
+  ReliableDisk disk(&base, policy);
+  auto inner = RandomCollection(&disk, "c1", 60, 6, 70, 81);
+  auto outer = RandomCollection(&disk, "c2", 45, 5, 70, 82);
+  auto f = MakeFixture(&disk, std::move(inner), std::move(outer));
+  JoinSpec spec;
+  spec.lambda = 3;
+  JoinContext ctx = f->Context(120);
+  ParallelTextJoin parallel(ParallelTextJoin::Options{Algorithm::kHhnl, 3});
+
+  auto clean = parallel.Run(ctx, spec);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  const int64_t before_worker2 = clean->setup_io.total_reads() +
+                                 clean->worker_io[0].total_reads();
+
+  // A generous wall-clock deadline that only the charged retry backoff
+  // can exhaust, and only once the fault fires inside worker 2.
+  QueryGovernor governor(GovernorLimits{/*deadline_ms=*/60000.0, 0});
+  ScopedDiskGovernor scoped(&disk, &governor);
+  ctx.governor = &governor;
+  base.InjectReadFault(before_worker2 + 1);
+  auto failed = parallel.Run(ctx, spec);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kDeadlineExceeded)
+      << failed.status();
+  EXPECT_NE(failed.status().message().find("parallel worker"),
+            std::string::npos)
+      << failed.status();
+  base.ClearReadFault();
+  ctx.governor = nullptr;
 }
 
 }  // namespace

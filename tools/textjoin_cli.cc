@@ -17,7 +17,9 @@
 //       Tokenizes a file (one document per line) and prints the
 //       statistics the cost model consumes.
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -28,6 +30,8 @@
 #include "storage/disk_manager.h"
 #include "storage/reliable_disk.h"
 #include "common/logging.h"
+#include "exec/admission.h"
+#include "exec/governor.h"
 #include "cost/cost_model.h"
 #include "cost/statistics.h"
 #include "index/inverted_file.h"
@@ -58,6 +62,15 @@ int Usage() {
                "--fault-seed picks\n"
                "        the deterministic schedule, --retries the read "
                "attempts (1 = no retry)\n"
+               "               [--deadline-ms D] [--max-concurrent N] "
+               "[--mem-budget PAGES]\n"
+               "      --deadline-ms: cancel the join once D milliseconds "
+               "elapse (DEADLINE_EXCEEDED)\n"
+               "      --max-concurrent: run the query through an admission "
+               "controller with N run slots\n"
+               "      --mem-budget: cap the join's buffer pages; joins "
+               "degrade (smaller batches,\n"
+               "        more merge passes) instead of failing\n"
                "  textjoin_cli estimate --n1 N --k1 K --t1 T --n2 N --k2 K "
                "--t2 T\n"
                "               [--buffer PAGES] [--alpha A] [--lambda L] "
@@ -87,14 +100,30 @@ class Args {
     return false;
   }
 
+  // Int/Double exit with a one-line error on malformed values (e.g.
+  // `--fault-rate abc` or `--buffer 12x`) instead of throwing.
   int64_t Int(const std::string& name, int64_t def) {
     auto v = Flag(name);
-    return v ? std::stoll(*v) : def;
+    if (!v) return def;
+    errno = 0;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(v->c_str(), &end, 10);
+    if (errno != 0 || end == v->c_str() || *end != '\0') {
+      BadValue(name, *v, "an integer");
+    }
+    return parsed;
   }
 
   double Double(const std::string& name, double def) {
     auto v = Flag(name);
-    return v ? std::stod(*v) : def;
+    if (!v) return def;
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(v->c_str(), &end);
+    if (errno != 0 || end == v->c_str() || *end != '\0') {
+      BadValue(name, *v, "a number");
+    }
+    return parsed;
   }
 
   // Positional arguments (not starting with --, not a flag's value).
@@ -118,6 +147,14 @@ class Args {
   }
 
  private:
+  [[noreturn]] static void BadValue(const std::string& name,
+                                    const std::string& value,
+                                    const char* expected) {
+    std::fprintf(stderr, "textjoin_cli: invalid value '%s' for --%s (expected %s)\n",
+                 value.c_str(), name.c_str(), expected);
+    std::exit(2);
+  }
+
   std::vector<std::string> args_;
 };
 
@@ -156,7 +193,14 @@ int RunJoin(Args& args) {
   const double fault_rate = args.Double("fault-rate", 0.0);
   const uint64_t fault_seed = static_cast<uint64_t>(args.Int("fault-seed", 1));
   const int retries = static_cast<int>(args.Int("retries", 4));
+  const double deadline_ms = args.Double("deadline-ms", 0.0);
+  const int64_t mem_budget = args.Int("mem-budget", 0);
+  const int64_t max_concurrent = args.Int("max-concurrent", 0);
   if (fault_rate < 0 || fault_rate >= 1 || retries < 1) return Usage();
+  if (deadline_ms < 0 || mem_budget < 0 || max_concurrent < 0 ||
+      lambda < 1 || buffer < 1) {
+    return Usage();
+  }
 
   SimulatedDisk base(4096);
   RetryPolicy policy;
@@ -238,6 +282,39 @@ int RunJoin(Args& args) {
                 retries);
   }
 
+  // Lifecycle governance: admission first (a single CLI query always gets
+  // a free slot, but the grant can shrink the memory budget), then the
+  // governor carrying the deadline and page budget through the join and
+  // the storage layer.
+  std::optional<AdmissionController> admission;
+  AdmissionGrant grant;
+  int64_t effective_budget = mem_budget;
+  if (max_concurrent > 0) {
+    AdmissionOptions aopts;
+    aopts.max_concurrent = max_concurrent;
+    aopts.memory_budget_pages = mem_budget;
+    aopts.default_deadline_ms = deadline_ms;
+    admission.emplace(aopts);
+    auto g = admission->Submit(/*predicted_cost_pages=*/0, buffer,
+                               deadline_ms);
+    if (!g.ok()) {
+      std::fprintf(stderr, "query shed: %s\n", g.status().ToString().c_str());
+      return 1;
+    }
+    grant = *g;
+    if (mem_budget > 0 && grant.memory_granted_pages > 0 &&
+        grant.memory_granted_pages < buffer) {
+      effective_budget = grant.memory_granted_pages;
+    }
+  }
+  std::optional<QueryGovernor> governor;
+  std::optional<ScopedDiskGovernor> disk_governor;
+  if (deadline_ms > 0 || effective_budget > 0) {
+    governor.emplace(GovernorLimits{deadline_ms, effective_budget});
+    ctx.governor = &*governor;
+    disk_governor.emplace(&disk, &*governor);
+  }
+
   disk.ResetStats();
   Result<JoinResult> result(Status::OK());
   if (algo == "auto") {
@@ -257,8 +334,13 @@ int RunJoin(Args& args) {
   } else {
     return Usage();
   }
+  if (admission) {
+    admission->Release(grant.ticket, governor ? governor->ElapsedMs() : 0.0);
+  }
   if (!result.ok()) {
-    std::fprintf(stderr, "join failed: %s\n",
+    const char* what =
+        IsCancellation(result.status()) ? "join cancelled" : "join failed";
+    std::fprintf(stderr, "%s: %s\n", what,
                  result.status().ToString().c_str());
     return 1;
   }
@@ -273,6 +355,13 @@ int RunJoin(Args& args) {
   std::printf("\njoin I/O: %s\n", disk.stats().ToString().c_str());
   if (disk.retry_stats().any()) {
     std::printf("recovery: %s\n", disk.retry_stats().ToString().c_str());
+  }
+  if (governor) {
+    std::printf("governance: %s; checkpoints=%lld io_polls=%lld%s\n",
+                admission ? AdmissionOutcomeName(grant.outcome) : "admitted",
+                static_cast<long long>(governor->checkpoints()),
+                static_cast<long long>(governor->io_polls()),
+                governor->degraded() ? " [degraded]" : "");
   }
   return 0;
 }
