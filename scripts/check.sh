@@ -8,9 +8,10 @@
 #   scripts/check.sh chaos      fault-tolerance suite (`ctest -L chaos`)
 #                               swept under three fixed seed offsets, each
 #                               a different deterministic fault universe
-#   scripts/check.sh stress     lifecycle-governance suite (`ctest -L
-#                               stress`) swept under three seed offsets,
-#                               each randomizing the cancellation points
+#   scripts/check.sh stress     seed-sweepable suites (`ctest -L stress`)
+#                               under three seed offsets: randomized
+#                               cancellation points plus the pruning
+#                               bit-identity sweep
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

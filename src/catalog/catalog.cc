@@ -142,6 +142,12 @@ Status SaveCollectionCatalog(const DocumentCollection& collection,
   for (int64_t d = 0; d < n; ++d) {
     PutDouble(&payload, collection.raw_norm(static_cast<DocId>(d)));
   }
+  for (int64_t d = 0; d < n; ++d) {
+    PutFixed32(&payload, static_cast<uint32_t>(
+                             collection.max_weight(static_cast<DocId>(d))));
+    PutFixed64(&payload, static_cast<uint64_t>(
+                             collection.weight_sum(static_cast<DocId>(d))));
+  }
   PutFixed64(&payload, static_cast<uint64_t>(collection.doc_freq_map().size()));
   for (const auto& [term, df] : collection.doc_freq_map()) {
     PutFixed32(&payload, term);
@@ -171,6 +177,14 @@ Result<DocumentCollection> OpenCollection(
   std::vector<double> norms;
   norms.reserve(n);
   for (uint64_t i = 0; i < n && r.ok(); ++i) norms.push_back(r.F64());
+  std::vector<int32_t> max_weights;
+  std::vector<int64_t> weight_sums;
+  max_weights.reserve(n);
+  weight_sums.reserve(n);
+  for (uint64_t i = 0; i < n && r.ok(); ++i) {
+    max_weights.push_back(static_cast<int32_t>(r.U32()));
+    weight_sums.push_back(static_cast<int64_t>(r.U64()));
+  }
   const uint64_t terms = r.U64();
   std::unordered_map<TermId, int64_t> doc_freq;
   doc_freq.reserve(terms * 2 + 1);
@@ -183,9 +197,10 @@ Result<DocumentCollection> OpenCollection(
     return Status::InvalidArgument(catalog_file_name + " is truncated");
   }
   TEXTJOIN_ASSIGN_OR_RETURN(FileId data_file, disk->FindFile(data_name));
-  return DocumentCollection::FromParts(disk, data_file, std::move(data_name),
-                                       std::move(directory), std::move(norms),
-                                       std::move(doc_freq), total_cells);
+  return DocumentCollection::FromParts(
+      disk, data_file, std::move(data_name), std::move(directory),
+      std::move(norms), std::move(max_weights), std::move(weight_sums),
+      std::move(doc_freq), total_cells);
 }
 
 Status SaveInvertedFileCatalog(const InvertedFile& inverted,
@@ -201,6 +216,7 @@ Status SaveInvertedFileCatalog(const InvertedFile& inverted,
     PutFixed64(&payload, static_cast<uint64_t>(e.offset_bytes));
     PutFixed64(&payload, static_cast<uint64_t>(e.cell_count));
     PutFixed64(&payload, static_cast<uint64_t>(e.byte_length));
+    PutFixed32(&payload, static_cast<uint32_t>(e.max_weight));
   }
   const BPlusTree& tree = inverted.btree();
   PutFixed64(&payload, static_cast<uint64_t>(tree.root_page()));
@@ -230,6 +246,7 @@ Result<InvertedFile> OpenInvertedFile(Disk* disk,
     e.offset_bytes = static_cast<int64_t>(r.U64());
     e.cell_count = static_cast<int64_t>(r.U64());
     e.byte_length = static_cast<int64_t>(r.U64());
+    e.max_weight = static_cast<int32_t>(r.U32());
     entries.push_back(e);
   }
   PageNumber root = static_cast<PageNumber>(r.U64());

@@ -48,6 +48,14 @@ struct CostInputs {
   // be read with random I/Os (Group 3). False when C2 is originally small
   // and scanned sequentially (Groups 1, 2, 4, 5).
   bool outer_reads_random = false;
+
+  // CPU-model pruning knobs (cost/cpu_model.h): the expected fraction of
+  // candidate pairs the executor's top-lambda bounds skip, and whether the
+  // adaptive galloping merge kernel is enabled. Both default to "off" so
+  // the I/O formulas and the unpruned CPU estimates are unchanged; the
+  // planner fills them from JoinSpec::pruning.
+  double pruning_rate = 0.0;
+  bool adaptive_merge = false;
 };
 
 // Cost of one algorithm under the two device models.

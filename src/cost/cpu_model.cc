@@ -42,16 +42,44 @@ CpuDerived Derive(const CostInputs& in) {
 
 }  // namespace
 
+double ExpectedPruningRate(const CostInputs& in) {
+  const double candidates =
+      std::max(1.0, in.query.delta *
+                        static_cast<double>(in.c1.num_documents));
+  const double lambda = static_cast<double>(std::max<int64_t>(
+      0, in.query.lambda));
+  const double losing = std::max(0.0, 1.0 - lambda / candidates);
+  return std::min(0.9, 0.5 * losing);
+}
+
 CpuEstimate HhnlCpuCost(const CostInputs& in) {
   CpuDerived d = Derive(in);
   CpuEstimate e;
   // Every pair walks both sorted cell lists: between max(K1,K2) and
   // K1+K2 steps; the expectation is K1 + K2 - common.
-  e.cell_compares = d.m * d.N1 * (d.K1 + d.K2 - d.common);
-  e.accumulations = d.m * d.N1 * d.common;
-  // Only non-zero pairs reach the heap.
-  e.heap_offers = d.m * d.N1 * d.delta;
+  double merge_per_pair = d.K1 + d.K2 - d.common;
+  if (in.adaptive_merge) {
+    // Skewed lengths switch to galloping: the shorter document's cells
+    // each cost one probe step plus ~2*log2(ratio) search probes.
+    const double shorter = std::max(1.0, std::min(d.K1, d.K2));
+    const double ratio = std::max(d.K1, d.K2) / shorter;
+    if (ratio >= 16.0) {
+      merge_per_pair = std::min(
+          merge_per_pair,
+          shorter * (2.0 * std::log2(ratio) + 2.0) + d.common);
+    }
+  }
+  const double rate = std::clamp(in.pruning_rate, 0.0, 1.0);
+  const double survivors = 1.0 - rate;
+  e.cell_compares = d.m * d.N1 * survivors * merge_per_pair;
+  e.accumulations = d.m * d.N1 * survivors * d.common;
+  // Only non-zero surviving pairs reach the heap.
+  e.heap_offers = d.m * d.N1 * d.delta * survivors;
   e.cells_decoded = 0;  // HHNL reads documents, not inverted cells
+  if (rate > 0) {
+    e.bound_checks = d.m * d.N1;  // one pre-check per pair
+    e.pairs_pruned = d.m * d.N1 * rate;
+  }
   return e;
 }
 
@@ -87,6 +115,16 @@ CpuEstimate HvnlCpuCost(const CostInputs& in) {
   e.cells_decoded = fetched * d.L1;
   // Per outer document the accumulator holds ~delta*N1 non-zero scores.
   e.heap_offers = d.m * d.delta * d.N1;
+  // Admission suppression: suppressed candidates never accumulate or reach
+  // the heap; each probed entry pays one bound check per cell of the outer
+  // document (the suffix build) plus one per admission decision.
+  const double rate = std::clamp(in.pruning_rate, 0.0, 1.0);
+  if (rate > 0) {
+    e.accumulations *= 1.0 - rate;
+    e.heap_offers *= 1.0 - rate;
+    e.bound_checks = d.m * (d.K2 + d.q * d.K2);
+    e.pairs_pruned = d.m * d.delta * d.N1 * rate;
+  }
   return e;
 }
 
@@ -103,6 +141,16 @@ CpuEstimate VvmCpuCost(const CostInputs& in) {
       d.K2 * static_cast<double>(in.c2.num_documents);
   e.cells_decoded = passes * (cells1 + cells2);
   e.heap_offers = d.m * d.delta * d.N1;
+  // Admission suppression: the decode volume is fixed by the scans, but
+  // suppressed pairs skip their accumulations and heap offers at the cost
+  // of one bound check per new-candidate decision.
+  const double rate = std::clamp(in.pruning_rate, 0.0, 1.0);
+  if (rate > 0) {
+    e.accumulations *= 1.0 - rate;
+    e.heap_offers *= 1.0 - rate;
+    e.bound_checks = d.m * d.delta * d.N1;
+    e.pairs_pruned = d.m * d.delta * d.N1 * rate;
+  }
   return e;
 }
 

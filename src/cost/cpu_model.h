@@ -24,12 +24,32 @@ struct CpuEstimate {
   double accumulations = 0;
   double heap_offers = 0;
   double cells_decoded = 0;
+  // Pruning extension (join/pruning.h): bound evaluations the executor
+  // performs (counted work), and pairs/candidates it expects to skip
+  // (avoided work — informational, not part of Total()).
+  double bound_checks = 0;
+  double pairs_pruned = 0;
 
   double Total() const {
-    return cell_compares + accumulations + heap_offers + cells_decoded;
+    return cell_compares + accumulations + heap_offers + cells_decoded +
+           bound_checks;
   }
 };
 
+// Expected fraction of candidate pairs the top-lambda bounds prune away.
+// Of the ~delta*N1 non-zero candidates per outer document only lambda must
+// be evaluated in full; the catalog bounds are loose (max * sum products),
+// so the model credits only half of the provably-losing remainder. Clamped
+// to [0, 0.9]; 0 when pruning cannot help (lambda >= delta*N1).
+double ExpectedPruningRate(const CostInputs& in);
+
+// When in.pruning_rate > 0 (the planner sets it from the query's
+// PruningConfig via ExpectedPruningRate) the estimates discount the merge,
+// accumulation and heap work by the expected pruning rate and charge the
+// bound checks instead; in.adaptive_merge additionally caps HHNL's
+// per-pair merge cost by the galloping kernel's probe count on skewed
+// document lengths. With both at their defaults (0, false) the estimates
+// are exactly the unpruned formulas.
 CpuEstimate HhnlCpuCost(const CostInputs& in);
 CpuEstimate HvnlCpuCost(const CostInputs& in);
 CpuEstimate VvmCpuCost(const CostInputs& in);

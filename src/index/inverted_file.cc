@@ -113,9 +113,13 @@ Result<InvertedFile> InvertedFile::Build(Disk* disk,
       return Status::ResourceExhausted(
           "inverted file exceeds 4-byte address space");
     }
+    int32_t max_w = 0;
+    for (const ICell& c : cells) {
+      max_w = std::max(max_w, static_cast<int32_t>(c.weight));
+    }
     inv.entries_.push_back(EntryMeta{
         term, offset, static_cast<int64_t>(cells.size()),
-        static_cast<int64_t>(bytes.size())});
+        static_cast<int64_t>(bytes.size()), max_w});
     uint16_t df16 = cells.size() > 0xFFFF
                         ? uint16_t{0xFFFF}
                         : static_cast<uint16_t>(cells.size());

@@ -40,6 +40,11 @@ class InvertedFile {
     int64_t offset_bytes = 0;
     int64_t cell_count = 0;   // == document frequency of the term
     int64_t byte_length = 0;  // encoded length on disk
+    // Largest cell weight in the list — an upper bound on any document's
+    // weight for this term, used by the exact top-lambda pruning layer
+    // (join/pruning.h) to bound a term's score contribution without
+    // fetching the entry.
+    int32_t max_weight = 0;
   };
 
   struct BuildOptions {

@@ -22,11 +22,24 @@ struct CpuStats {
   // i-cells decoded from fetched or scanned inverted entries.
   int64_t cells_decoded = 0;
 
+  // Pruning-layer counters (join/pruning.h). `bound_checks` is work done
+  // (one upper-bound evaluation each); the other three count work AVOIDED:
+  // candidate pairs skipped before any merge step, merges cut short by the
+  // running suffix bound, and HVNL/VVM accumulator admissions refused.
+  int64_t bound_checks = 0;
+  int64_t pairs_pruned = 0;
+  int64_t early_exits = 0;
+  int64_t candidates_suppressed = 0;
+
   CpuStats& operator+=(const CpuStats& o) {
     cell_compares += o.cell_compares;
     accumulations += o.accumulations;
     heap_offers += o.heap_offers;
     cells_decoded += o.cells_decoded;
+    bound_checks += o.bound_checks;
+    pairs_pruned += o.pairs_pruned;
+    early_exits += o.early_exits;
+    candidates_suppressed += o.candidates_suppressed;
     return *this;
   }
 
@@ -38,15 +51,25 @@ struct CpuStats {
     d.accumulations = accumulations - o.accumulations;
     d.heap_offers = heap_offers - o.heap_offers;
     d.cells_decoded = cells_decoded - o.cells_decoded;
+    d.bound_checks = bound_checks - o.bound_checks;
+    d.pairs_pruned = pairs_pruned - o.pairs_pruned;
+    d.early_exits = early_exits - o.early_exits;
+    d.candidates_suppressed = candidates_suppressed - o.candidates_suppressed;
     return d;
   }
 
   // A single scalar for comparisons: every counted operation weighted
   // equally (callers can weight the fields themselves when they know
-  // their machine).
+  // their machine). Bound checks are work performed; the other pruning
+  // counters record work avoided and do not contribute.
   double Total() const {
     return static_cast<double>(cell_compares + accumulations + heap_offers +
-                               cells_decoded);
+                               cells_decoded + bound_checks);
+  }
+
+  bool any_pruning() const {
+    return bound_checks != 0 || pairs_pruned != 0 || early_exits != 0 ||
+           candidates_suppressed != 0;
   }
 
   std::string ToString() const {

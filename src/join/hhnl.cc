@@ -4,9 +4,103 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "join/pruning.h"
 #include "obs/query_stats.h"
 
 namespace textjoin {
+
+namespace {
+
+// Per-side pruning state of the HHNL pair loops. Bound profiles come from
+// the catalog when idf weighting is off (no cell scan) and from one pass
+// over the cells otherwise; suffix bounds are built only when the
+// early-exit merge needs them.
+struct PairPruner {
+  explicit PairPruner(const JoinSpec& spec, const SimilarityContext& sim)
+      : prune(spec.pruning),
+        sim(sim),
+        kernel(spec.pruning.adaptive_merge ? MergeKernel::kAdaptive
+                                           : MergeKernel::kLinear) {}
+
+  PruningConfig prune;
+  const SimilarityContext& sim;
+  MergeKernel kernel;
+
+  // Bound-tightness telemetry: mean score/bound ratio of evaluated pairs.
+  double tightness_sum = 0;
+  int64_t tightness_n = 0;
+
+  bool active() const { return prune.bound_skip || prune.early_exit; }
+
+  DocBounds Bounds(const DocumentCollection& collection, DocId doc,
+                   const Document& d, const DocumentNorms& norms) const {
+    const double n = sim.config.cosine_normalize ? norms.of(doc) : 1.0;
+    return sim.config.use_idf ? ComputeDocBounds(d, sim, n)
+                              : CatalogDocBounds(collection, doc, n);
+  }
+
+  void ReportTightness(QueryStatsCollector* stats) const {
+    if (stats == nullptr || tightness_n == 0) return;
+    stats->SetCounter(
+        "bound_tightness_pct",
+        static_cast<int64_t>(std::lround(
+            100.0 * tightness_sum / static_cast<double>(tightness_n))));
+  }
+
+  // Evaluates one candidate pair against `heap`, offering the finalized
+  // score when the pair survives the bound checks. `inner_doc` is the
+  // candidate identity (C1 side) for tie-breaking.
+  void EvaluatePair(const Document& d1, const Document& d2,
+                    const DocBounds& b1, const DocBounds& b2,
+                    const SuffixBounds& s1, const SuffixBounds& s2,
+                    DocId inner_doc, DocId outer_doc, TopKAccumulator* heap,
+                    CpuStats* cpu) {
+    double pair_ub = 0;
+    if (prune.bound_skip) {
+      if (cpu != nullptr) ++cpu->bound_checks;
+      pair_ub = PairUpperBound(b1, b2);
+      if (heap->CannotQualify(inner_doc, pair_ub * kBoundSlack)) {
+        if (cpu != nullptr) ++cpu->pairs_pruned;
+        return;
+      }
+    }
+    double acc;
+    if (prune.early_exit) {
+      PrunedDotResult r =
+          WeightedDotPruned(d1, d2, sim, s1, s2, b1.inv_norm * b2.inv_norm,
+                            inner_doc, *heap, kernel);
+      if (cpu != nullptr) {
+        cpu->cell_compares += r.detail.merge_steps;
+        cpu->accumulations += r.detail.common_terms;
+        cpu->bound_checks += r.bound_checks;
+      }
+      if (r.pruned) {
+        if (cpu != nullptr) ++cpu->early_exits;
+        return;
+      }
+      acc = r.detail.acc;
+    } else if (cpu != nullptr || prune.adaptive_merge) {
+      DotDetail d = WeightedDotKernel(d1, d2, sim, kernel);
+      if (cpu != nullptr) {
+        cpu->cell_compares += d.merge_steps;
+        cpu->accumulations += d.common_terms;
+      }
+      acc = d.acc;
+    } else {
+      acc = WeightedDot(d1, d2, sim);
+    }
+    if (acc <= 0) return;
+    if (cpu != nullptr) ++cpu->heap_offers;
+    const double score = sim.Finalize(acc, inner_doc, outer_doc);
+    if (prune.bound_skip && pair_ub > 0) {
+      tightness_sum += score / pair_ub;
+      ++tightness_n;
+    }
+    heap->Add(inner_doc, score);
+  }
+};
+
+}  // namespace
 
 int64_t HhnlJoin::BatchSize(const JoinContext& ctx, const JoinSpec& spec) {
   const double P = static_cast<double>(ctx.sys.page_size);
@@ -41,6 +135,7 @@ Result<JoinResult> HhnlJoin::RunForward(const JoinContext& ctx,
     stats->SetRootLabel("HHNL");
     stats->SetCounter("batch_size_X", X);
   }
+  PairPruner pruner(spec, *ctx.similarity);
 
   JoinResult result;
   result.reserve(participating.size());
@@ -75,33 +170,50 @@ Result<JoinResult> HhnlJoin::RunForward(const JoinContext& ctx,
     pos += batch_size;
     if (stats != nullptr) stats->AddCounter("outer_batches", 1);
 
+    // Bound profiles of the resident batch (outer side).
+    std::vector<DocBounds> batch_bounds;
+    std::vector<SuffixBounds> batch_suffix;
+    if (pruner.active()) {
+      batch_bounds.resize(batch_size);
+      for (size_t i = 0; i < batch_size; ++i) {
+        batch_bounds[i] = pruner.Bounds(*ctx.outer, batch_docs[i], batch[i],
+                                        ctx.similarity->outer_norms);
+      }
+      if (pruner.prune.early_exit) {
+        batch_suffix.resize(batch_size);
+        for (size_t i = 0; i < batch_size; ++i) {
+          batch_suffix[i].Build(batch[i], *ctx.similarity);
+        }
+      }
+    }
+
     std::vector<TopKAccumulator> heaps(batch_size,
                                        TopKAccumulator(spec.lambda));
     // Pass over the (participating) inner documents for this batch.
     PhaseScope scan_inner(stats, phase::kScanInner);
+    DocBounds b1;
+    SuffixBounds s1;
+    const SuffixBounds no_suffix;
     TEXTJOIN_RETURN_IF_ERROR(ForEachInnerDoc(
         ctx, spec, [&](DocId inner_doc, const Document& d1) {
+          if (pruner.active()) {
+            b1 = pruner.Bounds(*ctx.inner, inner_doc, d1,
+                               ctx.similarity->inner_norms);
+            if (pruner.prune.early_exit) s1.Build(d1, *ctx.similarity);
+          }
           for (size_t i = 0; i < batch_size; ++i) {
-            double acc;
-            if (cpu != nullptr) {
-              DotDetail d = WeightedDotDetailed(d1, batch[i],
-                                                *ctx.similarity);
-              cpu->cell_compares += d.merge_steps;
-              cpu->accumulations += d.common_terms;
-              acc = d.acc;
-            } else {
-              acc = WeightedDot(d1, batch[i], *ctx.similarity);
-            }
-            if (acc <= 0) continue;
-            if (cpu != nullptr) ++cpu->heap_offers;
-            heaps[i].Add(inner_doc, ctx.similarity->Finalize(
-                                        acc, inner_doc, batch_docs[i]));
+            pruner.EvaluatePair(
+                d1, batch[i], b1,
+                batch_bounds.empty() ? b1 : batch_bounds[i], s1,
+                batch_suffix.empty() ? no_suffix : batch_suffix[i],
+                inner_doc, batch_docs[i], &heaps[i], cpu);
           }
         }));
     for (size_t i = 0; i < batch_size; ++i) {
       result.push_back(OuterMatches{batch_docs[i], heaps[i].TakeSorted()});
     }
   }
+  pruner.ReportTightness(stats);
   return result;
 }
 
@@ -131,6 +243,7 @@ Result<JoinResult> HhnlJoin::RunBackward(const JoinContext& ctx,
     stats->SetRootLabel("HHNL backward");
     stats->SetCounter("batch_size_X", X);
   }
+  PairPruner pruner(spec, *ctx.similarity);
 
   // One heap per participating outer document, alive for the whole run.
   std::vector<TopKAccumulator> heaps(participating.size(),
@@ -156,9 +269,30 @@ Result<JoinResult> HhnlJoin::RunBackward(const JoinContext& ctx,
     }
     if (batch.empty()) continue;
     if (stats != nullptr) stats->AddCounter("inner_batches", 1);
+
+    // Bound profiles of the resident batch (inner side).
+    std::vector<DocBounds> batch_bounds;
+    std::vector<SuffixBounds> batch_suffix;
+    if (pruner.active()) {
+      batch_bounds.resize(batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        batch_bounds[i] = pruner.Bounds(*ctx.inner, batch_docs[i], batch[i],
+                                        ctx.similarity->inner_norms);
+      }
+      if (pruner.prune.early_exit) {
+        batch_suffix.resize(batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+          batch_suffix[i].Build(batch[i], *ctx.similarity);
+        }
+      }
+    }
+
     // Pass over the outer documents.
     PhaseScope rescan(stats, phase::kRescanOuter);
     auto outer_scan = ctx.outer->Scan();
+    DocBounds b2;
+    SuffixBounds s2;
+    const SuffixBounds no_suffix;
     for (size_t oi = 0; oi < participating.size(); ++oi) {
       DocId outer_doc = participating[oi];
       Document d2;
@@ -168,20 +302,16 @@ Result<JoinResult> HhnlJoin::RunBackward(const JoinContext& ctx,
         TEXTJOIN_CHECK_EQ(outer_scan.next_doc(), outer_doc);
         TEXTJOIN_ASSIGN_OR_RETURN(d2, outer_scan.Next());
       }
+      if (pruner.active()) {
+        b2 = pruner.Bounds(*ctx.outer, outer_doc, d2,
+                           ctx.similarity->outer_norms);
+        if (pruner.prune.early_exit) s2.Build(d2, *ctx.similarity);
+      }
       for (size_t i = 0; i < batch.size(); ++i) {
-        double acc;
-        if (cpu != nullptr) {
-          DotDetail d = WeightedDotDetailed(batch[i], d2, *ctx.similarity);
-          cpu->cell_compares += d.merge_steps;
-          cpu->accumulations += d.common_terms;
-          acc = d.acc;
-        } else {
-          acc = WeightedDot(batch[i], d2, *ctx.similarity);
-        }
-        if (acc <= 0) continue;
-        if (cpu != nullptr) ++cpu->heap_offers;
-        heaps[oi].Add(batch_docs[i], ctx.similarity->Finalize(
-                                         acc, batch_docs[i], outer_doc));
+        pruner.EvaluatePair(
+            batch[i], d2, batch_bounds.empty() ? b2 : batch_bounds[i], b2,
+            batch_suffix.empty() ? no_suffix : batch_suffix[i], s2,
+            batch_docs[i], outer_doc, &heaps[oi], cpu);
       }
     }
   }
@@ -191,6 +321,7 @@ Result<JoinResult> HhnlJoin::RunBackward(const JoinContext& ctx,
   for (size_t oi = 0; oi < participating.size(); ++oi) {
     result.push_back(OuterMatches{participating[oi], heaps[oi].TakeSorted()});
   }
+  pruner.ReportTightness(stats);
   return result;
 }
 

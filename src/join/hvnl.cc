@@ -177,6 +177,20 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
   const std::vector<char> inner_member = InnerMembership(ctx, spec);
   const bool random_outer = !spec.outer_subset.empty();
 
+  // Top-lambda admission suppression (join/pruning.h): a document first
+  // seen at cell i of the outer document can accumulate at most the suffix
+  // of per-term bounds max_weight(t) * w2(t) * idf(t)^2 from the catalog;
+  // if that, finalized against the smallest eligible inner norm, falls
+  // strictly below the lambda-th best finalized partial score theta, the
+  // accumulator entry is never created. Existing entries always accumulate,
+  // so surviving scores are bit-identical; I/O is untouched.
+  const bool suppress = spec.pruning.bound_skip;
+  const double min_inner_norm =
+      MinEligibleNorm(ctx.similarity->inner_norms, ctx.inner->num_documents(),
+                      inner_member, ctx.similarity->config.cosine_normalize);
+  std::vector<double> cell_suffix_ub;  // per outer doc, cells + 1 entries
+  std::vector<double> theta_scratch;
+
   // Greedy ordering (Section 4.2's alternative): learn each outer
   // document's C1-relevant terms in one metered pass, then process the
   // documents in most-cache-overlap-first order with positioned reads.
@@ -189,6 +203,7 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
       for (size_t i = 0; i < participating.size(); ++i) {
         TEXTJOIN_ASSIGN_OR_RETURN(
             Document d, ctx.outer->ReadDocument(participating[i]));
+        doc_terms[i].reserve(d.cells().size());
         for (const DCell& c : d.cells()) {
           if (directory.Lookup(c.term).has_value()) {
             doc_terms[i].push_back(c.term);
@@ -200,6 +215,7 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
       size_t i = 0;
       while (!scan.Done()) {
         TEXTJOIN_ASSIGN_OR_RETURN(Document d, scan.Next());
+        doc_terms[i].reserve(d.cells().size());
         for (const DCell& c : d.cells()) {
           if (directory.Lookup(c.term).has_value()) {
             doc_terms[i].push_back(c.term);
@@ -214,6 +230,11 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
   result.reserve(participating.size());
   auto outer_scan = ctx.outer->Scan();
   std::unordered_map<DocId, double> acc;
+  acc.reserve(static_cast<size_t>(
+                  spec.delta *
+                  static_cast<double>(ctx.inner->num_documents())) +
+              16);
+  TopKAccumulator heap(spec.lambda);  // reused across outer documents
   std::vector<char> processed(participating.size(), 0);
 
   for (size_t step = 0; step < participating.size(); ++step) {
@@ -251,23 +272,118 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
     const DocId outer_doc = participating[pick];
 
     acc.clear();
+
+    // Finalize scale bounding any still-unseen candidate of this outer
+    // document: 1 without cosine normalization, else the reciprocal of the
+    // smallest possible denominator. 0 admits nobody once theta > 0 —
+    // every final score would be 0 anyway.
+    double cand_scale = 1.0;
+    if (suppress) {
+      const double n2 = ctx.similarity->outer_norms.of(outer_doc);
+      cand_scale = (min_inner_norm > 0 && n2 > 0)
+                       ? 1.0 / (min_inner_norm * n2)
+                       : 0.0;
+      const auto& cs = d2.cells();
+      cell_suffix_ub.assign(cs.size() + 1, 0.0);
+      for (size_t i = cs.size(); i-- > 0;) {
+        double ub = 0;
+        const int64_t e = ctx.inner_index->FindEntry(cs[i].term);
+        if (e >= 0) {
+          ub = static_cast<double>(ctx.inner_index->entries()[e].max_weight) *
+               static_cast<double>(cs[i].weight) *
+               ctx.similarity->TermFactor(cs[i].term);
+        }
+        cell_suffix_ub[i] = cell_suffix_ub[i + 1] + ub;
+      }
+      if (cpu != nullptr) {
+        cpu->bound_checks += static_cast<int64_t>(cs.size());
+      }
+    }
+
+    // theta: the lambda-th largest finalized partial accumulator value —
+    // a valid lower bound on the final lambda-th best score (partials only
+    // grow, Finalize is monotone), so suppression decisions stay valid even
+    // between the amortized rebuilds. -1 = not established yet.
+    double theta = -1;
+    int64_t admissions_since_rebuild = 0;
+    auto maybe_rebuild_theta = [&]() {
+      if (static_cast<int64_t>(acc.size()) < spec.lambda || spec.lambda <= 0) {
+        return;
+      }
+      if (theta >= 0 &&
+          admissions_since_rebuild <
+              std::max<int64_t>(64, static_cast<int64_t>(acc.size()))) {
+        return;
+      }
+      theta_scratch.clear();
+      theta_scratch.reserve(acc.size());
+      for (const auto& [inner_doc, a] : acc) {
+        theta_scratch.push_back(
+            ctx.similarity->Finalize(a, inner_doc, outer_doc));
+      }
+      auto nth = theta_scratch.begin() + (spec.lambda - 1);
+      std::nth_element(theta_scratch.begin(), nth, theta_scratch.end(),
+                       [](double a, double b) { return a > b; });
+      theta = *nth;
+      admissions_since_rebuild = 0;
+      ++run_stats_.theta_rebuilds;
+    };
+
     PhaseScope probe(stats, phase::kProbeEntries);
+    size_t cell_index = 0;
     for (const DCell& c : d2.cells()) {
+      const size_t ci = cell_index++;
       ++directory_probes;
       if (!directory.Lookup(c.term).has_value()) continue;  // not in C1
       // Accumulate (w1 * w2) * factor in exactly the same evaluation order
       // as WeightedDot, so all algorithms produce bit-identical scores.
       const double factor = ctx.similarity->TermFactor(c.term);
       const double w2 = static_cast<double>(c.weight);
+
+      // Can a document first seen at this cell still qualify? (One bound
+      // check per cell; the same answer holds for every cell of the entry.)
+      bool admit_new = true;
+      if (suppress) {
+        maybe_rebuild_theta();
+        if (spec.lambda <= 0) {
+          admit_new = false;
+        } else if (theta >= 0) {
+          if (cpu != nullptr) ++cpu->bound_checks;
+          admit_new =
+              cell_suffix_ub[ci] * cand_scale * kBoundSlack >= theta;
+        }
+      }
+
       const std::vector<ICell>* cells = cache.Get(c.term);
       auto accumulate = [&](const std::vector<ICell>& ics) {
-        if (cpu != nullptr) {
-          cpu->accumulations += static_cast<int64_t>(ics.size());
+        if (!suppress) {
+          if (cpu != nullptr) {
+            cpu->accumulations += static_cast<int64_t>(ics.size());
+          }
+          for (const ICell& ic : ics) {
+            if (!inner_member.empty() && !inner_member[ic.doc]) continue;
+            acc[ic.doc] += static_cast<double>(ic.weight) * w2 * factor;
+          }
+          return;
         }
+        int64_t performed = 0;
         for (const ICell& ic : ics) {
           if (!inner_member.empty() && !inner_member[ic.doc]) continue;
-          acc[ic.doc] += static_cast<double>(ic.weight) * w2 * factor;
+          auto it = acc.find(ic.doc);
+          if (it != acc.end()) {
+            it->second += static_cast<double>(ic.weight) * w2 * factor;
+            ++performed;
+          } else if (admit_new) {
+            acc.emplace(ic.doc,
+                        static_cast<double>(ic.weight) * w2 * factor);
+            ++performed;
+            ++admissions_since_rebuild;
+          } else {
+            ++run_stats_.suppressed_candidates;
+            if (cpu != nullptr) ++cpu->candidates_suppressed;
+          }
         }
+        if (cpu != nullptr) cpu->accumulations += performed;
       };
       if (cells != nullptr) {
         ++run_stats_.cache_hits;
@@ -285,7 +401,6 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
       }
     }
 
-    TopKAccumulator heap(spec.lambda);
     if (cpu != nullptr) {
       cpu->heap_offers += static_cast<int64_t>(acc.size());
     }
@@ -306,6 +421,11 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
     stats->SetCounter("entry_fetches", run_stats_.entry_fetches);
     stats->SetCounter("cache_hits", run_stats_.cache_hits);
     stats->SetCounter("evictions", run_stats_.evictions);
+    if (suppress) {
+      stats->SetCounter("suppressed_candidates",
+                        run_stats_.suppressed_candidates);
+      stats->SetCounter("theta_rebuilds", run_stats_.theta_rebuilds);
+    }
   }
   return result;
 }

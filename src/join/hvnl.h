@@ -62,6 +62,11 @@ class HvnlJoin : public TextJoinAlgorithm {
     int64_t entry_fetches = 0;  // entries read from disk (incl. re-reads)
     int64_t cache_hits = 0;
     int64_t evictions = 0;
+    // Accumulator admissions suppressed by the top-lambda bound (candidates
+    // proven unable to qualify before their first accumulation), and how
+    // often the threshold theta was recomputed (join/pruning.h).
+    int64_t suppressed_candidates = 0;
+    int64_t theta_rebuilds = 0;
   };
   const RunStats& run_stats() const { return run_stats_; }
 

@@ -1,0 +1,151 @@
+#include "join/pruning.h"
+
+#include <cmath>
+
+namespace textjoin {
+
+DocBounds ComputeDocBounds(const Document& doc, const SimilarityContext& ctx,
+                           double finalize_norm) {
+  DocBounds b;
+  double norm_sq = 0;
+  for (const DCell& c : doc.cells()) {
+    const double wt = static_cast<double>(c.weight) *
+                      std::sqrt(ctx.TermFactor(c.term));
+    b.max_w = std::max(b.max_w, wt);
+    b.sum_w += wt;
+    norm_sq += wt * wt;
+  }
+  b.norm_w = std::sqrt(norm_sq);
+  b.inv_norm = finalize_norm > 0 ? 1.0 / finalize_norm : 0.0;
+  return b;
+}
+
+DocBounds CatalogDocBounds(const DocumentCollection& collection, DocId doc,
+                           double finalize_norm) {
+  DocBounds b;
+  b.max_w = static_cast<double>(collection.max_weight(doc));
+  b.sum_w = static_cast<double>(collection.weight_sum(doc));
+  b.norm_w = collection.raw_norm(doc);
+  b.inv_norm = finalize_norm > 0 ? 1.0 / finalize_norm : 0.0;
+  return b;
+}
+
+void SuffixBounds::Build(const Document& doc, const SimilarityContext& ctx) {
+  const auto& cells = doc.cells();
+  const size_t n = cells.size();
+  sum_.assign(n + 1, 0.0);
+  max_.assign(n + 1, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    const double wt = static_cast<double>(cells[i].weight) *
+                      std::sqrt(ctx.TermFactor(cells[i].term));
+    sum_[i] = sum_[i + 1] + wt;
+    max_[i] = std::max(max_[i + 1], wt);
+  }
+}
+
+namespace {
+
+// Remaining contribution of a merge standing at positions (i, j): the
+// tighter of the two cross Hoelder products over the unread suffixes.
+inline double RemainingBound(const SuffixBounds& b1, size_t i,
+                             const SuffixBounds& b2, size_t j) {
+  return std::min(b1.suffix_sum(i) * b2.suffix_max(j),
+                  b1.suffix_max(i) * b2.suffix_sum(j));
+}
+
+}  // namespace
+
+PrunedDotResult WeightedDotPruned(const Document& d1, const Document& d2,
+                                  const SimilarityContext& ctx,
+                                  const SuffixBounds& b1,
+                                  const SuffixBounds& b2, double inv_denom,
+                                  DocId doc, const TopKAccumulator& heap,
+                                  MergeKernel kernel) {
+  const auto& a = d1.cells();
+  const auto& b = d2.cells();
+  PrunedDotResult out;
+  DotDetail& det = out.detail;
+  int64_t next_check = kEarlyExitStride;
+
+  if (kernel == MergeKernel::kAdaptive) {
+    const size_t shorter = std::min(a.size(), b.size());
+    const size_t longer = std::max(a.size(), b.size());
+    kernel = (shorter > 0 &&
+              longer >= shorter * static_cast<size_t>(kGallopSizeRatio))
+                 ? MergeKernel::kGalloping
+                 : MergeKernel::kLinear;
+  }
+
+  if (kernel == MergeKernel::kGalloping) {
+    const bool d1_short = a.size() <= b.size();
+    const auto& s = d1_short ? a : b;
+    const auto& l = d1_short ? b : a;
+    const SuffixBounds& bs = d1_short ? b1 : b2;
+    const SuffixBounds& bl = d1_short ? b2 : b1;
+    size_t j = 0;
+    for (size_t i = 0; i < s.size() && j < l.size(); ++i) {
+      if (det.merge_steps >= next_check) {
+        next_check = det.merge_steps + kEarlyExitStride;
+        ++out.bound_checks;
+        const double ub =
+            (det.acc + RemainingBound(bs, i, bl, j)) * inv_denom * kBoundSlack;
+        if (heap.CannotQualify(doc, ub)) {
+          out.pruned = true;
+          return out;
+        }
+      }
+      ++det.merge_steps;
+      j = GallopLowerBound(l, j, s[i].term, &det.merge_steps);
+      if (j >= l.size()) break;
+      if (l[j].term == s[i].term) {
+        det.acc += static_cast<double>(s[i].weight) *
+                   static_cast<double>(l[j].weight) *
+                   ctx.TermFactor(s[i].term);
+        ++det.common_terms;
+        ++j;
+      }
+    }
+    return out;
+  }
+
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (det.merge_steps >= next_check) {
+      next_check = det.merge_steps + kEarlyExitStride;
+      ++out.bound_checks;
+      const double ub =
+          (det.acc + RemainingBound(b1, i, b2, j)) * inv_denom * kBoundSlack;
+      if (heap.CannotQualify(doc, ub)) {
+        out.pruned = true;
+        return out;
+      }
+    }
+    ++det.merge_steps;
+    if (a[i].term < b[j].term) {
+      ++i;
+    } else if (a[i].term > b[j].term) {
+      ++j;
+    } else {
+      det.acc += static_cast<double>(a[i].weight) *
+                 static_cast<double>(b[j].weight) * ctx.TermFactor(a[i].term);
+      ++det.common_terms;
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+double MinEligibleNorm(const DocumentNorms& norms, int64_t num_documents,
+                       const std::vector<char>& member, bool cosine) {
+  if (!cosine) return 1.0;
+  double best = 0.0;
+  for (int64_t d = 0; d < num_documents; ++d) {
+    if (!member.empty() && !member[static_cast<size_t>(d)]) continue;
+    const double n = norms.of(static_cast<DocId>(d));
+    if (n > 0 && (best == 0.0 || n < best)) best = n;
+  }
+  return best;
+}
+
+}  // namespace textjoin

@@ -1,5 +1,6 @@
 #include "join/similarity.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace textjoin {
@@ -105,6 +106,78 @@ DotDetail WeightedDotDetailed(const Document& d1, const Document& d2,
     }
   }
   return out;
+}
+
+size_t GallopLowerBound(const std::vector<DCell>& cells, size_t lo, TermId t,
+                        int64_t* steps) {
+  const size_t n = cells.size();
+  if (lo >= n || cells[lo].term >= t) return lo;
+  size_t span = 1;
+  while (lo + span < n && cells[lo + span].term < t) {
+    ++*steps;
+    span *= 2;
+  }
+  size_t left = lo + span / 2 + 1;  // cells[lo + span/2].term < t
+  size_t right = std::min(lo + span, n - 1);
+  // Invariant: answer in [left, right+1).
+  while (left <= right) {
+    ++*steps;
+    size_t mid = left + (right - left) / 2;
+    if (cells[mid].term < t) {
+      left = mid + 1;
+    } else {
+      right = mid - 1;
+    }
+  }
+  return left;
+}
+
+namespace {
+
+// Galloping intersection: walks the shorter document and searches each of
+// its terms in the longer one. The common terms come out in the same
+// ascending order as the linear walk and each contribution is the same
+// (w1 * w2) * factor product (double multiplication commutes exactly), so
+// the accumulated sum is bit-identical to the linear kernel's.
+DotDetail GallopingDot(const Document& d1, const Document& d2,
+                       const SimilarityContext& ctx) {
+  const bool d1_short = d1.cells().size() <= d2.cells().size();
+  const auto& s = d1_short ? d1.cells() : d2.cells();
+  const auto& l = d1_short ? d2.cells() : d1.cells();
+  DotDetail out;
+  size_t j = 0;
+  for (size_t i = 0; i < s.size() && j < l.size(); ++i) {
+    ++out.merge_steps;
+    j = GallopLowerBound(l, j, s[i].term, &out.merge_steps);
+    if (j >= l.size()) break;
+    if (l[j].term == s[i].term) {
+      out.acc += static_cast<double>(s[i].weight) *
+                 static_cast<double>(l[j].weight) *
+                 ctx.TermFactor(s[i].term);
+      ++out.common_terms;
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DotDetail WeightedDotKernel(const Document& d1, const Document& d2,
+                            const SimilarityContext& ctx,
+                            MergeKernel kernel) {
+  if (kernel == MergeKernel::kAdaptive) {
+    const size_t n1 = d1.cells().size();
+    const size_t n2 = d2.cells().size();
+    const size_t shorter = std::min(n1, n2);
+    const size_t longer = std::max(n1, n2);
+    kernel = (shorter > 0 &&
+              longer >= shorter * static_cast<size_t>(kGallopSizeRatio))
+                 ? MergeKernel::kGalloping
+                 : MergeKernel::kLinear;
+  }
+  return kernel == MergeKernel::kGalloping ? GallopingDot(d1, d2, ctx)
+                                           : WeightedDotDetailed(d1, d2, ctx);
 }
 
 }  // namespace textjoin

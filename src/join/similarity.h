@@ -112,6 +112,36 @@ struct DotDetail {
 DotDetail WeightedDotDetailed(const Document& d1, const Document& d2,
                               const SimilarityContext& ctx);
 
+// Which intersection kernel WeightedDotKernel runs.
+//
+// All kernels visit the common terms in the same ascending order and
+// evaluate each contribution with the same expression, so their
+// accumulated sums are bit-identical — they differ only in how many merge
+// steps they spend finding the common terms (metered in
+// DotDetail::merge_steps: one per cell visited or search probe made).
+enum class MergeKernel {
+  kLinear,     // the paper's two-pointer walk, O(|d1| + |d2|)
+  kGalloping,  // exponential + binary search from the shorter document,
+               // O(short * log(long)) — wins when lengths are skewed
+  kAdaptive,   // kGalloping when the length ratio reaches
+               // kGallopSizeRatio, else kLinear
+};
+
+// Length ratio at which the adaptive kernel switches to galloping: at 16x
+// the expected probe count short*(2*log2(ratio)+2) drops below the linear
+// walk's short+long steps.
+inline constexpr int64_t kGallopSizeRatio = 16;
+
+DotDetail WeightedDotKernel(const Document& d1, const Document& d2,
+                            const SimilarityContext& ctx, MergeKernel kernel);
+
+// Building block of the galloping kernel, shared with the threshold-aware
+// merge in join/pruning.h: first index >= lo whose term is >= t, found by
+// exponential probing then binary search. Every probe is metered as one
+// merge step into *steps.
+size_t GallopLowerBound(const std::vector<DCell>& cells, size_t lo, TermId t,
+                        int64_t* steps);
+
 }  // namespace textjoin
 
 #endif  // TEXTJOIN_JOIN_SIMILARITY_H_

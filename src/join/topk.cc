@@ -35,6 +35,7 @@ void TopKAccumulator::Add(DocId doc, double score) {
 std::vector<Match> TopKAccumulator::TakeSorted() {
   std::vector<Match> out = std::move(heap_);
   heap_.clear();
+  heap_.reserve(static_cast<size_t>(k_));
   std::sort(out.begin(), out.end(), BetterMatch);
   return out;
 }

@@ -69,13 +69,104 @@ Result<JoinResult> VvmJoin::Run(const JoinContext& ctx,
     stats->SetCounter("passes", passes);
   }
 
+  // Top-lambda admission suppression (join/pruning.h). The merge visits
+  // shared terms in ascending order, so a pair first seen at shared term t
+  // can accumulate at most its contribution at t plus the suffix of
+  // per-term catalog bounds max_w1(t') * max_w2(t') * idf(t')^2 over the
+  // shared terms after t. If that, finalized with the pair's exact norms
+  // (both documents are known), falls strictly below the outer document's
+  // lambda-th best finalized partial, the accumulator entry is never
+  // created. Existing entries always accumulate; I/O is untouched.
+  const bool suppress = spec.pruning.bound_skip;
+  const bool cosine = ctx.similarity->config.cosine_normalize;
+  std::vector<TermId> shared_terms;
+  std::vector<double> shared_suffix;  // size shared_terms + 1, trailing 0
+  std::vector<double> inv_n1, inv_n2;
+  std::vector<double> theta;  // per outer document; -1 = not established
+  int64_t suppressed_candidates = 0;
+  int64_t theta_rebuilds = 0;
+  if (suppress) {
+    const auto& E1 = ctx.inner_index->entries();
+    const auto& E2 = ctx.outer_index->entries();
+    std::vector<double> term_bound;
+    size_t i = 0, j = 0;
+    while (i < E1.size() && j < E2.size()) {
+      if (E1[i].term < E2[j].term) {
+        ++i;
+      } else if (E2[j].term < E1[i].term) {
+        ++j;
+      } else {
+        shared_terms.push_back(E1[i].term);
+        term_bound.push_back(static_cast<double>(E1[i].max_weight) *
+                             static_cast<double>(E2[j].max_weight) *
+                             ctx.similarity->TermFactor(E1[i].term));
+        ++i;
+        ++j;
+      }
+    }
+    shared_suffix.assign(term_bound.size() + 1, 0.0);
+    for (size_t k = term_bound.size(); k-- > 0;) {
+      shared_suffix[k] = shared_suffix[k + 1] + term_bound[k];
+    }
+    if (cpu != nullptr) {
+      cpu->bound_checks += static_cast<int64_t>(shared_terms.size());
+    }
+    if (cosine) {
+      inv_n1.resize(static_cast<size_t>(ctx.inner->num_documents()));
+      for (size_t d = 0; d < inv_n1.size(); ++d) {
+        const double n = ctx.similarity->inner_norms.of(static_cast<DocId>(d));
+        inv_n1[d] = n > 0 ? 1.0 / n : 0.0;
+      }
+      inv_n2.resize(static_cast<size_t>(ctx.outer->num_documents()));
+      for (size_t d = 0; d < inv_n2.size(); ++d) {
+        const double n = ctx.similarity->outer_norms.of(static_cast<DocId>(d));
+        inv_n2[d] = n > 0 ? 1.0 / n : 0.0;
+      }
+    }
+    theta.resize(static_cast<size_t>(ctx.outer->num_documents()));
+  }
+
   JoinResult result;
   result.reserve(participating.size());
   std::unordered_map<uint64_t, double> acc;
+  std::unordered_map<DocId, std::vector<double>> theta_groups;  // scratch
 
   for (int64_t pass = 0; pass < passes; ++pass) {
     TEXTJOIN_RETURN_IF_ERROR(GovernorCheckpoint(ctx, "VVM merge pass"));
     acc.clear();
+    if (suppress) theta.assign(theta.size(), -1.0);
+    int64_t admissions_since_rebuild = 0;
+    size_t sp = 0;  // monotone cursor into shared_terms
+
+    // Recompute every participating outer document's threshold from the
+    // finalized partial accumulator values. Partials only grow and entries
+    // are never removed, so a stale theta is merely smaller — still a valid
+    // lower bound on the final lambda-th best score. Rebuild cost is
+    // O(acc), amortized by requiring as many new admissions in between.
+    auto maybe_rebuild_theta = [&]() {
+      if (!suppress || spec.lambda <= 0) return;
+      if (admissions_since_rebuild <
+          std::max<int64_t>(4096, static_cast<int64_t>(acc.size()))) {
+        return;
+      }
+      theta_groups.clear();
+      for (const auto& [key, a] : acc) {
+        const DocId outer_doc = static_cast<DocId>(key >> 32);
+        const DocId inner_doc = static_cast<DocId>(key & 0xFFFFFFFFu);
+        theta_groups[outer_doc].push_back(
+            ctx.similarity->Finalize(a, inner_doc, outer_doc));
+      }
+      for (auto& [outer_doc, values] : theta_groups) {
+        if (static_cast<int64_t>(values.size()) < spec.lambda) continue;
+        auto nth = values.begin() + (spec.lambda - 1);
+        std::nth_element(values.begin(), nth, values.end(),
+                         [](double a, double b) { return a > b; });
+        theta[outer_doc] = *nth;
+      }
+      admissions_since_rebuild = 0;
+      ++theta_rebuilds;
+    };
+
     PhaseScope merge(stats, phase::kMergeScan);
     // Parallel scan of both inverted files, merging on term number.
     auto scan1 = ctx.inner_index->Scan();
@@ -97,18 +188,63 @@ Result<JoinResult> VvmJoin::Run(const JoinContext& ctx,
               static_cast<int64_t>(e1.size() + e2.size());
         }
         const double factor = ctx.similarity->TermFactor(t1);
+        if (!suppress) {
+          for (const ICell& oc : e2) {
+            if (pass_of[oc.doc] != pass) continue;
+            const double w2 = static_cast<double>(oc.weight);
+            const uint64_t base = static_cast<uint64_t>(oc.doc) << 32;
+            if (cpu != nullptr) {
+              cpu->accumulations += static_cast<int64_t>(e1.size());
+            }
+            for (const ICell& icell : e1) {
+              if (!inner_member.empty() && !inner_member[icell.doc]) continue;
+              acc[base | icell.doc] +=
+                  static_cast<double>(icell.weight) * w2 * factor;
+            }
+          }
+          continue;
+        }
+        // Bound on everything a pair can still gain after this term.
+        while (sp < shared_terms.size() && shared_terms[sp] < t1) ++sp;
+        const double rem_after = shared_suffix[sp + 1];
+        maybe_rebuild_theta();
         for (const ICell& oc : e2) {
           if (pass_of[oc.doc] != pass) continue;
           const double w2 = static_cast<double>(oc.weight);
           const uint64_t base = static_cast<uint64_t>(oc.doc) << 32;
-          if (cpu != nullptr) {
-            cpu->accumulations += static_cast<int64_t>(e1.size());
-          }
+          const double th = theta[oc.doc];
+          const double inv2 = cosine ? inv_n2[oc.doc] : 1.0;
+          int64_t performed = 0;
           for (const ICell& icell : e1) {
             if (!inner_member.empty() && !inner_member[icell.doc]) continue;
-            acc[base | icell.doc] +=
+            const double contrib =
                 static_cast<double>(icell.weight) * w2 * factor;
+            auto it = acc.find(base | icell.doc);
+            if (it != acc.end()) {
+              it->second += contrib;
+              ++performed;
+              continue;
+            }
+            if (spec.lambda == 0) {
+              ++suppressed_candidates;
+              if (cpu != nullptr) ++cpu->candidates_suppressed;
+              continue;
+            }
+            if (th >= 0) {
+              if (cpu != nullptr) ++cpu->bound_checks;
+              const double inv_denom =
+                  cosine ? inv_n1[icell.doc] * inv2 : 1.0;
+              if ((contrib + rem_after) * inv_denom * kBoundSlack < th) {
+                ++suppressed_candidates;
+                if (cpu != nullptr) ++cpu->candidates_suppressed;
+                continue;
+              }
+            }
+            acc.emplace(base | icell.doc, contrib);
+            ++performed;
+            ++admissions_since_rebuild;
           }
+          if (cpu != nullptr) cpu->accumulations += performed;
         }
       }
     }
@@ -146,6 +282,10 @@ Result<JoinResult> VvmJoin::Run(const JoinContext& ctx,
       result.push_back(OuterMatches{participating[i],
                                     heaps.at(participating[i]).TakeSorted()});
     }
+  }
+  if (stats != nullptr && suppress) {
+    stats->SetCounter("suppressed_candidates", suppressed_candidates);
+    stats->SetCounter("theta_rebuilds", theta_rebuilds);
   }
   return result;
 }

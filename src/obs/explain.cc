@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "cost/cpu_model.h"
+
 namespace textjoin {
 
 namespace {
@@ -230,6 +232,39 @@ std::string RenderExplainAnalyze(const ExplainPlan& plan,
   }
 
   out += "\ncpu: " + stats.root.cpu.ToString() + "\n";
+  if (stats.root.cpu.any_pruning()) {
+    const CpuStats& c = stats.root.cpu;
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "pruning: bound_checks=%lld pairs_pruned=%lld "
+                  "early_exits=%lld suppressed=%lld\n",
+                  static_cast<long long>(c.bound_checks),
+                  static_cast<long long>(c.pairs_pruned),
+                  static_cast<long long>(c.early_exits),
+                  static_cast<long long>(c.candidates_suppressed));
+    out += buf;
+  }
+  if (plan.inputs.pruning_rate > 0) {
+    CpuEstimate est;
+    switch (plan.algorithm) {
+      case Algorithm::kHhnl:
+        est = HhnlCpuCost(plan.inputs);
+        break;
+      case Algorithm::kHvnl:
+        est = HvnlCpuCost(plan.inputs);
+        break;
+      case Algorithm::kVvm:
+        est = VvmCpuCost(plan.inputs);
+        break;
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "predicted cpu: total=%.0f  (pruning rate %.0f%%, "
+                  "pairs_pruned~%.0f)\n",
+                  est.Total(), plan.inputs.pruning_rate * 100.0,
+                  est.pairs_pruned);
+    out += buf;
+  }
   if (stats.has_buffer_pool()) {
     char buf[96];
     std::snprintf(buf, sizeof(buf),

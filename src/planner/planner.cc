@@ -3,6 +3,7 @@
 #include <limits>
 #include <sstream>
 
+#include "cost/cpu_model.h"
 #include "cost/statistics.h"
 #include "join/hhnl.h"
 #include "join/hvnl.h"
@@ -40,6 +41,12 @@ Result<PlanChoice> JoinPlanner::Plan(const JoinContext& ctx,
   if (!spec.outer_subset.empty()) {
     in.participating_outer = static_cast<int64_t>(spec.outer_subset.size());
     in.outer_reads_random = true;
+  }
+  // CPU-model pruning knobs: the predicted CPU cost discounts the work the
+  // executor's top-lambda bounds are expected to skip.
+  in.adaptive_merge = spec.pruning.adaptive_merge;
+  if (spec.pruning.bound_skip || spec.pruning.early_exit) {
+    in.pruning_rate = ExpectedPruningRate(in);
   }
 
   PlanChoice choice;

@@ -84,6 +84,14 @@ class DocumentCollection {
   // norms of the documents [and] storing them"). Unmetered catalog access.
   double raw_norm(DocId doc) const;
 
+  // Precomputed per-document weight aggregates over the raw occurrence
+  // vector: the largest single term weight and the sum of all term
+  // weights. Catalog metadata for the exact top-lambda pruning layer
+  // (join/pruning.h) — together with raw_norm they bound any raw dot
+  // product involving the document without touching its cells.
+  int64_t max_weight(DocId doc) const;
+  int64_t weight_sum(DocId doc) const;
+
   // Reads one document by number. Random access: the first page touched is
   // a positioned (random) read, pages after it sequential.
   Result<Document> ReadDocument(DocId doc) const;
@@ -113,6 +121,7 @@ class DocumentCollection {
   static DocumentCollection FromParts(
       Disk* disk, FileId file, std::string name,
       std::vector<DirectoryEntry> directory, std::vector<double> norms,
+      std::vector<int32_t> max_weights, std::vector<int64_t> weight_sums,
       std::unordered_map<TermId, int64_t> doc_freq, int64_t total_cells);
 
  private:
@@ -125,6 +134,8 @@ class DocumentCollection {
   std::string name_;
   std::vector<DirectoryEntry> directory_;
   std::vector<double> norms_;
+  std::vector<int32_t> max_weights_;
+  std::vector<int64_t> weight_sums_;
   std::unordered_map<TermId, int64_t> doc_freq_;
   int64_t total_cells_ = 0;
   mutable std::vector<TermId> distinct_terms_;  // lazy cache
@@ -150,6 +161,8 @@ class CollectionBuilder {
   PageStreamWriter writer_;
   std::vector<DocumentCollection::DirectoryEntry> directory_;
   std::vector<double> norms_;
+  std::vector<int32_t> max_weights_;
+  std::vector<int64_t> weight_sums_;
   std::unordered_map<TermId, int64_t> doc_freq_;
   int64_t total_cells_ = 0;
   bool finished_ = false;

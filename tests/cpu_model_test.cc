@@ -52,6 +52,9 @@ TEST(CpuCountingTest, AccumulationsIdenticalAcrossAlgorithms) {
                        RandomCollection(&disk, "c2", 35, 5, 60, 72));
   JoinSpec spec;
   spec.lambda = 4;
+  // The invariant holds for the exhaustive accumulation; pruning skips
+  // provably-losing work per algorithm, which is tested in pruning_test.
+  spec.pruning = PruningConfig::Disabled();
 
   int64_t expected = 0;  // sum over shared terms of df1 * df2
   for (const auto& [term, df2] : f->outer.doc_freq_map()) {
@@ -85,6 +88,7 @@ TEST(CpuCountingTest, HhnlComparesBoundedByCellSums) {
                        RandomCollection(&disk, "c2", 20, 5, 50, 74));
   JoinSpec spec;
   spec.lambda = 3;
+  spec.pruning = PruningConfig::Disabled();  // the bound needs full merges
   QueryStatsCollector collector(&disk);
   JoinContext ctx = f->Context(100);
   ctx.stats = &collector;
@@ -134,6 +138,7 @@ TEST(CpuModelTest, EstimatesTrackMeasurements) {
                        RandomCollection(&disk, "c2", 60, 6, 120, 80));
   JoinSpec spec;
   spec.lambda = 5;
+  spec.pruning = PruningConfig::Disabled();  // unpruned estimates below
   CostInputs in = InputsFor(*f, 100, spec);
 
   auto check = [](double measured, double estimated, double band,
@@ -192,6 +197,56 @@ TEST(CpuModelTest, CombinedCostAddsWeightedCpu) {
   io.feasible = false;
   io.seq = std::numeric_limits<double>::infinity();
   EXPECT_TRUE(std::isinf(CombinedCost(io, cpu, 100.0)));
+}
+
+TEST(CpuModelTest, ExpectedPruningRateProperties) {
+  CostInputs in;
+  in.c1 = {1000, 50, 5000};
+  in.c2 = {800, 40, 4000};
+  in.query = {20, 0.1};
+  const double rate = ExpectedPruningRate(in);
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LE(rate, 0.9);
+  // More kept matches -> less prunable work.
+  in.query.lambda = 80;
+  EXPECT_LT(ExpectedPruningRate(in), rate);
+  // lambda >= all candidates -> nothing to prune.
+  in.query.lambda = 1000;
+  in.query.delta = 1.0;
+  EXPECT_DOUBLE_EQ(ExpectedPruningRate(in), 0.0);
+}
+
+TEST(CpuModelTest, PruningDiscountsEstimatedWork) {
+  CostInputs in;
+  in.c1 = {1000, 50, 5000};
+  in.c2 = {800, 40, 4000};
+  in.sys = {10000, 4096, 5.0};
+  in.query = {20, 0.1};
+  in.q = 0.8;
+  const CpuEstimate base = HhnlCpuCost(in);
+  in.pruning_rate = ExpectedPruningRate(in);
+  in.adaptive_merge = true;
+  const CpuEstimate pruned = HhnlCpuCost(in);
+  EXPECT_LT(pruned.cell_compares, base.cell_compares);
+  EXPECT_LT(pruned.accumulations, base.accumulations);
+  EXPECT_GT(pruned.bound_checks, 0.0);
+  EXPECT_GT(pruned.pairs_pruned, 0.0);
+  // The discount must beat the bound-check surcharge for the rate to be
+  // worth modeling at all.
+  EXPECT_LT(pruned.Total(), base.Total());
+
+  const CpuEstimate hv_base = HvnlCpuCost(in);
+  in.pruning_rate = 0;
+  const CpuEstimate hv_unpruned = HvnlCpuCost(in);
+  EXPECT_LT(hv_base.accumulations, hv_unpruned.accumulations);
+  EXPECT_DOUBLE_EQ(hv_base.cells_decoded, hv_unpruned.cells_decoded);
+
+  in.pruning_rate = ExpectedPruningRate(in);
+  const CpuEstimate vv_pruned = VvmCpuCost(in);
+  in.pruning_rate = 0;
+  const CpuEstimate vv_unpruned = VvmCpuCost(in);
+  EXPECT_LT(vv_pruned.accumulations, vv_unpruned.accumulations);
+  EXPECT_DOUBLE_EQ(vv_pruned.cells_decoded, vv_unpruned.cells_decoded);
 }
 
 TEST(CpuModelTest, AccumulationEstimateConsistentAcrossAlgorithms) {

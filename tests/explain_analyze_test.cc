@@ -9,6 +9,7 @@
 #include <string>
 
 #include "storage/disk_manager.h"
+#include "cost/cpu_model.h"
 #include "cost/statistics.h"
 #include "join/hhnl.h"
 #include "join/hvnl.h"
@@ -44,6 +45,12 @@ CostInputs InputsFor(const JoinFixture& f, const JoinContext& ctx,
   in.query.lambda = spec.lambda;
   in.query.delta = spec.delta;
   in.q = MeasuredTermOverlap(f.outer, f.inner);
+  // Mirror JoinPlanner::Plan: the default JoinSpec has pruning enabled, so
+  // the report carries the pruning counters and the predicted-CPU line.
+  in.adaptive_merge = spec.pruning.adaptive_merge;
+  if (spec.pruning.bound_skip || spec.pruning.early_exit) {
+    in.pruning_rate = ExpectedPruningRate(in);
+  }
   return in;
 }
 
@@ -91,9 +98,10 @@ phase                   pred.seq  pred.rand   measured   err.seq
   read outer                1.56       1.56       6.00   +284.0%
   scan inner                2.93       6.93       7.00   +138.9%
   (query)
-      counters: batch_size_X=88 outer_batches=1
+      counters: batch_size_X=88 outer_batches=1 bound_tightness_pct=30
 
-cpu: CpuStats{compares=3941, accum=642, heap=464, decoded=0}
+cpu: CpuStats{compares=3929, accum=639, heap=462, decoded=0}
+pruning: bound_checks=600 pairs_pruned=2 early_exits=0 suppressed=0
 )",
       Render(hhnl));
 }
@@ -111,9 +119,10 @@ phase                   pred.seq  pred.rand   measured   err.seq
   read inner batch          2.93      14.65       7.00   +138.9%
   rescan outer              1.56       7.81       6.00   +284.0%
   (query)
-      counters: batch_size_X=103 inner_batches=1
+      counters: batch_size_X=103 inner_batches=1 bound_tightness_pct=30
 
-cpu: CpuStats{compares=3941, accum=642, heap=464, decoded=0}
+cpu: CpuStats{compares=3929, accum=639, heap=462, decoded=0}
+pruning: bound_checks=600 pairs_pruned=2 early_exits=0 suppressed=0
 )",
       Render(hhnl, /*hhnl_backward=*/true));
 }
@@ -132,9 +141,10 @@ phase                     pred.seq  pred.rand   measured   err.seq
   load btree                  2.00       2.00       7.00   +250.0%
   probe inverted entries      2.93       2.93       7.00   +138.9%
   (query)
-      counters: cache_capacity_X=79 directory_probes=80 entry_fetches=0 cache_hits=69 evictions=0
+      counters: cache_capacity_X=79 directory_probes=80 entry_fetches=0 cache_hits=69 evictions=0 suppressed_candidates=19 theta_rebuilds=20
 
-cpu: CpuStats{compares=0, accum=642, heap=464, decoded=150}
+cpu: CpuStats{compares=0, accum=623, heap=445, decoded=150}
+pruning: bound_checks=129 pairs_pruned=0 early_exits=0 suppressed=19
 )",
       Render(hvnl));
 }
@@ -151,11 +161,44 @@ alternatives: HHNL(seq=4.49 rand=8.49) HVNL(seq=6.49 rand=10.49)
 phase                   pred.seq  pred.rand   measured   err.seq
   merge scan                4.49      22.46      13.00   +189.4%
   (query)
-      counters: passes=1
+      counters: passes=1 suppressed_candidates=0 theta_rebuilds=0
 
 cpu: CpuStats{compares=0, accum=642, heap=464, decoded=230}
+pruning: bound_checks=23 pairs_pruned=0 early_exits=0 suppressed=0
 )",
       Render(vvm));
+}
+
+// The golden fixture's expected pruning rate is exactly zero (delta*N1 ==
+// lambda), so the predicted-CPU line is absent from the goldens above. With a
+// smaller lambda the rate is positive and the line must appear.
+TEST(ExplainAnalyzeTest, PredictedCpuLineAppearsWhenPruningRatePositive) {
+  HhnlJoin hhnl;
+  SimulatedDisk disk(256);
+  auto f = GoldenFixture(&disk);
+  JoinContext ctx = f->Context(kBufferPages);
+  JoinSpec spec;
+  spec.lambda = 1;
+
+  QueryStatsCollector collector(&disk);
+  ctx.stats = &collector;
+  auto result = hhnl.Run(ctx, spec);
+  TEXTJOIN_CHECK_OK(result.status());
+  QueryStats stats = collector.Finish();
+
+  CostInputs in = InputsFor(*f, ctx, spec);
+  ASSERT_GT(in.pruning_rate, 0.0);
+  ExplainPlan plan;
+  plan.algorithm = hhnl.kind();
+  plan.costs = CompareCosts(in);
+  plan.hhnl_backward_cost = HhnlBackwardCost(in);
+  plan.inputs = in;
+
+  ExplainOptions options;
+  options.include_wall_time = false;
+  std::string report = RenderExplainAnalyze(plan, stats, options);
+  EXPECT_NE(report.find("predicted cpu:"), std::string::npos) << report;
+  EXPECT_NE(report.find("pruning: bound_checks="), std::string::npos) << report;
 }
 
 // ExecuteAnalyze ties it together: the planner's own report must carry the
