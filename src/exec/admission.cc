@@ -95,7 +95,37 @@ Result<AdmissionGrant> AdmissionController::Submit(
       std::to_string(options_.max_queue) + ")");
 }
 
+void AdmissionController::ShedWaiter(int64_t ticket, double waited_ms,
+                                     bool timed_out) {
+  if (timed_out) {
+    timed_out_[ticket] = waited_ms;
+    ++total_timeout_shed_;
+  }
+  shed_waits_[ticket] = waited_ms;
+  total_queue_wait_ms_ += waited_ms;
+  ++total_shed_;
+}
+
+void AdmissionController::ExpireWaiters() {
+  if (options_.queue_timeout_ms <= 0) return;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    const double waited_ms = now_ms_ - it->submitted_ms;
+    // A wait exactly equal to the cap is still within the allowed wait
+    // ("whose wait exceeds this is shed"); only a strictly larger wait
+    // sheds. The exact-boundary clock test pins this down.
+    if (waited_ms > options_.queue_timeout_ms) {
+      ShedWaiter(it->ticket, waited_ms, /*timed_out=*/true);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void AdmissionController::PromoteWaiters() {
+  // Expire first so a Release after a long-running query does not promote
+  // queries whose timeout already passed.
+  ExpireWaiters();
   while (!queue_.empty() && HasFreeSlot()) {
     const Waiter w = queue_.front();
     queue_.pop_front();
@@ -103,14 +133,29 @@ void AdmissionController::PromoteWaiters() {
     if (options_.queue_timeout_ms > 0 &&
         waited_ms > options_.queue_timeout_ms) {
       // Waited past its per-query timeout while queued: shed, try next.
-      timed_out_[w.ticket] = waited_ms;
-      ++total_shed_;
+      ShedWaiter(w.ticket, waited_ms, /*timed_out=*/true);
       continue;
     }
+    total_queue_wait_ms_ += waited_ms;
     promoted_[w.ticket] =
         AdmitNow(w.ticket, w.predicted_cost_pages, w.memory_claim_pages,
                  waited_ms);
   }
+}
+
+TicketState AdmissionController::StateOf(int64_t ticket) const {
+  if (promoted_.count(ticket) > 0) return TicketState::kPromoted;
+  if (running_.count(ticket) > 0) return TicketState::kRunning;
+  for (const Waiter& w : queue_) {
+    if (w.ticket == ticket) return TicketState::kWaiting;
+  }
+  if (timed_out_.count(ticket) > 0) return TicketState::kTimedOut;
+  return TicketState::kUnknown;
+}
+
+double AdmissionController::shed_wait_ms(int64_t ticket) const {
+  auto it = shed_waits_.find(ticket);
+  return it == shed_waits_.end() ? -1.0 : it->second;
 }
 
 Result<AdmissionGrant> AdmissionController::Await(int64_t ticket) {
@@ -138,13 +183,16 @@ Result<AdmissionGrant> AdmissionController::Await(int64_t ticket) {
   for (const Waiter& w : queue_) {
     if (w.ticket == ticket) {
       // Still queued and nothing will release it (queries run serially):
-      // resolving now means the wait can only grow, so shed.
-      ++total_shed_;
+      // resolving now means the wait can only grow, so shed — charging the
+      // wait it accumulated, like every other shed out of the FIFO.
+      const double waited_ms = now_ms_ - w.submitted_ms;
+      ShedWaiter(ticket, waited_ms, /*timed_out=*/false);
       std::erase_if(queue_,
                     [ticket](const Waiter& q) { return q.ticket == ticket; });
       return Status::ResourceExhausted(
           "shed while queued: no run slot became available (ticket " +
-          std::to_string(ticket) + ")");
+          std::to_string(ticket) + ", waited " + std::to_string(waited_ms) +
+          " ms)");
     }
   }
   return Status::ResourceExhausted("unknown admission ticket " +

@@ -40,6 +40,18 @@ enum class AdmissionOutcome { kAdmitted, kQueued, kShed };
 
 const char* AdmissionOutcomeName(AdmissionOutcome outcome);
 
+// Nondestructive view of a ticket's position in the admission state
+// machine. Await() resolves (and for still-queued tickets, sheds); StateOf
+// only observes, so a scheduler interleaving many queries can poll its
+// parked tickets without changing their fate.
+enum class TicketState {
+  kRunning,   // holds a run slot (admitted at Submit, or promoted + Awaited)
+  kPromoted,  // promoted out of the queue; Await() will return the grant
+  kWaiting,   // still in the FIFO
+  kTimedOut,  // shed by its queue timeout; Await() will return the error
+  kUnknown,   // never seen, or already released
+};
+
 // What the controller granted. `outcome == kQueued` means the ticket sits
 // in the FIFO; resolve it with Await() once capacity frees up.
 struct AdmissionGrant {
@@ -86,8 +98,16 @@ class AdmissionController {
   void Release(int64_t ticket, double elapsed_ms = 0);
 
   // Advances the simulated clock without releasing anything (models idle
-  // time between arrivals).
-  void AdvanceTimeMs(double ms) { now_ms_ += ms; }
+  // time between arrivals). Queued queries whose allowed wait has expired
+  // are shed here too — a timeout must fire when time passes, not only
+  // when some other query happens to Release.
+  void AdvanceTimeMs(double ms) {
+    now_ms_ += ms;
+    ExpireWaiters();
+  }
+
+  // Nondestructive state of `ticket` (see TicketState).
+  TicketState StateOf(int64_t ticket) const;
 
   double now_ms() const { return now_ms_; }
   int64_t running() const { return static_cast<int64_t>(running_.size()); }
@@ -97,6 +117,18 @@ class AdmissionController {
   int64_t total_admitted() const { return total_admitted_; }
   int64_t total_queued() const { return total_queued_; }
   int64_t total_shed() const { return total_shed_; }
+  // Sheds caused specifically by the per-query queue timeout.
+  int64_t total_timeout_shed() const { return total_timeout_shed_; }
+  // Simulated queue wait accumulated across every query that left the
+  // FIFO — promoted or shed. A query shed by its timeout is charged the
+  // time it actually sat in the queue, so the wait is accounted for, not
+  // silently dropped with the query.
+  double total_queue_wait_ms() const { return total_queue_wait_ms_; }
+  // Queue wait charged to a ticket that was shed out of the FIFO (by its
+  // timeout or by a hopeless Await), or a negative value for tickets that
+  // were never shed from the queue. Records survive Await so a scheduler
+  // can fill its per-query report after the error Status.
+  double shed_wait_ms(int64_t ticket) const;
 
   const AdmissionOptions& options() const { return options_; }
 
@@ -113,6 +145,11 @@ class AdmissionController {
   AdmissionGrant AdmitNow(int64_t ticket, double predicted_cost_pages,
                           int64_t memory_claim_pages, double queue_wait_ms);
   void PromoteWaiters();
+  // Sheds every queued query whose allowed wait has expired, charging the
+  // time it sat in the queue. Called whenever the clock advances.
+  void ExpireWaiters();
+  // Removes one waiter from the FIFO as shed, charging `waited_ms`.
+  void ShedWaiter(int64_t ticket, double waited_ms, bool timed_out);
 
   AdmissionOptions options_;
   double now_ms_ = 0;
@@ -122,12 +159,17 @@ class AdmissionController {
   std::deque<Waiter> queue_;
   // Queued tickets promoted by Release, waiting to be picked up by Await.
   std::unordered_map<int64_t, AdmissionGrant> promoted_;
-  // Queued tickets shed by their queue timeout.
+  // Queued tickets shed by their queue timeout, with the wait charged.
   std::unordered_map<int64_t, double> timed_out_;
+  // Queue wait charged to every ticket shed out of the FIFO (timeout or
+  // hopeless Await). Kept after Await for post-mortem reporting.
+  std::unordered_map<int64_t, double> shed_waits_;
   int64_t memory_in_use_pages_ = 0;
   int64_t total_admitted_ = 0;
   int64_t total_queued_ = 0;
   int64_t total_shed_ = 0;
+  int64_t total_timeout_shed_ = 0;
+  double total_queue_wait_ms_ = 0;
 };
 
 }  // namespace textjoin

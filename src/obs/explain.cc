@@ -300,6 +300,32 @@ std::string RenderExplainAnalyze(const ExplainPlan& plan,
       out += buf;
     }
   }
+  if (stats.serving.active) {
+    const ServingStats& s = stats.serving;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "serving: cache=%s (hits=%lld misses=%lld)",
+                  s.cache_hit ? "hit" : "miss",
+                  static_cast<long long>(s.cache_hits),
+                  static_cast<long long>(s.cache_misses));
+    out += buf;
+    if (s.scan_fetches > 0 || s.shared_scans > 0) {
+      std::snprintf(buf, sizeof(buf), "; scans shared/fetched=%lld/%lld",
+                    static_cast<long long>(s.shared_scans),
+                    static_cast<long long>(s.scan_fetches));
+      out += buf;
+    }
+    if (!s.tenant.empty()) {
+      std::snprintf(buf, sizeof(buf), "; tenant=%s pages=%lld/%lld",
+                    s.tenant.c_str(),
+                    static_cast<long long>(s.tenant_peak_pages),
+                    static_cast<long long>(s.tenant_quota_pages));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "; queue wait %.2fms\n",
+                  s.queue_wait_ms);
+    out += buf;
+  }
   if (options.include_wall_time) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "wall: %.6fs\n", stats.root.wall_seconds);

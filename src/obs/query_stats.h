@@ -81,6 +81,32 @@ struct GovernanceStats {
   static GovernanceStats FromGovernor(const QueryGovernor& governor);
 };
 
+// Serving-layer outcome of one run (serve/scheduler.h, or the Database's
+// result cache): whether the query was answered from the ResultCache, how
+// many posting-list fetches piggybacked on a shared scan, and what the
+// tenant's buffer-pool slice looked like. Inactive (and unrendered) when
+// the run did not pass through the serving layer.
+struct ServingStats {
+  bool active = false;
+  std::string tenant;
+  // This query was answered from the ResultCache (bit-identical to a cold
+  // run by construction: only fully completed queries are inserted).
+  bool cache_hit = false;
+  // Cache totals at the owning cache, after this query.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  // Posting-list fetches this query performed (metered I/O) vs fetches it
+  // piggybacked on another in-flight query's scan (no I/O, no latency).
+  int64_t scan_fetches = 0;
+  int64_t shared_scans = 0;
+  // The tenant's hard page quota and its peak charged frames during the
+  // query; 0/0 when the pool was not partitioned.
+  int64_t tenant_quota_pages = 0;
+  int64_t tenant_peak_pages = 0;
+  // Simulated milliseconds between arrival and the first execution step.
+  double queue_wait_ms = 0;
+};
+
 // The full statistics tree of one run. The root phase's label is the
 // algorithm that ran (e.g. "HHNL" or "HHNL backward") and its totals
 // cover the whole execution.
@@ -89,6 +115,10 @@ struct QueryStats {
 
   // Lifecycle outcome when the run was governed (see GovernanceStats).
   GovernanceStats governance;
+
+  // Serving-layer outcome when the run passed through the serving layer
+  // (see ServingStats).
+  ServingStats serving;
 
   // Optional buffer-pool counters (deltas over the run) when a pool was
   // attached to the collector; -1 when none was.

@@ -69,7 +69,36 @@ Result<const DocumentCollection*> Database::AddCollection(
   auto owned = std::make_unique<DocumentCollection>(std::move(collection));
   const DocumentCollection* ptr = owned.get();
   collections_.emplace(name, std::move(owned));
+  epochs_[name] = 1;
   return ptr;
+}
+
+int64_t Database::CollectionEpoch(const std::string& name) const {
+  if (collections_.count(name) == 0) return -1;
+  auto it = epochs_.find(name);
+  return it == epochs_.end() ? 1 : it->second;
+}
+
+Status Database::BumpCollectionEpoch(const std::string& name) {
+  if (collections_.count(name) == 0) {
+    return Status::NotFound("no collection '" + name + "'");
+  }
+  ++epochs_[name];
+  result_cache_.EraseCollection(name);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<QueryScheduler>> Database::NewScheduler(
+    const ServeOptions& options) {
+  auto scheduler =
+      std::make_unique<QueryScheduler>(active_disk_, &vocabulary_, options);
+  for (const std::string& name : collection_names()) {
+    const InvertedFile* idx = index(name);
+    if (idx == nullptr) continue;  // serving needs the inverted file
+    TEXTJOIN_RETURN_IF_ERROR(
+        scheduler->AddCollection(name, collection(name), idx));
+  }
+  return scheduler;
 }
 
 Result<const InvertedFile*> Database::BuildIndex(
@@ -180,6 +209,20 @@ Result<JoinResult> Database::Join(const std::string& inner_name,
   if (inner == nullptr || outer == nullptr) {
     return Status::NotFound("unknown collection in join");
   }
+
+  // Result cache: a repeat of the same logical join under the same
+  // collection epochs skips admission, planning and execution entirely.
+  std::string cache_key;
+  if (result_cache_.enabled()) {
+    cache_key = JoinCacheKey(inner_name, CollectionEpoch(inner_name),
+                             outer_name, CollectionEpoch(outer_name), spec);
+    if (auto cached = result_cache_.Lookup(cache_key);
+        cached.has_value() && cached->has_plan) {
+      if (chosen != nullptr) *chosen = cached->plan;
+      return cached->rows;
+    }
+  }
+
   TEXTJOIN_ASSIGN_OR_RETURN(
       SimilarityContext simctx,
       SimilarityContext::Create(*inner, *outer, spec.similarity));
@@ -194,8 +237,22 @@ Result<JoinResult> Database::Join(const std::string& inner_name,
   ScopedDiskGovernor disk_governor(active_disk_, run.governor.get());
   ctx.governor = run.governor.get();
   JoinPlanner planner;
-  Result<JoinResult> result = planner.Execute(ctx, spec, chosen);
+  PlanChoice plan;
+  Result<JoinResult> result = planner.Execute(ctx, spec, &plan);
   EndGoverned(&run);
+  if (result.ok()) {
+    if (chosen != nullptr) *chosen = plan;
+    if (result_cache_.enabled()) {
+      // Only a fully completed join is cached — a cancelled or shed run
+      // returned above with its error.
+      CachedResult value;
+      value.rows = result.value();
+      value.plan = std::move(plan);
+      value.has_plan = true;
+      result_cache_.Insert(cache_key, std::move(value),
+                           {inner_name, outer_name});
+    }
+  }
   return result;
 }
 
@@ -208,6 +265,27 @@ Result<AnalyzedJoin> Database::JoinAnalyze(const std::string& inner_name,
   if (inner == nullptr || outer == nullptr) {
     return Status::NotFound("unknown collection in join");
   }
+
+  std::string cache_key;
+  if (result_cache_.enabled()) {
+    cache_key = JoinCacheKey(inner_name, CollectionEpoch(inner_name),
+                             outer_name, CollectionEpoch(outer_name), spec);
+    if (auto cached = result_cache_.Lookup(cache_key);
+        cached.has_value() && cached->has_plan) {
+      AnalyzedJoin analyzed;
+      analyzed.result = cached->rows;
+      analyzed.plan = cached->plan;
+      ServingStats& serving = analyzed.stats.serving;
+      serving.active = true;
+      serving.cache_hit = true;
+      serving.cache_hits = result_cache_.stats().hits;
+      serving.cache_misses = result_cache_.stats().misses;
+      analyzed.report = RenderExplainAnalyze(analyzed.plan.ToExplainPlan(),
+                                             analyzed.stats, options);
+      return analyzed;
+    }
+  }
+
   TEXTJOIN_ASSIGN_OR_RETURN(
       SimilarityContext simctx,
       SimilarityContext::Create(*inner, *outer, spec.similarity));
@@ -224,6 +302,21 @@ Result<AnalyzedJoin> Database::JoinAnalyze(const std::string& inner_name,
   JoinPlanner planner;
   Result<AnalyzedJoin> analyzed = planner.ExecuteAnalyze(ctx, spec, options);
   EndGoverned(&run);
+  if (analyzed.ok() && result_cache_.enabled()) {
+    CachedResult value;
+    value.rows = analyzed->result;
+    value.plan = analyzed->plan;
+    value.has_plan = true;
+    result_cache_.Insert(cache_key, std::move(value),
+                         {inner_name, outer_name});
+    ServingStats& serving = analyzed->stats.serving;
+    serving.active = true;
+    serving.cache_hit = false;
+    serving.cache_hits = result_cache_.stats().hits;
+    serving.cache_misses = result_cache_.stats().misses;
+    analyzed->report = RenderExplainAnalyze(analyzed->plan.ToExplainPlan(),
+                                            analyzed->stats, options);
+  }
   if (analyzed.ok() && run.admission_active) {
     // Fold the admission outcome into the governance block and re-render
     // (rendering is pure, so this just replaces the report text).
@@ -313,10 +406,13 @@ Result<bool> Database::TryExecuteSet(const std::string& sql, SqlOutput* out) {
     session_deadline_ms_ = value;
   } else if (name == "memory_budget_pages") {
     session_memory_budget_pages_ = static_cast<int64_t>(value);
+  } else if (name == "result_cache_entries") {
+    result_cache_.set_capacity(static_cast<int64_t>(value));
   } else {
     return Status::InvalidArgument(
         "SET: unknown knob '" + name +
-        "' (supported: deadline_ms, memory_budget_pages)");
+        "' (supported: deadline_ms, memory_budget_pages, "
+        "result_cache_entries)");
   }
   out->rows.push_back("SET " + name + " = " + value_str);
   return true;
@@ -331,20 +427,26 @@ Result<Database::SqlOutput> Database::ExecuteSql(const std::string& sql) {
   SqlParser parser(tables_);
   TEXTJOIN_ASSIGN_OR_RETURN(BoundQuery bound, parser.Parse(sql));
 
+  // The registered collection name a text column is attached to.
+  auto name_of = [&](const Table* table,
+                     const std::string& column) -> std::string {
+    int64_t c = table->ColumnIndex(column);
+    if (c < 0) return std::string();
+    const DocumentCollection* col = table->CollectionOf(c);
+    for (const auto& [name, owned] : collections_) {
+      if (owned.get() == col) return name;
+    }
+    return std::string();
+  };
+
   // The inverted file (if any) registered for the collection a text
   // column is attached to.
   auto index_of = [&](const Table* table,
                       const std::string& column) -> const InvertedFile* {
-    int64_t c = table->ColumnIndex(column);
-    if (c < 0) return nullptr;
-    const DocumentCollection* col = table->CollectionOf(c);
-    for (const auto& [name, owned] : collections_) {
-      if (owned.get() == col) {
-        auto it = indexes_.find(name);
-        return it == indexes_.end() ? nullptr : it->second.get();
-      }
-    }
-    return nullptr;
+    std::string name = name_of(table, column);
+    if (name.empty()) return nullptr;
+    auto it = indexes_.find(name);
+    return it == indexes_.end() ? nullptr : it->second.get();
   };
 
   // Session lifecycle knobs apply to every SIMILAR_TO query; the executor
@@ -377,10 +479,26 @@ Result<Database::SqlOutput> Database::ExecuteSql(const std::string& sql) {
     }
   }
 
+  // Attach the result cache when it is enabled and both sides resolve to
+  // registered collections (the hook keys on their names + epochs).
+  QueryCacheHook hook;
+  const QueryCacheHook* hook_ptr = nullptr;
+  if (result_cache_.enabled()) {
+    hook.inner_name = name_of(query.inner_table, query.inner_text_column);
+    hook.outer_name = name_of(query.outer_table, query.outer_text_column);
+    if (!hook.inner_name.empty() && !hook.outer_name.empty()) {
+      hook.cache = &result_cache_;
+      hook.inner_epoch = CollectionEpoch(hook.inner_name);
+      hook.outer_epoch = CollectionEpoch(hook.outer_name);
+      hook_ptr = &hook;
+    }
+  }
+
   TextJoinQueryExecutor executor(sys_);
   Result<QueryResult> run =
       executor.Run(query, index_of(query.inner_table, query.inner_text_column),
-                   index_of(query.outer_table, query.outer_text_column));
+                   index_of(query.outer_table, query.outer_text_column),
+                   hook_ptr);
   if (admission_active) admission_.Release(grant.ticket);
   TEXTJOIN_RETURN_IF_ERROR(run.status());
   QueryResult result = std::move(*run);

@@ -12,6 +12,8 @@
 #include "index/inverted_file.h"
 #include "planner/planner.h"
 #include "relational/text_join_query.h"
+#include "serve/result_cache.h"
+#include "serve/scheduler.h"
 #include "storage/disk_manager.h"
 #include "storage/reliable_disk.h"
 #include "text/collection.h"
@@ -134,6 +136,25 @@ class Database {
   // through (a pass-through when DatabaseOptions::admission is all-zero).
   AdmissionController* admission() { return &admission_; }
 
+  // The database's result cache over Join/JoinAnalyze and SQL SIMILAR_TO
+  // queries (serve/result_cache.h). Disabled (capacity 0) by default;
+  // enable with `SET result_cache_entries = N` or set_capacity().
+  ResultCache* result_cache() { return &result_cache_; }
+
+  // Content epoch of a registered collection (1 at registration), or -1
+  // when unknown. Cache keys include epochs, so a bump makes every cached
+  // result over the collection unreachable — and eagerly erased.
+  int64_t CollectionEpoch(const std::string& name) const;
+  Status BumpCollectionEpoch(const std::string& name);
+
+  // Builds a serving scheduler (serve/scheduler.h) over this database's
+  // disk and vocabulary, with every indexed collection registered. The
+  // scheduler owns its OWN admission controller, buffer pool, cache and
+  // epochs (seeded from the database's) — a serving tier beside the ad-hoc
+  // query path, not a wrapper around it.
+  Result<std::unique_ptr<QueryScheduler>> NewScheduler(
+      const ServeOptions& options);
+
   // Session-level lifecycle defaults, settable through SQL:
   //   SET deadline_ms = 250
   //   SET memory_budget_pages = 500
@@ -171,6 +192,8 @@ class Database {
   Tokenizer tokenizer_;
   SystemParams sys_;
   AdmissionController admission_;
+  ResultCache result_cache_{0};  // disabled until SET result_cache_entries
+  std::unordered_map<std::string, int64_t> epochs_;
   double session_deadline_ms_ = 0;
   int64_t session_memory_budget_pages_ = 0;
   // node-stable maps: executors hold pointers into these.

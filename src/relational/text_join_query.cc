@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "exec/governor.h"
+#include "obs/explain.h"
 
 namespace textjoin {
 
@@ -62,7 +63,7 @@ Result<Side> ResolveSide(const Table* table, const std::string& column,
 
 Result<QueryResult> TextJoinQueryExecutor::Run(
     const TextJoinQuery& query, const InvertedFile* inner_index,
-    const InvertedFile* outer_index) const {
+    const InvertedFile* outer_index, const QueryCacheHook* cache_hook) const {
   TEXTJOIN_ASSIGN_OR_RETURN(
       Side inner, ResolveSide(query.inner_table, query.inner_text_column,
                               query.inner_predicates));
@@ -95,6 +96,51 @@ Result<QueryResult> TextJoinQueryExecutor::Run(
   if (outer.reduced) spec.outer_subset = outer.docs;
   if (inner.reduced) spec.inner_subset = inner.docs;
 
+  // Map a document-level JoinResult back to selected table rows.
+  auto map_rows = [&inner, &outer](const JoinResult& join,
+                                   QueryResult* result) {
+    for (const OuterMatches& om : join) {
+      auto oit = outer.row_of.find(om.outer_doc);
+      if (oit == outer.row_of.end()) continue;  // outer doc not selected
+      for (const Match& m : om.matches) {
+        auto iit = inner.row_of.find(m.doc);
+        if (iit == inner.row_of.end()) continue;
+        result->rows.push_back(
+            QueryResultRow{oit->second, iit->second, m.score});
+      }
+    }
+  };
+
+  // Result-cache lookup, keyed below the predicates on the computed
+  // subsets (already folded into `spec`): a repeat of the same logical
+  // join under the same collection epochs is answered without touching
+  // the planner, the governor or the disk.
+  std::string cache_key;
+  const bool cache_on = cache_hook != nullptr && cache_hook->cache != nullptr &&
+                        cache_hook->cache->enabled();
+  if (cache_on) {
+    cache_key = JoinCacheKey(cache_hook->inner_name, cache_hook->inner_epoch,
+                             cache_hook->outer_name, cache_hook->outer_epoch,
+                             spec);
+    if (auto cached = cache_hook->cache->Lookup(cache_key);
+        cached.has_value() && cached->has_plan) {
+      QueryResult result;
+      result.plan = cached->plan;
+      ServingStats& serving = result.stats.serving;
+      serving.active = true;
+      serving.cache_hit = true;
+      serving.cache_hits = cache_hook->cache->stats().hits;
+      serving.cache_misses = cache_hook->cache->stats().misses;
+      map_rows(cached->rows, &result);
+      if (query.explain_analyze) {
+        result.explain = RenderExplainAnalyze(result.plan.ToExplainPlan(),
+                                              result.stats,
+                                              query.explain_options);
+      }
+      return result;
+    }
+  }
+
   Disk* disk = inner.collection->disk();
 
   // Govern the run when the query carries lifecycle limits (SET knobs or
@@ -126,16 +172,29 @@ Result<QueryResult> TextJoinQueryExecutor::Run(
   }
   result.io = disk->stats() - before;
 
-  for (const OuterMatches& om : join) {
-    auto oit = outer.row_of.find(om.outer_doc);
-    if (oit == outer.row_of.end()) continue;  // outer doc not selected
-    for (const Match& m : om.matches) {
-      auto iit = inner.row_of.find(m.doc);
-      if (iit == inner.row_of.end()) continue;
-      result.rows.push_back(
-          QueryResultRow{oit->second, iit->second, m.score});
+  if (cache_on) {
+    // Only a FULLY completed join is inserted (errors returned above), so
+    // a cancelled or shed query can never poison the cache.
+    CachedResult value;
+    value.rows = join;
+    value.plan = result.plan;
+    value.has_plan = true;
+    cache_hook->cache->Insert(cache_key, std::move(value),
+                              {cache_hook->inner_name,
+                               cache_hook->outer_name});
+    ServingStats& serving = result.stats.serving;
+    serving.active = true;
+    serving.cache_hit = false;
+    serving.cache_hits = cache_hook->cache->stats().hits;
+    serving.cache_misses = cache_hook->cache->stats().misses;
+    if (query.explain_analyze) {
+      result.explain = RenderExplainAnalyze(result.plan.ToExplainPlan(),
+                                            result.stats,
+                                            query.explain_options);
     }
   }
+
+  map_rows(join, &result);
   return result;
 }
 

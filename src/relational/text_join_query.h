@@ -6,6 +6,7 @@
 #include "planner/planner.h"
 #include "relational/predicate.h"
 #include "relational/table.h"
+#include "serve/result_cache.h"
 #include "storage/io_stats.h"
 
 namespace textjoin {
@@ -63,6 +64,20 @@ struct QueryResult {
   std::string explain;
 };
 
+// Optional result-cache attachment for one Run (serve/result_cache.h).
+// The Database fills it with its cache and the two collections' names and
+// epochs; the executor keys the join below predicate evaluation — on the
+// computed document subsets — so the same cache serves queries whose
+// predicates differ but select the same documents. Only a fully completed
+// join is inserted.
+struct QueryCacheHook {
+  ResultCache* cache = nullptr;
+  std::string inner_name;
+  int64_t inner_epoch = 0;
+  std::string outer_name;
+  int64_t outer_epoch = 0;
+};
+
 // Runs SIMILAR_TO queries: evaluates the selections, reduces the
 // participating documents, lets the planner pick HHNL/HVNL/VVM, executes,
 // and maps document numbers back to rows.
@@ -73,10 +88,12 @@ class TextJoinQueryExecutor {
       : sys_(sys), planner_(planner_options) {}
 
   // `inner_index` / `outer_index` are optional; without them the planner
-  // can only choose HHNL.
+  // can only choose HHNL. `cache_hook` (optional) serves the join from the
+  // attached ResultCache when the key matches a completed run.
   Result<QueryResult> Run(const TextJoinQuery& query,
                           const InvertedFile* inner_index = nullptr,
-                          const InvertedFile* outer_index = nullptr) const;
+                          const InvertedFile* outer_index = nullptr,
+                          const QueryCacheHook* cache_hook = nullptr) const;
 
  private:
   SystemParams sys_;

@@ -1,0 +1,544 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "storage/disk.h"
+
+namespace textjoin {
+
+namespace {
+
+// The accumulator holds one double per inner document; its footprint in
+// pages is what the governor's memory budget caps (forcing multi-partition
+// degraded execution, exactly like HVNL under a shrunken budget).
+int64_t AccumulatorPages(int64_t num_documents, int64_t page_size) {
+  int64_t bytes = num_documents * static_cast<int64_t>(sizeof(double));
+  return std::max<int64_t>(1, (bytes + page_size - 1) / page_size);
+}
+
+}  // namespace
+
+struct QueryScheduler::Served {
+  std::string name;
+  const DocumentCollection* collection = nullptr;
+  const InvertedFile* index = nullptr;
+  int64_t epoch = 1;
+
+  // Scoring aux per SimilarityConfig combination, built on first use
+  // (catalog setup, like SimilarityContext before a join).
+  struct Aux {
+    bool built = false;
+    IdfWeights idf;
+    DocumentNorms norms;
+  };
+  Aux aux[4];
+
+  static int AuxSlot(const SimilarityConfig& config) {
+    return (config.cosine_normalize ? 2 : 0) + (config.use_idf ? 1 : 0);
+  }
+
+  Result<const Aux*> EnsureAux(const SimilarityConfig& config) {
+    Aux& a = aux[AuxSlot(config)];
+    if (!a.built) {
+      a.idf = IdfWeights(*collection, *collection, config);
+      auto norms = DocumentNorms::Create(*collection, a.idf, config);
+      TEXTJOIN_RETURN_IF_ERROR(norms.status());
+      a.norms = std::move(norms).value();
+      a.built = true;
+    }
+    return &a;
+  }
+};
+
+struct QueryScheduler::Task {
+  int64_t id = 0;
+  ServeQuery query;
+  Served* served = nullptr;
+  const Served::Aux* aux = nullptr;
+  std::vector<DCell> cells;  // normalized query vector, terms ascending
+  double query_norm = 1;
+  double predicted_cost_pages = 0;
+  int64_t pages_needed = 1;  // accumulator footprint = memory claim
+
+  int64_t ticket = -1;
+  std::unique_ptr<QueryGovernor> governor;
+  std::string key;
+  bool hit = false;
+  std::vector<Match> hit_matches;
+
+  TopKAccumulator topk{0};
+  std::vector<double> acc;
+  int64_t partitions = 1;
+  int64_t part = 0;
+  int64_t docs_per_part = 0;
+  DocId part_lo = 0;
+  DocId part_hi = 0;
+  size_t term_idx = 0;
+
+  bool done = false;
+  bool finished = false;  // record fully written
+  QueryRecord record;
+
+  double Finalize(double accumulated, DocId doc) const {
+    if (!query.similarity.cosine_normalize) return accumulated;
+    double denom = aux->norms.of(doc) * query_norm;
+    return denom > 0 ? accumulated / denom : 0.0;
+  }
+};
+
+QueryScheduler::QueryScheduler(Disk* disk, Vocabulary* vocabulary,
+                               ServeOptions options)
+    : disk_(disk),
+      vocabulary_(vocabulary),
+      options_(std::move(options)),
+      pool_(std::make_unique<BufferPool>(
+          disk, std::max<int64_t>(1, options_.buffer_pool_pages))),
+      admission_(options_.admission),
+      cache_(options_.result_cache_entries),
+      registrar_(options_.shared_scans) {
+  if (!options_.tenants.empty()) {
+    Status st = pool_->Partition(options_.tenants);
+    TEXTJOIN_CHECK(st.ok());
+  }
+}
+
+QueryScheduler::~QueryScheduler() = default;
+
+Status QueryScheduler::AddCollection(const std::string& name,
+                                     const DocumentCollection* collection,
+                                     const InvertedFile* index) {
+  if (name.empty() || collection == nullptr || index == nullptr) {
+    return Status::InvalidArgument(
+        "serving needs a named collection and its inverted file");
+  }
+  if (collections_.count(name) != 0) {
+    return Status::AlreadyExists("collection '" + name +
+                                 "' is already registered for serving");
+  }
+  auto served = std::make_unique<Served>();
+  served->name = name;
+  served->collection = collection;
+  served->index = index;
+  collections_[name] = std::move(served);
+  return Status::OK();
+}
+
+Status QueryScheduler::BumpEpoch(const std::string& name) {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + name +
+                            "' is not registered for serving");
+  }
+  ++it->second->epoch;
+  // Norms and idf depend on the collection's content: rebuild on next use.
+  for (Served::Aux& a : it->second->aux) a = Served::Aux{};
+  cache_.EraseCollection(name);
+  return Status::OK();
+}
+
+int64_t QueryScheduler::epoch(const std::string& name) const {
+  auto it = collections_.find(name);
+  return it == collections_.end() ? -1 : it->second->epoch;
+}
+
+Result<int64_t> QueryScheduler::Submit(const ServeQuery& query) {
+  auto it = collections_.find(query.collection);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection '" + query.collection +
+                            "' is not registered for serving");
+  }
+  if (query.lambda <= 0) {
+    return Status::InvalidArgument("lambda must be positive");
+  }
+  if (pool_->partitioned() && pool_->tenant_quota(query.tenant) < 0) {
+    return Status::InvalidArgument("unknown tenant '" + query.tenant +
+                                   "' in partitioned serving pool");
+  }
+  auto task = std::make_unique<Task>();
+  task->id = next_id_++;
+  task->query = query;
+  task->served = it->second.get();
+
+  if (!query.cells.empty()) {
+    auto doc = Document::FromUnsorted(query.cells);
+    TEXTJOIN_RETURN_IF_ERROR(doc.status());
+    task->cells = doc.value().cells();
+  } else {
+    auto doc = tokenizer_.MakeDocument(query.text, vocabulary_);
+    TEXTJOIN_RETURN_IF_ERROR(doc.status());
+    task->cells = doc.value().cells();
+  }
+
+  auto aux = task->served->EnsureAux(query.similarity);
+  TEXTJOIN_RETURN_IF_ERROR(aux.status());
+  task->aux = aux.value();
+  if (query.similarity.cosine_normalize) {
+    double sum = 0;
+    for (const DCell& c : task->cells) {
+      double w = static_cast<double>(c.weight);
+      sum += w * w * task->aux->idf.Squared(c.term);
+    }
+    task->query_norm = std::sqrt(sum);
+  }
+
+  task->pages_needed = AccumulatorPages(
+      task->served->collection->num_documents(), disk_->page_size());
+  task->predicted_cost_pages = static_cast<double>(task->pages_needed);
+  for (const DCell& c : task->cells) {
+    int64_t entry = task->served->index->FindEntry(c.term);
+    if (entry >= 0) {
+      task->predicted_cost_pages +=
+          static_cast<double>(task->served->index->EntryPageSpan(entry));
+    }
+  }
+
+  task->record.id = task->id;
+  task->record.tenant = query.tenant;
+  task->record.arrival_ms = query.arrival_ms;
+  int64_t id = task->id;
+  tasks_.push_back(std::move(task));
+  return id;
+}
+
+void QueryScheduler::Advance(double ms) {
+  if (ms <= 0) return;
+  now_ms_ += ms;
+  admission_.AdvanceTimeMs(ms);
+}
+
+Status QueryScheduler::ActivateTask(Task* task, double queue_wait_ms) {
+  const ServeQuery& q = task->query;
+  GovernorLimits limits;
+  limits.deadline_ms = q.deadline_ms > 0 ? q.deadline_ms
+                                         : options_.admission.default_deadline_ms;
+  int64_t budget = 0;
+  if (pool_->partitioned()) budget = pool_->tenant_quota(q.tenant);
+  int64_t granted = task->record.governance.memory_granted_pages;
+  if (granted > 0 && granted < task->pages_needed) {
+    budget = budget > 0 ? std::min(budget, granted) : granted;
+  }
+  limits.memory_budget_pages = budget;
+  task->governor = std::make_unique<QueryGovernor>(limits);
+  if (q.cancel_at_checkpoint > 0) {
+    task->governor->CancelAtCheckpoint(q.cancel_at_checkpoint);
+  }
+
+  task->record.start_ms = now_ms_;
+  task->record.queue_wait_ms = queue_wait_ms;
+  task->record.serving.queue_wait_ms = queue_wait_ms;
+  task->record.serving.tenant = q.tenant;
+  if (pool_->partitioned()) {
+    task->record.serving.tenant_quota_pages = pool_->tenant_quota(q.tenant);
+  }
+
+  // Cache lookup happens at activation, against the epoch current NOW —
+  // an epoch bump between submission and activation correctly misses.
+  task->key = ServeQueryCacheKey(q.collection, task->served->epoch,
+                                 task->cells, q.lambda, q.similarity,
+                                 q.pruning);
+  if (auto cached = cache_.Lookup(task->key); cached.has_value()) {
+    task->hit = true;
+    task->hit_matches = cached->rows.empty() ? std::vector<Match>{}
+                                             : cached->rows.front().matches;
+    return Status::OK();
+  }
+
+  // Cold execution setup: partition the accumulator under the governor's
+  // memory budget (PR 4 degraded path — more partitions, more re-fetches,
+  // identical bits).
+  const int64_t n = task->served->collection->num_documents();
+  int64_t budget_pages = task->governor->CapBufferPages(task->pages_needed);
+  task->partitions =
+      (task->pages_needed + budget_pages - 1) / std::max<int64_t>(1, budget_pages);
+  task->docs_per_part =
+      task->partitions > 0 ? (n + task->partitions - 1) / task->partitions : 0;
+  task->topk = TopKAccumulator(q.lambda);
+  task->part = 0;
+  task->part_lo = 0;
+  task->part_hi = static_cast<DocId>(std::min<int64_t>(task->docs_per_part, n));
+  task->acc.assign(static_cast<size_t>(task->part_hi - task->part_lo), 0.0);
+  task->term_idx = 0;
+  return Status::OK();
+}
+
+void QueryScheduler::FlushPartition(Task* task) {
+  for (size_t i = 0; i < task->acc.size(); ++i) {
+    double a = task->acc[i];
+    if (a > 0) {
+      DocId doc = task->part_lo + static_cast<DocId>(i);
+      task->topk.Add(doc, task->Finalize(a, doc));
+    }
+  }
+  ++task->part;
+  if (task->part >= task->partitions) {
+    task->done = true;
+    return;
+  }
+  const int64_t n = task->served->collection->num_documents();
+  task->part_lo = task->part_hi;
+  task->part_hi = static_cast<DocId>(
+      std::min<int64_t>(task->part_lo + task->docs_per_part, n));
+  task->acc.assign(static_cast<size_t>(task->part_hi - task->part_lo), 0.0);
+  task->term_idx = 0;
+}
+
+Result<double> QueryScheduler::StepTask(Task* task) {
+  QueryGovernor* governor = task->governor.get();
+  // Steps are serialized, so scoping the stepping query's governor onto
+  // the shared disk routes PollIo cancellation to the right query.
+  ScopedDiskGovernor scoped(disk_, governor);
+  TEXTJOIN_RETURN_IF_ERROR(governor->Checkpoint("serve step"));
+
+  double cost = options_.ms_per_step;
+  if (task->hit) {
+    // A cached response still takes one step: look up, serialize, reply.
+    task->done = true;
+    governor->ChargeSimulatedMs(cost);
+    return cost;
+  }
+  if (task->term_idx >= task->cells.size()) {
+    // Empty query (or end of a partition's terms): flush and move on.
+    FlushPartition(task);
+    governor->ChargeSimulatedMs(cost);
+    return cost;
+  }
+
+  const DCell& qc = task->cells[task->term_idx];
+  auto fetched = registrar_.Fetch(*task->served->index, qc.term, pool_.get(),
+                                  task->query.tenant);
+  TEXTJOIN_RETURN_IF_ERROR(fetched.status());
+  if (fetched.value().shared) {
+    ++task->record.serving.shared_scans;
+  } else {
+    ++task->record.serving.scan_fetches;
+  }
+  const double factor = task->aux->idf.Squared(qc.term);
+  const double qw = static_cast<double>(qc.weight);
+  for (const ICell& ic : *fetched.value().cells) {
+    if (ic.doc < task->part_lo) continue;
+    if (ic.doc >= task->part_hi) break;  // i-cells ascend by document
+    task->acc[static_cast<size_t>(ic.doc - task->part_lo)] +=
+        qw * static_cast<double>(ic.weight) * factor;
+  }
+  cost += static_cast<double>(fetched.value().pages_read) * options_.ms_per_page;
+  if (pool_->partitioned()) {
+    task->record.serving.tenant_peak_pages =
+        std::max(task->record.serving.tenant_peak_pages,
+                 pool_->tenant_frames(task->query.tenant));
+  }
+  ++task->term_idx;
+  if (task->term_idx >= task->cells.size()) FlushPartition(task);
+  governor->ChargeSimulatedMs(cost);
+  return cost;
+}
+
+void QueryScheduler::FinishTask(Task* task, std::string outcome,
+                                const Status& status) {
+  QueryRecord& r = task->record;
+  r.finish_ms = now_ms_;
+  r.latency_ms = r.finish_ms - r.arrival_ms;
+  r.outcome = std::move(outcome);
+  if (!status.ok()) r.error = status.message();
+
+  if (r.outcome == "completed") {
+    if (task->hit) {
+      r.matches = std::move(task->hit_matches);
+    } else {
+      r.matches = task->topk.TakeSorted();
+      // Only a FULLY completed query is inserted — a cancelled or shed
+      // query can never poison the cache.
+      CachedResult value;
+      value.rows.push_back(OuterMatches{0, r.matches});
+      cache_.Insert(task->key, std::move(value), {task->query.collection});
+    }
+  }
+
+  if (task->governor != nullptr) {
+    double queue_wait = r.governance.queue_wait_ms;
+    std::string admission = r.governance.admission;
+    int64_t granted = r.governance.memory_granted_pages;
+    r.governance = GovernanceStats::FromGovernor(*task->governor);
+    r.governance.queue_wait_ms = queue_wait;
+    r.governance.admission = admission;
+    r.governance.memory_granted_pages = granted;
+  }
+  r.cache_hit = task->hit;
+  r.serving.active = true;
+  r.serving.cache_hit = task->hit;
+  r.serving.cache_hits = cache_.stats().hits;
+  r.serving.cache_misses = cache_.stats().misses;
+
+  if (task->ticket >= 0 &&
+      admission_.StateOf(task->ticket) == TicketState::kRunning) {
+    admission_.Release(task->ticket, 0);
+  }
+  task->done = true;
+  task->finished = true;
+}
+
+void QueryScheduler::RecordShed(Task* task, double queue_wait_ms,
+                                const Status& status) {
+  QueryRecord& r = task->record;
+  r.outcome = "shed";
+  r.error = status.message();
+  r.queue_wait_ms = queue_wait_ms;
+  r.finish_ms = now_ms_;
+  r.latency_ms = r.finish_ms - r.arrival_ms;
+  r.governance.active = true;
+  r.governance.admission = "shed";
+  r.governance.outcome = "cancelled";
+  r.governance.queue_wait_ms = queue_wait_ms;
+  r.serving.active = true;
+  r.serving.tenant = task->query.tenant;
+  r.serving.queue_wait_ms = queue_wait_ms;
+  task->done = true;
+  task->finished = true;
+}
+
+Result<std::vector<QueryRecord>> QueryScheduler::Run() {
+  std::vector<std::unique_ptr<Task>> batch = std::move(tasks_);
+  tasks_.clear();
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const std::unique_ptr<Task>& a,
+                      const std::unique_ptr<Task>& b) {
+                     return a->query.arrival_ms < b->query.arrival_ms;
+                   });
+
+  size_t next = 0;
+  std::vector<Task*> active;
+  std::vector<Task*> parked;
+
+  auto arrive = [&](Task* task) -> Status {
+    // The effective arrival: a query "arriving" before the clock (e.g.
+    // submitted between Run() calls) arrives now.
+    task->record.arrival_ms = std::max(task->query.arrival_ms, now_ms_);
+    auto grant = admission_.Submit(task->predicted_cost_pages,
+                                   task->pages_needed, task->query.deadline_ms);
+    if (!grant.ok()) {
+      RecordShed(task, 0, grant.status());
+      return Status::OK();
+    }
+    task->ticket = grant.value().ticket;
+    task->record.governance.memory_granted_pages =
+        grant.value().memory_granted_pages;
+    if (grant.value().outcome == AdmissionOutcome::kQueued) {
+      task->record.governance.admission = "queued";
+      parked.push_back(task);
+      return Status::OK();
+    }
+    task->record.governance.admission = "admitted";
+    task->record.governance.queue_wait_ms = grant.value().queue_wait_ms;
+    TEXTJOIN_RETURN_IF_ERROR(ActivateTask(task, grant.value().queue_wait_ms));
+    active.push_back(task);
+    return Status::OK();
+  };
+
+  auto admit_arrivals = [&]() -> Status {
+    while (next < batch.size() &&
+           batch[next]->query.arrival_ms <= now_ms_) {
+      TEXTJOIN_RETURN_IF_ERROR(arrive(batch[next].get()));
+      ++next;
+    }
+    return Status::OK();
+  };
+
+  // Resolves a parked ticket the controller has already decided about.
+  auto resolve_parked = [&](Task* task) -> Status {
+    auto grant = admission_.Await(task->ticket);
+    if (grant.ok()) {
+      task->record.governance.queue_wait_ms = grant.value().queue_wait_ms;
+      task->record.governance.memory_granted_pages =
+          grant.value().memory_granted_pages;
+      TEXTJOIN_RETURN_IF_ERROR(
+          ActivateTask(task, grant.value().queue_wait_ms));
+      active.push_back(task);
+      return Status::OK();
+    }
+    double waited = admission_.shed_wait_ms(task->ticket);
+    RecordShed(task, waited < 0 ? 0 : waited, grant.status());
+    return Status::OK();
+  };
+
+  auto poll_parked = [&]() -> Status {
+    for (auto it = parked.begin(); it != parked.end();) {
+      TicketState state = admission_.StateOf((*it)->ticket);
+      if (state == TicketState::kPromoted || state == TicketState::kTimedOut) {
+        Task* task = *it;
+        it = parked.erase(it);
+        TEXTJOIN_RETURN_IF_ERROR(resolve_parked(task));
+      } else {
+        ++it;
+      }
+    }
+    return Status::OK();
+  };
+
+  while (next < batch.size() || !active.empty() || !parked.empty()) {
+    TEXTJOIN_RETURN_IF_ERROR(admit_arrivals());
+    TEXTJOIN_RETURN_IF_ERROR(poll_parked());
+    if (active.empty()) {
+      if (next < batch.size()) {
+        // Idle: jump the clock to the next arrival.
+        Advance(batch[next]->query.arrival_ms - now_ms_);
+        TEXTJOIN_RETURN_IF_ERROR(admit_arrivals());
+        continue;
+      }
+      if (!parked.empty()) {
+        // Nothing running and nothing arriving: the remaining waiters can
+        // only be resolved directly (Await promotes or sheds them).
+        std::vector<Task*> waiters;
+        waiters.swap(parked);
+        for (Task* task : waiters) {
+          TEXTJOIN_RETURN_IF_ERROR(resolve_parked(task));
+        }
+        continue;
+      }
+      break;
+    }
+
+    // One round: every active query takes one step; same-round fetches of
+    // the same posting list are shared.
+    registrar_.BeginRound();
+    std::vector<Task*> stepping = active;
+    for (Task* task : stepping) {
+      if (task->done) continue;
+      auto cost = StepTask(task);
+      if (!cost.ok()) {
+        Advance(options_.ms_per_step);
+        const Status& s = cost.status();
+        const char* outcome = s.code() == StatusCode::kCancelled
+                                  ? "cancelled"
+                                  : s.code() == StatusCode::kDeadlineExceeded
+                                        ? "deadline"
+                                        : "failed";
+        FinishTask(task, outcome, s);
+      } else {
+        Advance(cost.value());
+        if (task->done) FinishTask(task, "completed", Status::OK());
+      }
+      // Arrivals during the round join at its end (they step next round).
+      TEXTJOIN_RETURN_IF_ERROR(admit_arrivals());
+    }
+    registrar_.EndRound();
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [](Task* t) { return t->done; }),
+                 active.end());
+    TEXTJOIN_RETURN_IF_ERROR(poll_parked());
+  }
+
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const std::unique_ptr<Task>& a,
+                      const std::unique_ptr<Task>& b) { return a->id < b->id; });
+  std::vector<QueryRecord> records;
+  records.reserve(batch.size());
+  for (std::unique_ptr<Task>& task : batch) {
+    TEXTJOIN_CHECK(task->finished);
+    records.push_back(std::move(task->record));
+  }
+  return records;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,180 @@
+#ifndef TEXTJOIN_SERVE_SCHEDULER_H_
+#define TEXTJOIN_SERVE_SCHEDULER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/admission.h"
+#include "exec/governor.h"
+#include "index/inverted_file.h"
+#include "join/pruning.h"
+#include "join/similarity.h"
+#include "join/topk.h"
+#include "obs/query_stats.h"
+#include "serve/result_cache.h"
+#include "serve/shared_scan.h"
+#include "storage/buffer_pool.h"
+#include "text/collection.h"
+#include "text/document.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace textjoin {
+
+// QueryScheduler: the multi-tenant serving loop. Many ad-hoc top-lambda
+// queries from many tenants arrive against shared collections; the
+// scheduler admits them through the PR 4 AdmissionController, interleaves
+// the admitted ones round-robin on a simulated clock, piggybacks
+// same-round posting-list fetches on one shared scan, serves repeats from
+// the ResultCache, and confines every tenant to its hard BufferPool page
+// quota (shrinking quotas push queries down the PR 4 degraded-execution
+// path: the similarity accumulator is partitioned into document ranges and
+// the posting lists are re-fetched once per partition — more I/O, same
+// bits).
+//
+// Execution model. One query = one tokenized text scored against one
+// indexed collection, HVNL-style: for each query term, fetch the term's
+// posting list and accumulate w_q * w_d * idf(t)^2 into a per-document
+// accumulator; finalize (cosine) into a TopKAccumulator. The scheduler
+// advances in ROUNDS: each round gives every active query one STEP (one
+// posting-list fetch + accumulate), charging simulated time
+//   step_cost = ms_per_step + pages_read * ms_per_page
+// so a query behind a cold scan takes longer than one riding a warm pool
+// or a shared scan. The AdmissionController's clock advances in lockstep,
+// which is what makes queue timeouts, deadlines and tail latencies
+// deterministic and testable.
+//
+// Determinism: rounds step queries in activation order; the accumulator
+// visits documents ascending within each partition and partitions
+// ascending, so a query's result is bit-identical regardless of how many
+// queries it was interleaved with, whether its fetches were shared, and
+// how many partitions its memory budget forced — the properties
+// serving_test locks in.
+struct ServeOptions {
+  // Admission front door (max_concurrent, queue, timeouts, memory budget).
+  AdmissionOptions admission;
+  // ResultCache capacity in entries; 0 disables caching.
+  int64_t result_cache_entries = 64;
+  // Piggyback same-round fetches of the same posting list.
+  bool shared_scans = true;
+  // Buffer pool capacity backing all tenants.
+  int64_t buffer_pool_pages = 256;
+  // Hard per-tenant page quotas (storage/buffer_pool.h). Empty = one
+  // unpartitioned pool. Quotas also bound each tenant's query memory
+  // budget, so small slices trigger degraded (multi-partition) execution.
+  std::vector<BufferPool::TenantQuota> tenants;
+  // Simulated cost model of one step.
+  double ms_per_page = 0.1;
+  double ms_per_step = 0.01;
+};
+
+// One submitted serving query.
+struct ServeQuery {
+  std::string tenant;
+  std::string collection;
+  // Free text; tokenized and normalized against the shared Vocabulary.
+  std::string text;
+  // Pre-tokenized query vector (any order, repeats summed). When
+  // non-empty, `text` is ignored — the path synthetic workloads use.
+  std::vector<DCell> cells;
+  int64_t lambda = 10;
+  SimilarityConfig similarity;
+  PruningConfig pruning;
+  // Per-query deadline (0 = the admission default / none).
+  double deadline_ms = 0;
+  // Simulated arrival time. Queries may be submitted in any order; Run()
+  // processes them by arrival.
+  double arrival_ms = 0;
+  // Test hook: trip the governor's cancellation at the n-th checkpoint.
+  int64_t cancel_at_checkpoint = 0;
+};
+
+// What happened to one query, in arrival order.
+struct QueryRecord {
+  int64_t id = 0;
+  std::string tenant;
+  // "completed" | "shed" | "cancelled" | "deadline" | "failed".
+  std::string outcome;
+  bool cache_hit = false;
+  double arrival_ms = 0;
+  double start_ms = 0;   // first execution step (== arrival for cache hits)
+  double finish_ms = 0;
+  double queue_wait_ms = 0;
+  double latency_ms = 0;  // finish - arrival; the number the bench plots
+  // Top-lambda matches, best first (empty unless completed).
+  std::vector<Match> matches;
+  std::string error;  // status message when not completed
+  GovernanceStats governance;
+  ServingStats serving;
+};
+
+class QueryScheduler {
+ public:
+  // `disk` meters all page I/O; `vocabulary` is the shared term mapping
+  // queries are normalized against. Both must outlive the scheduler.
+  QueryScheduler(Disk* disk, Vocabulary* vocabulary, ServeOptions options);
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  // Registers a collection and its inverted file for serving.
+  Status AddCollection(const std::string& name,
+                       const DocumentCollection* collection,
+                       const InvertedFile* index);
+
+  // Bumps the collection's epoch (content changed): every cached result
+  // depending on it is invalidated.
+  Status BumpEpoch(const std::string& name);
+  // Current epoch of `name`, or -1 when unregistered.
+  int64_t epoch(const std::string& name) const;
+
+  // Tokenizes and enqueues a query; returns its id. Fails on unknown
+  // collection/tenant or untokenizable input — before any clock advances.
+  Result<int64_t> Submit(const ServeQuery& query);
+
+  // Drains every submitted query to completion (or shed/cancelled) and
+  // returns one record per query in submission order. May be called
+  // repeatedly: each call serves the queries submitted since the last.
+  Result<std::vector<QueryRecord>> Run();
+
+  double now_ms() const { return now_ms_; }
+  BufferPool* pool() { return pool_.get(); }
+  ResultCache* cache() { return &cache_; }
+  AdmissionController* admission() { return &admission_; }
+  const SharedScanRegistrar& registrar() const { return registrar_; }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Served;  // per-collection serving state
+  struct Task;    // one in-flight query
+
+  Status ActivateTask(Task* task, double queue_wait_ms);
+  // Runs one step of `task`; returns the simulated cost in ms.
+  Result<double> StepTask(Task* task);
+  void FlushPartition(Task* task);
+  void FinishTask(Task* task, std::string outcome, const Status& status);
+  void RecordShed(Task* task, double queue_wait_ms, const Status& status);
+  void Advance(double ms);
+
+  Disk* disk_;
+  Vocabulary* vocabulary_;
+  ServeOptions options_;
+  Tokenizer tokenizer_;
+  std::unique_ptr<BufferPool> pool_;
+  AdmissionController admission_;
+  ResultCache cache_;
+  SharedScanRegistrar registrar_;
+  std::map<std::string, std::unique_ptr<Served>> collections_;
+  std::vector<std::unique_ptr<Task>> tasks_;  // submitted, not yet run
+  double now_ms_ = 0;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_SERVE_SCHEDULER_H_

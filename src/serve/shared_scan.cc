@@ -1,0 +1,64 @@
+#include "serve/shared_scan.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace textjoin {
+
+Result<SharedScanRegistrar::Fetched> SharedScanRegistrar::Fetch(
+    const InvertedFile& index, TermId term, BufferPool* pool,
+    const std::string& tenant) {
+  static const std::shared_ptr<const std::vector<ICell>> kEmpty =
+      std::make_shared<const std::vector<ICell>>();
+  int64_t entry_index = index.FindEntry(term);
+  if (entry_index < 0) {
+    return Fetched{kEmpty, /*shared=*/false, /*pages_read=*/0};
+  }
+  ScanKey key{index.file(), term};
+  if (enabled_) {
+    auto it = round_.find(key);
+    if (it != round_.end()) {
+      ++total_shared_;
+      return Fetched{it->second, /*shared=*/true, /*pages_read=*/0};
+    }
+  }
+
+  // Read the entry's byte span page by page through the pool, charged to
+  // the tenant. Pages are pinned one at a time so a fetch needs only one
+  // free frame — a tenant with a single-page quota can still make
+  // progress, just slowly.
+  const InvertedFile::EntryMeta& meta =
+      index.entries()[static_cast<size_t>(entry_index)];
+  const int64_t page_size = index.disk()->page_size();
+  std::vector<uint8_t> bytes(static_cast<size_t>(meta.byte_length));
+  const int64_t first_page = meta.offset_bytes / page_size;
+  const int64_t last_page =
+      meta.byte_length == 0
+          ? first_page
+          : (meta.offset_bytes + meta.byte_length - 1) / page_size;
+  const int64_t misses_before = pool->miss_count();
+  for (int64_t page = first_page; page <= last_page; ++page) {
+    auto pinned = pool->PinFor(tenant, index.file(), page);
+    TEXTJOIN_RETURN_IF_ERROR(pinned.status());
+    PinnedPage guard(pool, index.file(), page, pinned.value());
+    const int64_t page_begin = page * page_size;
+    const int64_t copy_from = std::max<int64_t>(meta.offset_bytes, page_begin);
+    const int64_t copy_to = std::min<int64_t>(meta.offset_bytes +
+                                                  meta.byte_length,
+                                              page_begin + page_size);
+    if (copy_to > copy_from) {
+      std::memcpy(bytes.data() + (copy_from - meta.offset_bytes),
+                  guard.data() + (copy_from - page_begin),
+                  static_cast<size_t>(copy_to - copy_from));
+    }
+  }
+  const int64_t pages_read = pool->miss_count() - misses_before;
+
+  auto cells = std::make_shared<const std::vector<ICell>>(
+      DecodePostings(bytes.data(), meta.cell_count, index.compression()));
+  if (enabled_) round_[key] = cells;
+  ++total_fetches_;
+  return Fetched{std::move(cells), /*shared=*/false, pages_read};
+}
+
+}  // namespace textjoin

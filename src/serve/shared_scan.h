@@ -1,0 +1,70 @@
+#ifndef TEXTJOIN_SERVE_SHARED_SCAN_H_
+#define TEXTJOIN_SERVE_SHARED_SCAN_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "index/inverted_file.h"
+#include "storage/buffer_pool.h"
+#include "text/types.h"
+
+namespace textjoin {
+
+// SharedScanRegistrar: concurrent queries over the same collection keep
+// asking for the same hot posting lists. Within one scheduler round (one
+// step of every active query), the first query to fetch a (file, term)
+// entry pays the metered I/O and registers the decoded cells; every later
+// query in the SAME round piggybacks on that scan for free — no page
+// reads, no latency charge. Across rounds the registrar forgets (the
+// decoded cells would otherwise amount to an unbounded second cache); the
+// BufferPool still absorbs cross-round reuse at page granularity, under
+// the tenants' quotas.
+class SharedScanRegistrar {
+ public:
+  struct Fetched {
+    // Decoded posting list, shared between the fetching query and its
+    // piggybackers for the duration of the round.
+    std::shared_ptr<const std::vector<ICell>> cells;
+    // True when this call piggybacked on an earlier fetch of the round.
+    bool shared = false;
+    // Pages actually read from disk by this call (pool misses); 0 for a
+    // shared or fully cached fetch. The scheduler charges simulated
+    // latency per page read.
+    int64_t pages_read = 0;
+  };
+
+  explicit SharedScanRegistrar(bool enabled) : enabled_(enabled) {}
+
+  // Starts a new round: previously registered scans are forgotten.
+  void BeginRound() { round_.clear(); }
+  void EndRound() { round_.clear(); }
+
+  // Fetches `term`'s posting list of `index` through `pool`, charging page
+  // misses to `tenant` — or returns the cells another query fetched this
+  // round. A term absent from the index yields an empty list.
+  Result<Fetched> Fetch(const InvertedFile& index, TermId term,
+                        BufferPool* pool, const std::string& tenant);
+
+  bool enabled() const { return enabled_; }
+  // Posting-list fetches that paid I/O vs piggybacked, over the
+  // registrar's lifetime.
+  int64_t total_fetches() const { return total_fetches_; }
+  int64_t total_shared() const { return total_shared_; }
+
+ private:
+  using ScanKey = std::pair<FileId, TermId>;
+
+  bool enabled_;
+  std::map<ScanKey, std::shared_ptr<const std::vector<ICell>>> round_;
+  int64_t total_fetches_ = 0;
+  int64_t total_shared_ = 0;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_SERVE_SHARED_SCAN_H_

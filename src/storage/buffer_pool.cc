@@ -11,14 +11,25 @@ BufferPool::BufferPool(Disk* disk, int64_t capacity_pages)
 }
 
 Result<const uint8_t*> BufferPool::Pin(FileId file, PageNumber page) {
+  return PinFor(std::string(), file, page);
+}
+
+Result<const uint8_t*> BufferPool::PinFor(const std::string& tenant,
+                                          FileId file, PageNumber page) {
   // Polled on the hit path too: a pin that never touches the device must
   // still observe cancellation, or a fully cached loop would run forever.
   if (QueryGovernor* governor = disk_->governor(); governor != nullptr) {
     TEXTJOIN_RETURN_IF_ERROR(governor->PollIo());
   }
+  if (!tenant.empty() && partitioned() && quotas_.count(tenant) == 0) {
+    return Status::InvalidArgument("unknown tenant '" + tenant +
+                                   "' in partitioned buffer pool");
+  }
   Key key{file, page};
   auto it = frames_.find(key);
   if (it != frames_.end()) {
+    // A hit is free for every tenant: cached read-only pages are shared;
+    // the charge stays with the tenant that faulted the page in.
     ++hits_;
     Frame& f = it->second;
     if (f.in_lru) {
@@ -29,16 +40,29 @@ Result<const uint8_t*> BufferPool::Pin(FileId file, PageNumber page) {
     return static_cast<const uint8_t*>(f.bytes.data());
   }
   ++misses_;
+
   // Read before evicting: a failed fetch must leave the pool exactly as it
   // was — no leaked frame, and no victim evicted for a page that never
   // arrived.
   Frame f;
   f.bytes.resize(static_cast<size_t>(disk_->page_size()));
   TEXTJOIN_RETURN_IF_ERROR(disk_->ReadPage(file, page, f.bytes.data()));
+
+  // Quota first: a tenant at its quota must make room out of its own
+  // frames before the new page is charged to it. This keeps the hard
+  // invariant tenant_frames(t) <= tenant_quota(t) at every instant.
+  const bool charged = !tenant.empty() && partitioned();
+  if (charged && owned_frames_[tenant] >= quotas_.find(tenant)->second) {
+    TEXTJOIN_RETURN_IF_ERROR(EvictOwn(tenant));
+  }
   if (static_cast<int64_t>(frames_.size()) >= capacity_) {
-    TEXTJOIN_RETURN_IF_ERROR(EvictOne());
+    TEXTJOIN_RETURN_IF_ERROR(EvictPreferring(tenant));
   }
   f.pins = 1;
+  if (charged) {
+    f.owner = tenant;
+    ++owned_frames_[tenant];
+  }
   auto [pos, inserted] = frames_.emplace(key, std::move(f));
   TEXTJOIN_CHECK(inserted);
   return static_cast<const uint8_t*>(pos->second.bytes.data());
@@ -61,14 +85,111 @@ Status BufferPool::Unpin(FileId file, PageNumber page) {
   return Status::OK();
 }
 
+void BufferPool::DropFrame(const Key& key) {
+  auto it = frames_.find(key);
+  TEXTJOIN_CHECK(it != frames_.end());
+  if (!it->second.owner.empty()) {
+    auto o = owned_frames_.find(it->second.owner);
+    if (o != owned_frames_.end() && o->second > 0) --o->second;
+  }
+  frames_.erase(it);
+}
+
 Status BufferPool::EvictOne() {
   if (lru_.empty()) {
     return Status::ResourceExhausted("all buffer frames are pinned");
   }
   Key victim = lru_.back();
   lru_.pop_back();
-  frames_.erase(victim);
+  DropFrame(victim);
   return Status::OK();
+}
+
+Status BufferPool::EvictPreferring(const std::string& tenant) {
+  if (!tenant.empty() && partitioned()) {
+    // First pass: the requesting tenant's own unpinned frames, LRU first.
+    // Evicting your own coldest page before touching anyone else's is what
+    // makes the quotas isolation and not just accounting.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      auto f = frames_.find(*it);
+      TEXTJOIN_CHECK(f != frames_.end());
+      if (f->second.owner == tenant) {
+        Key victim = *it;
+        lru_.erase(std::next(it).base());
+        DropFrame(victim);
+        return Status::OK();
+      }
+    }
+  }
+  return EvictOne();
+}
+
+Status BufferPool::EvictOwn(const std::string& tenant) {
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    auto f = frames_.find(*it);
+    TEXTJOIN_CHECK(f != frames_.end());
+    if (f->second.owner == tenant) {
+      Key victim = *it;
+      lru_.erase(std::next(it).base());
+      DropFrame(victim);
+      return Status::OK();
+    }
+  }
+  return Status::ResourceExhausted(
+      "tenant '" + tenant +
+      "' is at its page quota with every owned frame pinned");
+}
+
+Status BufferPool::Partition(const std::vector<TenantQuota>& quotas) {
+  for (const auto& [key, frame] : frames_) {
+    if (frame.pins > 0) {
+      return Status::FailedPrecondition(
+          "cannot repartition the buffer pool while pages are pinned");
+    }
+  }
+  int64_t total = 0;
+  std::map<std::string, int64_t> next;
+  for (const TenantQuota& q : quotas) {
+    if (q.tenant.empty() || q.pages <= 0) {
+      return Status::InvalidArgument(
+          "tenant quotas need a name and a positive page count");
+    }
+    if (!next.emplace(q.tenant, q.pages).second) {
+      return Status::InvalidArgument("duplicate tenant '" + q.tenant +
+                                     "' in partitioning");
+    }
+    total += q.pages;
+  }
+  if (total > capacity_) {
+    return Status::InvalidArgument(
+        "tenant quotas (" + std::to_string(total) +
+        " pages) exceed the pool capacity (" + std::to_string(capacity_) +
+        ")");
+  }
+  // Existing cached pages survive but are unowned under the new regime:
+  // no tenant is charged for work done before the partitioning existed.
+  for (auto& [key, frame] : frames_) frame.owner.clear();
+  owned_frames_.clear();
+  quotas_ = std::move(next);
+  return Status::OK();
+}
+
+int64_t BufferPool::tenant_quota(const std::string& tenant) const {
+  auto it = quotas_.find(tenant);
+  return it == quotas_.end() ? -1 : it->second;
+}
+
+int64_t BufferPool::tenant_frames(const std::string& tenant) const {
+  auto it = owned_frames_.find(tenant);
+  return it == owned_frames_.end() ? 0 : it->second;
+}
+
+int64_t BufferPool::tenant_pinned_frames(const std::string& tenant) const {
+  int64_t n = 0;
+  for (const auto& [key, frame] : frames_) {
+    if (frame.owner == tenant && frame.pins > 0) ++n;
+  }
+  return n;
 }
 
 Status BufferPool::FlushAll() {
@@ -79,6 +200,7 @@ Status BufferPool::FlushAll() {
   }
   frames_.clear();
   lru_.clear();
+  owned_frames_.clear();
   return Status::OK();
 }
 

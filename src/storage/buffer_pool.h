@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -19,8 +20,23 @@ namespace textjoin {
 // the pool serves the general-purpose access paths (the relational layer,
 // examples, and B+tree point lookups in user-facing queries) and is a
 // standard database substrate in its own right.
+//
+// Multi-tenant partitioning (the serving layer, serve/scheduler.h): the
+// pool's capacity can be carved into hard per-tenant page quotas with
+// Partition(). A frame is charged to the tenant that faulted it in; a
+// tenant at its quota must evict one of its OWN unpinned frames before
+// faulting another page, so one tenant's scan can never push another
+// tenant's working set out. Cache hits on a frame another tenant owns are
+// free (read-only pages are shared — that is the point of serving many
+// queries from one machine); only misses charge the quota.
 class BufferPool {
  public:
+  // One tenant's hard page quota inside the pool.
+  struct TenantQuota {
+    std::string tenant;
+    int64_t pages = 0;
+  };
+
   BufferPool(Disk* disk, int64_t capacity_pages);
 
   BufferPool(const BufferPool&) = delete;
@@ -28,11 +44,39 @@ class BufferPool {
 
   // Pins the page and returns a pointer to its bytes, fetching it from disk
   // on a miss (possibly evicting an unpinned LRU victim). Fails with
-  // RESOURCE_EXHAUSTED when every frame is pinned.
+  // RESOURCE_EXHAUSTED when every frame is pinned. Frames faulted in here
+  // are unowned (charged to no tenant).
   Result<const uint8_t*> Pin(FileId file, PageNumber page);
+
+  // Pin on behalf of `tenant`. In a partitioned pool a miss charges the
+  // tenant's quota: at quota, the tenant's own LRU unpinned frame is
+  // evicted first; when all its frames are pinned the pin fails with
+  // RESOURCE_EXHAUSTED instead of stealing from another tenant. Under
+  // global pressure eviction also prefers the requesting tenant's own
+  // unpinned frames over other tenants'. An empty tenant (or an
+  // unpartitioned pool) behaves exactly like Pin().
+  Result<const uint8_t*> PinFor(const std::string& tenant, FileId file,
+                                PageNumber page);
 
   // Releases one pin. The page stays cached until evicted.
   Status Unpin(FileId file, PageNumber page);
+
+  // Carves the pool into hard per-tenant quotas. The quotas must sum to at
+  // most the capacity (INVALID_ARGUMENT otherwise) and repartitioning with
+  // any page still pinned fails with FAILED_PRECONDITION — a pinned frame
+  // cannot be re-charged under a different regime. Existing unpinned
+  // frames stay cached but become unowned (evictable by anyone). An empty
+  // quota list removes the partitioning.
+  Status Partition(const std::vector<TenantQuota>& quotas);
+  bool partitioned() const { return !quotas_.empty(); }
+
+  // The quota configured for `tenant`, or -1 when unknown/unpartitioned.
+  int64_t tenant_quota(const std::string& tenant) const;
+  // Frames currently charged to `tenant`. Never exceeds the quota — the
+  // invariant serving_test checks throughout interleaved runs.
+  int64_t tenant_frames(const std::string& tenant) const;
+  // Charged frames of `tenant` with at least one outstanding pin.
+  int64_t tenant_pinned_frames(const std::string& tenant) const;
 
   // Drops every unpinned page. Fails if any page is still pinned.
   Status FlushAll();
@@ -62,16 +106,26 @@ class BufferPool {
   struct Frame {
     std::vector<uint8_t> bytes;
     int64_t pins = 0;
+    std::string owner;                 // tenant charged; empty = unowned
     std::list<Key>::iterator lru_pos;  // valid only when pins == 0
     bool in_lru = false;
   };
 
   Status EvictOne();
+  // Evicts one unpinned frame, preferring (in LRU order) frames owned by
+  // `tenant`, then any other unpinned frame.
+  Status EvictPreferring(const std::string& tenant);
+  // Evicts the LRU unpinned frame owned by `tenant`; RESOURCE_EXHAUSTED
+  // when every owned frame is pinned.
+  Status EvictOwn(const std::string& tenant);
+  void DropFrame(const Key& key);
 
   Disk* disk_;
   int64_t capacity_;
   std::map<Key, Frame> frames_;
   std::list<Key> lru_;  // front = most recent
+  std::map<std::string, int64_t> quotas_;        // tenant -> quota pages
+  std::map<std::string, int64_t> owned_frames_;  // tenant -> charged frames
   int64_t hits_ = 0;
   int64_t misses_ = 0;
 };

@@ -97,6 +97,119 @@ TEST_F(BufferPoolTest, FlushAllFailsWhenPinned) {
   EXPECT_EQ(pool.cached_pages(), 0);
 }
 
+// --- Multi-tenant partitioning (the serving layer's isolation substrate).
+
+TEST_F(BufferPoolTest, PartitionValidatesQuotas) {
+  BufferPool pool(disk_.get(), 4);
+  auto s = pool.Partition({{"a", 3}, {"b", 3}});  // 6 > capacity 4
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  s = pool.Partition({{"a", 2}, {"a", 1}});  // duplicate tenant
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  s = pool.Partition({{"", 2}});  // unnamed tenant
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(pool.Partition({{"a", 2}, {"b", 2}}).ok());
+  EXPECT_TRUE(pool.partitioned());
+  EXPECT_EQ(pool.tenant_quota("a"), 2);
+  EXPECT_EQ(pool.tenant_quota("nobody"), -1);
+}
+
+TEST_F(BufferPoolTest, QuotaNeverExceededAndEvictsOwnFrames) {
+  BufferPool pool(disk_.get(), 8);
+  ASSERT_TRUE(pool.Partition({{"a", 2}, {"b", 2}}).ok());
+  for (PageNumber p : {0, 1, 2, 3}) {
+    auto r = pool.PinFor("a", file_, p);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(pool.Unpin(file_, p).ok());
+    EXPECT_LE(pool.tenant_frames("a"), 2);  // hard at every instant
+  }
+  // Pages 0 and 1 were a's own LRU victims; 2 and 3 survived.
+  disk_->ResetStats();
+  ASSERT_TRUE(pool.PinFor("a", file_, 2).ok());
+  ASSERT_TRUE(pool.PinFor("a", file_, 3).ok());
+  EXPECT_EQ(disk_->stats().total_reads(), 0);
+  ASSERT_TRUE(pool.Unpin(file_, 2).ok());
+  ASSERT_TRUE(pool.Unpin(file_, 3).ok());
+}
+
+TEST_F(BufferPoolTest, QuotaExhaustedWhenAllOwnedFramesPinned) {
+  BufferPool pool(disk_.get(), 8);
+  ASSERT_TRUE(pool.Partition({{"a", 2}, {"b", 2}}).ok());
+  ASSERT_TRUE(pool.PinFor("a", file_, 0).ok());  // both stay pinned
+  ASSERT_TRUE(pool.PinFor("a", file_, 1).ok());
+  // The pool has six free frames, but a is at quota with nothing
+  // evictable: the pin must fail rather than steal from b's slice.
+  auto r = pool.PinFor("a", file_, 2);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  // b is unaffected.
+  EXPECT_TRUE(pool.PinFor("b", file_, 2).ok());
+}
+
+TEST_F(BufferPoolTest, CapacityEvictionPrefersOwnFrames) {
+  BufferPool pool(disk_.get(), 3);
+  ASSERT_TRUE(pool.Partition({{"a", 2}, {"b", 1}}).ok());
+  ASSERT_TRUE(pool.PinFor("b", file_, 0).ok());  // globally LRU-oldest
+  ASSERT_TRUE(pool.Unpin(file_, 0).ok());
+  ASSERT_TRUE(pool.PinFor("a", file_, 1).ok());
+  ASSERT_TRUE(pool.Unpin(file_, 1).ok());
+  ASSERT_TRUE(pool.Pin(file_, 2).ok());  // unowned filler -> pool full
+  ASSERT_TRUE(pool.Unpin(file_, 2).ok());
+  // a is under quota but the pool is at capacity: the victim must be a's
+  // own page 1, not b's LRU-older page 0.
+  ASSERT_TRUE(pool.PinFor("a", file_, 3).ok());
+  ASSERT_TRUE(pool.Unpin(file_, 3).ok());
+  disk_->ResetStats();
+  ASSERT_TRUE(pool.PinFor("b", file_, 0).ok());  // still cached
+  EXPECT_EQ(disk_->stats().total_reads(), 0);
+  ASSERT_TRUE(pool.Unpin(file_, 0).ok());
+  ASSERT_TRUE(pool.PinFor("a", file_, 1).ok());  // was evicted
+  EXPECT_EQ(disk_->stats().total_reads(), 1);
+  ASSERT_TRUE(pool.Unpin(file_, 1).ok());
+}
+
+TEST_F(BufferPoolTest, HitsAreFreeForOtherTenants) {
+  BufferPool pool(disk_.get(), 4);
+  ASSERT_TRUE(pool.Partition({{"a", 2}, {"b", 2}}).ok());
+  ASSERT_TRUE(pool.PinFor("a", file_, 0).ok());
+  ASSERT_TRUE(pool.Unpin(file_, 0).ok());
+  // b rides a's cached frame: no read, no charge to b, charge stays with a.
+  disk_->ResetStats();
+  ASSERT_TRUE(pool.PinFor("b", file_, 0).ok());
+  EXPECT_EQ(disk_->stats().total_reads(), 0);
+  EXPECT_EQ(pool.tenant_frames("a"), 1);
+  EXPECT_EQ(pool.tenant_frames("b"), 0);
+  ASSERT_TRUE(pool.Unpin(file_, 0).ok());
+}
+
+TEST_F(BufferPoolTest, RepartitionWithPinnedPagesFailsCleanly) {
+  BufferPool pool(disk_.get(), 4);
+  ASSERT_TRUE(pool.Partition({{"a", 2}}).ok());
+  ASSERT_TRUE(pool.PinFor("a", file_, 0).ok());
+  auto s = pool.Partition({{"a", 1}, {"b", 1}});
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  // The failed call changed nothing: a's quota and charge are intact.
+  EXPECT_EQ(pool.tenant_quota("a"), 2);
+  EXPECT_EQ(pool.tenant_quota("b"), -1);
+  EXPECT_EQ(pool.tenant_frames("a"), 1);
+  ASSERT_TRUE(pool.Unpin(file_, 0).ok());
+  // Unpinned, the repartition succeeds and pre-existing frames become
+  // unowned under the new regime.
+  ASSERT_TRUE(pool.Partition({{"a", 1}, {"b", 1}}).ok());
+  EXPECT_EQ(pool.tenant_frames("a"), 0);
+  EXPECT_EQ(pool.cached_pages(), 1);
+}
+
+TEST_F(BufferPoolTest, UnknownTenantRejectedWhenPartitioned) {
+  BufferPool pool(disk_.get(), 4);
+  ASSERT_TRUE(pool.Partition({{"a", 2}}).ok());
+  auto r = pool.PinFor("stranger", file_, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // The empty tenant (infrastructure reads) and plain Pin still work.
+  EXPECT_TRUE(pool.Pin(file_, 0).ok());
+  ASSERT_TRUE(pool.Unpin(file_, 0).ok());
+}
+
 TEST_F(BufferPoolTest, PinnedPageGuardReleases) {
   BufferPool pool(disk_.get(), 2);
   {

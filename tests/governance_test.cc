@@ -22,6 +22,7 @@
 #include "parallel/parallel_join.h"
 #include "planner/planner.h"
 #include "relational/database.h"
+#include "serve/scheduler.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "test_util.h"
@@ -441,6 +442,95 @@ TEST(AdmissionTest, QueueTimeoutShedsWaiters) {
   EXPECT_EQ(controller.total_shed(), 1);
 }
 
+TEST(AdmissionTest, QueueTimeoutChargesWaitAndCountsTimeoutShed) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 2;
+  options.queue_timeout_ms = 10.0;
+  AdmissionController controller(options);
+
+  auto running = controller.Submit(0, 0);
+  ASSERT_TRUE(running.ok());
+  auto waiter = controller.Submit(0, 0);
+  ASSERT_TRUE(waiter.ok());
+  EXPECT_EQ(waiter->outcome, AdmissionOutcome::kQueued);
+
+  // Time passes with no Release: the timeout must fire from the clock
+  // alone, and the 25 ms the waiter actually sat in the queue must be
+  // charged to the wait accounting, not silently dropped with the query.
+  controller.AdvanceTimeMs(25.0);
+  EXPECT_EQ(controller.StateOf(waiter->ticket), TicketState::kTimedOut);
+  EXPECT_EQ(controller.queued(), 0);
+  EXPECT_EQ(controller.total_timeout_shed(), 1);
+  EXPECT_EQ(controller.total_shed(), 1);
+  EXPECT_DOUBLE_EQ(controller.total_queue_wait_ms(), 25.0);
+  EXPECT_DOUBLE_EQ(controller.shed_wait_ms(waiter->ticket), 25.0);
+
+  // Await reports the shed; the per-ticket wait record survives it so a
+  // scheduler can fill its post-mortem report.
+  auto resolved = controller.Await(waiter->ticket);
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_EQ(resolved.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(controller.shed_wait_ms(waiter->ticket), 25.0);
+
+  // A ticket never shed from the queue has no shed-wait record.
+  EXPECT_LT(controller.shed_wait_ms(running->ticket), 0);
+}
+
+TEST(AdmissionTest, AdvanceTimeOnEmptyQueueIsHarmless) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.queue_timeout_ms = 5.0;
+  AdmissionController controller(options);
+
+  controller.AdvanceTimeMs(100.0);
+  EXPECT_DOUBLE_EQ(controller.now_ms(), 100.0);
+  EXPECT_EQ(controller.total_shed(), 0);
+  EXPECT_EQ(controller.total_timeout_shed(), 0);
+  EXPECT_DOUBLE_EQ(controller.total_queue_wait_ms(), 0.0);
+  // The controller still admits after an idle stretch.
+  auto grant = controller.Submit(0, 0);
+  ASSERT_TRUE(grant.ok());
+  EXPECT_EQ(grant->outcome, AdmissionOutcome::kAdmitted);
+}
+
+TEST(AdmissionTest, ExactBoundaryWaitPromotesInsteadOfShedding) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.max_queue = 2;
+  options.queue_timeout_ms = 10.0;
+
+  // wait == timeout: still within the allowed wait, so the waiter is
+  // promoted and charged exactly the boundary wait.
+  {
+    AdmissionController controller(options);
+    auto running = controller.Submit(0, 0);
+    ASSERT_TRUE(running.ok());
+    auto waiter = controller.Submit(0, 0);
+    ASSERT_TRUE(waiter.ok());
+    controller.Release(running->ticket, /*elapsed_ms=*/10.0);
+    EXPECT_EQ(controller.StateOf(waiter->ticket), TicketState::kPromoted);
+    auto promoted = controller.Await(waiter->ticket);
+    ASSERT_TRUE(promoted.ok()) << promoted.status();
+    EXPECT_DOUBLE_EQ(promoted->queue_wait_ms, 10.0);
+    EXPECT_EQ(controller.total_timeout_shed(), 0);
+    EXPECT_DOUBLE_EQ(controller.total_queue_wait_ms(), 10.0);
+  }
+
+  // Any strictly larger wait sheds.
+  {
+    AdmissionController controller(options);
+    auto running = controller.Submit(0, 0);
+    ASSERT_TRUE(running.ok());
+    auto waiter = controller.Submit(0, 0);
+    ASSERT_TRUE(waiter.ok());
+    controller.Release(running->ticket, /*elapsed_ms=*/10.0 + 1e-9);
+    EXPECT_EQ(controller.StateOf(waiter->ticket), TicketState::kTimedOut);
+    EXPECT_EQ(controller.total_timeout_shed(), 1);
+    EXPECT_FALSE(controller.Await(waiter->ticket).ok());
+  }
+}
+
 TEST(AdmissionTest, PredictedRuntimeOverDeadlineIsShedUpFront) {
   AdmissionOptions options;
   options.max_concurrent = 4;
@@ -645,6 +735,103 @@ TEST(DatabaseGovernanceTest, SetKnobsApplyToSqlQueries) {
       << "the error should list supported knobs: " << unknown.status();
   EXPECT_FALSE(db.ExecuteSql("SET deadline_ms = banana").ok());
   EXPECT_FALSE(db.ExecuteSql("SET deadline_ms = -5").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Serving-layer governance: cancellation of one tenant's query must not
+// poison the shared result cache or leak pinned buffer frames, and must
+// leave the other tenant's concurrent query bit-identical.
+
+TEST(ServingGovernanceTest, CancelledTenantLeavesNoPoisonNoLeaksNoDamage) {
+  SimulatedDisk disk(256);
+  DocumentCollection col =
+      RandomCollection(&disk, "docs", 80, 5, 40, 91 + SeedOffset());
+  auto index = InvertedFile::Build(&disk, "docs.inv", col);
+  ASSERT_TRUE(index.ok()) << index.status();
+
+  const std::vector<DCell> query_a = {{0, 2}, {1, 1}, {4, 1}};
+  const std::vector<DCell> query_b = {{2, 1}, {3, 2}};
+
+  // Ground truth: each query served alone, no cache, no sharing.
+  auto isolated = [&](const std::vector<DCell>& cells) {
+    ServeOptions options;
+    options.result_cache_entries = 0;
+    options.shared_scans = false;
+    QueryScheduler alone(&disk, nullptr, options);
+    TEXTJOIN_CHECK_OK(alone.AddCollection("docs", &col, &*index));
+    ServeQuery q;
+    q.collection = "docs";
+    q.cells = cells;
+    q.lambda = 4;
+    TEXTJOIN_CHECK_OK(alone.Submit(q).status());
+    auto records = alone.Run();
+    TEXTJOIN_CHECK_OK(records.status());
+    TEXTJOIN_CHECK(records.value().front().outcome == "completed");
+    return records.value().front().matches;
+  };
+  const std::vector<Match> ref_a = isolated(query_a);
+  const std::vector<Match> ref_b = isolated(query_b);
+
+  ServeOptions options;
+  options.result_cache_entries = 8;
+  options.shared_scans = true;
+  options.buffer_pool_pages = 24;
+  options.tenants = {{"a", 8}, {"b", 8}};
+  QueryScheduler scheduler(&disk, nullptr, options);
+  ASSERT_TRUE(scheduler.AddCollection("docs", &col, &*index).ok());
+
+  // Tenant a's query dies at its second checkpoint while tenant b's runs
+  // interleaved with it.
+  ServeQuery qa;
+  qa.tenant = "a";
+  qa.collection = "docs";
+  qa.cells = query_a;
+  qa.lambda = 4;
+  qa.cancel_at_checkpoint = 2;
+  ServeQuery qb;
+  qb.tenant = "b";
+  qb.collection = "docs";
+  qb.cells = query_b;
+  qb.lambda = 4;
+  ASSERT_TRUE(scheduler.Submit(qa).ok());
+  ASSERT_TRUE(scheduler.Submit(qb).ok());
+  auto records = scheduler.Run();
+  ASSERT_TRUE(records.ok()) << records.status();
+  ASSERT_EQ(records->size(), 2u);
+
+  const QueryRecord& ra = (*records)[0];
+  const QueryRecord& rb = (*records)[1];
+  EXPECT_EQ(ra.outcome, "cancelled") << ra.error;
+  EXPECT_TRUE(ra.matches.empty())
+      << "a cancelled query must not present partial matches";
+  ASSERT_EQ(rb.outcome, "completed") << rb.error;
+  EXPECT_EQ(rb.matches, ref_b)
+      << "the surviving tenant's result changed under a neighbor's "
+      << "cancellation";
+
+  // No leaked pins, no admission slot held.
+  EXPECT_EQ(scheduler.pool()->pinned_frames(), 0);
+  EXPECT_EQ(scheduler.admission()->running(), 0);
+
+  // No cache poison: the cancelled query inserted nothing, so re-running
+  // it is a cold MISS that produces the correct full result...
+  ServeQuery retry = qa;
+  retry.cancel_at_checkpoint = 0;
+  ASSERT_TRUE(scheduler.Submit(retry).ok());
+  auto rerun = scheduler.Run();
+  ASSERT_TRUE(rerun.ok()) << rerun.status();
+  ASSERT_EQ(rerun->front().outcome, "completed") << rerun->front().error;
+  EXPECT_FALSE(rerun->front().cache_hit)
+      << "a cancelled query must never seed the cache";
+  EXPECT_EQ(rerun->front().matches, ref_a);
+
+  // ...and only the COMPLETED run is cached for the next repeat.
+  ASSERT_TRUE(scheduler.Submit(retry).ok());
+  auto warm = scheduler.Run();
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm->front().outcome, "completed");
+  EXPECT_TRUE(warm->front().cache_hit);
+  EXPECT_EQ(warm->front().matches, ref_a);
 }
 
 TEST(DatabaseGovernanceTest, AdmissionDefaultDeadlineGovernsJoins) {

@@ -16,8 +16,15 @@
 //   textjoin_cli stats <file.txt>
 //       Tokenizes a file (one document per line) and prints the
 //       statistics the cost model consumes.
+//
+//   textjoin_cli serve <corpus.txt> [--queries N] [--rate QPS] ...
+//       Indexes the corpus and replays a seeded Poisson query stream
+//       through the multi-tenant serving scheduler, printing outcome
+//       counts, cache/shared-scan statistics and the latency tail.
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +46,8 @@
 #include "join/hvnl.h"
 #include "join/vvm.h"
 #include "planner/planner.h"
+#include "common/random.h"
+#include "serve/scheduler.h"
 #include "text/tokenizer.h"
 #include "text/trec_loader.h"
 
@@ -75,7 +84,24 @@ int Usage() {
                "--t2 T\n"
                "               [--buffer PAGES] [--alpha A] [--lambda L] "
                "[--delta D] [--m M] [--random-outer]\n"
-               "  textjoin_cli stats <file.txt>\n");
+               "  textjoin_cli stats <file.txt>\n"
+               "  textjoin_cli serve <corpus.txt> [--queries N] [--rate "
+               "QPS] [--lambda N]\n"
+               "               [--tenants N] [--pool PAGES] [--cache "
+               "ENTRIES] [--no-shared-scans]\n"
+               "               [--max-concurrent N] [--queue N] "
+               "[--queue-timeout-ms D]\n"
+               "               [--repeat-frac F] [--seed S] [--cosine] "
+               "[--idf]\n"
+               "      Indexes the corpus (one document per line) and "
+               "replays a seeded Poisson\n"
+               "      stream of N queries at QPS (simulated time) through "
+               "the serving\n"
+               "      scheduler: admission control, per-tenant buffer "
+               "quotas, shared scans\n"
+               "      and the result cache. --repeat-frac is the fraction "
+               "of queries drawn\n"
+               "      from a small hot set (repeats exercise the cache).\n");
   return 2;
 }
 
@@ -135,7 +161,8 @@ class Args {
         // token. Heuristic: skip the next token unless it also starts
         // with "--" or the flag is a known boolean.
         if (args_[i] == "--cosine" || args_[i] == "--idf" ||
-            args_[i] == "--random-outer" || args_[i] == "--trec") {
+            args_[i] == "--random-outer" || args_[i] == "--trec" ||
+            args_[i] == "--no-shared-scans") {
           continue;
         }
         ++i;
@@ -439,6 +466,133 @@ int RunStats(Args& args) {
   return 0;
 }
 
+int RunServe(Args& args) {
+  auto positional = args.Positional();
+  if (positional.size() != 1) return Usage();
+  const int64_t queries = args.Int("queries", 200);
+  const double rate = args.Double("rate", 100.0);
+  const int64_t lambda = args.Int("lambda", 5);
+  const int64_t tenants = args.Int("tenants", 2);
+  const int64_t pool_pages = args.Int("pool", 128);
+  const int64_t cache_entries = args.Int("cache", 64);
+  const int64_t max_concurrent = args.Int("max-concurrent", 4);
+  const int64_t max_queue = args.Int("queue", 16);
+  const double queue_timeout = args.Double("queue-timeout-ms", 0.0);
+  const double repeat_frac = args.Double("repeat-frac", 0.5);
+  const uint64_t seed = static_cast<uint64_t>(args.Int("seed", 42));
+  if (queries < 1 || rate <= 0 || lambda < 1 || tenants < 1 ||
+      pool_pages < tenants || cache_entries < 0 || max_concurrent < 1 ||
+      max_queue < 0 || queue_timeout < 0 || repeat_frac < 0 ||
+      repeat_frac > 1) {
+    return Usage();
+  }
+
+  auto lines = ReadLines(positional[0]);
+  if (!lines.ok()) {
+    std::fprintf(stderr, "%s\n", lines.status().ToString().c_str());
+    return 1;
+  }
+  SimulatedDisk disk(4096);
+  Vocabulary vocab;
+  Tokenizer tokenizer;
+  auto col = BuildFromLines(&disk, "corpus", *lines, &vocab, tokenizer);
+  TEXTJOIN_CHECK_OK(col.status());
+  auto index = InvertedFile::Build(&disk, "corpus.inv", *col);
+  TEXTJOIN_CHECK_OK(index.status());
+
+  ServeOptions options;
+  options.admission.max_concurrent = max_concurrent;
+  options.admission.max_queue = max_queue;
+  options.admission.queue_timeout_ms = queue_timeout;
+  options.result_cache_entries = cache_entries;
+  options.shared_scans = !args.Bool("no-shared-scans");
+  options.buffer_pool_pages = pool_pages;
+  for (int64_t t = 0; t < tenants; ++t) {
+    options.tenants.push_back(
+        {"tenant" + std::to_string(t), pool_pages / tenants});
+  }
+  QueryScheduler scheduler(&disk, &vocab, options);
+  TEXTJOIN_CHECK_OK(scheduler.AddCollection("corpus", &col.value(),
+                                            &index.value()));
+
+  SimilarityConfig config;
+  config.cosine_normalize = args.Bool("cosine");
+  config.use_idf = args.Bool("idf");
+
+  // The query stream: corpus lines replayed as queries. A --repeat-frac
+  // slice comes from a small Zipf-skewed hot set (repeats hit the result
+  // cache); the rest are uniform draws over the whole corpus.
+  Rng rng(seed);
+  const uint64_t hot = std::max<uint64_t>(
+      1, std::min<uint64_t>(8, lines->size()));
+  ZipfSampler hot_sampler(hot, 1.0);
+  double clock_ms = 0;
+  for (int64_t i = 0; i < queries; ++i) {
+    clock_ms += -std::log(1.0 - rng.NextDouble()) * 1000.0 / rate;
+    ServeQuery query;
+    query.tenant = "tenant" + std::to_string(rng.NextBounded(
+                                  static_cast<uint64_t>(tenants)));
+    query.collection = "corpus";
+    const uint64_t line = rng.NextDouble() < repeat_frac
+                              ? hot_sampler.Sample(&rng)
+                              : rng.NextBounded(lines->size());
+    query.text = (*lines)[line];
+    query.lambda = lambda;
+    query.similarity = config;
+    query.arrival_ms = clock_ms;
+    TEXTJOIN_CHECK_OK(scheduler.Submit(query).status());
+  }
+  auto records = scheduler.Run();
+  TEXTJOIN_CHECK_OK(records.status());
+
+  int64_t completed = 0, shed = 0, failed = 0, hits = 0;
+  double max_queue_wait = 0, last_finish = 0;
+  std::vector<double> latencies;
+  for (const QueryRecord& r : *records) {
+    max_queue_wait = std::max(max_queue_wait, r.queue_wait_ms);
+    last_finish = std::max(last_finish, r.finish_ms);
+    if (r.outcome == "completed") {
+      ++completed;
+      if (r.cache_hit) ++hits;
+      latencies.push_back(r.latency_ms);
+    } else if (r.outcome == "shed") {
+      ++shed;
+    } else {
+      ++failed;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  auto pct = [&](double q) {
+    if (latencies.empty()) return 0.0;
+    size_t idx = static_cast<size_t>(
+        q * static_cast<double>(latencies.size()));
+    if (idx >= latencies.size()) idx = latencies.size() - 1;
+    return latencies[idx];
+  };
+  const auto& cache_stats = scheduler.cache()->stats();
+  std::printf("served %lld queries at %.0f qps offered "
+              "(%.1f ms simulated makespan)\n",
+              static_cast<long long>(records->size()), rate, last_finish);
+  std::printf("outcomes: %lld completed, %lld shed, %lld other\n",
+              static_cast<long long>(completed),
+              static_cast<long long>(shed), static_cast<long long>(failed));
+  std::printf("cache: %lld hits / %lld lookups (%.1f%% of completed); "
+              "%lld invalidated, %lld evicted\n",
+              static_cast<long long>(cache_stats.hits),
+              static_cast<long long>(cache_stats.hits + cache_stats.misses),
+              completed > 0 ? 100.0 * static_cast<double>(hits) /
+                                  static_cast<double>(completed)
+                            : 0.0,
+              static_cast<long long>(cache_stats.invalidations),
+              static_cast<long long>(cache_stats.evictions));
+  std::printf("shared scans: %lld piggybacked / %lld fetched\n",
+              static_cast<long long>(scheduler.registrar().total_shared()),
+              static_cast<long long>(scheduler.registrar().total_fetches()));
+  std::printf("latency ms: p50=%.2f p99=%.2f p999=%.2f max_queue_wait=%.2f\n",
+              pct(0.50), pct(0.99), pct(0.999), max_queue_wait);
+  return 0;
+}
+
 }  // namespace
 }  // namespace textjoin
 
@@ -450,5 +604,6 @@ int main(int argc, char** argv) {
   if (command == "join") return RunJoin(args);
   if (command == "estimate") return RunEstimate(args);
   if (command == "stats") return RunStats(args);
+  if (command == "serve") return RunServe(args);
   return Usage();
 }
