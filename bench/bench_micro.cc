@@ -168,7 +168,8 @@ void BM_DecodeICells(benchmark::State& state) {
   std::vector<uint8_t> bytes;
   EncodeICells(cells, &bytes);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(DecodeICells(bytes.data(), n));
+    benchmark::DoNotOptimize(
+        DecodeICells(bytes.data(), static_cast<int64_t>(bytes.size()), n));
   }
   state.SetBytesProcessed(state.iterations() * n * kICellBytes);
 }

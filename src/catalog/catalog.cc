@@ -216,7 +216,15 @@ Status SaveInvertedFileCatalog(const InvertedFile& inverted,
     PutFixed64(&payload, static_cast<uint64_t>(e.offset_bytes));
     PutFixed64(&payload, static_cast<uint64_t>(e.cell_count));
     PutFixed64(&payload, static_cast<uint64_t>(e.byte_length));
-    PutFixed32(&payload, static_cast<uint32_t>(e.max_weight));
+    PutFixed32(&payload, FloatBits(e.max_weight));
+    PutFixed32(&payload, static_cast<uint32_t>(e.blocks.size()));
+    for (const auto& b : e.blocks) {
+      PutFixed32(&payload, b.first_doc);
+      PutFixed32(&payload, b.last_doc);
+      PutFixed32(&payload, static_cast<uint32_t>(b.cell_count));
+      PutFixed64(&payload, static_cast<uint64_t>(b.offset_bytes));
+      PutFixed32(&payload, FloatBits(b.max_weight));
+    }
   }
   const BPlusTree& tree = inverted.btree();
   PutFixed64(&payload, static_cast<uint64_t>(tree.root_page()));
@@ -246,8 +254,19 @@ Result<InvertedFile> OpenInvertedFile(Disk* disk,
     e.offset_bytes = static_cast<int64_t>(r.U64());
     e.cell_count = static_cast<int64_t>(r.U64());
     e.byte_length = static_cast<int64_t>(r.U64());
-    e.max_weight = static_cast<int32_t>(r.U32());
-    entries.push_back(e);
+    e.max_weight = FloatFromBits(r.U32());
+    const uint32_t num_blocks = r.U32();
+    e.blocks.reserve(num_blocks);
+    for (uint32_t b = 0; b < num_blocks && r.ok(); ++b) {
+      InvertedFile::PostingBlockMeta block;
+      block.first_doc = r.U32();
+      block.last_doc = r.U32();
+      block.cell_count = static_cast<int32_t>(r.U32());
+      block.offset_bytes = static_cast<int64_t>(r.U64());
+      block.max_weight = FloatFromBits(r.U32());
+      e.blocks.push_back(block);
+    }
+    entries.push_back(std::move(e));
   }
   PageNumber root = static_cast<PageNumber>(r.U64());
   int64_t leaf_pages = static_cast<int64_t>(r.U64());

@@ -56,6 +56,11 @@ struct CostInputs {
   // planner fills them from JoinSpec::pruning.
   double pruning_rate = 0.0;
   bool adaptive_merge = false;
+  // Block-max traversal (PruningConfig::block_skip): per-block maxima let
+  // the executors skip whole 64-cell posting blocks (decode discount for
+  // HVNL/VVM) and gallop over block summaries (merge discount for HHNL).
+  // Only effective alongside the knob it refines, mirroring the executors.
+  bool block_skip = false;
 };
 
 // Cost of one algorithm under the two device models.

@@ -60,13 +60,17 @@ CpuEstimate HhnlCpuCost(const CostInputs& in) {
   double merge_per_pair = d.K1 + d.K2 - d.common;
   if (in.adaptive_merge) {
     // Skewed lengths switch to galloping: the shorter document's cells
-    // each cost one probe step plus ~2*log2(ratio) search probes.
+    // each cost one probe step plus ~2*log2(ratio) search probes. Block
+    // summaries (in.block_skip, one probe per 64-cell block) prune the
+    // search range to roughly one block plus the summary walk, halving
+    // the per-cell probe count.
     const double shorter = std::max(1.0, std::min(d.K1, d.K2));
     const double ratio = std::max(d.K1, d.K2) / shorter;
     if (ratio >= 16.0) {
-      merge_per_pair = std::min(
-          merge_per_pair,
-          shorter * (2.0 * std::log2(ratio) + 2.0) + d.common);
+      const double probes = in.block_skip ? std::log2(ratio) + 2.0
+                                          : 2.0 * std::log2(ratio) + 2.0;
+      merge_per_pair =
+          std::min(merge_per_pair, shorter * probes + d.common);
     }
   }
   const double rate = std::clamp(in.pruning_rate, 0.0, 1.0);
@@ -90,6 +94,9 @@ CpuEstimate HvnlCpuCost(const CostInputs& in) {
   // cache or disk; the cell volume is the same per-pair accumulation
   // count as the other algorithms (m * N1 * common).
   e.accumulations = d.m * d.N1 * d.common;
+  // Merge-walk visits: each outer document walks its q*K2 probed entries
+  // end to end, L1 cells each.
+  e.cell_compares = d.m * d.q * d.K2 * d.L1;
   // Only entries actually fetched from disk are decoded. Reuse the I/O
   // model's casework: fetched entries = needed when they all fit, else
   // the cache fills (X) and every later document reads Y fresh entries.
@@ -124,6 +131,13 @@ CpuEstimate HvnlCpuCost(const CostInputs& in) {
     e.heap_offers *= 1.0 - rate;
     e.bound_checks = d.m * (d.K2 + d.q * d.K2);
     e.pairs_pruned = d.m * d.delta * d.N1 * rate;
+    if (in.block_skip) {
+      // Once admission closes, block-granular decode touches only blocks
+      // holding live accumulator documents; the pruned fraction of each
+      // entry's candidates is never decoded or visited by the walk.
+      e.cells_decoded *= 1.0 - rate;
+      e.cell_compares *= 1.0 - rate;
+    }
   }
   return e;
 }
@@ -140,6 +154,11 @@ CpuEstimate VvmCpuCost(const CostInputs& in) {
   const double cells2 =
       d.K2 * static_cast<double>(in.c2.num_documents);
   e.cells_decoded = passes * (cells1 + cells2);
+  // Merge-walk visits: every pass checks all C2 cells against the pass
+  // filter, and each participating outer cell walks its shared C1 entry
+  // (L1 cells) in the one pass that owns it.
+  const double walk_visits = d.m * d.q * d.K2 * d.L1;
+  e.cell_compares = passes * cells2 + walk_visits;
   e.heap_offers = d.m * d.delta * d.N1;
   // Admission suppression: the decode volume is fixed by the scans, but
   // suppressed pairs skip their accumulations and heap offers at the cost
@@ -150,6 +169,14 @@ CpuEstimate VvmCpuCost(const CostInputs& in) {
     e.heap_offers *= 1.0 - rate;
     e.bound_checks = d.m * d.delta * d.N1;
     e.pairs_pruned = d.m * d.delta * d.N1 * rate;
+    if (in.block_skip) {
+      // Pass-slice skipping decodes (and pass-filters) each C2 block only
+      // in the pass owning its document span, and closed outer documents
+      // walk C1's entry block-wise: the pruned share of C1's cells stays
+      // undecoded.
+      e.cells_decoded = cells2 + passes * cells1 * (1.0 - rate);
+      e.cell_compares = cells2 + walk_visits * (1.0 - rate);
+    }
   }
   return e;
 }

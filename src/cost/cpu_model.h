@@ -48,8 +48,11 @@ double ExpectedPruningRate(const CostInputs& in);
 // accumulation and heap work by the expected pruning rate and charge the
 // bound checks instead; in.adaptive_merge additionally caps HHNL's
 // per-pair merge cost by the galloping kernel's probe count on skewed
-// document lengths. With both at their defaults (0, false) the estimates
-// are exactly the unpruned formulas.
+// document lengths. in.block_skip refines both: block-summary galloping
+// halves HHNL's probe count, and block-granular decode discounts the
+// pruned share of HVNL's fetched cells and VVM's C1 scan. With all three
+// at their defaults (0, false, false) the estimates are exactly the
+// unpruned formulas.
 CpuEstimate HhnlCpuCost(const CostInputs& in);
 CpuEstimate HvnlCpuCost(const CostInputs& in);
 CpuEstimate VvmCpuCost(const CostInputs& in);

@@ -19,7 +19,11 @@ void EncodeICells(const std::vector<ICell>& cells, std::vector<uint8_t>* out) {
   }
 }
 
-std::vector<ICell> DecodeICells(const uint8_t* bytes, int64_t count) {
+Result<std::vector<ICell>> DecodeICells(const uint8_t* bytes,
+                                        int64_t byte_length, int64_t count) {
+  if (byte_length < count * kICellBytes) {
+    return Status::DataLoss("i-cell array shorter than its cell count");
+  }
   std::vector<ICell> cells;
   cells.reserve(static_cast<size_t>(count));
   for (int64_t i = 0; i < count; ++i) {
@@ -30,38 +34,107 @@ std::vector<ICell> DecodeICells(const uint8_t* bytes, int64_t count) {
 }
 
 void EncodePostings(const std::vector<ICell>& cells,
-                    PostingCompression compression,
-                    std::vector<uint8_t>* out) {
-  if (compression == PostingCompression::kNone) {
-    EncodeICells(cells, out);
-    return;
-  }
+                    PostingCompression compression, std::vector<uint8_t>* out,
+                    std::vector<InvertedFile::PostingBlockMeta>* blocks) {
   out->clear();
-  DocId prev = 0;
+  if (blocks != nullptr) blocks->clear();
+  InvertedFile::PostingBlockMeta block;
   for (size_t i = 0; i < cells.size(); ++i) {
-    // Ascending document numbers: the first gap is the document number
-    // itself, later gaps are strictly positive deltas.
-    uint64_t gap = i == 0 ? cells[i].doc : cells[i].doc - prev;
-    prev = cells[i].doc;
-    PutVarint(out, gap);
-    PutVarint(out, cells[i].weight);
+    const bool block_start = (i % kPostingBlockCells) == 0;
+    if (block_start) {
+      block = InvertedFile::PostingBlockMeta{};
+      block.first_doc = cells[i].doc;
+      block.offset_bytes = static_cast<int64_t>(out->size());
+    }
+    if (compression == PostingCompression::kNone) {
+      PutFixed24(out, cells[i].doc);
+      PutFixed16(out, cells[i].weight);
+    } else {
+      // Ascending document numbers; delta encoding restarts at each block
+      // boundary, so the first gap of a block is the document number
+      // itself and later gaps are strictly positive deltas.
+      uint64_t gap = block_start ? cells[i].doc : cells[i].doc - block.last_doc;
+      PutVarint(out, gap);
+      PutVarint(out, cells[i].weight);
+    }
+    block.last_doc = cells[i].doc;
+    block.max_weight =
+        std::max(block.max_weight, static_cast<float>(cells[i].weight));
+    ++block.cell_count;
+    if (blocks != nullptr &&
+        (i + 1 == cells.size() ||
+         ((i + 1) % kPostingBlockCells) == 0)) {
+      blocks->push_back(block);
+    }
   }
 }
 
-std::vector<ICell> DecodePostings(const uint8_t* bytes, int64_t count,
-                                  PostingCompression compression) {
+void EncodePostings(const std::vector<ICell>& cells,
+                    PostingCompression compression,
+                    std::vector<uint8_t>* out) {
+  EncodePostings(cells, compression, out, nullptr);
+}
+
+Status DecodePostingBlock(const uint8_t* bytes, int64_t byte_length,
+                          int64_t count, PostingCompression compression,
+                          std::vector<ICell>* out) {
   if (compression == PostingCompression::kNone) {
-    return DecodeICells(bytes, count);
+    if (byte_length < count * kICellBytes) {
+      return Status::DataLoss("posting block shorter than its cell count");
+    }
+    for (int64_t i = 0; i < count; ++i) {
+      const uint8_t* p = bytes + i * kICellBytes;
+      out->push_back(ICell{GetFixed24(p), GetFixed16(p + 3)});
+    }
+    return Status::OK();
   }
-  std::vector<ICell> cells;
-  cells.reserve(static_cast<size_t>(count));
   const uint8_t* p = bytes;
+  const uint8_t* limit = bytes + byte_length;
   DocId doc = 0;
   for (int64_t i = 0; i < count; ++i) {
-    doc = i == 0 ? static_cast<DocId>(GetVarint(&p))
-                 : doc + static_cast<DocId>(GetVarint(&p));
-    Weight w = static_cast<Weight>(GetVarint(&p));
-    cells.push_back(ICell{doc, w});
+    uint64_t gap = 0, w = 0;
+    TEXTJOIN_RETURN_IF_ERROR(GetVarint(&p, limit, &gap));
+    TEXTJOIN_RETURN_IF_ERROR(GetVarint(&p, limit, &w));
+    const uint64_t next = (i == 0 ? uint64_t{0} : uint64_t{doc}) + gap;
+    if (next > 0xFFFFFFull || w > 0xFFFFull) {
+      return Status::DataLoss("posting cell out of range (corrupt block)");
+    }
+    doc = static_cast<DocId>(next);
+    out->push_back(ICell{doc, static_cast<Weight>(w)});
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ICell>> DecodePostings(const uint8_t* bytes,
+                                          int64_t byte_length, int64_t count,
+                                          PostingCompression compression) {
+  std::vector<ICell> cells;
+  cells.reserve(static_cast<size_t>(count));
+  if (compression == PostingCompression::kNone) {
+    TEXTJOIN_RETURN_IF_ERROR(
+        DecodePostingBlock(bytes, byte_length, count, compression, &cells));
+    return cells;
+  }
+  // Delta encoding restarts every kPostingBlockCells cells; decode block
+  // by block, tracking the byte cursor across restarts.
+  const uint8_t* p = bytes;
+  const uint8_t* limit = bytes + byte_length;
+  int64_t remaining = count;
+  while (remaining > 0) {
+    const int64_t n = std::min<int64_t>(remaining, kPostingBlockCells);
+    DocId doc = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      uint64_t gap = 0, w = 0;
+      TEXTJOIN_RETURN_IF_ERROR(GetVarint(&p, limit, &gap));
+      TEXTJOIN_RETURN_IF_ERROR(GetVarint(&p, limit, &w));
+      const uint64_t next = (i == 0 ? uint64_t{0} : uint64_t{doc}) + gap;
+      if (next > 0xFFFFFFull || w > 0xFFFFull) {
+        return Status::DataLoss("posting cell out of range (corrupt entry)");
+      }
+      doc = static_cast<DocId>(next);
+      cells.push_back(ICell{doc, static_cast<Weight>(w)});
+    }
+    remaining -= n;
   }
   return cells;
 }
@@ -105,21 +178,27 @@ Result<InvertedFile> InvertedFile::Build(Disk* disk,
   std::vector<BPlusTree::LeafCell> leaf_cells;
   leaf_cells.reserve(terms.size());
   std::vector<uint8_t> bytes;
+  std::vector<PostingBlockMeta> blocks;
   for (TermId term : terms) {
     const std::vector<ICell>& cells = postings[term];
-    EncodePostings(cells, options.compression, &bytes);
+    EncodePostings(cells, options.compression, &bytes, &blocks);
     int64_t offset = writer.Append(bytes);
     if (offset > 0xFFFFFFFFll) {
       return Status::ResourceExhausted(
           "inverted file exceeds 4-byte address space");
     }
-    int32_t max_w = 0;
-    for (const ICell& c : cells) {
-      max_w = std::max(max_w, static_cast<int32_t>(c.weight));
+    float max_w = 0;
+    for (const PostingBlockMeta& b : blocks) {
+      max_w = std::max(max_w, b.max_weight);
     }
-    inv.entries_.push_back(EntryMeta{
-        term, offset, static_cast<int64_t>(cells.size()),
-        static_cast<int64_t>(bytes.size()), max_w});
+    EntryMeta meta;
+    meta.term = term;
+    meta.offset_bytes = offset;
+    meta.cell_count = static_cast<int64_t>(cells.size());
+    meta.byte_length = static_cast<int64_t>(bytes.size());
+    meta.max_weight = max_w;
+    meta.blocks = blocks;
+    inv.entries_.push_back(std::move(meta));
     uint16_t df16 = cells.size() > 0xFFFF
                         ? uint16_t{0xFFFF}
                         : static_cast<uint16_t>(cells.size());
@@ -181,7 +260,22 @@ Result<std::vector<ICell>> InvertedFile::FetchEntry(TermId term) const {
   PageStreamReader reader(disk_, file_);
   TEXTJOIN_RETURN_IF_ERROR(
       reader.Read(e.offset_bytes, e.byte_length, &bytes));
-  return DecodePostings(bytes.data(), e.cell_count, compression_);
+  return DecodePostings(bytes.data(), e.byte_length, e.cell_count,
+                        compression_);
+}
+
+Result<std::vector<uint8_t>> InvertedFile::FetchEntryRaw(TermId term) const {
+  int64_t idx = FindEntry(term);
+  if (idx < 0) {
+    return Status::NotFound("term " + std::to_string(term) +
+                            " has no inverted entry");
+  }
+  const EntryMeta& e = entries_[static_cast<size_t>(idx)];
+  std::vector<uint8_t> bytes;
+  PageStreamReader reader(disk_, file_);
+  TEXTJOIN_RETURN_IF_ERROR(
+      reader.Read(e.offset_bytes, e.byte_length, &bytes));
+  return bytes;
 }
 
 int64_t InvertedFile::EntryPageSpan(int64_t index) const {
@@ -204,7 +298,17 @@ Result<std::vector<ICell>> InvertedFile::Scanner::Next() {
   ++next_;
   std::vector<uint8_t> bytes(static_cast<size_t>(e.byte_length));
   TEXTJOIN_RETURN_IF_ERROR(reader_.Read(e.byte_length, bytes.data()));
-  return DecodePostings(bytes.data(), e.cell_count, file_->compression_);
+  return DecodePostings(bytes.data(), e.byte_length, e.cell_count,
+                        file_->compression_);
+}
+
+Result<std::vector<uint8_t>> InvertedFile::Scanner::NextRaw() {
+  if (Done()) return Status::OutOfRange("scan past end of inverted file");
+  const EntryMeta& e = file_->entries_[static_cast<size_t>(next_)];
+  ++next_;
+  std::vector<uint8_t> bytes(static_cast<size_t>(e.byte_length));
+  TEXTJOIN_RETURN_IF_ERROR(reader_.Read(e.byte_length, bytes.data()));
+  return bytes;
 }
 
 Status InvertedFile::Scanner::SkipEntry() {

@@ -1,7 +1,10 @@
 #ifndef TEXTJOIN_INDEX_INVERTED_FILE_H_
 #define TEXTJOIN_INDEX_INVERTED_FILE_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -32,8 +35,41 @@ enum class PostingCompression {
   kDeltaVarint,
 };
 
+// Cells per posting block. Every entry is cut into fixed-size blocks of
+// this many i-cells; delta encoding restarts at each block boundary (the
+// first document number of a block is absolute), so any block decodes
+// independently of its predecessors. 64 cells keep the per-block metadata
+// under 3% of an uncompressed entry while leaving enough cells per block
+// for the block-max bound to be meaningfully tighter than the entry max
+// (DESIGN.md section 10 discusses the choice).
+inline constexpr int64_t kPostingBlockCells = 64;
+
+// Rounds a max-weight bound up to the nearest representable float. Weights
+// themselves are uint16 (exact in float), but idf-scaled bounds computed in
+// double must quantize TOWARD +inf: rounding a bound down would let a real
+// score exceed it, breaking the suppression soundness argument.
+inline float QuantizeMaxWeight(double w) {
+  float f = static_cast<float>(w);
+  if (static_cast<double>(f) < w) {
+    f = std::nextafter(f, std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
 class InvertedFile {
  public:
+  // Block-max WAND style per-block summary: the document-number span the
+  // block covers and an upper bound on any cell weight inside it. The
+  // offset is relative to the entry's first byte, so a cursor can seek
+  // straight to a block and decode it in isolation.
+  struct PostingBlockMeta {
+    DocId first_doc = 0;
+    DocId last_doc = 0;
+    int32_t cell_count = 0;
+    int64_t offset_bytes = 0;  // from the start of the entry
+    float max_weight = 0;
+  };
+
   // Per-term catalog row (in-memory metadata mirroring the B+tree leaves).
   struct EntryMeta {
     TermId term = 0;
@@ -43,8 +79,14 @@ class InvertedFile {
     // Largest cell weight in the list — an upper bound on any document's
     // weight for this term, used by the exact top-lambda pruning layer
     // (join/pruning.h) to bound a term's score contribution without
-    // fetching the entry.
-    int32_t max_weight = 0;
+    // fetching the entry. Stored round-up-quantized: truncating fractional
+    // (idf-scaled) bounds toward zero would zero out sub-1.0 bounds and
+    // wrongly suppress qualifying candidates.
+    float max_weight = 0;
+    // Fixed-size block summaries (kPostingBlockCells cells each; the last
+    // block may be short). Non-empty for every entry with at least one
+    // cell.
+    std::vector<PostingBlockMeta> blocks;
   };
 
   struct BuildOptions {
@@ -93,6 +135,10 @@ class InvertedFile {
   // positioned (random) read, subsequent pages sequential.
   Result<std::vector<ICell>> FetchEntry(TermId term) const;
 
+  // FetchEntry's I/O without the decode: the entry's raw encoded bytes,
+  // for callers that decode block-by-block (index/posting_cursor.h).
+  Result<std::vector<uint8_t>> FetchEntryRaw(TermId term) const;
+
   // Pages touched when entry `index` is read in isolation: the paper's
   // ceil(J) for an average entry, computed exactly from the entry's offset
   // and length.
@@ -114,8 +160,16 @@ class InvertedFile {
     // Peeks at the next entry's i-cell count (unmetered catalog access).
     int64_t NextCellCount() const { return file_->entries_[next_].cell_count; }
 
+    // Peeks at the next entry's catalog row (unmetered).
+    const EntryMeta& NextMeta() const { return file_->entries_[next_]; }
+
     // Reads the next entry and advances.
     Result<std::vector<ICell>> Next();
+
+    // Reads the next entry's raw encoded bytes and advances — same metered
+    // I/O as Next(), but decoding is left to the caller (block-granular
+    // lazy decode, see index/posting_cursor.h).
+    Result<std::vector<uint8_t>> NextRaw();
 
     // Skips the next entry, still paying the I/O for pages it occupies
     // exclusively (the scan must pass over them). Implemented as a read
@@ -150,20 +204,56 @@ class InvertedFile {
   PostingCompression compression_ = PostingCompression::kNone;
 };
 
+// Upper bound on the weight document `doc` can have in `entry`'s posting
+// list, from block metadata alone: the covering block's max weight, or 0
+// when no block's [first_doc, last_doc] span contains `doc` — a document
+// outside every span provably does not appear in the list. Falls back to
+// the entry max when the entry carries no block summaries.
+inline float MaxWeightForDoc(const InvertedFile::EntryMeta& entry, DocId doc) {
+  if (entry.blocks.empty()) return entry.max_weight;
+  auto it = std::lower_bound(
+      entry.blocks.begin(), entry.blocks.end(), doc,
+      [](const InvertedFile::PostingBlockMeta& b, DocId d) {
+        return b.last_doc < d;
+      });
+  if (it == entry.blocks.end() || doc < it->first_doc) return 0.0f;
+  return it->max_weight;
+}
+
 // Serializes i-cells to the 5-byte on-disk format.
 void EncodeICells(const std::vector<ICell>& cells, std::vector<uint8_t>* out);
 
-// Parses `count` i-cells from `bytes`.
-std::vector<ICell> DecodeICells(const uint8_t* bytes, int64_t count);
+// Parses `count` i-cells from `bytes` (bounds-checked against
+// `byte_length`).
+Result<std::vector<ICell>> DecodeICells(const uint8_t* bytes,
+                                        int64_t byte_length, int64_t count);
 
-// Serializes one posting list in the chosen representation.
+// Serializes one posting list in the chosen representation. Delta encoding
+// restarts every kPostingBlockCells cells; when `blocks` is non-null the
+// per-block summaries (spans, offsets, block maxima) are appended to it.
+void EncodePostings(const std::vector<ICell>& cells,
+                    PostingCompression compression,
+                    std::vector<uint8_t>* out,
+                    std::vector<InvertedFile::PostingBlockMeta>* blocks);
 void EncodePostings(const std::vector<ICell>& cells,
                     PostingCompression compression,
                     std::vector<uint8_t>* out);
 
 // Parses `count` i-cells of a posting list encoded as `compression`.
-std::vector<ICell> DecodePostings(const uint8_t* bytes, int64_t count,
-                                  PostingCompression compression);
+// Every read is bounds-checked against `byte_length`; corrupt bytes
+// surface as kDataLoss instead of out-of-bounds reads.
+Result<std::vector<ICell>> DecodePostings(const uint8_t* bytes,
+                                          int64_t byte_length, int64_t count,
+                                          PostingCompression compression);
+
+// Decodes one block of a posting list: `bytes` points at the block's first
+// byte (EntryMeta::offset_bytes + PostingBlockMeta::offset_bytes),
+// `byte_length` is the block's encoded length, `count` its cell count.
+// Appends the cells to `out`. Thanks to the restart points a block decodes
+// with no knowledge of its predecessors.
+Status DecodePostingBlock(const uint8_t* bytes, int64_t byte_length,
+                          int64_t count, PostingCompression compression,
+                          std::vector<ICell>* out);
 
 }  // namespace textjoin
 

@@ -1,0 +1,138 @@
+#include "index/posting_cursor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "storage/page_stream.h"
+
+namespace textjoin {
+
+BlockLazyEntry::BlockLazyEntry(const InvertedFile::EntryMeta* meta,
+                               PostingCompression compression,
+                               std::vector<uint8_t> raw)
+    : meta_(meta), compression_(compression), raw_(std::move(raw)) {
+  cells_.resize(static_cast<size_t>(meta_->cell_count));
+  decoded_.assign(meta_->blocks.size(), 0);
+}
+
+Result<const ICell*> BlockLazyEntry::Block(int64_t b, int64_t* newly_decoded) {
+  TEXTJOIN_CHECK_GE(b, 0);
+  TEXTJOIN_CHECK_LT(b, num_blocks());
+  const InvertedFile::PostingBlockMeta& bm = block(b);
+  const int64_t begin = BlockCellBegin(b);
+  if (newly_decoded != nullptr) *newly_decoded = 0;
+  if (!decoded_[static_cast<size_t>(b)]) {
+    const int64_t end_offset = b + 1 < num_blocks()
+                                   ? block(b + 1).offset_bytes
+                                   : meta_->byte_length;
+    if (bm.offset_bytes < 0 || end_offset > static_cast<int64_t>(raw_.size()) ||
+        bm.offset_bytes > end_offset ||
+        begin + bm.cell_count > cell_count()) {
+      return Status::DataLoss("posting block metadata out of range");
+    }
+    std::vector<ICell> scratch;
+    scratch.reserve(static_cast<size_t>(bm.cell_count));
+    TEXTJOIN_RETURN_IF_ERROR(
+        DecodePostingBlock(raw_.data() + bm.offset_bytes,
+                           end_offset - bm.offset_bytes, bm.cell_count,
+                           compression_, &scratch));
+    std::copy(scratch.begin(), scratch.end(),
+              cells_.begin() + static_cast<size_t>(begin));
+    decoded_[static_cast<size_t>(b)] = 1;
+    ++blocks_decoded_;
+    if (newly_decoded != nullptr) *newly_decoded = bm.cell_count;
+  }
+  return cells_.data() + begin;
+}
+
+Result<const std::vector<ICell>*> BlockLazyEntry::All(int64_t* newly_decoded) {
+  int64_t total = 0;
+  for (int64_t b = 0; b < num_blocks(); ++b) {
+    int64_t n = 0;
+    TEXTJOIN_RETURN_IF_ERROR(Block(b, &n).status());
+    total += n;
+  }
+  if (newly_decoded != nullptr) *newly_decoded = total;
+  return &cells_;
+}
+
+PostingCursor::PostingCursor(const InvertedFile* file, int64_t entry_index)
+    : file_(file),
+      entry_(&file->entries()[static_cast<size_t>(entry_index)]) {}
+
+Status PostingCursor::Init() {
+  std::vector<uint8_t> bytes;
+  PageStreamReader reader(file_->disk(), file_->file());
+  TEXTJOIN_RETURN_IF_ERROR(
+      reader.Read(entry_->offset_bytes, entry_->byte_length, &bytes));
+  lazy_ = BlockLazyEntry(entry_, file_->compression(), std::move(bytes));
+  at_ = 0;
+  return entry_->cell_count > 0 ? LoadCurrent() : Status::OK();
+}
+
+Status PostingCursor::LoadCurrent() {
+  const int64_t b = at_ / kPostingBlockCells;
+  int64_t n = 0;
+  TEXTJOIN_ASSIGN_OR_RETURN(const ICell* cells, lazy_.Block(b, &n));
+  cells_decoded_ += n;
+  if (n > 0) last_decoded_block_ = b;
+  current_ = cells + (at_ - BlockLazyEntry::BlockCellBegin(b));
+  return Status::OK();
+}
+
+Status PostingCursor::Next() {
+  if (done()) return Status::OutOfRange("posting cursor past end");
+  ++at_;
+  if (done()) return Status::OK();
+  return LoadCurrent();
+}
+
+Status PostingCursor::NextGEQ(DocId target) {
+  if (done()) return Status::OK();
+  if (current_->doc >= target) return Status::OK();
+  // Jump over whole blocks whose span ends before the target.
+  int64_t b = at_ / kPostingBlockCells;
+  int64_t jump_from = b;
+  while (b < lazy_.num_blocks() && lazy_.block(b).last_doc < target) ++b;
+  blocks_skipped_ += std::max<int64_t>(0, b - jump_from - 1);
+  if (b >= lazy_.num_blocks()) {
+    at_ = entry_->cell_count;  // exhausted
+    return Status::OK();
+  }
+  if (b != jump_from) at_ = BlockLazyEntry::BlockCellBegin(b);
+  // Binary search inside the (single) candidate block.
+  int64_t n = 0;
+  TEXTJOIN_ASSIGN_OR_RETURN(const ICell* cells, lazy_.Block(b, &n));
+  cells_decoded_ += n;
+  const int64_t begin = BlockLazyEntry::BlockCellBegin(b);
+  const int64_t count = lazy_.block(b).cell_count;
+  const ICell* lo = cells + (at_ - begin);
+  const ICell* hi = cells + count;
+  const ICell* it = std::lower_bound(
+      lo, hi, target,
+      [](const ICell& c, DocId d) { return c.doc < d; });
+  at_ = begin + (it - cells);
+  if (at_ >= entry_->cell_count) return Status::OK();
+  if (it == hi) {
+    // Target falls between this block and the next: step into the next
+    // block (its first cell is the answer, since its last_doc >= target).
+    return LoadCurrent();
+  }
+  current_ = it;
+  return Status::OK();
+}
+
+Status PostingCursor::SkipToBlock(int64_t b) {
+  if (b < at_ / kPostingBlockCells) {
+    return Status::InvalidArgument("posting cursor only moves forward");
+  }
+  if (b >= lazy_.num_blocks()) {
+    at_ = entry_->cell_count;
+    return Status::OK();
+  }
+  blocks_skipped_ += std::max<int64_t>(0, b - at_ / kPostingBlockCells - 1);
+  at_ = BlockLazyEntry::BlockCellBegin(b);
+  return LoadCurrent();
+}
+
+}  // namespace textjoin

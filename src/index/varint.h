@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
+
 namespace textjoin {
 
 // LEB128 variable-length unsigned integers, used by the compressed
@@ -17,18 +19,31 @@ inline void PutVarint(std::vector<uint8_t>* dst, uint64_t v) {
   dst->push_back(static_cast<uint8_t>(v));
 }
 
-// Decodes one varint starting at `p` (must have at most 10 valid bytes);
-// advances *p past it. Returns the value.
-inline uint64_t GetVarint(const uint8_t** p) {
-  uint64_t v = 0;
+// Decodes one varint from [*p, limit); advances *p past it on success.
+// A continuation run past `limit` or past 10 bytes (shift >= 64 would
+// silently wrap the value) is a decode error, not undefined behavior:
+// corrupt pages reach this path through the chaos suite's bit-flip
+// faults, so it must fail closed with kDataLoss.
+inline Status GetVarint(const uint8_t** p, const uint8_t* limit,
+                        uint64_t* v) {
+  uint64_t value = 0;
   int shift = 0;
-  for (;;) {
-    uint8_t byte = *(*p)++;
-    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+  const uint8_t* q = *p;
+  while (true) {
+    if (q >= limit) {
+      return Status::DataLoss("varint runs past the end of its buffer");
+    }
+    if (shift >= 64) {
+      return Status::DataLoss("varint continuation exceeds 64 bits");
+    }
+    const uint8_t byte = *q++;
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) break;
     shift += 7;
   }
-  return v;
+  *p = q;
+  *v = value;
+  return Status::OK();
 }
 
 // Encoded size of v in bytes.

@@ -30,6 +30,11 @@ struct CpuStats {
   int64_t pairs_pruned = 0;
   int64_t early_exits = 0;
   int64_t candidates_suppressed = 0;
+  // Block-max traversal counters (work avoided): posting blocks passed
+  // over without decoding, and accumulator entries retired early because
+  // their block-refined remaining bound could no longer reach theta.
+  int64_t blocks_skipped = 0;
+  int64_t accumulators_trimmed = 0;
 
   CpuStats& operator+=(const CpuStats& o) {
     cell_compares += o.cell_compares;
@@ -40,6 +45,8 @@ struct CpuStats {
     pairs_pruned += o.pairs_pruned;
     early_exits += o.early_exits;
     candidates_suppressed += o.candidates_suppressed;
+    blocks_skipped += o.blocks_skipped;
+    accumulators_trimmed += o.accumulators_trimmed;
     return *this;
   }
 
@@ -55,6 +62,8 @@ struct CpuStats {
     d.pairs_pruned = pairs_pruned - o.pairs_pruned;
     d.early_exits = early_exits - o.early_exits;
     d.candidates_suppressed = candidates_suppressed - o.candidates_suppressed;
+    d.blocks_skipped = blocks_skipped - o.blocks_skipped;
+    d.accumulators_trimmed = accumulators_trimmed - o.accumulators_trimmed;
     return d;
   }
 
@@ -69,7 +78,8 @@ struct CpuStats {
 
   bool any_pruning() const {
     return bound_checks != 0 || pairs_pruned != 0 || early_exits != 0 ||
-           candidates_suppressed != 0;
+           candidates_suppressed != 0 || blocks_skipped != 0 ||
+           accumulators_trimmed != 0;
   }
 
   std::string ToString() const {

@@ -32,6 +32,11 @@ struct PairPruner {
 
   bool active() const { return prune.bound_skip || prune.early_exit; }
 
+  // Block-boundary galloping only refines the adaptive kernel.
+  bool use_blocks() const {
+    return prune.adaptive_merge && prune.block_skip;
+  }
+
   DocBounds Bounds(const DocumentCollection& collection, DocId doc,
                    const Document& d, const DocumentNorms& norms) const {
     const double n = sim.config.cosine_normalize ? norms.of(doc) : 1.0;
@@ -54,7 +59,8 @@ struct PairPruner {
                     const DocBounds& b1, const DocBounds& b2,
                     const SuffixBounds& s1, const SuffixBounds& s2,
                     DocId inner_doc, DocId outer_doc, TopKAccumulator* heap,
-                    CpuStats* cpu) {
+                    CpuStats* cpu, const DocBlockIndex* k1 = nullptr,
+                    const DocBlockIndex* k2 = nullptr) {
     double pair_ub = 0;
     if (prune.bound_skip) {
       if (cpu != nullptr) ++cpu->bound_checks;
@@ -68,11 +74,12 @@ struct PairPruner {
     if (prune.early_exit) {
       PrunedDotResult r =
           WeightedDotPruned(d1, d2, sim, s1, s2, b1.inv_norm * b2.inv_norm,
-                            inner_doc, *heap, kernel);
+                            inner_doc, *heap, kernel, k1, k2);
       if (cpu != nullptr) {
         cpu->cell_compares += r.detail.merge_steps;
         cpu->accumulations += r.detail.common_terms;
         cpu->bound_checks += r.bound_checks;
+        cpu->blocks_skipped += r.detail.blocks_skipped;
       }
       if (r.pruned) {
         if (cpu != nullptr) ++cpu->early_exits;
@@ -80,10 +87,11 @@ struct PairPruner {
       }
       acc = r.detail.acc;
     } else if (cpu != nullptr || prune.adaptive_merge) {
-      DotDetail d = WeightedDotKernel(d1, d2, sim, kernel);
+      DotDetail d = WeightedDotKernel(d1, d2, sim, kernel, k1, k2);
       if (cpu != nullptr) {
         cpu->cell_compares += d.merge_steps;
         cpu->accumulations += d.common_terms;
+        cpu->blocks_skipped += d.blocks_skipped;
       }
       acc = d.acc;
     } else {
@@ -173,6 +181,7 @@ Result<JoinResult> HhnlJoin::RunForward(const JoinContext& ctx,
     // Bound profiles of the resident batch (outer side).
     std::vector<DocBounds> batch_bounds;
     std::vector<SuffixBounds> batch_suffix;
+    std::vector<DocBlockIndex> batch_blocks;
     if (pruner.active()) {
       batch_bounds.resize(batch_size);
       for (size_t i = 0; i < batch_size; ++i) {
@@ -186,6 +195,12 @@ Result<JoinResult> HhnlJoin::RunForward(const JoinContext& ctx,
         }
       }
     }
+    if (pruner.use_blocks()) {
+      batch_blocks.resize(batch_size);
+      for (size_t i = 0; i < batch_size; ++i) {
+        batch_blocks[i].Build(batch[i]);
+      }
+    }
 
     std::vector<TopKAccumulator> heaps(batch_size,
                                        TopKAccumulator(spec.lambda));
@@ -193,6 +208,7 @@ Result<JoinResult> HhnlJoin::RunForward(const JoinContext& ctx,
     PhaseScope scan_inner(stats, phase::kScanInner);
     DocBounds b1;
     SuffixBounds s1;
+    DocBlockIndex k1;
     const SuffixBounds no_suffix;
     TEXTJOIN_RETURN_IF_ERROR(ForEachInnerDoc(
         ctx, spec, [&](DocId inner_doc, const Document& d1) {
@@ -201,12 +217,15 @@ Result<JoinResult> HhnlJoin::RunForward(const JoinContext& ctx,
                                ctx.similarity->inner_norms);
             if (pruner.prune.early_exit) s1.Build(d1, *ctx.similarity);
           }
+          if (pruner.use_blocks()) k1.Build(d1);
           for (size_t i = 0; i < batch_size; ++i) {
             pruner.EvaluatePair(
                 d1, batch[i], b1,
                 batch_bounds.empty() ? b1 : batch_bounds[i], s1,
                 batch_suffix.empty() ? no_suffix : batch_suffix[i],
-                inner_doc, batch_docs[i], &heaps[i], cpu);
+                inner_doc, batch_docs[i], &heaps[i], cpu,
+                pruner.use_blocks() ? &k1 : nullptr,
+                batch_blocks.empty() ? nullptr : &batch_blocks[i]);
           }
         }));
     for (size_t i = 0; i < batch_size; ++i) {
@@ -273,6 +292,7 @@ Result<JoinResult> HhnlJoin::RunBackward(const JoinContext& ctx,
     // Bound profiles of the resident batch (inner side).
     std::vector<DocBounds> batch_bounds;
     std::vector<SuffixBounds> batch_suffix;
+    std::vector<DocBlockIndex> batch_blocks;
     if (pruner.active()) {
       batch_bounds.resize(batch.size());
       for (size_t i = 0; i < batch.size(); ++i) {
@@ -286,12 +306,19 @@ Result<JoinResult> HhnlJoin::RunBackward(const JoinContext& ctx,
         }
       }
     }
+    if (pruner.use_blocks()) {
+      batch_blocks.resize(batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        batch_blocks[i].Build(batch[i]);
+      }
+    }
 
     // Pass over the outer documents.
     PhaseScope rescan(stats, phase::kRescanOuter);
     auto outer_scan = ctx.outer->Scan();
     DocBounds b2;
     SuffixBounds s2;
+    DocBlockIndex k2;
     const SuffixBounds no_suffix;
     for (size_t oi = 0; oi < participating.size(); ++oi) {
       DocId outer_doc = participating[oi];
@@ -307,11 +334,14 @@ Result<JoinResult> HhnlJoin::RunBackward(const JoinContext& ctx,
                            ctx.similarity->outer_norms);
         if (pruner.prune.early_exit) s2.Build(d2, *ctx.similarity);
       }
+      if (pruner.use_blocks()) k2.Build(d2);
       for (size_t i = 0; i < batch.size(); ++i) {
         pruner.EvaluatePair(
             batch[i], d2, batch_bounds.empty() ? b2 : batch_bounds[i], b2,
             batch_suffix.empty() ? no_suffix : batch_suffix[i], s2,
-            batch_docs[i], outer_doc, &heaps[oi], cpu);
+            batch_docs[i], outer_doc, &heaps[oi], cpu,
+            batch_blocks.empty() ? nullptr : &batch_blocks[i],
+            pruner.use_blocks() ? &k2 : nullptr);
       }
     }
   }

@@ -5,16 +5,27 @@
 #include <list>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "cost/cost_model.h"
+#include "index/posting_cursor.h"
 #include "obs/query_stats.h"
 
 namespace textjoin {
 
 namespace {
 
-// Cache of inverted file entries with pluggable replacement.
+// Accumulator trim cadence: between theta rebuilds, every this many outer
+// cells the accumulator is swept for entries whose remaining potential can
+// no longer reach theta. A sweep is O(|acc|); the stride keeps it amortized
+// against the per-cell accumulation work.
+constexpr size_t kTrimStride = 32;
+
+// Cache of inverted file entries with pluggable replacement. Entries are
+// held as raw encoded bytes with block-granular lazy decode
+// (index/posting_cursor.h), so a cached entry whose blocks are skipped by
+// the block-max walk never pays their decode.
 class EntryCache {
  public:
   EntryCache(int64_t capacity, HvnlJoin::Replacement policy,
@@ -23,7 +34,7 @@ class EntryCache {
 
   bool Contains(TermId term) const { return entries_.count(term) > 0; }
 
-  const std::vector<ICell>* Get(TermId term) {
+  BlockLazyEntry* Get(TermId term) {
     auto it = entries_.find(term);
     if (it == entries_.end()) return nullptr;
     if (policy_ == HvnlJoin::Replacement::kLru) {
@@ -31,16 +42,16 @@ class EntryCache {
       lru_.push_front(term);
       it->second.lru_pos = lru_.begin();
     }
-    return &it->second.cells;
+    return &it->second.entry;
   }
 
-  // Inserts `cells`; evicts per policy when over capacity (possibly the
+  // Inserts `entry`; evicts per policy when over capacity (possibly the
   // incoming entry itself, which has already been consumed by the caller).
   // Returns the number of evictions performed.
-  int64_t Put(TermId term, std::vector<ICell> cells) {
+  int64_t Put(TermId term, BlockLazyEntry entry) {
     if (capacity_ <= 0) return 0;
     Slot slot;
-    slot.cells = std::move(cells);
+    slot.entry = std::move(entry);
     if (policy_ == HvnlJoin::Replacement::kLru) {
       lru_.push_front(term);
       slot.lru_pos = lru_.begin();
@@ -58,7 +69,7 @@ class EntryCache {
 
  private:
   struct Slot {
-    std::vector<ICell> cells;
+    BlockLazyEntry entry;
     std::list<TermId>::iterator lru_pos;
   };
 
@@ -136,6 +147,8 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
 
   EntryCache cache(X, options_.replacement, ctx.outer);
   const std::vector<DocId> participating = ParticipatingOuterDocs(ctx, spec);
+  const auto& index_entries = ctx.inner_index->entries();
+  const PostingCompression compression = ctx.inner_index->compression();
 
   // Case-1 choice (Section 5.2): when the cache can hold the entire
   // inverted file on C1, either scan it in sequentially or fetch only the
@@ -166,11 +179,9 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
       auto scan = ctx.inner_index->Scan();
       while (!scan.Done()) {
         TermId term = scan.NextTerm();
-        TEXTJOIN_ASSIGN_OR_RETURN(std::vector<ICell> cells, scan.Next());
-        if (cpu != nullptr) {
-          cpu->cells_decoded += static_cast<int64_t>(cells.size());
-        }
-        cache.Put(term, std::move(cells));
+        const InvertedFile::EntryMeta* meta = &scan.NextMeta();
+        TEXTJOIN_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, scan.NextRaw());
+        cache.Put(term, BlockLazyEntry(meta, compression, std::move(raw)));
       }
     }
   }
@@ -184,11 +195,29 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
   // strictly below the lambda-th best finalized partial score theta, the
   // accumulator entry is never created. Existing entries always accumulate,
   // so surviving scores are bit-identical; I/O is untouched.
+  //
+  // With PruningConfig::block_skip the bounds sharpen per candidate: the
+  // inverted file's per-block maxima give MaxWeightForDoc(entry, doc) — the
+  // covering block's maximum, or 0 when the document lies outside every
+  // block span (provably absent from the list). Three refinements follow,
+  // all sound for the same strict-inequality reason:
+  //   * refined admission: a would-be new candidate is refused when even
+  //     the block-refined suffix bound cannot reach theta;
+  //   * accumulator trimming: existing entries whose partial score plus
+  //     remaining bound falls below theta are retired (their final score
+  //     is provably below the final lambda-th best);
+  //   * block skipping: once admission is closed, posting blocks whose
+  //     document span contains no live accumulator entry are passed over
+  //     undecoded.
   const bool suppress = spec.pruning.bound_skip;
+  const bool block_feature = suppress && spec.pruning.block_skip;
+  const bool cosine = ctx.similarity->config.cosine_normalize;
   const double min_inner_norm =
       MinEligibleNorm(ctx.similarity->inner_norms, ctx.inner->num_documents(),
-                      inner_member, ctx.similarity->config.cosine_normalize);
+                      inner_member, cosine);
   std::vector<double> cell_suffix_ub;  // per outer doc, cells + 1 entries
+  std::vector<int64_t> cell_entry;     // per outer cell: entries() index, -1
+  std::vector<double> cell_w2f;        // per outer cell: w2 * idf^2
   std::vector<double> theta_scratch;
 
   // Greedy ordering (Section 4.2's alternative): learn each outer
@@ -234,6 +263,8 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
                   spec.delta *
                   static_cast<double>(ctx.inner->num_documents())) +
               16);
+  std::unordered_set<DocId> dead;  // refused/retired candidates, per outer
+  std::vector<DocId> acc_docs;     // sorted accumulator keys (block skip)
   TopKAccumulator heap(spec.lambda);  // reused across outer documents
   std::vector<char> processed(participating.size(), 0);
 
@@ -272,26 +303,33 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
     const DocId outer_doc = participating[pick];
 
     acc.clear();
+    dead.clear();
+    bool acc_docs_dirty = true;
 
     // Finalize scale bounding any still-unseen candidate of this outer
     // document: 1 without cosine normalization, else the reciprocal of the
     // smallest possible denominator. 0 admits nobody once theta > 0 —
     // every final score would be 0 anyway.
     double cand_scale = 1.0;
+    double outer_norm = 1.0;
     if (suppress) {
-      const double n2 = ctx.similarity->outer_norms.of(outer_doc);
-      cand_scale = (min_inner_norm > 0 && n2 > 0)
-                       ? 1.0 / (min_inner_norm * n2)
+      outer_norm = ctx.similarity->outer_norms.of(outer_doc);
+      cand_scale = (min_inner_norm > 0 && outer_norm > 0)
+                       ? 1.0 / (min_inner_norm * outer_norm)
                        : 0.0;
       const auto& cs = d2.cells();
       cell_suffix_ub.assign(cs.size() + 1, 0.0);
+      cell_entry.assign(cs.size(), -1);
+      cell_w2f.assign(cs.size(), 0.0);
       for (size_t i = cs.size(); i-- > 0;) {
         double ub = 0;
         const int64_t e = ctx.inner_index->FindEntry(cs[i].term);
         if (e >= 0) {
-          ub = static_cast<double>(ctx.inner_index->entries()[e].max_weight) *
-               static_cast<double>(cs[i].weight) *
-               ctx.similarity->TermFactor(cs[i].term);
+          const double w2f = static_cast<double>(cs[i].weight) *
+                             ctx.similarity->TermFactor(cs[i].term);
+          cell_entry[i] = e;
+          cell_w2f[i] = w2f;
+          ub = static_cast<double>(index_entries[e].max_weight) * w2f;
         }
         cell_suffix_ub[i] = cell_suffix_ub[i + 1] + ub;
       }
@@ -300,13 +338,74 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
       }
     }
 
+    // Exact Finalize reciprocal of the (candidate, outer_doc) pair —
+    // tighter than cand_scale, usable once the candidate is known.
+    auto exact_scale = [&](DocId doc) {
+      if (!cosine) return 1.0;
+      const double n1 = ctx.similarity->inner_norms.of(doc);
+      return (n1 > 0 && outer_norm > 0) ? 1.0 / (n1 * outer_norm) : 0.0;
+    };
+
     // theta: the lambda-th largest finalized partial accumulator value —
     // a valid lower bound on the final lambda-th best score (partials only
     // grow, Finalize is monotone), so suppression decisions stay valid even
     // between the amortized rebuilds. -1 = not established yet.
     double theta = -1;
     int64_t admissions_since_rebuild = 0;
-    auto maybe_rebuild_theta = [&]() {
+
+    // Can a candidate with partial score `partial` (contributions through
+    // cell `from` - 1 included) still reach theta? Walks the remaining
+    // outer cells adding the block-refined per-term bound, bailing out as
+    // soon as the accumulated bound reaches theta (yes) or even the coarse
+    // tail cannot (no). Pure bound arithmetic — kBoundSlack absorbs the
+    // fp-ordering difference from the real accumulation.
+    auto can_reach_theta = [&](double partial, DocId doc, size_t from,
+                               double scale) {
+      double bound = partial;
+      const size_t n = cell_entry.size();
+      for (size_t k = from; k < n; ++k) {
+        if (bound * scale * kBoundSlack >= theta) return true;
+        if ((bound + cell_suffix_ub[k]) * scale * kBoundSlack < theta) {
+          return false;
+        }
+        if (cell_entry[k] >= 0) {
+          bound += static_cast<double>(MaxWeightForDoc(
+                       index_entries[static_cast<size_t>(cell_entry[k])],
+                       doc)) *
+                   cell_w2f[k];
+        }
+      }
+      return bound * scale * kBoundSlack >= theta;
+    };
+
+    // Retires accumulator entries that provably cannot reach theta. The
+    // cheap gate uses the coarse cell suffix; the refined gate re-walks the
+    // remaining cells with per-block maxima. Entries that defined theta
+    // survive both gates (their bound >= their finalized partial >= theta),
+    // so theta's validity is preserved.
+    auto trim_accumulator = [&](size_t ci, bool refined) {
+      if (!block_feature || theta < 0) return;
+      const double rem = cell_suffix_ub[ci];
+      for (auto it = acc.begin(); it != acc.end();) {
+        const double scale = exact_scale(it->first);
+        bool drop = (it->second + rem) * scale * kBoundSlack < theta;
+        if (!drop && refined) {
+          if (cpu != nullptr) ++cpu->bound_checks;
+          drop = !can_reach_theta(it->second, it->first, ci, scale);
+        }
+        if (drop) {
+          dead.insert(it->first);
+          it = acc.erase(it);
+          ++run_stats_.accumulators_trimmed;
+          if (cpu != nullptr) ++cpu->accumulators_trimmed;
+          acc_docs_dirty = true;
+        } else {
+          ++it;
+        }
+      }
+    };
+
+    auto maybe_rebuild_theta = [&](size_t ci) {
       if (static_cast<int64_t>(acc.size()) < spec.lambda || spec.lambda <= 0) {
         return;
       }
@@ -327,6 +426,16 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
       theta = *nth;
       admissions_since_rebuild = 0;
       ++run_stats_.theta_rebuilds;
+      trim_accumulator(ci, /*refined=*/true);
+    };
+
+    auto ensure_acc_docs = [&]() {
+      if (!acc_docs_dirty) return;
+      acc_docs.clear();
+      acc_docs.reserve(acc.size());
+      for (const auto& [doc, a] : acc) acc_docs.push_back(doc);
+      std::sort(acc_docs.begin(), acc_docs.end());
+      acc_docs_dirty = false;
     };
 
     PhaseScope probe(stats, phase::kProbeEntries);
@@ -344,7 +453,10 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
       // check per cell; the same answer holds for every cell of the entry.)
       bool admit_new = true;
       if (suppress) {
-        maybe_rebuild_theta();
+        maybe_rebuild_theta(ci);
+        if (block_feature && ci > 0 && ci % kTrimStride == 0) {
+          trim_accumulator(ci, /*refined=*/false);
+        }
         if (spec.lambda <= 0) {
           admit_new = false;
         } else if (theta >= 0) {
@@ -354,49 +466,124 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
         }
       }
 
-      const std::vector<ICell>* cells = cache.Get(c.term);
-      auto accumulate = [&](const std::vector<ICell>& ics) {
+      auto walk = [&](BlockLazyEntry& lazy) -> Status {
         if (!suppress) {
+          int64_t newly = 0;
+          TEXTJOIN_ASSIGN_OR_RETURN(const std::vector<ICell>* cells,
+                                    lazy.All(&newly));
           if (cpu != nullptr) {
-            cpu->accumulations += static_cast<int64_t>(ics.size());
+            cpu->cells_decoded += newly;
+            cpu->accumulations += static_cast<int64_t>(cells->size());
+            // The entry walk visits every cell.
+            cpu->cell_compares += static_cast<int64_t>(cells->size());
           }
-          for (const ICell& ic : ics) {
+          for (const ICell& ic : *cells) {
             if (!inner_member.empty() && !inner_member[ic.doc]) continue;
             acc[ic.doc] += static_cast<double>(ic.weight) * w2 * factor;
           }
-          return;
+          return Status::OK();
+        }
+        if (block_feature && !admit_new) {
+          // Admission is closed (and stays closed: the suffix bound only
+          // shrinks and theta only grows), so the accumulator's key set is
+          // frozen. Only blocks whose document span holds a live entry can
+          // contribute — the rest are passed over undecoded.
+          ensure_acc_docs();
+          for (int64_t b = 0; b < lazy.num_blocks(); ++b) {
+            const auto& bm = lazy.block(b);
+            if (cpu != nullptr) ++cpu->cell_compares;  // block span probe
+            auto lo = std::lower_bound(acc_docs.begin(), acc_docs.end(),
+                                       bm.first_doc);
+            if (lo == acc_docs.end() || *lo > bm.last_doc) {
+              ++run_stats_.blocks_skipped;
+              if (cpu != nullptr) ++cpu->blocks_skipped;
+              continue;
+            }
+            int64_t newly = 0;
+            TEXTJOIN_ASSIGN_OR_RETURN(const ICell* cells,
+                                      lazy.Block(b, &newly));
+            if (cpu != nullptr) {
+              cpu->cells_decoded += newly;
+              // The walked block's cells are all visited.
+              cpu->cell_compares += static_cast<int64_t>(bm.cell_count);
+            }
+            int64_t performed = 0;
+            for (int64_t k = 0; k < bm.cell_count; ++k) {
+              const ICell& ic = cells[k];
+              if (!inner_member.empty() && !inner_member[ic.doc]) continue;
+              auto it = acc.find(ic.doc);
+              if (it != acc.end()) {
+                it->second += static_cast<double>(ic.weight) * w2 * factor;
+                ++performed;
+              } else {
+                ++run_stats_.suppressed_candidates;
+                if (cpu != nullptr) ++cpu->candidates_suppressed;
+              }
+            }
+            if (cpu != nullptr) cpu->accumulations += performed;
+          }
+          return Status::OK();
+        }
+        int64_t newly = 0;
+        TEXTJOIN_ASSIGN_OR_RETURN(const std::vector<ICell>* cells,
+                                  lazy.All(&newly));
+        if (cpu != nullptr) {
+          cpu->cells_decoded += newly;
+          // The entry walk visits every cell.
+          cpu->cell_compares += static_cast<int64_t>(cells->size());
         }
         int64_t performed = 0;
-        for (const ICell& ic : ics) {
+        for (const ICell& ic : *cells) {
           if (!inner_member.empty() && !inner_member[ic.doc]) continue;
           auto it = acc.find(ic.doc);
           if (it != acc.end()) {
             it->second += static_cast<double>(ic.weight) * w2 * factor;
             ++performed;
-          } else if (admit_new) {
-            acc.emplace(ic.doc,
-                        static_cast<double>(ic.weight) * w2 * factor);
-            ++performed;
-            ++admissions_since_rebuild;
-          } else {
+            continue;
+          }
+          if (!admit_new || (block_feature && dead.count(ic.doc) > 0)) {
             ++run_stats_.suppressed_candidates;
             if (cpu != nullptr) ++cpu->candidates_suppressed;
+            continue;
           }
+          if (block_feature && theta >= 0) {
+            // Refined per-candidate admission: the coarse cell bound said
+            // "maybe", the block maxima may still say "no". One check per
+            // (outer document, candidate) — a refusal is permanent, so the
+            // candidate joins the dead set.
+            if (cpu != nullptr) ++cpu->bound_checks;
+            const double contrib =
+                static_cast<double>(ic.weight) * w2 * factor;
+            if (!can_reach_theta(contrib, ic.doc, ci + 1,
+                                 exact_scale(ic.doc))) {
+              dead.insert(ic.doc);
+              ++run_stats_.suppressed_candidates;
+              if (cpu != nullptr) ++cpu->candidates_suppressed;
+              continue;
+            }
+          }
+          acc.emplace(ic.doc, static_cast<double>(ic.weight) * w2 * factor);
+          ++performed;
+          ++admissions_since_rebuild;
+          acc_docs_dirty = true;
         }
         if (cpu != nullptr) cpu->accumulations += performed;
+        return Status::OK();
       };
-      if (cells != nullptr) {
+
+      BlockLazyEntry* cached = cache.Get(c.term);
+      if (cached != nullptr) {
         ++run_stats_.cache_hits;
-        accumulate(*cells);
+        TEXTJOIN_RETURN_IF_ERROR(walk(*cached));
       } else {
         TEXTJOIN_RETURN_IF_ERROR(GovernorCheckpoint(ctx, "HVNL cache fill"));
-        TEXTJOIN_ASSIGN_OR_RETURN(std::vector<ICell> fetched,
-                                  ctx.inner_index->FetchEntry(c.term));
+        const int64_t ei = ctx.inner_index->FindEntry(c.term);
+        TEXTJOIN_ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
+                                  ctx.inner_index->FetchEntryRaw(c.term));
         ++run_stats_.entry_fetches;
-        if (cpu != nullptr) {
-          cpu->cells_decoded += static_cast<int64_t>(fetched.size());
-        }
-        accumulate(fetched);
+        BlockLazyEntry fetched(&index_entries[static_cast<size_t>(ei)],
+                               compression, std::move(raw));
+        TEXTJOIN_RETURN_IF_ERROR(walk(fetched));
         run_stats_.evictions += cache.Put(c.term, std::move(fetched));
       }
     }
@@ -425,6 +612,11 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
       stats->SetCounter("suppressed_candidates",
                         run_stats_.suppressed_candidates);
       stats->SetCounter("theta_rebuilds", run_stats_.theta_rebuilds);
+    }
+    if (block_feature) {
+      stats->SetCounter("blocks_skipped", run_stats_.blocks_skipped);
+      stats->SetCounter("accumulators_trimmed",
+                        run_stats_.accumulators_trimmed);
     }
   }
   return result;

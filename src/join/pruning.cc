@@ -60,7 +60,9 @@ PrunedDotResult WeightedDotPruned(const Document& d1, const Document& d2,
                                   const SuffixBounds& b1,
                                   const SuffixBounds& b2, double inv_denom,
                                   DocId doc, const TopKAccumulator& heap,
-                                  MergeKernel kernel) {
+                                  MergeKernel kernel,
+                                  const DocBlockIndex* blocks1,
+                                  const DocBlockIndex* blocks2) {
   const auto& a = d1.cells();
   const auto& b = d2.cells();
   PrunedDotResult out;
@@ -82,6 +84,8 @@ PrunedDotResult WeightedDotPruned(const Document& d1, const Document& d2,
     const auto& l = d1_short ? b : a;
     const SuffixBounds& bs = d1_short ? b1 : b2;
     const SuffixBounds& bl = d1_short ? b2 : b1;
+    const DocBlockIndex* lblocks = d1_short ? blocks2 : blocks1;
+    if (lblocks != nullptr && lblocks->empty()) lblocks = nullptr;
     size_t j = 0;
     for (size_t i = 0; i < s.size() && j < l.size(); ++i) {
       if (det.merge_steps >= next_check) {
@@ -95,7 +99,10 @@ PrunedDotResult WeightedDotPruned(const Document& d1, const Document& d2,
         }
       }
       ++det.merge_steps;
-      j = GallopLowerBound(l, j, s[i].term, &det.merge_steps);
+      j = lblocks != nullptr
+              ? GallopLowerBoundBlocked(l, *lblocks, j, s[i].term,
+                                        &det.merge_steps, &det.blocks_skipped)
+              : GallopLowerBound(l, j, s[i].term, &det.merge_steps);
       if (j >= l.size()) break;
       if (l[j].term == s[i].term) {
         det.acc += static_cast<double>(s[i].weight) *

@@ -62,10 +62,22 @@ struct PruningConfig {
   bool early_exit = true;
   // Adaptive galloping merge kernel for skewed document lengths.
   bool adaptive_merge = true;
+  // Block-max traversal (index/inverted_file.h): per-block maxima refine
+  // the admission bounds of HVNL/VVM (per-candidate document-span bounds,
+  // accumulator trimming, whole-block skips with block-granular decode)
+  // and let the galloping merge kernel probe block boundaries. Effective
+  // only alongside the switch it refines (bound_skip for the suppression
+  // layers, adaptive_merge for the kernel); results are bit-identical
+  // either way (blockmax_test enforces this under TEXTJOIN_STRESS_SEED).
+  bool block_skip = true;
 
-  bool any() const { return bound_skip || early_exit || adaptive_merge; }
+  bool any() const {
+    return bound_skip || early_exit || adaptive_merge || block_skip;
+  }
 
-  static PruningConfig Disabled() { return PruningConfig{false, false, false}; }
+  static PruningConfig Disabled() {
+    return PruningConfig{false, false, false, false};
+  }
 };
 
 // Scalar bound profile of one document under a similarity configuration.
@@ -134,13 +146,16 @@ struct PrunedDotResult {
 // against `heap` (tie-broken as candidate document `doc`) and stops once
 // the pair provably cannot qualify. A completed merge returns the
 // bit-identical accumulated score. `inv_denom` is the product of the two
-// documents' DocBounds::inv_norm.
+// documents' DocBounds::inv_norm. The optional DocBlockIndex pair switches
+// the galloping kernel to block-boundary probing (see similarity.h).
 PrunedDotResult WeightedDotPruned(const Document& d1, const Document& d2,
                                   const SimilarityContext& ctx,
                                   const SuffixBounds& b1,
                                   const SuffixBounds& b2, double inv_denom,
                                   DocId doc, const TopKAccumulator& heap,
-                                  MergeKernel kernel);
+                                  MergeKernel kernel,
+                                  const DocBlockIndex* blocks1 = nullptr,
+                                  const DocBlockIndex* blocks2 = nullptr);
 
 // Smallest positive Finalize norm among the eligible inner documents
 // (respecting `member` when non-empty), or 0 when none is positive. Used

@@ -234,14 +234,17 @@ std::string RenderExplainAnalyze(const ExplainPlan& plan,
   out += "\ncpu: " + stats.root.cpu.ToString() + "\n";
   if (stats.root.cpu.any_pruning()) {
     const CpuStats& c = stats.root.cpu;
-    char buf[200];
+    char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "pruning: bound_checks=%lld pairs_pruned=%lld "
-                  "early_exits=%lld suppressed=%lld\n",
+                  "early_exits=%lld suppressed=%lld blocks_skipped=%lld "
+                  "trimmed=%lld\n",
                   static_cast<long long>(c.bound_checks),
                   static_cast<long long>(c.pairs_pruned),
                   static_cast<long long>(c.early_exits),
-                  static_cast<long long>(c.candidates_suppressed));
+                  static_cast<long long>(c.candidates_suppressed),
+                  static_cast<long long>(c.blocks_skipped),
+                  static_cast<long long>(c.accumulators_trimmed));
     out += buf;
   }
   if (plan.inputs.pruning_rate > 0) {
@@ -257,12 +260,13 @@ std::string RenderExplainAnalyze(const ExplainPlan& plan,
         est = VvmCpuCost(plan.inputs);
         break;
     }
-    char buf[160];
+    char buf[200];
     std::snprintf(buf, sizeof(buf),
-                  "predicted cpu: total=%.0f  (pruning rate %.0f%%, "
-                  "pairs_pruned~%.0f)\n",
-                  est.Total(), plan.inputs.pruning_rate * 100.0,
-                  est.pairs_pruned);
+                  "predicted cpu: total=%.0f  measured=%.0f  err vs pred:%s  "
+                  "(pruning rate %.0f%%, pairs_pruned~%.0f)\n",
+                  est.Total(), stats.root.cpu.Total(),
+                  RelError(stats.root.cpu.Total(), est.Total()).c_str(),
+                  plan.inputs.pruning_rate * 100.0, est.pairs_pruned);
     out += buf;
   }
   if (stats.has_buffer_pool()) {

@@ -45,6 +45,7 @@ Result<PlanChoice> JoinPlanner::Plan(const JoinContext& ctx,
   // CPU-model pruning knobs: the predicted CPU cost discounts the work the
   // executor's top-lambda bounds are expected to skip.
   in.adaptive_merge = spec.pruning.adaptive_merge;
+  in.block_skip = spec.pruning.block_skip;
   if (spec.pruning.bound_skip || spec.pruning.early_exit) {
     in.pruning_rate = ExpectedPruningRate(in);
   }

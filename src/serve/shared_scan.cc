@@ -54,8 +54,12 @@ Result<SharedScanRegistrar::Fetched> SharedScanRegistrar::Fetch(
   }
   const int64_t pages_read = pool->miss_count() - misses_before;
 
-  auto cells = std::make_shared<const std::vector<ICell>>(
-      DecodePostings(bytes.data(), meta.cell_count, index.compression()));
+  TEXTJOIN_ASSIGN_OR_RETURN(
+      std::vector<ICell> decoded,
+      DecodePostings(bytes.data(), meta.byte_length, meta.cell_count,
+                     index.compression()));
+  auto cells =
+      std::make_shared<const std::vector<ICell>>(std::move(decoded));
   if (enabled_) round_[key] = cells;
   ++total_fetches_;
   return Fetched{std::move(cells), /*shared=*/false, pages_read};

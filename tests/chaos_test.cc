@@ -128,6 +128,72 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<2>(info.param));
     });
 
+// Silent corruption inside posting blocks: a bit flipped on a posting
+// page behind ReliableDisk's back (written through the BASE disk, so the
+// recorded page checksum goes stale — exactly what silent media
+// corruption looks like) must surface as kDataLoss from every executor
+// that reads the inverted file, never as a wrong join result. HHNL reads
+// only the document files, so it still returns the exact answer.
+TEST(ChaosCorruptionTest, PostingBlockBitFlipsSurfaceAsDataLoss) {
+  for (const PostingCompression comp :
+       {PostingCompression::kNone, PostingCompression::kDeltaVarint}) {
+    SimulatedDisk base(256);
+    ReliableDisk disk(&base);
+    auto inner = RandomCollection(&disk, "c1", 40, 6, 50, 71 + SeedOffset());
+    auto outer = RandomCollection(&disk, "c2", 25, 5, 50, 72 + SeedOffset());
+    InvertedFile::BuildOptions opts;
+    opts.compression = comp;
+    auto inner_index = InvertedFile::Build(&disk, "c1.inv", inner, opts);
+    auto outer_index = InvertedFile::Build(&disk, "c2.inv", outer, opts);
+    ASSERT_TRUE(inner_index.ok());
+    ASSERT_TRUE(outer_index.ok());
+    auto simctx = SimilarityContext::Create(inner, outer, SimilarityConfig{});
+    ASSERT_TRUE(simctx.ok());
+
+    JoinContext ctx;
+    ctx.inner = &inner;
+    ctx.outer = &outer;
+    ctx.inner_index = &*inner_index;
+    ctx.outer_index = &*outer_index;
+    ctx.similarity = &*simctx;
+    ctx.sys = SystemParams{60, base.page_size(), 5.0};
+    JoinSpec spec;
+    spec.lambda = 3;
+    JoinResult expected = BruteForceJoin(inner, outer, *simctx, spec);
+
+    // Flip one bit on every posting page of c1.inv through the base disk:
+    // ReliableDisk keeps the checksums it recorded at build time.
+    auto inv_file = base.FindFile("c1.inv");
+    ASSERT_TRUE(inv_file.ok());
+    std::vector<uint8_t> buf(static_cast<size_t>(base.page_size()));
+    for (int64_t p = 0; p < inner_index->size_in_pages(); ++p) {
+      ASSERT_TRUE(base.PeekPage(*inv_file, p, buf.data()).ok());
+      buf[13] ^= 0x20;
+      ASSERT_TRUE(
+          base.WritePage(*inv_file, p, buf.data(), base.page_size()).ok());
+    }
+
+    for (const Algorithm a : {Algorithm::kHvnl, Algorithm::kVvm}) {
+      base.ResetHeads();
+      disk.ResetStats();
+      auto r = RunAlgorithm(a, ctx, spec);
+      ASSERT_FALSE(r.ok())
+          << AlgorithmName(a)
+          << " returned a result from corrupt posting blocks";
+      EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << r.status();
+      EXPECT_NE(r.status().message().find("checksum mismatch"),
+                std::string::npos)
+          << r.status();
+    }
+
+    base.ResetHeads();
+    disk.ResetStats();
+    auto hhnl = RunAlgorithm(Algorithm::kHhnl, ctx, spec);
+    ASSERT_TRUE(hhnl.ok()) << hhnl.status();
+    EXPECT_EQ(*hhnl, expected);
+  }
+}
+
 // Graceful degradation end to end: the cheapest plan needs the inverted
 // file; when that file dies permanently, the planner must re-plan and
 // complete the query with HHNL — same answer, fallback visible in the

@@ -22,7 +22,9 @@ TEST(VarintTest, RoundTripBoundaries) {
     PutVarint(&buf, v);
     EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v));
     const uint8_t* p = buf.data();
-    EXPECT_EQ(GetVarint(&p), v);
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint(&p, buf.data() + buf.size(), &decoded).ok());
+    EXPECT_EQ(decoded, v);
     EXPECT_EQ(p, buf.data() + buf.size());
   }
 }
@@ -37,15 +39,75 @@ TEST(VarintTest, SequenceRoundTrip) {
     PutVarint(&buf, v);
   }
   const uint8_t* p = buf.data();
-  for (uint64_t v : values) EXPECT_EQ(GetVarint(&p), v);
+  const uint8_t* limit = buf.data() + buf.size();
+  for (uint64_t v : values) {
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint(&p, limit, &decoded).ok());
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_EQ(p, limit);
+}
+
+TEST(VarintTest, TruncatedBufferIsDataLossNotOverread) {
+  std::vector<uint8_t> buf;
+  PutVarint(&buf, uint64_t{1} << 40);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    const uint8_t* p = buf.data();
+    uint64_t v = 0;
+    Status s = GetVarint(&p, buf.data() + cut, &v);
+    EXPECT_EQ(s.code(), StatusCode::kDataLoss) << "cut at " << cut;
+    EXPECT_EQ(p, buf.data()) << "cursor must not move on failure";
+  }
+}
+
+TEST(VarintTest, ContinuationRunPastTenBytesIsDataLoss) {
+  // 11 continuation bytes: shift reaches 70 — without the guard the value
+  // silently wraps (or the loop reads out of bounds).
+  std::vector<uint8_t> buf(16, 0x80);
+  const uint8_t* p = buf.data();
+  uint64_t v = 0;
+  Status s = GetVarint(&p, buf.data() + buf.size(), &v);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+}
+
+TEST(PostingCodecTest, CorruptContinuationBitsSurfaceAsDataLoss) {
+  std::vector<ICell> cells;
+  for (DocId d = 0; d < 200; ++d) cells.push_back(ICell{d * 3, 2});
+  std::vector<uint8_t> buf;
+  EncodePostings(cells, PostingCompression::kDeltaVarint, &buf);
+  // Setting the continuation bit on every byte makes some varint run past
+  // the end of the buffer: the decoder must fail closed, never overread.
+  std::vector<uint8_t> corrupt = buf;
+  for (uint8_t& b : corrupt) b |= 0x80;
+  auto r = DecodePostings(corrupt.data(), static_cast<int64_t>(corrupt.size()),
+                          static_cast<int64_t>(cells.size()),
+                          PostingCompression::kDeltaVarint);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(PostingCodecTest, TruncatedEntryIsDataLoss) {
+  std::vector<ICell> cells;
+  for (DocId d = 0; d < 100; ++d) cells.push_back(ICell{d * 7, 3});
+  for (PostingCompression c :
+       {PostingCompression::kNone, PostingCompression::kDeltaVarint}) {
+    std::vector<uint8_t> buf;
+    EncodePostings(cells, c, &buf);
+    auto r = DecodePostings(buf.data(), static_cast<int64_t>(buf.size()) / 2,
+                            static_cast<int64_t>(cells.size()), c);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  }
 }
 
 TEST(PostingCodecTest, DeltaVarintRoundTrip) {
   std::vector<ICell> cells{{0, 1}, {1, 65535}, {100, 7}, {0xABCDEF, 2}};
   std::vector<uint8_t> buf;
   EncodePostings(cells, PostingCompression::kDeltaVarint, &buf);
-  EXPECT_EQ(DecodePostings(buf.data(), 4, PostingCompression::kDeltaVarint),
-            cells);
+  auto decoded = DecodePostings(buf.data(), static_cast<int64_t>(buf.size()),
+                                4, PostingCompression::kDeltaVarint);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, cells);
   // Dense small gaps compress well below 5 bytes/cell.
   std::vector<ICell> dense;
   for (DocId d = 0; d < 1000; ++d) dense.push_back(ICell{d, 1});
@@ -75,8 +137,35 @@ TEST_P(PostingCodecPropertyTest, RandomListsRoundTrip) {
   for (PostingCompression c :
        {PostingCompression::kNone, PostingCompression::kDeltaVarint}) {
     std::vector<uint8_t> buf;
-    EncodePostings(cells, c, &buf);
-    EXPECT_EQ(DecodePostings(buf.data(), n, c), cells);
+    std::vector<InvertedFile::PostingBlockMeta> blocks;
+    EncodePostings(cells, c, &buf, &blocks);
+    auto decoded =
+        DecodePostings(buf.data(), static_cast<int64_t>(buf.size()), n, c);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, cells);
+    // Block summaries tile the list exactly and each block decodes
+    // independently to the same cells.
+    ASSERT_EQ(static_cast<int64_t>(blocks.size()),
+              (n + kPostingBlockCells - 1) / kPostingBlockCells);
+    int64_t at = 0;
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      const auto& meta = blocks[b];
+      EXPECT_EQ(meta.first_doc, cells[at].doc);
+      EXPECT_EQ(meta.last_doc, cells[at + meta.cell_count - 1].doc);
+      const int64_t end = b + 1 < blocks.size()
+                              ? blocks[b + 1].offset_bytes
+                              : static_cast<int64_t>(buf.size());
+      std::vector<ICell> block_cells;
+      ASSERT_TRUE(DecodePostingBlock(buf.data() + meta.offset_bytes,
+                                     end - meta.offset_bytes, meta.cell_count,
+                                     c, &block_cells)
+                      .ok());
+      for (int64_t i = 0; i < meta.cell_count; ++i) {
+        EXPECT_EQ(block_cells[i], cells[at + i]);
+      }
+      at += meta.cell_count;
+    }
+    EXPECT_EQ(at, n);
   }
 }
 

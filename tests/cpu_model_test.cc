@@ -114,10 +114,20 @@ TEST(CpuCountingTest, VvmDecodesBothFilesPerPass) {
   VvmJoin join;
   int64_t passes = VvmJoin::Passes(ctx, spec);
   ASSERT_GT(passes, 1);
+  // Block-max traversal (pruning.block_skip) leaves posting blocks
+  // undecoded once admission closes, so full decode only holds without it.
+  spec.pruning.block_skip = false;
   ASSERT_TRUE(join.Run(ctx, spec).ok());
   const CpuStats cpu = collector.Finish().root.cpu;
   EXPECT_EQ(cpu.cells_decoded,
             passes * (f->inner.total_cells() + f->outer.total_cells()));
+
+  // With block skipping, decode work can only go down — never up.
+  QueryStatsCollector blocked(&disk);
+  ctx.stats = &blocked;
+  spec.pruning.block_skip = true;
+  ASSERT_TRUE(join.Run(ctx, spec).ok());
+  EXPECT_LE(blocked.Finish().root.cpu.cells_decoded, cpu.cells_decoded);
 }
 
 TEST(CpuCountingTest, NullCpuPointerCountsNothing) {

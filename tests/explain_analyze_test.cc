@@ -101,7 +101,7 @@ phase                   pred.seq  pred.rand   measured   err.seq
       counters: batch_size_X=88 outer_batches=1 bound_tightness_pct=30
 
 cpu: CpuStats{compares=3929, accum=639, heap=462, decoded=0}
-pruning: bound_checks=600 pairs_pruned=2 early_exits=0 suppressed=0
+pruning: bound_checks=600 pairs_pruned=2 early_exits=0 suppressed=0 blocks_skipped=0 trimmed=0
 )",
       Render(hhnl));
 }
@@ -122,7 +122,7 @@ phase                   pred.seq  pred.rand   measured   err.seq
       counters: batch_size_X=103 inner_batches=1 bound_tightness_pct=30
 
 cpu: CpuStats{compares=3929, accum=639, heap=462, decoded=0}
-pruning: bound_checks=600 pairs_pruned=2 early_exits=0 suppressed=0
+pruning: bound_checks=600 pairs_pruned=2 early_exits=0 suppressed=0 blocks_skipped=0 trimmed=0
 )",
       Render(hhnl, /*hhnl_backward=*/true));
 }
@@ -141,10 +141,10 @@ phase                     pred.seq  pred.rand   measured   err.seq
   load btree                  2.00       2.00       7.00   +250.0%
   probe inverted entries      2.93       2.93       7.00   +138.9%
   (query)
-      counters: cache_capacity_X=79 directory_probes=80 entry_fetches=0 cache_hits=69 evictions=0 suppressed_candidates=19 theta_rebuilds=20
+      counters: cache_capacity_X=79 directory_probes=80 entry_fetches=0 cache_hits=69 evictions=0 suppressed_candidates=54 theta_rebuilds=20 blocks_skipped=2 accumulators_trimmed=58
 
-cpu: CpuStats{compares=0, accum=623, heap=445, decoded=150}
-pruning: bound_checks=129 pairs_pruned=0 early_exits=0 suppressed=19
+cpu: CpuStats{compares=657, accum=586, heap=361, decoded=121}
+pruning: bound_checks=559 pairs_pruned=0 early_exits=0 suppressed=54 blocks_skipped=2 trimmed=58
 )",
       Render(hvnl));
 }
@@ -161,10 +161,10 @@ alternatives: HHNL(seq=4.49 rand=8.49) HVNL(seq=6.49 rand=10.49)
 phase                   pred.seq  pred.rand   measured   err.seq
   merge scan                4.49      22.46      13.00   +189.4%
   (query)
-      counters: passes=1 suppressed_candidates=0 theta_rebuilds=0
+      counters: passes=1 suppressed_candidates=0 theta_rebuilds=0 blocks_skipped=0 accumulators_trimmed=0
 
-cpu: CpuStats{compares=0, accum=642, heap=464, decoded=230}
-pruning: bound_checks=23 pairs_pruned=0 early_exits=0 suppressed=0
+cpu: CpuStats{compares=711, accum=642, heap=464, decoded=230}
+pruning: bound_checks=23 pairs_pruned=0 early_exits=0 suppressed=0 blocks_skipped=0 trimmed=0
 )",
       Render(vvm));
 }

@@ -147,7 +147,16 @@ TEST(ICellCodingTest, RoundTrip) {
   std::vector<uint8_t> bytes;
   EncodeICells(cells, &bytes);
   EXPECT_EQ(bytes.size(), cells.size() * kICellBytes);
-  EXPECT_EQ(DecodeICells(bytes.data(), 3), cells);
+  auto decoded =
+      DecodeICells(bytes.data(), static_cast<int64_t>(bytes.size()), 3);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, cells);
+  // Short buffers fail closed instead of reading out of bounds.
+  EXPECT_EQ(DecodeICells(bytes.data(), static_cast<int64_t>(bytes.size()) - 1,
+                         3)
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
 }
 
 }  // namespace
