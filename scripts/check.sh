@@ -12,6 +12,11 @@
 #                               under three seed offsets: randomized
 #                               cancellation points plus the pruning
 #                               bit-identity sweep
+#   scripts/check.sh recovery   crash-safety suite (`ctest -L recovery`)
+#                               under three seed offsets: a crash injected
+#                               after every WAL append and at every
+#                               compaction stage, each recovery verified
+#                               bit-identical to a rebuild
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,6 +49,18 @@ if [ "${1:-}" = "stress" ]; then
       ctest --test-dir build -L stress --output-on-failure
   done
   echo "STRESS CHECKS PASSED"
+  exit 0
+fi
+
+if [ "${1:-}" = "recovery" ]; then
+  cmake -B build -G Ninja
+  cmake --build build
+  for seed in 0 7919 104729; do
+    echo "== recovery sweep, seed offset ${seed} =="
+    TEXTJOIN_CHAOS_SEED=${seed} \
+      ctest --test-dir build -L recovery --output-on-failure
+  done
+  echo "RECOVERY CHECKS PASSED"
   exit 0
 fi
 

@@ -1,0 +1,349 @@
+#include "dynamic/delta_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "join/hhnl.h"
+#include "join/hvnl.h"
+#include "join/topk.h"
+#include "join/vvm.h"
+
+namespace textjoin {
+
+namespace {
+
+bool IsLive(const DynamicJoinSide& side, DocId id) {
+  return side.alive == nullptr || (*side.alive)[id] != 0;
+}
+
+int64_t LiveBaseCount(const DynamicJoinSide& side) {
+  if (side.alive == nullptr) return side.base->num_documents();
+  int64_t n = 0;
+  for (char a : *side.alive) n += (a != 0);
+  return n;
+}
+
+// Live base ids when some are dead; empty when all live (executor
+// convention: an empty subset means "all documents").
+std::vector<DocId> LiveSubset(const DynamicJoinSide& side) {
+  std::vector<DocId> ids;
+  if (side.alive == nullptr) return ids;
+  for (size_t i = 0; i < side.alive->size(); ++i) {
+    if ((*side.alive)[i]) ids.push_back(static_cast<DocId>(i));
+  }
+  if (static_cast<int64_t>(ids.size()) == side.base->num_documents()) {
+    ids.clear();
+  }
+  return ids;
+}
+
+// Base norms (computed by the static path's own scan, under the merged
+// idf) extended with delta-document norms evaluated with the identical
+// per-cell expression, so every norm matches a from-scratch rebuild's bit
+// for bit.
+Result<DocumentNorms> MergedNorms(const DynamicJoinSide& side,
+                                  const IdfWeights& idf,
+                                  const SimilarityConfig& config) {
+  if (!config.cosine_normalize) return DocumentNorms();
+  TEXTJOIN_ASSIGN_OR_RETURN(DocumentNorms base,
+                            DocumentNorms::Create(*side.base, idf, config));
+  std::vector<double> norms = base.values();
+  for (const Document* d : side.delta) {
+    if (!config.use_idf) {
+      norms.push_back(d->Norm());
+    } else {
+      double s = 0;
+      for (const DCell& c : d->cells()) {
+        double w2 = static_cast<double>(c.weight) *
+                    static_cast<double>(c.weight) * idf.Squared(c.term);
+        s += w2;
+      }
+      norms.push_back(std::sqrt(s));
+    }
+  }
+  return DocumentNorms::FromVector(std::move(norms));
+}
+
+// term -> [(delta position, weight)], term-sorted.
+using DeltaIndex = std::map<TermId, std::vector<std::pair<int64_t, Weight>>>;
+
+DeltaIndex BuildDeltaIndex(const std::vector<const Document*>& delta) {
+  DeltaIndex index;
+  for (size_t j = 0; j < delta.size(); ++j) {
+    for (const DCell& c : delta[j]->cells()) {
+      index[c.term].emplace_back(static_cast<int64_t>(j), c.weight);
+    }
+  }
+  return index;
+}
+
+Result<JoinResult> RunForced(Algorithm algo, const JoinContext& ctx,
+                             const JoinSpec& spec) {
+  switch (algo) {
+    case Algorithm::kHhnl:
+      return HhnlJoin().Run(ctx, spec);
+    case Algorithm::kHvnl:
+      return HvnlJoin().Run(ctx, spec);
+    case Algorithm::kVvm:
+      return VvmJoin().Run(ctx, spec);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+}  // namespace
+
+DynamicJoinSide MakeJoinSide(const DynamicCollection& dc) {
+  DynamicJoinSide side;
+  side.base = &dc.base();
+  side.index = &dc.base_index();
+  if (dc.num_live_documents() <
+      dc.base().num_documents() +
+          static_cast<int64_t>(dc.AliveDelta().size())) {
+    side.alive = &dc.base_alive();
+  }
+  for (const DynamicCollection::DeltaDoc* d : dc.AliveDelta()) {
+    side.delta.push_back(&d->doc);
+  }
+  side.df = dc.MergedDfMap();
+  return side;
+}
+
+DynamicJoinSide MakeJoinSide(const DocumentCollection& base,
+                             const InvertedFile* index) {
+  DynamicJoinSide side;
+  side.base = &base;
+  side.index = index;
+  side.df = base.doc_freq_map();
+  return side;
+}
+
+Result<JoinResult> DynamicJoin(const DynamicJoinSide& inner,
+                               const DynamicJoinSide& outer,
+                               const JoinSpec& spec, const SystemParams& sys,
+                               QueryGovernor* governor, PlanChoice* chosen,
+                               const Algorithm* force) {
+  if (!spec.outer_subset.empty() || !spec.inner_subset.empty()) {
+    return Status::InvalidArgument(
+        "document subsets are not supported on dynamic joins");
+  }
+  const int64_t inner_base_n = inner.base->num_documents();
+  const int64_t outer_base_n = outer.base->num_documents();
+  const int64_t inner_live_base = LiveBaseCount(inner);
+  const int64_t outer_live_base = LiveBaseCount(outer);
+  const int64_t n_total_live =
+      inner_live_base + static_cast<int64_t>(inner.delta.size()) +
+      outer_live_base + static_cast<int64_t>(outer.delta.size());
+
+  // Merged live statistics drive idf and norms — the same formulas the
+  // static path evaluates over rebuilt collections.
+  SimilarityContext sim;
+  sim.config = spec.similarity;
+  {
+    std::unordered_map<TermId, int64_t> df = inner.df;
+    for (const auto& [term, n] : outer.df) df[term] += n;
+    sim.idf = IdfWeights::FromMergedStats(static_cast<double>(n_total_live),
+                                          std::move(df),
+                                          spec.similarity.use_idf);
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(sim.inner_norms,
+                            MergedNorms(inner, sim.idf, spec.similarity));
+  TEXTJOIN_ASSIGN_OR_RETURN(sim.outer_norms,
+                            MergedNorms(outer, sim.idf, spec.similarity));
+
+  // Base x base through the unmodified executor, liveness as subsets.
+  JoinContext ctx;
+  ctx.inner = inner.base;
+  ctx.outer = outer.base;
+  ctx.inner_index = inner.index;
+  ctx.outer_index = outer.index;
+  ctx.similarity = &sim;
+  ctx.sys = sys;
+  ctx.governor = governor;
+
+  Algorithm algo = force != nullptr ? *force : Algorithm::kHhnl;
+  JoinResult base_rows;
+  if (inner_live_base > 0 && outer_live_base > 0) {
+    JoinSpec base_spec = spec;
+    base_spec.inner_subset = LiveSubset(inner);
+    base_spec.outer_subset = LiveSubset(outer);
+    if (force != nullptr) {
+      TEXTJOIN_ASSIGN_OR_RETURN(base_rows, RunForced(*force, ctx, base_spec));
+      if (chosen != nullptr) chosen->algorithm = *force;
+    } else {
+      JoinPlanner planner;
+      PlanChoice plan;
+      TEXTJOIN_ASSIGN_OR_RETURN(base_rows,
+                                planner.Execute(ctx, base_spec, &plan));
+      algo = plan.algorithm;
+      if (chosen != nullptr) *chosen = plan;
+    }
+  }
+
+  const DeltaIndex inner_delta_index = BuildDeltaIndex(inner.delta);
+
+  // Scores of base outer docs against DELTA inner docs. Contributions
+  // accumulate in ascending term order per pair, matching WeightedDot.
+  std::unordered_map<DocId, std::vector<double>> base_outer_delta_acc;
+  if (!inner.delta.empty() && outer_live_base > 0) {
+    if (algo == Algorithm::kVvm && outer.index != nullptr) {
+      // VVM shape: one sequential pass over the outer inverted file.
+      auto scanner = outer.index->Scan();
+      while (!scanner.Done()) {
+        const TermId term = scanner.NextTerm();
+        auto it = inner_delta_index.find(term);
+        if (it == inner_delta_index.end()) {
+          TEXTJOIN_RETURN_IF_ERROR(scanner.SkipEntry());
+          continue;
+        }
+        const double factor = sim.TermFactor(term);
+        TEXTJOIN_ASSIGN_OR_RETURN(std::vector<ICell> cells, scanner.Next());
+        for (const ICell& ic : cells) {
+          if (!IsLive(outer, ic.doc)) continue;
+          std::vector<double>& acc = base_outer_delta_acc[ic.doc];
+          acc.resize(inner.delta.size(), 0.0);
+          for (const auto& [j, w] : it->second) {
+            acc[j] += static_cast<double>(ic.weight) *
+                      static_cast<double>(w) * factor;
+          }
+        }
+      }
+    } else {
+      // HHNL/HVNL shape: one pass over the outer documents.
+      auto scanner = outer.base->Scan();
+      while (!scanner.Done()) {
+        const DocId o = scanner.next_doc();
+        TEXTJOIN_ASSIGN_OR_RETURN(Document doc, scanner.Next());
+        if (!IsLive(outer, o)) continue;
+        std::vector<double> acc;
+        for (const DCell& c : doc.cells()) {
+          auto it = inner_delta_index.find(c.term);
+          if (it == inner_delta_index.end()) continue;
+          const double factor = sim.TermFactor(c.term);
+          if (acc.empty()) acc.resize(inner.delta.size(), 0.0);
+          for (const auto& [j, w] : it->second) {
+            acc[j] += static_cast<double>(c.weight) *
+                      static_cast<double>(w) * factor;
+          }
+        }
+        if (!acc.empty()) base_outer_delta_acc[o] = std::move(acc);
+      }
+    }
+  }
+
+  // Assemble base-outer rows: the executor's top-lambda re-selected
+  // against the delta-inner candidates (top-k(top-k(A) u B) = top-k(A u B)).
+  JoinResult out;
+  size_t bi = 0;
+  for (int64_t o = 0; o < outer_base_n; ++o) {
+    if (!IsLive(outer, static_cast<DocId>(o))) continue;
+    OuterMatches row;
+    row.outer_doc = static_cast<DocId>(o);
+    const OuterMatches* base_row = nullptr;
+    if (bi < base_rows.size() &&
+        base_rows[bi].outer_doc == static_cast<DocId>(o)) {
+      base_row = &base_rows[bi];
+      ++bi;
+    }
+    auto dit = base_outer_delta_acc.find(static_cast<DocId>(o));
+    if (dit == base_outer_delta_acc.end()) {
+      if (base_row != nullptr) row.matches = base_row->matches;
+    } else {
+      TopKAccumulator heap(spec.lambda);
+      if (base_row != nullptr) {
+        for (const Match& m : base_row->matches) heap.Add(m.doc, m.score);
+      }
+      for (size_t j = 0; j < dit->second.size(); ++j) {
+        const double acc = dit->second[j];
+        if (acc <= 0) continue;
+        const DocId merged_i = static_cast<DocId>(inner_base_n + j);
+        heap.Add(merged_i,
+                 sim.Finalize(acc, merged_i, static_cast<DocId>(o)));
+      }
+      row.matches = heap.TakeSorted();
+    }
+    out.push_back(std::move(row));
+  }
+
+  // Delta-outer rows, scored against base inner (algorithm-shaped access)
+  // and delta inner (in memory).
+  for (size_t jo = 0; jo < outer.delta.size(); ++jo) {
+    const Document& od = *outer.delta[jo];
+    const DocId merged_o = static_cast<DocId>(outer_base_n + jo);
+    std::vector<double> acc_base(static_cast<size_t>(inner_base_n), 0.0);
+    if (inner_live_base > 0) {
+      if (algo == Algorithm::kVvm && inner.index != nullptr) {
+        auto scanner = inner.index->Scan();
+        const auto& cells = od.cells();
+        size_t ci = 0;
+        while (!scanner.Done()) {
+          const TermId term = scanner.NextTerm();
+          while (ci < cells.size() && cells[ci].term < term) ++ci;
+          if (ci >= cells.size() || cells[ci].term != term) {
+            TEXTJOIN_RETURN_IF_ERROR(scanner.SkipEntry());
+            continue;
+          }
+          const double factor = sim.TermFactor(term);
+          TEXTJOIN_ASSIGN_OR_RETURN(std::vector<ICell> icells,
+                                    scanner.Next());
+          for (const ICell& ic : icells) {
+            if (!IsLive(inner, ic.doc)) continue;
+            acc_base[ic.doc] += static_cast<double>(cells[ci].weight) *
+                                static_cast<double>(ic.weight) * factor;
+          }
+        }
+      } else if (algo == Algorithm::kHvnl && inner.index != nullptr) {
+        for (const DCell& c : od.cells()) {
+          if (inner.index->FindEntry(c.term) < 0) continue;
+          const double factor = sim.TermFactor(c.term);
+          TEXTJOIN_ASSIGN_OR_RETURN(std::vector<ICell> icells,
+                                    inner.index->FetchEntry(c.term));
+          for (const ICell& ic : icells) {
+            if (!IsLive(inner, ic.doc)) continue;
+            acc_base[ic.doc] += static_cast<double>(c.weight) *
+                                static_cast<double>(ic.weight) * factor;
+          }
+        }
+      } else {
+        auto scanner = inner.base->Scan();
+        while (!scanner.Done()) {
+          const DocId i = scanner.next_doc();
+          TEXTJOIN_ASSIGN_OR_RETURN(Document doc, scanner.Next());
+          if (!IsLive(inner, i)) continue;
+          acc_base[i] = WeightedDot(doc, od, sim);
+        }
+      }
+    }
+    std::vector<double> acc_delta(inner.delta.size(), 0.0);
+    for (const DCell& c : od.cells()) {
+      auto it = inner_delta_index.find(c.term);
+      if (it == inner_delta_index.end()) continue;
+      const double factor = sim.TermFactor(c.term);
+      for (const auto& [j, w] : it->second) {
+        acc_delta[j] += static_cast<double>(c.weight) *
+                        static_cast<double>(w) * factor;
+      }
+    }
+    TopKAccumulator heap(spec.lambda);
+    for (int64_t i = 0; i < inner_base_n; ++i) {
+      if (!IsLive(inner, static_cast<DocId>(i))) continue;
+      const double acc = acc_base[i];
+      if (acc <= 0) continue;
+      heap.Add(static_cast<DocId>(i),
+               sim.Finalize(acc, static_cast<DocId>(i), merged_o));
+    }
+    for (size_t j = 0; j < acc_delta.size(); ++j) {
+      if (acc_delta[j] <= 0) continue;
+      const DocId merged_i = static_cast<DocId>(inner_base_n + j);
+      heap.Add(merged_i, sim.Finalize(acc_delta[j], merged_i, merged_o));
+    }
+    OuterMatches row;
+    row.outer_doc = merged_o;
+    row.matches = heap.TakeSorted();
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,56 @@
+#ifndef TEXTJOIN_DYNAMIC_DELTA_JOIN_H_
+#define TEXTJOIN_DYNAMIC_DELTA_JOIN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "dynamic/dynamic_collection.h"
+#include "join/executor.h"
+#include "planner/planner.h"
+
+namespace textjoin {
+
+// One side of a dynamic-aware join: the durable base (collection + index),
+// a liveness mask over its dense DocIds, the in-memory delta documents,
+// and this side's live document-frequency statistics.
+struct DynamicJoinSide {
+  const DocumentCollection* base = nullptr;
+  const InvertedFile* index = nullptr;       // may be null
+  const std::vector<char>* alive = nullptr;  // null = every base doc live
+  std::vector<const Document*> delta;        // alive delta, insertion order
+  std::unordered_map<TermId, int64_t> df;    // live df of this side
+};
+
+DynamicJoinSide MakeJoinSide(const DynamicCollection& dc);
+DynamicJoinSide MakeJoinSide(const DocumentCollection& base,
+                             const InvertedFile* index);
+
+// Joins two dynamic views with results bit-identical to rebuilding each
+// side from its live documents and running the chosen executor:
+//
+//   * Similarity statistics (df, N, idf, norms) are the MERGED live
+//     statistics, evaluated with the exact static-path expressions.
+//   * Base x base pairs run through the UNMODIFIED executor (liveness
+//     becomes a subset), so their accumulation order — and therefore every
+//     floating-point sum — is the static path's.
+//   * Delta contributions accumulate in the same ascending-term order and
+//     are folded per outer row by re-running top-lambda selection
+//     (top-k(top-k(A) u B) = top-k(A u B), with BetterMatch ties preserved
+//     because merged ids are order-isomorphic to a rebuild's dense ids).
+//
+// Merged doc ids: base ids stay; the j-th alive delta doc of a side is
+// base.num_documents() + j. spec.outer_subset / inner_subset must be empty
+// (selection pushdown composes with liveness ambiguously; rejected as
+// InvalidArgument). When `force` is non-null that algorithm runs;
+// otherwise the planner picks over the base collections. `chosen`
+// (optional) reports the base plan.
+Result<JoinResult> DynamicJoin(const DynamicJoinSide& inner,
+                               const DynamicJoinSide& outer,
+                               const JoinSpec& spec, const SystemParams& sys,
+                               QueryGovernor* governor, PlanChoice* chosen,
+                               const Algorithm* force = nullptr);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_DYNAMIC_DELTA_JOIN_H_

@@ -1,0 +1,515 @@
+#include "dynamic/dynamic_collection.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "catalog/catalog.h"
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "storage/coding.h"
+#include "storage/page_stream.h"
+
+namespace textjoin {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x544A4459;  // "TJDY"
+constexpr uint32_t kKeysMagic = 0x544A444B;      // "TJDK"
+// manifest slot: magic u32 | commit u64 | generation u64 | epoch u64 |
+// next_key u64 | crc u32 (over the 36 bytes before it)
+constexpr int64_t kManifestSlotBytes = 40;
+
+std::string ManifestName(const std::string& name) {
+  return name + ".dyn.manifest";
+}
+
+std::string GenPrefix(const std::string& name, int64_t gen) {
+  return name + ".g" + std::to_string(gen);
+}
+
+struct GenerationFiles {
+  std::string data;
+  std::string col;
+  std::string inv;
+  std::string idx;
+  std::string keys;
+  std::string wal;
+};
+
+GenerationFiles FilesOf(const std::string& name, int64_t gen) {
+  const std::string p = GenPrefix(name, gen);
+  return GenerationFiles{p, p + ".col", p + ".inv", p + ".idx", p + ".keys",
+                         p + ".wal"};
+}
+
+struct ManifestSlot {
+  uint64_t commit = 0;
+  int64_t generation = 0;
+  int64_t epoch = 0;
+  DocKey next_key = 1;
+};
+
+std::vector<uint8_t> EncodeSlot(const ManifestSlot& s) {
+  std::vector<uint8_t> bytes;
+  PutFixed32(&bytes, kManifestMagic);
+  PutFixed64(&bytes, s.commit);
+  PutFixed64(&bytes, static_cast<uint64_t>(s.generation));
+  PutFixed64(&bytes, static_cast<uint64_t>(s.epoch));
+  PutFixed64(&bytes, s.next_key);
+  PutFixed32(&bytes, Crc32(bytes.data(), bytes.size()));
+  return bytes;
+}
+
+// Returns true iff the page holds a checksummed slot.
+bool DecodeSlot(const uint8_t* page, ManifestSlot* out) {
+  if (GetFixed32(page) != kManifestMagic) return false;
+  if (GetFixed32(page + 36) != Crc32(page, 36)) return false;
+  out->commit = GetFixed64(page + 4);
+  out->generation = static_cast<int64_t>(GetFixed64(page + 12));
+  out->epoch = static_cast<int64_t>(GetFixed64(page + 20));
+  out->next_key = GetFixed64(page + 28);
+  return true;
+}
+
+Status WriteKeysFile(Disk* disk, const std::string& name,
+                     const std::vector<DocKey>& keys) {
+  std::vector<uint8_t> payload;
+  PutFixed64(&payload, static_cast<uint64_t>(keys.size()));
+  for (DocKey k : keys) PutFixed64(&payload, k);
+  std::vector<uint8_t> bytes;
+  PutFixed32(&bytes, kKeysMagic);
+  PutFixed64(&bytes, static_cast<uint64_t>(payload.size()));
+  PutFixed32(&bytes, Crc32(payload.data(), payload.size()));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  PageStreamWriter writer(disk, disk->CreateFile(name));
+  writer.Append(bytes);
+  return writer.Finish();
+}
+
+Result<std::vector<DocKey>> ReadKeysFile(Disk* disk,
+                                         const std::string& name) {
+  TEXTJOIN_ASSIGN_OR_RETURN(FileId file, disk->FindFile(name));
+  SequentialByteReader reader(disk, file);
+  uint8_t header[16];
+  TEXTJOIN_RETURN_IF_ERROR(reader.Read(16, header));
+  if (GetFixed32(header) != kKeysMagic) {
+    return Status::DataLoss("bad magic in key sidecar '" + name + "'");
+  }
+  const int64_t payload_len = static_cast<int64_t>(GetFixed64(header + 4));
+  const uint32_t crc = GetFixed32(header + 12);
+  TEXTJOIN_ASSIGN_OR_RETURN(int64_t pages, disk->FileSizeInPages(file));
+  if (payload_len < 8 || 16 + payload_len > pages * disk->page_size()) {
+    return Status::DataLoss("bad payload length in key sidecar '" + name +
+                            "'");
+  }
+  std::vector<uint8_t> payload(static_cast<size_t>(payload_len));
+  TEXTJOIN_RETURN_IF_ERROR(reader.Read(payload_len, payload.data()));
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return Status::DataLoss("checksum mismatch in key sidecar '" + name +
+                            "'");
+  }
+  const uint64_t count = GetFixed64(payload.data());
+  if (static_cast<int64_t>(8 + count * 8) != payload_len) {
+    return Status::DataLoss("key count mismatch in key sidecar '" + name +
+                            "'");
+  }
+  std::vector<DocKey> keys;
+  keys.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    keys.push_back(GetFixed64(payload.data() + 8 + i * 8));
+  }
+  return keys;
+}
+
+std::vector<uint8_t> EncodeInsertPayload(DocKey key, const Document& doc) {
+  std::vector<uint8_t> payload;
+  PutFixed64(&payload, key);
+  PutFixed32(&payload, static_cast<uint32_t>(doc.cells().size()));
+  for (const DCell& c : doc.cells()) {
+    PutFixed32(&payload, c.term);
+    PutFixed16(&payload, c.weight);
+  }
+  return payload;
+}
+
+std::vector<uint8_t> EncodeDeletePayload(DocKey key) {
+  std::vector<uint8_t> payload;
+  PutFixed64(&payload, key);
+  return payload;
+}
+
+}  // namespace
+
+int64_t DynamicCollection::num_live_documents() const {
+  return base_->num_documents() - base_dead_ +
+         static_cast<int64_t>(delta_.size()) - delta_dead_;
+}
+
+std::vector<const DynamicCollection::DeltaDoc*> DynamicCollection::AliveDelta()
+    const {
+  std::vector<const DeltaDoc*> out;
+  out.reserve(delta_.size());
+  for (const DeltaEntry& e : delta_) {
+    if (e.alive) out.push_back(&e);
+  }
+  return out;
+}
+
+std::unordered_map<TermId, int64_t> DynamicCollection::MergedDfMap() const {
+  std::unordered_map<TermId, int64_t> df = base_->doc_freq_map();
+  for (const auto& [term, minus] : df_minus_) {
+    auto it = df.find(term);
+    if (it != df.end()) it->second -= minus;
+  }
+  for (const DeltaEntry& e : delta_) {
+    if (!e.alive) continue;
+    for (const DCell& c : e.doc.cells()) ++df[c.term];
+  }
+  for (auto it = df.begin(); it != df.end();) {
+    it = it->second <= 0 ? df.erase(it) : std::next(it);
+  }
+  return df;
+}
+
+DocKey DynamicCollection::KeyOfMerged(DocId merged) const {
+  const int64_t base_n = base_->num_documents();
+  if (static_cast<int64_t>(merged) < base_n) {
+    TEXTJOIN_CHECK(alive_[merged] != 0);
+    return base_keys_[merged];
+  }
+  int64_t j = static_cast<int64_t>(merged) - base_n;
+  for (const DeltaEntry& e : delta_) {
+    if (!e.alive) continue;
+    if (j == 0) return e.key;
+    --j;
+  }
+  TEXTJOIN_CHECK(false);
+  return 0;
+}
+
+std::vector<DocKey> DynamicCollection::LiveKeys() const {
+  std::vector<DocKey> keys;
+  keys.reserve(static_cast<size_t>(num_live_documents()));
+  for (int64_t d = 0; d < base_->num_documents(); ++d) {
+    if (alive_[d]) keys.push_back(base_keys_[d]);
+  }
+  for (const DeltaEntry& e : delta_) {
+    if (e.alive) keys.push_back(e.key);
+  }
+  return keys;
+}
+
+Status DynamicCollection::CommitManifest(int64_t generation, int64_t epoch,
+                                         DocKey next_key) {
+  ManifestSlot slot;
+  slot.commit = manifest_commits_ + 1;
+  slot.generation = generation;
+  slot.epoch = epoch;
+  slot.next_key = next_key;
+  const std::vector<uint8_t> bytes = EncodeSlot(slot);
+  TEXTJOIN_RETURN_IF_ERROR(disk_->WritePage(
+      manifest_file_, static_cast<PageNumber>(slot.commit % 2), bytes.data(),
+      static_cast<int64_t>(bytes.size())));
+  manifest_commits_ = slot.commit;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DynamicCollection>> DynamicCollection::Create(
+    Disk* disk, const std::string& name,
+    const std::vector<Document>& initial_docs) {
+  if (disk->page_size() < kManifestSlotBytes) {
+    return Status::InvalidArgument("page size too small for manifest slot");
+  }
+  if (disk->FindFile(ManifestName(name)).ok()) {
+    return Status::AlreadyExists("dynamic collection '" + name +
+                                 "' already exists");
+  }
+  auto dc = std::unique_ptr<DynamicCollection>(new DynamicCollection());
+  dc->disk_ = disk;
+  dc->name_ = name;
+  dc->manifest_file_ = disk->CreateFile(ManifestName(name));
+  for (int i = 0; i < 2; ++i) {
+    TEXTJOIN_RETURN_IF_ERROR(
+        disk->AppendPage(dc->manifest_file_, nullptr, 0).status());
+  }
+
+  const GenerationFiles files = FilesOf(name, 1);
+  CollectionBuilder builder(disk, files.data);
+  std::vector<DocKey> keys;
+  keys.reserve(initial_docs.size());
+  for (const Document& doc : initial_docs) {
+    TEXTJOIN_RETURN_IF_ERROR(builder.AddDocument(doc).status());
+    keys.push_back(static_cast<DocKey>(keys.size()) + 1);
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(DocumentCollection col, builder.Finish());
+  TEXTJOIN_ASSIGN_OR_RETURN(InvertedFile inv,
+                            InvertedFile::Build(disk, files.inv, col));
+  TEXTJOIN_RETURN_IF_ERROR(SaveCollectionCatalog(col, files.col));
+  TEXTJOIN_RETURN_IF_ERROR(SaveInvertedFileCatalog(inv, files.idx));
+  TEXTJOIN_RETURN_IF_ERROR(WriteKeysFile(disk, files.keys, keys));
+  TEXTJOIN_ASSIGN_OR_RETURN(WalWriter wal,
+                            WalWriter::Create(disk, files.wal));
+  const DocKey next_key = static_cast<DocKey>(initial_docs.size()) + 1;
+  TEXTJOIN_RETURN_IF_ERROR(dc->CommitManifest(1, 1, next_key));
+
+  dc->generation_ = 1;
+  dc->epoch_ = 1;
+  dc->next_key_ = next_key;
+  dc->base_ = std::make_unique<DocumentCollection>(std::move(col));
+  dc->index_ = std::make_unique<InvertedFile>(std::move(inv));
+  dc->base_keys_ = std::move(keys);
+  for (size_t i = 0; i < dc->base_keys_.size(); ++i) {
+    dc->base_by_key_[dc->base_keys_[i]] = static_cast<DocId>(i);
+  }
+  dc->alive_.assign(dc->base_keys_.size(), 1);
+  dc->wal_ = std::make_unique<WalWriter>(std::move(wal));
+  dc->last_recovery_ = RecoveryReport{0, 0, dc->epoch_};
+  return dc;
+}
+
+Status DynamicCollection::LoadGeneration(int64_t gen) {
+  const GenerationFiles files = FilesOf(name_, gen);
+  TEXTJOIN_ASSIGN_OR_RETURN(DocumentCollection col,
+                            OpenCollection(disk_, files.col));
+  TEXTJOIN_ASSIGN_OR_RETURN(InvertedFile inv,
+                            OpenInvertedFile(disk_, files.idx));
+  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<DocKey> keys,
+                            ReadKeysFile(disk_, files.keys));
+  if (static_cast<int64_t>(keys.size()) != col.num_documents()) {
+    return Status::DataLoss("key sidecar of '" + name_ +
+                            "' disagrees with the collection");
+  }
+  base_ = std::make_unique<DocumentCollection>(std::move(col));
+  index_ = std::make_unique<InvertedFile>(std::move(inv));
+  base_keys_ = std::move(keys);
+  base_by_key_.clear();
+  for (size_t i = 0; i < base_keys_.size(); ++i) {
+    base_by_key_[base_keys_[i]] = static_cast<DocId>(i);
+  }
+  alive_.assign(base_keys_.size(), 1);
+  base_dead_ = 0;
+  delta_.clear();
+  delta_dead_ = 0;
+  df_minus_.clear();
+  generation_ = gen;
+  return Status::OK();
+}
+
+Status DynamicCollection::Apply(WalRecordType type,
+                                const std::vector<uint8_t>& payload) {
+  if (type == WalRecordType::kInsert) {
+    if (payload.size() < 12) {
+      return Status::DataLoss("short WAL insert record");
+    }
+    const DocKey key = GetFixed64(payload.data());
+    const uint32_t count = GetFixed32(payload.data() + 8);
+    if (payload.size() != 12 + static_cast<size_t>(count) * 6) {
+      return Status::DataLoss("WAL insert record length mismatch");
+    }
+    std::vector<DCell> cells;
+    cells.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint8_t* p = payload.data() + 12 + i * 6;
+      cells.push_back(DCell{GetFixed32(p), GetFixed16(p + 4)});
+    }
+    delta_.push_back(
+        DeltaEntry{{key, Document::FromSortedCells(std::move(cells))}, true});
+    next_key_ = std::max(next_key_, key + 1);
+    ++epoch_;
+    return Status::OK();
+  }
+  if (type == WalRecordType::kDelete) {
+    if (payload.size() != 8) {
+      return Status::DataLoss("WAL delete record length mismatch");
+    }
+    const DocKey key = GetFixed64(payload.data());
+    for (DeltaEntry& e : delta_) {
+      if (e.key == key && e.alive) {
+        e.alive = false;
+        ++delta_dead_;
+        ++epoch_;
+        return Status::OK();
+      }
+    }
+    auto it = base_by_key_.find(key);
+    if (it == base_by_key_.end() || !alive_[it->second]) {
+      return Status::DataLoss("WAL delete references unknown document key " +
+                              std::to_string(key));
+    }
+    TEXTJOIN_ASSIGN_OR_RETURN(Document doc,
+                              base_->ReadDocument(it->second));
+    for (const DCell& c : doc.cells()) ++df_minus_[c.term];
+    alive_[it->second] = 0;
+    ++base_dead_;
+    ++epoch_;
+    return Status::OK();
+  }
+  return Status::DataLoss("WAL record with unknown type");
+}
+
+Result<std::unique_ptr<DynamicCollection>> DynamicCollection::Open(
+    Disk* disk, const std::string& name) {
+  auto dc = std::unique_ptr<DynamicCollection>(new DynamicCollection());
+  dc->disk_ = disk;
+  dc->name_ = name;
+  TEXTJOIN_ASSIGN_OR_RETURN(dc->manifest_file_,
+                            disk->FindFile(ManifestName(name)));
+  std::vector<uint8_t> page(static_cast<size_t>(disk->page_size()));
+  ManifestSlot best;
+  bool any_valid = false;
+  bool any_nonzero = false;
+  for (PageNumber p = 0; p < 2; ++p) {
+    TEXTJOIN_RETURN_IF_ERROR(disk->ReadPage(dc->manifest_file_, p,
+                                            page.data()));
+    for (uint8_t b : page) any_nonzero |= (b != 0);
+    ManifestSlot slot;
+    if (DecodeSlot(page.data(), &slot)) {
+      if (!any_valid || slot.commit > best.commit) best = slot;
+      any_valid = true;
+    }
+  }
+  if (!any_valid) {
+    if (any_nonzero) {
+      return Status::DataLoss("both manifest slots of '" + name +
+                              "' are corrupt");
+    }
+    return Status::NotFound("dynamic collection '" + name +
+                            "' was never committed");
+  }
+  dc->manifest_commits_ = best.commit;
+  dc->epoch_ = best.epoch;
+  dc->next_key_ = best.next_key;
+  TEXTJOIN_RETURN_IF_ERROR(dc->LoadGeneration(best.generation));
+
+  const GenerationFiles files = FilesOf(name, best.generation);
+  TEXTJOIN_ASSIGN_OR_RETURN(FileId wal_file, disk->FindFile(files.wal));
+  TEXTJOIN_ASSIGN_OR_RETURN(WalRecovery recovery,
+                            RecoverWal(disk, wal_file));
+  for (const WalRecord& rec : recovery.records) {
+    TEXTJOIN_RETURN_IF_ERROR(dc->Apply(rec.type, rec.payload));
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(WalWriter wal,
+                            WalWriter::Open(disk, wal_file, recovery));
+  dc->wal_ = std::make_unique<WalWriter>(std::move(wal));
+  dc->last_recovery_ =
+      RecoveryReport{static_cast<int64_t>(recovery.records.size()),
+                     recovery.tail_bytes_discarded, dc->epoch_};
+  return dc;
+}
+
+Result<DocKey> DynamicCollection::Insert(const Document& doc) {
+  const DocKey key = next_key_;
+  TEXTJOIN_RETURN_IF_ERROR(
+      wal_->Append(WalRecordType::kInsert, EncodeInsertPayload(key, doc)));
+  delta_.push_back(DeltaEntry{{key, doc}, true});
+  next_key_ = key + 1;
+  ++epoch_;
+  return key;
+}
+
+Status DynamicCollection::Delete(DocKey key) {
+  // Resolve the target (and pre-read a base document for its term list)
+  // BEFORE the WAL write, so a logged delete always applies cleanly.
+  DeltaEntry* delta_target = nullptr;
+  for (DeltaEntry& e : delta_) {
+    if (e.key == key && e.alive) {
+      delta_target = &e;
+      break;
+    }
+  }
+  DocId base_id = 0;
+  Document base_doc;
+  if (delta_target == nullptr) {
+    auto it = base_by_key_.find(key);
+    if (it == base_by_key_.end() || !alive_[it->second]) {
+      return Status::NotFound("no live document with key " +
+                              std::to_string(key));
+    }
+    base_id = it->second;
+    TEXTJOIN_ASSIGN_OR_RETURN(base_doc, base_->ReadDocument(base_id));
+  }
+  TEXTJOIN_RETURN_IF_ERROR(
+      wal_->Append(WalRecordType::kDelete, EncodeDeletePayload(key)));
+  if (delta_target != nullptr) {
+    delta_target->alive = false;
+    ++delta_dead_;
+  } else {
+    for (const DCell& c : base_doc.cells()) ++df_minus_[c.term];
+    alive_[base_id] = 0;
+    ++base_dead_;
+  }
+  ++epoch_;
+  return Status::OK();
+}
+
+Status DynamicCollection::Compact() {
+  // Generations never repeat, even across crashes that orphaned a
+  // half-built one: scan the device for the highest suffix ever used.
+  int64_t max_gen = generation_;
+  const std::string prefix = name_ + ".g";
+  for (FileId f = 0; f < disk_->file_count(); ++f) {
+    const std::string& fname = disk_->FileName(f);
+    if (fname.compare(0, prefix.size(), prefix) != 0) continue;
+    size_t pos = prefix.size();
+    int64_t gen = 0;
+    bool digits = false;
+    while (pos < fname.size() && fname[pos] >= '0' && fname[pos] <= '9') {
+      gen = gen * 10 + (fname[pos] - '0');
+      ++pos;
+      digits = true;
+    }
+    if (!digits || (pos < fname.size() && fname[pos] != '.')) continue;
+    max_gen = std::max(max_gen, gen);
+  }
+  const int64_t gen = max_gen + 1;
+
+  // Build the ENTIRE next generation before the one-page manifest commit.
+  const GenerationFiles files = FilesOf(name_, gen);
+  CollectionBuilder builder(disk_, files.data);
+  std::vector<DocKey> keys;
+  keys.reserve(static_cast<size_t>(num_live_documents()));
+  auto scanner = base_->Scan();
+  while (!scanner.Done()) {
+    const DocId id = scanner.next_doc();
+    TEXTJOIN_ASSIGN_OR_RETURN(Document doc, scanner.Next());
+    if (!alive_[id]) continue;
+    TEXTJOIN_RETURN_IF_ERROR(builder.AddDocument(doc).status());
+    keys.push_back(base_keys_[id]);
+  }
+  for (const DeltaEntry& e : delta_) {
+    if (!e.alive) continue;
+    TEXTJOIN_RETURN_IF_ERROR(builder.AddDocument(e.doc).status());
+    keys.push_back(e.key);
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(DocumentCollection col, builder.Finish());
+  TEXTJOIN_ASSIGN_OR_RETURN(InvertedFile inv,
+                            InvertedFile::Build(disk_, files.inv, col));
+  TEXTJOIN_RETURN_IF_ERROR(SaveCollectionCatalog(col, files.col));
+  TEXTJOIN_RETURN_IF_ERROR(SaveInvertedFileCatalog(inv, files.idx));
+  TEXTJOIN_RETURN_IF_ERROR(WriteKeysFile(disk_, files.keys, keys));
+  TEXTJOIN_ASSIGN_OR_RETURN(WalWriter wal,
+                            WalWriter::Create(disk_, files.wal));
+
+  // The atomic swap: until this single page write lands, reopening the
+  // device resolves the OLD generation + OLD WAL; after it, the new one.
+  TEXTJOIN_RETURN_IF_ERROR(CommitManifest(gen, epoch_ + 1, next_key_));
+
+  base_ = std::make_unique<DocumentCollection>(std::move(col));
+  index_ = std::make_unique<InvertedFile>(std::move(inv));
+  base_keys_ = std::move(keys);
+  base_by_key_.clear();
+  for (size_t i = 0; i < base_keys_.size(); ++i) {
+    base_by_key_[base_keys_[i]] = static_cast<DocId>(i);
+  }
+  alive_.assign(base_keys_.size(), 1);
+  base_dead_ = 0;
+  delta_.clear();
+  delta_dead_ = 0;
+  df_minus_.clear();
+  wal_ = std::make_unique<WalWriter>(std::move(wal));
+  generation_ = gen;
+  ++epoch_;
+  return Status::OK();
+}
+
+}  // namespace textjoin

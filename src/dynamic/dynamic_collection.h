@@ -1,0 +1,156 @@
+#ifndef TEXTJOIN_DYNAMIC_DYNAMIC_COLLECTION_H_
+#define TEXTJOIN_DYNAMIC_DYNAMIC_COLLECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "index/inverted_file.h"
+#include "storage/disk.h"
+#include "storage/wal.h"
+#include "text/collection.h"
+#include "text/document.h"
+#include "text/types.h"
+
+namespace textjoin {
+
+// Stable identity of a document in a dynamic collection: an insertion
+// counter that survives compaction (which renumbers the dense DocIds).
+using DocKey = uint64_t;
+
+// What replay found when a dynamic collection was (re)opened.
+struct RecoveryReport {
+  int64_t records_replayed = 0;
+  int64_t tail_bytes_discarded = 0;
+  int64_t epoch = 0;  // epoch after replay
+};
+
+// A document collection that accepts inserts and deletes, built from the
+// static machinery (DESIGN.md §11):
+//
+//   * A durable BASE: a DocumentCollection + InvertedFile + catalogs +
+//     key sidecar, all under a generation-suffixed name
+//     ("<name>.g<G>", "<name>.g<G>.col", ".inv", ".idx", ".keys", ".wal").
+//   * A checksummed WAL recording every mutation since the base was built.
+//   * An in-memory DELTA: inserted documents not yet compacted, plus a
+//     liveness mask over base documents.
+//   * A two-slot ping-pong MANIFEST ("<name>.dyn.manifest"): one page
+//     write atomically commits {generation, epoch, next_key}. Compaction
+//     builds the ENTIRE next generation (collection, index, catalogs,
+//     keys, fresh WAL) before that single commit, so a crash at any stage
+//     leaves the old generation fully intact (orphan files of the unborn
+//     generation are unreferenced and generation numbers never repeat, so
+//     they can never be resolved by mistake — FindFile returns the first
+//     match and the manifest names exactly one generation).
+//
+// Reopening replays the WAL over the manifest's generation; the epoch
+// (manifest epoch + one per replayed record, + one per live mutation) is
+// what invalidates ResultCache entries and refreshes planner statistics.
+class DynamicCollection {
+ public:
+  // Creates generation 1 from `initial_docs` (keys 1..N in order) and
+  // commits it.
+  static Result<std::unique_ptr<DynamicCollection>> Create(
+      Disk* disk, const std::string& name,
+      const std::vector<Document>& initial_docs);
+
+  // Reopens from the manifest, replaying the WAL. Corruption (flipped
+  // bytes mid-log, seq gaps, bad manifest slots) surfaces as kDataLoss;
+  // a torn WAL tail is discarded and reported, never an error.
+  static Result<std::unique_ptr<DynamicCollection>> Open(
+      Disk* disk, const std::string& name);
+
+  DynamicCollection(const DynamicCollection&) = delete;
+  DynamicCollection& operator=(const DynamicCollection&) = delete;
+
+  // WAL-first mutations: the record is durable before the in-memory state
+  // changes, so a failed write leaves the collection exactly as it was.
+  Result<DocKey> Insert(const Document& doc);
+  Status Delete(DocKey key);
+
+  // Folds the delta and the deletes into a new base generation behind one
+  // atomic manifest commit. On failure the old state stays live.
+  Status Compact();
+
+  const std::string& name() const { return name_; }
+  int64_t epoch() const { return epoch_; }
+  int64_t generation() const { return generation_; }
+  const RecoveryReport& last_recovery() const { return last_recovery_; }
+  int64_t wal_bytes() const { return wal_->committed_bytes(); }
+
+  // -- Query-time view (used by join/delta merging) ---------------------
+
+  const DocumentCollection& base() const { return *base_; }
+  const InvertedFile& base_index() const { return *index_; }
+
+  // alive[id] != 0 <=> base document `id` has not been deleted.
+  const std::vector<char>& base_alive() const { return alive_; }
+  int64_t num_live_documents() const;
+
+  struct DeltaDoc {
+    DocKey key = 0;
+    Document doc;
+  };
+  // Alive delta documents in insertion order. The j-th entry's merged doc
+  // id is base().num_documents() + j; merged ids are order-isomorphic to
+  // the dense ids a from-scratch rebuild would assign, so top-k ties
+  // break identically.
+  std::vector<const DeltaDoc*> AliveDelta() const;
+
+  // Live document frequencies: base df minus deleted docs plus delta.
+  // Only terms with df > 0 appear.
+  std::unordered_map<TermId, int64_t> MergedDfMap() const;
+
+  // Stable key of a merged doc id (which must be live).
+  DocKey KeyOfMerged(DocId merged) const;
+
+  // Keys of all live documents in merged-id order.
+  std::vector<DocKey> LiveKeys() const;
+
+ private:
+  DynamicCollection() = default;
+
+  // Loads generation `gen`'s base files and key sidecar.
+  Status LoadGeneration(int64_t gen);
+
+  // Applies a WAL record to the in-memory state (no WAL write). Shared by
+  // replay and live mutations.
+  Status Apply(WalRecordType type, const std::vector<uint8_t>& payload);
+
+  Status CommitManifest(int64_t generation, int64_t epoch, DocKey next_key);
+
+  Disk* disk_ = nullptr;
+  std::string name_;
+  FileId manifest_file_ = kInvalidFileId;
+  uint64_t manifest_commits_ = 0;  // ping-pong slot = commits % 2
+
+  int64_t generation_ = 0;
+  int64_t epoch_ = 0;
+  DocKey next_key_ = 1;
+  RecoveryReport last_recovery_;
+
+  std::unique_ptr<DocumentCollection> base_;
+  std::unique_ptr<InvertedFile> index_;
+  std::vector<DocKey> base_keys_;  // key of each base DocId
+  std::unordered_map<DocKey, DocId> base_by_key_;
+  std::vector<char> alive_;  // over base DocIds
+  int64_t base_dead_ = 0;
+
+  struct DeltaEntry : DeltaDoc {
+    bool alive = true;
+  };
+  std::vector<DeltaEntry> delta_;  // insertion order
+  int64_t delta_dead_ = 0;
+  // Live df adjustments relative to the base catalog: df of deleted base
+  // docs (subtract) — delta df is counted from delta_ directly.
+  std::unordered_map<TermId, int64_t> df_minus_;
+
+  std::unique_ptr<WalWriter> wal_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_DYNAMIC_DYNAMIC_COLLECTION_H_

@@ -15,10 +15,26 @@ IdfWeights::IdfWeights(const DocumentCollection& c1,
       c1_(&c1),
       c2_(&c2) {}
 
+IdfWeights IdfWeights::FromMergedStats(
+    double n_total, std::unordered_map<TermId, int64_t> df, bool enabled) {
+  IdfWeights w;
+  w.enabled_ = enabled;
+  w.n_total_ = n_total;
+  w.use_merged_ = true;
+  w.merged_df_ = std::move(df);
+  return w;
+}
+
 double IdfWeights::Squared(TermId term) const {
   if (!enabled_) return 1.0;
-  double df = static_cast<double>(c1_->DocumentFrequency(term) +
-                                  c2_->DocumentFrequency(term));
+  double df;
+  if (use_merged_) {
+    auto it = merged_df_.find(term);
+    df = it == merged_df_.end() ? 0.0 : static_cast<double>(it->second);
+  } else {
+    df = static_cast<double>(c1_->DocumentFrequency(term) +
+                             c2_->DocumentFrequency(term));
+  }
   if (df <= 0) return 0.0;
   double idf = std::log(1.0 + n_total_ / df);
   return idf * idf;
@@ -50,6 +66,12 @@ Result<DocumentNorms> DocumentNorms::Create(
     norms.norms_.push_back(std::sqrt(s));
   }
   return norms;
+}
+
+DocumentNorms DocumentNorms::FromVector(std::vector<double> norms) {
+  DocumentNorms n;
+  n.norms_ = std::move(norms);
+  return n;
 }
 
 Result<SimilarityContext> SimilarityContext::Create(

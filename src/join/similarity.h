@@ -2,6 +2,7 @@
 #define TEXTJOIN_JOIN_SIMILARITY_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -35,6 +36,16 @@ class IdfWeights {
   IdfWeights(const DocumentCollection& c1, const DocumentCollection& c2,
              const SimilarityConfig& config);
 
+  // Weights over explicitly merged statistics instead of two catalogs:
+  // `df` maps term -> combined live document frequency and `n_total` is
+  // the combined live document count. Dynamic collections use this to
+  // score base + delta + deletes with the exact formula above, so scores
+  // are bit-identical to a from-scratch rebuild (same df, same N, same
+  // expression).
+  static IdfWeights FromMergedStats(double n_total,
+                                    std::unordered_map<TermId, int64_t> df,
+                                    bool enabled);
+
   // Squared idf of `term` (1.0 when idf weighting is off).
   double Squared(TermId term) const;
 
@@ -45,6 +56,8 @@ class IdfWeights {
   double n_total_ = 0;
   const DocumentCollection* c1_ = nullptr;
   const DocumentCollection* c2_ = nullptr;
+  bool use_merged_ = false;
+  std::unordered_map<TermId, int64_t> merged_df_;
 };
 
 // Precomputed document norms of a collection under `config` (all 1.0 when
@@ -59,9 +72,15 @@ class DocumentNorms {
                                       const IdfWeights& idf,
                                       const SimilarityConfig& config);
 
+  // Wraps precomputed per-document norms (dynamic collections extend the
+  // base collection's norms with delta-document norms).
+  static DocumentNorms FromVector(std::vector<double> norms);
+
   double of(DocId doc) const {
     return norms_.empty() ? 1.0 : norms_[doc];
   }
+
+  const std::vector<double>& values() const { return norms_; }
 
  private:
   std::vector<double> norms_;

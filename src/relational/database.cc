@@ -8,6 +8,7 @@
 
 #include "catalog/catalog.h"
 #include "common/crc32.h"
+#include "dynamic/delta_join.h"
 #include "relational/sql_parser.h"
 #include "storage/coding.h"
 #include "storage/page_stream.h"
@@ -19,6 +20,7 @@ namespace {
 
 constexpr const char* kManifestFile = "__db.manifest";
 constexpr const char* kVocabularyFile = "__db.vocab";
+constexpr const char* kDynamicFile = "__db.dynamic";
 constexpr uint32_t kManifestMagic = 0x544A444Du;  // "TJDM"
 
 std::string CatalogName(const std::string& object_name, bool is_index) {
@@ -59,7 +61,7 @@ Result<const DocumentCollection*> Database::AddCollectionFromText(
 
 Result<const DocumentCollection*> Database::AddCollection(
     const std::string& name, DocumentCollection collection) {
-  if (collections_.count(name) > 0) {
+  if (collections_.count(name) > 0 || dynamic_.count(name) > 0) {
     return Status::AlreadyExists("collection '" + name + "' exists");
   }
   if (collection.disk() != active_disk_) {
@@ -74,6 +76,9 @@ Result<const DocumentCollection*> Database::AddCollection(
 }
 
 int64_t Database::CollectionEpoch(const std::string& name) const {
+  if (auto it = dynamic_.find(name); it != dynamic_.end()) {
+    return it->second->epoch();
+  }
   if (collections_.count(name) == 0) return -1;
   auto it = epochs_.find(name);
   return it == epochs_.end() ? 1 : it->second;
@@ -136,6 +141,80 @@ std::vector<std::string> Database::collection_names() const {
   std::vector<std::string> names;
   names.reserve(collections_.size());
   for (const auto& [name, col] : collections_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<DynamicCollection*> Database::AddDynamicCollectionFromText(
+    const std::string& name, const std::vector<std::string>& documents) {
+  if (collections_.count(name) > 0 || dynamic_.count(name) > 0) {
+    return Status::AlreadyExists("collection '" + name + "' exists");
+  }
+  std::vector<Document> docs;
+  docs.reserve(documents.size());
+  for (const std::string& text : documents) {
+    TEXTJOIN_ASSIGN_OR_RETURN(Document doc,
+                              tokenizer_.MakeDocument(text, &vocabulary_));
+    docs.push_back(std::move(doc));
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(
+      std::unique_ptr<DynamicCollection> dc,
+      DynamicCollection::Create(active_disk_, name, docs));
+  DynamicCollection* ptr = dc.get();
+  dynamic_.emplace(name, std::move(dc));
+  return ptr;
+}
+
+Result<DocKey> Database::InsertDocument(const std::string& name,
+                                        const std::string& text) {
+  auto it = dynamic_.find(name);
+  if (it == dynamic_.end()) {
+    return Status::NotFound("no dynamic collection '" + name + "'");
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(Document doc,
+                            tokenizer_.MakeDocument(text, &vocabulary_));
+  TEXTJOIN_ASSIGN_OR_RETURN(DocKey key, it->second->Insert(doc));
+  // The mutation bumped the collection's epoch: cached joins over the old
+  // contents are unreachable by key and eagerly dropped.
+  result_cache_.EraseCollection(name);
+  return key;
+}
+
+Status Database::DeleteDocument(const std::string& name, DocKey key) {
+  auto it = dynamic_.find(name);
+  if (it == dynamic_.end()) {
+    return Status::NotFound("no dynamic collection '" + name + "'");
+  }
+  TEXTJOIN_RETURN_IF_ERROR(it->second->Delete(key));
+  result_cache_.EraseCollection(name);
+  return Status::OK();
+}
+
+Status Database::CompactCollection(const std::string& name) {
+  auto it = dynamic_.find(name);
+  if (it == dynamic_.end()) {
+    return Status::NotFound("no dynamic collection '" + name + "'");
+  }
+  TEXTJOIN_RETURN_IF_ERROR(it->second->Compact());
+  result_cache_.EraseCollection(name);
+  return Status::OK();
+}
+
+DynamicCollection* Database::dynamic_collection(const std::string& name) {
+  auto it = dynamic_.find(name);
+  return it == dynamic_.end() ? nullptr : it->second.get();
+}
+
+const DynamicCollection* Database::dynamic_collection(
+    const std::string& name) const {
+  auto it = dynamic_.find(name);
+  return it == dynamic_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::dynamic_names() const {
+  std::vector<std::string> names;
+  names.reserve(dynamic_.size());
+  for (const auto& [name, dc] : dynamic_) names.push_back(name);
   std::sort(names.begin(), names.end());
   return names;
 }
@@ -204,6 +283,9 @@ void Database::EndGoverned(GovernedRun* run) {
 Result<JoinResult> Database::Join(const std::string& inner_name,
                                   const std::string& outer_name,
                                   const JoinSpec& spec, PlanChoice* chosen) {
+  if (dynamic_.count(inner_name) > 0 || dynamic_.count(outer_name) > 0) {
+    return JoinDynamic(inner_name, outer_name, spec, chosen);
+  }
   const DocumentCollection* inner = collection(inner_name);
   const DocumentCollection* outer = collection(outer_name);
   if (inner == nullptr || outer == nullptr) {
@@ -245,6 +327,73 @@ Result<JoinResult> Database::Join(const std::string& inner_name,
     if (result_cache_.enabled()) {
       // Only a fully completed join is cached — a cancelled or shed run
       // returned above with its error.
+      CachedResult value;
+      value.rows = result.value();
+      value.plan = std::move(plan);
+      value.has_plan = true;
+      result_cache_.Insert(cache_key, std::move(value),
+                           {inner_name, outer_name});
+    }
+  }
+  return result;
+}
+
+Result<JoinResult> Database::JoinDynamic(const std::string& inner_name,
+                                         const std::string& outer_name,
+                                         const JoinSpec& spec,
+                                         PlanChoice* chosen) {
+  auto resolve = [this](const std::string& name,
+                        DynamicJoinSide* side) -> Status {
+    if (auto it = dynamic_.find(name); it != dynamic_.end()) {
+      *side = MakeJoinSide(*it->second);
+      return Status::OK();
+    }
+    const DocumentCollection* col = collection(name);
+    if (col == nullptr) {
+      return Status::NotFound("unknown collection in join");
+    }
+    *side = MakeJoinSide(*col, index(name));
+    return Status::OK();
+  };
+  DynamicJoinSide inner;
+  DynamicJoinSide outer;
+  TEXTJOIN_RETURN_IF_ERROR(resolve(inner_name, &inner));
+  TEXTJOIN_RETURN_IF_ERROR(resolve(outer_name, &outer));
+
+  // Cache keys include epochs; a dynamic collection's epoch moves with
+  // every mutation, so hits are only possible between unchanged contents.
+  std::string cache_key;
+  if (result_cache_.enabled()) {
+    cache_key = JoinCacheKey(inner_name, CollectionEpoch(inner_name),
+                             outer_name, CollectionEpoch(outer_name), spec);
+    if (auto cached = result_cache_.Lookup(cache_key);
+        cached.has_value() && cached->has_plan) {
+      if (chosen != nullptr) *chosen = cached->plan;
+      return cached->rows;
+    }
+  }
+
+  // Admission sees the base collections: the delta stays small between
+  // compactions, so the base dominates the predicted cost.
+  TEXTJOIN_ASSIGN_OR_RETURN(
+      SimilarityContext simctx,
+      SimilarityContext::Create(*inner.base, *outer.base, spec.similarity));
+  JoinContext ctx;
+  ctx.inner = inner.base;
+  ctx.outer = outer.base;
+  ctx.inner_index = inner.index;
+  ctx.outer_index = outer.index;
+  ctx.similarity = &simctx;
+  ctx.sys = sys_;
+  TEXTJOIN_ASSIGN_OR_RETURN(GovernedRun run, BeginGoverned(ctx, spec));
+  ScopedDiskGovernor disk_governor(active_disk_, run.governor.get());
+  PlanChoice plan;
+  Result<JoinResult> result =
+      DynamicJoin(inner, outer, spec, sys_, run.governor.get(), &plan);
+  EndGoverned(&run);
+  if (result.ok()) {
+    if (chosen != nullptr) *chosen = plan;
+    if (result_cache_.enabled()) {
       CachedResult value;
       value.rows = result.value();
       value.plan = std::move(plan);
@@ -576,6 +725,29 @@ Status Database::Save(const std::string& path) {
     writer.Append(manifest);
     TEXTJOIN_RETURN_IF_ERROR(writer.Finish());
   }
+
+  // Dynamic collections: their generations, manifests and WALs are disk
+  // files already, so the snapshot carries them verbatim (including any
+  // un-compacted WAL tail — Open replays it). Only the names need
+  // recording.
+  {
+    std::vector<uint8_t> payload;
+    const std::vector<std::string> names = dynamic_names();
+    PutFixed64(&payload, static_cast<uint64_t>(names.size()));
+    for (const std::string& name : names) {
+      PutFixed32(&payload, static_cast<uint32_t>(name.size()));
+      payload.insert(payload.end(), name.begin(), name.end());
+    }
+    FileId file = active_disk_->CreateFile(kDynamicFile);
+    PageStreamWriter writer(active_disk_, file);
+    std::vector<uint8_t> header;
+    PutFixed32(&header, kManifestMagic);
+    PutFixed64(&header, static_cast<uint64_t>(payload.size()));
+    PutFixed32(&header, Crc32(payload.data(), payload.size()));
+    writer.Append(header);
+    writer.Append(payload);
+    TEXTJOIN_RETURN_IF_ERROR(writer.Finish());
+  }
   return SaveDiskSnapshot(*disk_, path);
 }
 
@@ -677,6 +849,39 @@ Result<std::unique_ptr<Database>> Database::Open(
       db->indexes_.emplace(name,
                            std::make_unique<InvertedFile>(std::move(inv)));
     }
+  }
+
+  // Dynamic collections (absent from images saved before they existed).
+  // Each reopen replays that collection's WAL; flipped bytes surface here
+  // as kDataLoss.
+  Result<std::vector<uint8_t>> dyn =
+      ReadDbRecord(db->active_disk_, kDynamicFile);
+  if (dyn.ok()) {
+    const uint8_t* q = dyn->data();
+    const uint8_t* qend = q + dyn->size();
+    if (q + 8 > qend) {
+      return Status::InvalidArgument("truncated dynamic record");
+    }
+    uint64_t dyn_count = GetFixed64(q);
+    q += 8;
+    for (uint64_t i = 0; i < dyn_count; ++i) {
+      if (q + 4 > qend) {
+        return Status::InvalidArgument("truncated dynamic record");
+      }
+      uint32_t len = GetFixed32(q);
+      q += 4;
+      if (q + len > qend) {
+        return Status::InvalidArgument("bad dynamic record");
+      }
+      std::string name(reinterpret_cast<const char*>(q), len);
+      q += len;
+      TEXTJOIN_ASSIGN_OR_RETURN(
+          std::unique_ptr<DynamicCollection> dc,
+          DynamicCollection::Open(db->active_disk_, name));
+      db->dynamic_.emplace(name, std::move(dc));
+    }
+  } else if (dyn.status().code() != StatusCode::kNotFound) {
+    return dyn.status();
   }
   return db;
 }

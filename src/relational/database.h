@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "dynamic/dynamic_collection.h"
 #include "exec/admission.h"
 #include "exec/governor.h"
 #include "index/inverted_file.h"
@@ -37,7 +38,8 @@ namespace textjoin {
 //   auto db2 = Database::Open("/tmp/db.tjsn");
 //   auto again = (*db2)->Join("resumes", "jobs", spec);
 //
-// Persisted: collections, inverted files, the vocabulary. Tables
+// Persisted: collections, inverted files, dynamic collections (their
+// generations and WAL travel with the disk image), the vocabulary. Tables
 // (relational rows) are not persisted. Save() may be called once per
 // Database instance (the snapshot format has no file replacement).
 // Storage configuration of a Database.
@@ -97,6 +99,35 @@ class Database {
   const DocumentCollection* collection(const std::string& name) const;
   const InvertedFile* index(const std::string& collection_name) const;
   std::vector<std::string> collection_names() const;
+
+  // ---- Dynamic collections (dynamic/dynamic_collection.h) ----
+  //
+  // A dynamic collection accepts inserts and deletes after creation. Every
+  // mutation is WAL-logged before it is applied, so a crash (or a snapshot
+  // taken at any moment) loses nothing that was acknowledged; Open replays
+  // the tail. Joins over dynamic collections merge the delta at query time
+  // and return exactly what a from-scratch rebuild would.
+
+  // Creates a dynamic collection by tokenizing one document per string.
+  // The name must not collide with any static or dynamic collection.
+  Result<DynamicCollection*> AddDynamicCollectionFromText(
+      const std::string& name, const std::vector<std::string>& documents);
+
+  // Appends a new document; returns its stable DocKey. Bumps the
+  // collection's epoch (cached joins touching it are dropped).
+  Result<DocKey> InsertDocument(const std::string& name,
+                                const std::string& text);
+
+  // Deletes a document by key. Bumps the epoch.
+  Status DeleteDocument(const std::string& name, DocKey key);
+
+  // Folds the delta into a fresh on-disk generation (atomic swap). Bumps
+  // the epoch.
+  Status CompactCollection(const std::string& name);
+
+  DynamicCollection* dynamic_collection(const std::string& name);
+  const DynamicCollection* dynamic_collection(const std::string& name) const;
+  std::vector<std::string> dynamic_names() const;
 
   // Planner-driven join: for each document of `outer_name`, the
   // spec.lambda most similar documents of `inner_name`.
@@ -181,6 +212,11 @@ class Database {
   // Handles a `SET <knob> = <value>` statement; returns true when `sql`
   // was one.
   Result<bool> TryExecuteSet(const std::string& sql, SqlOutput* out);
+  // Join when at least one side is dynamic: merged-statistics delta join
+  // (dynamic/delta_join.h) instead of the static planner path.
+  Result<JoinResult> JoinDynamic(const std::string& inner_name,
+                                 const std::string& outer_name,
+                                 const JoinSpec& spec, PlanChoice* chosen);
   // Replaces the device (snapshot reopen), rebuilding the reliable layer.
   void InstallDisk(std::unique_ptr<SimulatedDisk> disk);
 
@@ -200,6 +236,8 @@ class Database {
   std::unordered_map<std::string, std::unique_ptr<DocumentCollection>>
       collections_;
   std::unordered_map<std::string, std::unique_ptr<InvertedFile>> indexes_;
+  std::unordered_map<std::string, std::unique_ptr<DynamicCollection>>
+      dynamic_;
   std::vector<const Table*> tables_;  // not owned
   bool saved_ = false;
 };

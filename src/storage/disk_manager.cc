@@ -1,5 +1,6 @@
 #include "storage/disk_manager.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
@@ -23,6 +24,52 @@ Status SimulatedDisk::CheckFile(FileId file) const {
   return Status::OK();
 }
 
+Status SimulatedDisk::CheckWriteFault(File& f, PageNumber page, bool append,
+                                      const uint8_t* data, int64_t size) {
+  if (f.failed) {
+    ++fault_counters_.permanent;
+    return Status::DataLoss("permanent device failure on file '" + f.name +
+                            "'");
+  }
+  if (write_countdown_ >= 0) {
+    if (write_countdown_ == 0) {
+      if (torn_keep_bytes_ >= 0 && !torn_fired_) {
+        // The one torn write: apply a prefix of the logical page image,
+        // then fail. Everything after stays sticky-failed.
+        torn_fired_ = true;
+        ++fault_counters_.torn_writes;
+        const int64_t keep = std::min(torn_keep_bytes_, page_size_);
+        if (append) {
+          f.bytes.resize(f.bytes.size() + static_cast<size_t>(page_size_), 0);
+        }
+        uint8_t* dst = f.bytes.data() + page * page_size_;
+        // Logical image = data[0..size) then zeros to the page boundary.
+        const int64_t data_part = std::min(keep, size);
+        if (data_part > 0) {
+          std::memcpy(dst, data, static_cast<size_t>(data_part));
+        }
+        if (keep > size) {
+          std::memset(dst + size, 0, static_cast<size_t>(keep - size));
+        }
+        return Status::Unavailable("injected torn write on file '" + f.name +
+                                   "'");
+      }
+      // Sticky: stays at 0, every write fails until ClearWriteFault().
+      ++fault_counters_.write_countdown;
+      return Status::Unavailable("injected write fault on file '" + f.name +
+                                 "'");
+    }
+    --write_countdown_;
+  }
+  if (schedule_.write_fault_rate > 0 &&
+      fault_rng_.NextDouble() < schedule_.write_fault_rate) {
+    ++fault_counters_.write_transient;
+    return Status::Unavailable("injected transient write error on file '" +
+                               f.name + "' page " + std::to_string(page));
+  }
+  return Status::OK();
+}
+
 Result<PageNumber> SimulatedDisk::AppendPage(FileId file, const uint8_t* data,
                                              int64_t size) {
   TEXTJOIN_RETURN_IF_ERROR(CheckFile(file));
@@ -32,6 +79,8 @@ Result<PageNumber> SimulatedDisk::AppendPage(FileId file, const uint8_t* data,
   File& f = files_[file];
   PageNumber page =
       static_cast<PageNumber>(f.bytes.size() / static_cast<size_t>(page_size_));
+  TEXTJOIN_RETURN_IF_ERROR(
+      CheckWriteFault(f, page, /*append=*/true, data, size));
   f.bytes.resize(f.bytes.size() + static_cast<size_t>(page_size_), 0);
   if (size > 0) {
     std::memcpy(f.bytes.data() + page * page_size_, data,
@@ -54,6 +103,8 @@ Status SimulatedDisk::WritePage(FileId file, PageNumber page,
                               " out of range (file has " +
                               std::to_string(pages) + " pages)");
   }
+  TEXTJOIN_RETURN_IF_ERROR(
+      CheckWriteFault(f, page, /*append=*/false, data, size));
   std::memset(f.bytes.data() + page * page_size_, 0,
               static_cast<size_t>(page_size_));
   if (size > 0) {
@@ -70,6 +121,27 @@ void SimulatedDisk::InjectReadFault(int64_t after_reads) {
 }
 
 void SimulatedDisk::ClearReadFault() { fault_countdown_ = -1; }
+
+void SimulatedDisk::InjectWriteFault(int64_t after_writes) {
+  TEXTJOIN_CHECK_GE(after_writes, 0);
+  write_countdown_ = after_writes;
+  torn_keep_bytes_ = -1;
+  torn_fired_ = false;
+}
+
+void SimulatedDisk::ClearWriteFault() {
+  write_countdown_ = -1;
+  torn_keep_bytes_ = -1;
+  torn_fired_ = false;
+}
+
+void SimulatedDisk::InjectTornWrite(int64_t after_writes, int64_t keep_bytes) {
+  TEXTJOIN_CHECK_GE(after_writes, 0);
+  TEXTJOIN_CHECK_GE(keep_bytes, 0);
+  write_countdown_ = after_writes;
+  torn_keep_bytes_ = keep_bytes;
+  torn_fired_ = false;
+}
 
 void SimulatedDisk::set_fault_schedule(const FaultSchedule& schedule) {
   schedule_ = schedule;

@@ -25,10 +25,13 @@ namespace textjoin {
 //   * corruption_rate: the read "succeeds" but one bit of the returned
 //     buffer is flipped (silent corruption). The stored page is intact, so
 //     a checksum-verified re-read (storage/reliable_disk.h) recovers.
+//   * write_fault_rate: the write fails with UNAVAILABLE before touching
+//     the stored bytes; a retry may succeed (transient device push-back).
 struct FaultSchedule {
   uint64_t seed = 1;
   double transient_rate = 0.0;   // P(read fails with UNAVAILABLE)
   double corruption_rate = 0.0;  // P(returned page has one bit flipped)
+  double write_fault_rate = 0.0;  // P(write fails with UNAVAILABLE)
 };
 
 // How many faults a schedule actually injected (tests use this to know
@@ -38,6 +41,9 @@ struct FaultCounters {
   int64_t corrupted = 0;
   int64_t permanent = 0;
   int64_t countdown = 0;
+  int64_t write_transient = 0;
+  int64_t write_countdown = 0;
+  int64_t torn_writes = 0;
 };
 
 // An in-memory disk that stores named page files and meters every page
@@ -100,6 +106,23 @@ class SimulatedDisk : public Disk {
   void InjectReadFault(int64_t after_reads);
   void ClearReadFault();
 
+  // Write-side mirror of InjectReadFault: after `after_writes` further
+  // successful page writes, every subsequent write (AppendPage or
+  // WritePage) fails with UNAVAILABLE without touching the stored bytes.
+  // STICKY until ClearWriteFault(), which is idempotent.
+  void InjectWriteFault(int64_t after_writes);
+  void ClearWriteFault();
+
+  // Torn-write variant: after `after_writes` further successful writes,
+  // the NEXT write applies only the first `keep_bytes` bytes of its
+  // logical page image and then fails with UNAVAILABLE (a crash mid-page,
+  // the classic torn write). For AppendPage the page exists with
+  // `keep_bytes` of data followed by zeros; for WritePage the first
+  // `keep_bytes` bytes are replaced and the REST OF THE OLD PAGE SURVIVES
+  // (an in-place update interrupted partway). After the torn write fires,
+  // every further write fails cleanly (sticky) until ClearWriteFault().
+  void InjectTornWrite(int64_t after_writes, int64_t keep_bytes);
+
   // Installs a probabilistic fault scenario (replaces any previous one and
   // reseeds the fault PRNG). A default-constructed schedule disables
   // probabilistic faults.
@@ -147,7 +170,15 @@ class SimulatedDisk : public Disk {
   IoStats stats_;
   bool interference_ = false;
   QueryGovernor* governor_ = nullptr;
+  // Returns the injected-fault status for this write, or OK to proceed.
+  // On a torn write, applies the partial image itself before failing.
+  Status CheckWriteFault(File& f, PageNumber page, bool append,
+                         const uint8_t* data, int64_t size);
+
   int64_t fault_countdown_ = -1;  // -1: no fault armed
+  int64_t write_countdown_ = -1;  // -1: no write fault armed
+  int64_t torn_keep_bytes_ = -1;  // >= 0: countdown fault is a torn write
+  bool torn_fired_ = false;       // torn write already applied; now sticky
   FaultSchedule schedule_;
   Rng fault_rng_{1};
   FaultCounters fault_counters_;

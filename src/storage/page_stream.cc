@@ -33,8 +33,12 @@ int64_t PageStreamWriter::Append(const uint8_t* data, int64_t size) {
     buffer_.insert(buffer_.end(), data + pos, data + pos + take);
     pos += take;
     if (static_cast<int64_t>(buffer_.size()) == page_size) {
-      TEXTJOIN_CHECK_OK(
-          disk_->AppendPage(file_, buffer_.data(), page_size).status());
+      if (status_.ok()) {
+        // A write failure (e.g. an injected fault) latches: subsequent
+        // appends only advance the logical offset and Finish() reports
+        // the first error.
+        status_ = disk_->AppendPage(file_, buffer_.data(), page_size).status();
+      }
       buffer_.clear();
     }
   }
@@ -45,6 +49,7 @@ int64_t PageStreamWriter::Append(const uint8_t* data, int64_t size) {
 Status PageStreamWriter::Finish() {
   if (finished_) return Status::FailedPrecondition("Finish called twice");
   finished_ = true;
+  TEXTJOIN_RETURN_IF_ERROR(status_);
   if (!buffer_.empty()) {
     TEXTJOIN_RETURN_IF_ERROR(
         disk_->AppendPage(file_, buffer_.data(),

@@ -24,7 +24,9 @@ class PageStreamWriter {
   }
 
   // Flushes the trailing partial page (zero padded). Must be called once,
-  // after which Append must not be called again.
+  // after which Append must not be called again. Reports the first write
+  // error any Append hit (appends past a failure are dropped, so a fault
+  // mid-build surfaces here instead of aborting).
   Status Finish();
 
   // Total bytes appended so far.
@@ -36,6 +38,7 @@ class PageStreamWriter {
   std::vector<uint8_t> buffer_;  // current partial page
   int64_t offset_ = 0;
   bool finished_ = false;
+  Status status_ = Status::OK();
 };
 
 // Random-access reader for byte ranges of a page file. Every page touched

@@ -1,0 +1,209 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "storage/coding.h"
+
+namespace textjoin {
+
+namespace {
+
+bool ValidType(uint8_t type) {
+  return type == static_cast<uint8_t>(WalRecordType::kInsert) ||
+         type == static_cast<uint8_t>(WalRecordType::kDelete);
+}
+
+}  // namespace
+
+Result<WalRecovery> RecoverWal(Disk* disk, FileId file) {
+  const int64_t page = disk->page_size();
+  TEXTJOIN_ASSIGN_OR_RETURN(int64_t pages, disk->FileSizeInPages(file));
+  std::vector<uint8_t> buf(static_cast<size_t>(pages * page));
+  for (int64_t p = 0; p < pages; ++p) {
+    TEXTJOIN_RETURN_IF_ERROR(disk->ReadPage(file, p, buf.data() + p * page));
+  }
+  const int64_t total = static_cast<int64_t>(buf.size());
+  int64_t last_nonzero = -1;
+  for (int64_t i = total - 1; i >= 0; --i) {
+    if (buf[i] != 0) {
+      last_nonzero = i;
+      break;
+    }
+  }
+
+  WalRecovery out;
+  uint64_t expected_seq = 1;
+  int64_t off = 0;
+  while (true) {
+    if (off >= total || last_nonzero < off) {
+      // Clean end: nothing left, or only the zero padding the writer
+      // maintains past the committed offset.
+      break;
+    }
+    const int64_t nonzero_extent = last_nonzero + 1 - off;
+    const int64_t rem = total - off;
+    if (rem < kWalHeaderBytes) {
+      // Not even room for a header; the nonzero bytes are a torn prefix.
+      out.tail_bytes_discarded = nonzero_extent;
+      break;
+    }
+    const uint32_t header_crc = GetFixed32(buf.data() + off);
+    const uint32_t computed_header_crc =
+        Crc32(buf.data() + off + 4, kWalHeaderBytes - 4);
+    if (header_crc != computed_header_crc) {
+      if (nonzero_extent < kWalHeaderBytes) {
+        // A partially-written header: the append crashed before the header
+        // hit the disk in full. Discard — the log is the pre-write state.
+        out.tail_bytes_discarded = nonzero_extent;
+        break;
+      }
+      // A full header's worth of data that fails its own checksum cannot
+      // be a crash prefix (the writer lays the record down front-first),
+      // so something rewrote history.
+      return Status::DataLoss("WAL header checksum mismatch at offset " +
+                              std::to_string(off));
+    }
+    const uint32_t payload_crc = GetFixed32(buf.data() + off + 4);
+    const int64_t length =
+        static_cast<int64_t>(GetFixed32(buf.data() + off + 8));
+    const uint64_t seq = GetFixed64(buf.data() + off + 12);
+    const uint8_t type = buf[off + 20];
+    if (!ValidType(type)) {
+      return Status::DataLoss("WAL record with invalid type " +
+                              std::to_string(type) + " at offset " +
+                              std::to_string(off));
+    }
+    const int64_t payload_off = off + kWalHeaderBytes;
+    if (payload_off + length > total) {
+      // The (CRC-trusted) length points past the file: the crash hit
+      // before the payload pages were appended. Torn tail.
+      out.tail_bytes_discarded = nonzero_extent;
+      break;
+    }
+    const uint32_t computed_payload_crc =
+        Crc32(buf.data() + payload_off, static_cast<size_t>(length));
+    if (payload_crc != computed_payload_crc) {
+      if (last_nonzero < payload_off + length) {
+        // Nothing follows this record: a torn final append. Discard.
+        out.tail_bytes_discarded = nonzero_extent;
+        break;
+      }
+      // Valid records follow, so this one was once complete: corruption.
+      return Status::DataLoss("WAL payload checksum mismatch at offset " +
+                              std::to_string(off));
+    }
+    if (seq != expected_seq) {
+      return Status::DataLoss(
+          "WAL sequence gap at offset " + std::to_string(off) + ": expected " +
+          std::to_string(expected_seq) + ", found " + std::to_string(seq));
+    }
+    WalRecord rec;
+    rec.type = static_cast<WalRecordType>(type);
+    rec.seq = seq;
+    rec.payload.assign(buf.begin() + payload_off,
+                       buf.begin() + payload_off + length);
+    out.records.push_back(std::move(rec));
+    off = payload_off + length;
+    ++expected_seq;
+  }
+  out.committed_bytes = off;
+  out.next_seq = expected_seq;
+  return out;
+}
+
+WalWriter::WalWriter(Disk* disk, FileId file)
+    : disk_(disk), file_(file), page_size_(disk->page_size()) {}
+
+Result<WalWriter> WalWriter::Create(Disk* disk, const std::string& name) {
+  return WalWriter(disk, disk->CreateFile(name));
+}
+
+Result<WalWriter> WalWriter::Open(Disk* disk, FileId file,
+                                  const WalRecovery& recovered) {
+  WalWriter w(disk, file);
+  w.committed_bytes_ = recovered.committed_bytes;
+  w.next_seq_ = recovered.next_seq;
+  const int64_t off_in_page = w.committed_bytes_ % w.page_size_;
+  if (off_in_page > 0) {
+    std::vector<uint8_t> page(static_cast<size_t>(w.page_size_));
+    TEXTJOIN_RETURN_IF_ERROR(disk->PeekPage(
+        file, w.committed_bytes_ / w.page_size_, page.data()));
+    w.tail_.assign(page.begin(), page.begin() + off_in_page);
+  }
+  if (recovered.tail_bytes_discarded > 0) {
+    // Re-establish the all-zeros-past-committed invariant, newest page
+    // first: a crash partway through leaves a strictly shorter torn tail,
+    // which the next recovery classifies identically.
+    TEXTJOIN_ASSIGN_OR_RETURN(int64_t pages, disk->FileSizeInPages(file));
+    const int64_t tail_page = w.committed_bytes_ / w.page_size_;
+    for (int64_t p = pages - 1; p >= tail_page; --p) {
+      if (p == tail_page && off_in_page > 0) {
+        TEXTJOIN_RETURN_IF_ERROR(
+            disk->WritePage(file, p, w.tail_.data(), off_in_page));
+      } else {
+        TEXTJOIN_RETURN_IF_ERROR(disk->WritePage(file, p, nullptr, 0));
+      }
+    }
+  }
+  return w;
+}
+
+Status WalWriter::Append(WalRecordType type,
+                         const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> body;  // header bytes [4..21)
+  PutFixed32(&body, Crc32(payload.data(), payload.size()));
+  PutFixed32(&body, static_cast<uint32_t>(payload.size()));
+  PutFixed64(&body, next_seq_);
+  body.push_back(static_cast<uint8_t>(type));
+  std::vector<uint8_t> rec;
+  PutFixed32(&rec, Crc32(body.data(), body.size()));
+  rec.insert(rec.end(), body.begin(), body.end());
+  rec.insert(rec.end(), payload.begin(), payload.end());
+  const int64_t rec_size = static_cast<int64_t>(rec.size());
+
+  // The tail partial page is rewritten FIRST (committed prefix + record
+  // front), then the remaining pages in order, so any crash leaves a
+  // contiguous prefix of the record on disk.
+  const int64_t off_in_page = committed_bytes_ % page_size_;
+  int64_t pos = 0;
+  int64_t next_page = committed_bytes_ / page_size_;
+  if (off_in_page > 0) {
+    const int64_t chunk = std::min(page_size_ - off_in_page, rec_size);
+    std::vector<uint8_t> merged = tail_;
+    merged.insert(merged.end(), rec.begin(), rec.begin() + chunk);
+    TEXTJOIN_RETURN_IF_ERROR(disk_->WritePage(
+        file_, next_page, merged.data(),
+        static_cast<int64_t>(merged.size())));
+    pos = chunk;
+    ++next_page;
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(int64_t pages_now,
+                            disk_->FileSizeInPages(file_));
+  while (pos < rec_size) {
+    const int64_t chunk = std::min(page_size_, rec_size - pos);
+    if (next_page < pages_now) {
+      TEXTJOIN_RETURN_IF_ERROR(
+          disk_->WritePage(file_, next_page, rec.data() + pos, chunk));
+    } else {
+      TEXTJOIN_RETURN_IF_ERROR(
+          disk_->AppendPage(file_, rec.data() + pos, chunk).status());
+    }
+    pos += chunk;
+    ++next_page;
+  }
+
+  // Success: advance the logical end and keep the new partial-page bytes
+  // for the next read-modify-write.
+  std::vector<uint8_t> full = std::move(tail_);
+  full.insert(full.end(), rec.begin(), rec.end());
+  committed_bytes_ += rec_size;
+  const int64_t new_tail = committed_bytes_ % page_size_;
+  tail_.assign(full.end() - new_tail, full.end());
+  ++next_seq_;
+  return Status::OK();
+}
+
+}  // namespace textjoin

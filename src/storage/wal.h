@@ -1,0 +1,102 @@
+#ifndef TEXTJOIN_STORAGE_WAL_H_
+#define TEXTJOIN_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk.h"
+#include "storage/page.h"
+
+namespace textjoin {
+
+// A checksummed write-ahead log for dynamic collections (DESIGN.md §11).
+//
+// The log is a byte stream packed tightly across pages. Each record is a
+// 21-byte header followed by the payload:
+//
+//   [0..4)   header_crc : CRC32 of header bytes [4..21)
+//   [4..8)   payload_crc: CRC32 of the payload bytes
+//   [8..12)  length     : payload byte count
+//   [12..20) seq        : sequence number, 1, 2, 3, ... per log generation
+//   [20]     type       : record type (insert/delete); 0 is invalid, which
+//                         makes an all-zero tail self-describing
+//
+// Recovery invariants (enforced by RecoverWal, tested by recovery_test):
+//   * A record counts only if both CRCs verify AND seq is the successor of
+//     the previous record's seq.
+//   * A damaged FINAL record with nothing after it is a torn tail: it is
+//     discarded and the log is exactly the records before it (the
+//     pre-write state).
+//   * Damage with valid data after it — a bad CRC mid-log, a seq gap, an
+//     invalid type under a valid header CRC — cannot be a torn append and
+//     surfaces as kDataLoss, never as silent truncation.
+constexpr int64_t kWalHeaderBytes = 21;
+
+enum class WalRecordType : uint8_t {
+  kInsert = 1,
+  kDelete = 2,
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kInsert;
+  uint64_t seq = 0;
+  std::vector<uint8_t> payload;
+};
+
+// What RecoverWal found in a log file.
+struct WalRecovery {
+  std::vector<WalRecord> records;
+  // Byte offset one past the last valid record (where the next append
+  // lands).
+  int64_t committed_bytes = 0;
+  // Bytes of torn tail discarded (0 when the log ended cleanly).
+  int64_t tail_bytes_discarded = 0;
+  // Sequence number the next append must carry.
+  uint64_t next_seq = 1;
+};
+
+// Scans the whole log, replaying the classification above. Returns
+// kDataLoss on unambiguous corruption; read errors pass through.
+Result<WalRecovery> RecoverWal(Disk* disk, FileId file);
+
+// Appends records to a WAL file, maintaining the invariant that every byte
+// past `committed_bytes()` is zero. A failed append leaves the in-memory
+// state untouched; the on-disk tail may hold a torn prefix of the record,
+// which the next RecoverWal discards. The writer must not be reused after
+// a failed append — reopen through RecoverWal + Open.
+class WalWriter {
+ public:
+  // Creates a new, empty log file named `name`.
+  static Result<WalWriter> Create(Disk* disk, const std::string& name);
+
+  // Adopts an existing log positioned after recovery. Zeroes the discarded
+  // torn tail (newest page first, so a crash mid-zeroing leaves a shape
+  // RecoverWal classifies exactly as before) so future appends land on a
+  // clean region.
+  static Result<WalWriter> Open(Disk* disk, FileId file,
+                                const WalRecovery& recovered);
+
+  Status Append(WalRecordType type, const std::vector<uint8_t>& payload);
+
+  int64_t committed_bytes() const { return committed_bytes_; }
+  uint64_t next_seq() const { return next_seq_; }
+  FileId file() const { return file_; }
+
+ private:
+  WalWriter(Disk* disk, FileId file);
+
+  Disk* disk_;
+  FileId file_;
+  int64_t page_size_;
+  int64_t committed_bytes_ = 0;
+  uint64_t next_seq_ = 1;
+  // Committed bytes of the trailing partial page (committed_bytes_ mod
+  // page size of them), so appends can rewrite that page in place.
+  std::vector<uint8_t> tail_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_STORAGE_WAL_H_

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "storage/disk_manager.h"
 #include "index/inverted_file.h"
 #include "join/hhnl.h"
@@ -267,6 +271,104 @@ TEST_P(ExecutorFaultTest, AllExecutorsFailCleanly) {
 INSTANTIATE_TEST_SUITE_P(FaultPositions, ExecutorFaultTest,
                          ::testing::Values(0, 1, 3, 7, 15, 40, 100, 1000,
                                            100000));
+
+TEST(WriteFaultTest, CountdownStickyAndClear) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("f");
+  std::vector<uint8_t> page(64, 1);
+
+  // Mirrors InjectReadFault: `after_writes` successes, then sticky
+  // UNAVAILABLE for AppendPage and WritePage alike, sharing one countdown.
+  disk.InjectWriteFault(1);
+  EXPECT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+  EXPECT_EQ(disk.AppendPage(f, page.data(), 64).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(disk.WritePage(f, 0, page.data(), 64).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(disk.fault_counters().write_countdown, 2);
+  // The failed writes touched nothing: still one page, contents intact.
+  EXPECT_EQ(disk.FileSizeInPages(f).value(), 1);
+  EXPECT_EQ(disk.raw_bytes(f), std::vector<uint8_t>(64, 1));
+
+  // Idempotent clear, like ClearReadFault.
+  disk.ClearWriteFault();
+  disk.ClearWriteFault();
+  EXPECT_TRUE(disk.WritePage(f, 0, page.data(), 64).ok());
+  EXPECT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+}
+
+TEST(WriteFaultTest, TornAppendLeavesPrefix) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("f");
+  std::vector<uint8_t> page(64, 9);
+
+  disk.InjectTornWrite(0, 20);
+  EXPECT_EQ(disk.AppendPage(f, page.data(), 64).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(disk.fault_counters().torn_writes, 1);
+
+  // The page EXISTS with only the first 20 bytes landed, zeros after.
+  ASSERT_EQ(disk.FileSizeInPages(f).value(), 1);
+  const std::vector<uint8_t>& raw = disk.raw_bytes(f);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(raw[i], 9) << i;
+  for (int i = 20; i < 64; ++i) EXPECT_EQ(raw[i], 0) << i;
+
+  // Sticky clean failures afterwards, until cleared.
+  EXPECT_EQ(disk.AppendPage(f, page.data(), 64).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(disk.FileSizeInPages(f).value(), 1);
+  disk.ClearWriteFault();
+  EXPECT_TRUE(disk.AppendPage(f, page.data(), 64).ok());
+  EXPECT_EQ(disk.FileSizeInPages(f).value(), 2);
+}
+
+TEST(WriteFaultTest, TornWritePreservesOldSuffix) {
+  SimulatedDisk disk(64);
+  FileId f = disk.CreateFile("f");
+  std::vector<uint8_t> old_page(64, 7);
+  ASSERT_TRUE(disk.AppendPage(f, old_page.data(), 64).ok());
+
+  // An in-place update interrupted at byte 40: the first 40 bytes of the
+  // NEW logical image (30 data bytes, then zero-fill) land; old bytes
+  // survive past the torn point.
+  std::vector<uint8_t> new_data(30, 9);
+  disk.InjectTornWrite(0, 40);
+  EXPECT_EQ(disk.WritePage(f, 0, new_data.data(), 30).code(),
+            StatusCode::kUnavailable);
+  const std::vector<uint8_t>& raw = disk.raw_bytes(f);
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(raw[i], 9) << i;
+  for (int i = 30; i < 40; ++i) EXPECT_EQ(raw[i], 0) << i;
+  for (int i = 40; i < 64; ++i) EXPECT_EQ(raw[i], 7) << i;
+  disk.ClearWriteFault();
+}
+
+TEST(WriteFaultTest, ScheduleIsDeterministic) {
+  // Same seed, same rate => the same ok/fail pattern, so chaos runs
+  // reproduce. Failed writes must append nothing.
+  auto pattern = [](uint64_t seed) {
+    SimulatedDisk disk(64);
+    FileId f = disk.CreateFile("f");
+    FaultSchedule schedule;
+    schedule.seed = seed;
+    schedule.write_fault_rate = 0.3;
+    disk.set_fault_schedule(schedule);
+    std::vector<uint8_t> page(64, 3);
+    std::string bits;
+    for (int i = 0; i < 50; ++i) {
+      bits += disk.AppendPage(f, page.data(), 64).ok() ? '1' : '0';
+    }
+    EXPECT_EQ(disk.FileSizeInPages(f).value(),
+              static_cast<int64_t>(std::count(bits.begin(), bits.end(), '1')));
+    EXPECT_EQ(disk.fault_counters().write_transient,
+              static_cast<int64_t>(std::count(bits.begin(), bits.end(), '0')));
+    return bits;
+  };
+  std::string a = pattern(42);
+  EXPECT_EQ(a, pattern(42));
+  EXPECT_NE(a.find('0'), std::string::npos);
+  EXPECT_NE(a.find('1'), std::string::npos);
+  EXPECT_NE(a, pattern(43));
+}
 
 TEST(FaultInjectionTest, PlannerPropagates) {
   SimulatedDisk disk(256);

@@ -6,6 +6,7 @@
 #include "storage/disk_manager.h"
 #include "catalog/catalog.h"
 #include "common/crc32.h"
+#include "dynamic/dynamic_collection.h"
 #include "join/hhnl.h"
 #include "storage/snapshot.h"
 #include "test_util.h"
@@ -111,6 +112,87 @@ TEST(SnapshotTest, DetectsCorruptionInEveryByte) {
     auto loaded = LoadDiskSnapshot(path);
     EXPECT_FALSE(loaded.ok()) << "flip at byte " << i << " went undetected";
   }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, ZeroLengthFilesRoundTrip) {
+  // Empty files are legal (a dynamic collection's fresh WAL is one until
+  // the first mutation) and must survive a snapshot with name and order.
+  SimulatedDisk disk(128);
+  FileId a = disk.CreateFile("empty_a");
+  FileId b = disk.CreateFile("data");
+  FileId c = disk.CreateFile("empty_c");
+  std::vector<uint8_t> page(128, 5);
+  ASSERT_TRUE(disk.AppendPage(b, page.data(), 128).ok());
+
+  std::string path = TempPath("zerolen.tjsn");
+  ASSERT_TRUE(SaveDiskSnapshot(disk, path).ok());
+  auto loaded = LoadDiskSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  SimulatedDisk& disk2 = **loaded;
+  ASSERT_EQ(disk2.file_count(), 3);
+  EXPECT_EQ(disk2.FileName(a), "empty_a");
+  EXPECT_EQ(disk2.FileSizeInPages(a).value(), 0);
+  EXPECT_EQ(disk2.FileSizeInPages(b).value(), 1);
+  EXPECT_EQ(disk2.raw_bytes(b), disk.raw_bytes(b));
+  EXPECT_EQ(disk2.FileName(c), "empty_c");
+  EXPECT_EQ(disk2.FileSizeInPages(c).value(), 0);
+  // An empty file is still appendable after the round trip.
+  EXPECT_TRUE(disk2.AppendPage(a, page.data(), 128).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, DuplicateFileNamesRoundTrip) {
+  // Names are not unique on a SimulatedDisk (compaction generations reuse
+  // none, but nothing enforces uniqueness globally). A snapshot must
+  // preserve both files and keep FindFile's first-match answer stable.
+  SimulatedDisk disk(64);
+  FileId first = disk.CreateFile("same");
+  FileId second = disk.CreateFile("same");
+  std::vector<uint8_t> p1(64, 1), p2(64, 2);
+  ASSERT_TRUE(disk.AppendPage(first, p1.data(), 64).ok());
+  ASSERT_TRUE(disk.AppendPage(second, p2.data(), 64).ok());
+  ASSERT_EQ(disk.FindFile("same").value(), first);
+
+  std::string path = TempPath("dupnames.tjsn");
+  ASSERT_TRUE(SaveDiskSnapshot(disk, path).ok());
+  auto loaded = LoadDiskSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  SimulatedDisk& disk2 = **loaded;
+  ASSERT_EQ(disk2.file_count(), 2);
+  EXPECT_EQ(disk2.FindFile("same").value(), first);
+  EXPECT_EQ(disk2.raw_bytes(first), disk.raw_bytes(first));
+  EXPECT_EQ(disk2.raw_bytes(second), disk.raw_bytes(second));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, WalBearingImageRoundTrip) {
+  // A snapshot taken while a dynamic collection has an un-compacted WAL
+  // tail must reopen by replay: same live keys, same recovery report.
+  SimulatedDisk disk(128);
+  std::vector<Document> initial;
+  for (int i = 0; i < 4; ++i) {
+    initial.push_back(Document::FromSortedCells(
+        {DCell{static_cast<TermId>(i), 2}, DCell{static_cast<TermId>(i + 4), 1}}));
+  }
+  auto dc = DynamicCollection::Create(&disk, "dyn", initial);
+  ASSERT_TRUE(dc.ok()) << dc.status();
+  ASSERT_TRUE((*dc)->Insert(Document::FromSortedCells({DCell{1, 3}})).ok());
+  ASSERT_TRUE((*dc)->Delete(2).ok());
+  const std::vector<DocKey> live = (*dc)->LiveKeys();
+  const int64_t epoch = (*dc)->epoch();
+  ASSERT_GT((*dc)->wal_bytes(), 0);
+
+  std::string path = TempPath("walimage.tjsn");
+  ASSERT_TRUE(SaveDiskSnapshot(disk, path).ok());
+  auto loaded = LoadDiskSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto reopened = DynamicCollection::Open(loaded->get(), "dyn");
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->LiveKeys(), live);
+  EXPECT_EQ((*reopened)->epoch(), epoch);
+  EXPECT_EQ((*reopened)->last_recovery().records_replayed, 2);
+  EXPECT_EQ((*reopened)->last_recovery().tail_bytes_discarded, 0);
   std::remove(path.c_str());
 }
 
