@@ -17,6 +17,14 @@
 #                               after every WAL append and at every
 #                               compaction stage, each recovery verified
 #                               bit-identical to a rebuild
+#   scripts/check.sh serving-chaos
+#                               serving-tier chaos suite
+#                               (`ctest -L serving-chaos`) under three seed
+#                               offsets: churn traces with write faults,
+#                               torn WAL tails, read faults and overload,
+#                               every completed query verified
+#                               bit-identical to a rebuild at its
+#                               admission epoch
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,6 +69,18 @@ if [ "${1:-}" = "recovery" ]; then
       ctest --test-dir build -L recovery --output-on-failure
   done
   echo "RECOVERY CHECKS PASSED"
+  exit 0
+fi
+
+if [ "${1:-}" = "serving-chaos" ]; then
+  cmake -B build -G Ninja
+  cmake --build build
+  for seed in 0 7919 104729; do
+    echo "== serving-chaos sweep, seed offset ${seed} =="
+    TEXTJOIN_CHAOS_SEED=${seed} \
+      ctest --test-dir build -L serving-chaos --output-on-failure
+  done
+  echo "SERVING-CHAOS CHECKS PASSED"
   exit 0
 fi
 

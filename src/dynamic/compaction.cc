@@ -1,0 +1,162 @@
+#include "dynamic/compaction.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "catalog/catalog.h"
+#include "common/logging.h"
+#include "dynamic/internal_format.h"
+
+namespace textjoin {
+
+namespace di = dynamic_internal;
+
+Result<std::unique_ptr<CompactionJob>> CompactionJob::Begin(
+    DynamicCollection* dc, int64_t docs_per_slice) {
+  if (dc == nullptr) {
+    return Status::InvalidArgument("compaction needs a collection");
+  }
+  if (docs_per_slice < 1) {
+    return Status::InvalidArgument("docs_per_slice must be positive");
+  }
+  if (dc->active_job_ != nullptr) {
+    return Status::FailedPrecondition("compaction of '" + dc->name_ +
+                                      "' is already in progress");
+  }
+  auto job = std::unique_ptr<CompactionJob>(new CompactionJob());
+  job->dc_ = dc;
+  job->docs_per_slice_ = docs_per_slice;
+  job->gen_ =
+      di::MaxGenerationOnDisk(dc->disk_, dc->name_, dc->generation_) + 1;
+  job->epoch0_ = dc->epoch_;
+  job->base0_ = dc->base_;
+  job->alive0_ = dc->alive_;
+  for (const DynamicCollection::DeltaEntry& e : dc->delta_) {
+    if (e.alive) job->delta0_.push_back(e);
+  }
+  job->keys_.reserve(static_cast<size_t>(dc->num_live_documents()));
+  const di::GenerationFiles files = di::FilesOf(dc->name_, job->gen_);
+  job->builder_ =
+      std::make_unique<CollectionBuilder>(dc->disk_, files.data);
+  job->scanner_.emplace(job->base0_.get());
+  dc->active_job_ = job.get();
+  return job;
+}
+
+CompactionJob::~CompactionJob() { Detach(); }
+
+void CompactionJob::Detach() {
+  if (dc_ != nullptr && dc_->active_job_ == this) dc_->active_job_ = nullptr;
+}
+
+void CompactionJob::Abort() {
+  if (phase_ == Phase::kDone) return;
+  phase_ = Phase::kAborted;
+  Detach();
+}
+
+void CompactionJob::Capture(WalRecordType type, std::vector<uint8_t> payload) {
+  if (phase_ == Phase::kDone || phase_ == Phase::kAborted) return;
+  carried_.emplace_back(type, std::move(payload));
+}
+
+Status CompactionJob::StepBase(int64_t budget) {
+  int64_t copied = 0;
+  while (!scanner_->Done() && copied < budget) {
+    const DocId id = scanner_->next_doc();
+    TEXTJOIN_ASSIGN_OR_RETURN(Document doc, scanner_->Next());
+    if (!alive0_[id]) continue;  // skipping a dead doc holds no memory
+    TEXTJOIN_RETURN_IF_ERROR(builder_->AddDocument(doc).status());
+    keys_.push_back(dc_->base_keys_[id]);
+    ++copied;
+  }
+  if (scanner_->Done()) phase_ = Phase::kDelta;
+  return Status::OK();
+}
+
+Status CompactionJob::StepDelta(int64_t budget) {
+  int64_t copied = 0;
+  while (delta_pos_ < delta0_.size() && copied < budget) {
+    const DynamicCollection::DeltaDoc& d = delta0_[delta_pos_++];
+    TEXTJOIN_RETURN_IF_ERROR(builder_->AddDocument(d.doc).status());
+    keys_.push_back(d.key);
+    ++copied;
+  }
+  if (delta_pos_ >= delta0_.size()) phase_ = Phase::kFinalize;
+  return Status::OK();
+}
+
+Status CompactionJob::Finalize() {
+  const di::GenerationFiles files = di::FilesOf(dc_->name_, gen_);
+  TEXTJOIN_ASSIGN_OR_RETURN(DocumentCollection col, builder_->Finish());
+  TEXTJOIN_ASSIGN_OR_RETURN(InvertedFile inv,
+                            InvertedFile::Build(dc_->disk_, files.inv, col));
+  TEXTJOIN_RETURN_IF_ERROR(SaveCollectionCatalog(col, files.col));
+  TEXTJOIN_RETURN_IF_ERROR(SaveInvertedFileCatalog(inv, files.idx));
+  TEXTJOIN_RETURN_IF_ERROR(di::WriteKeysFile(dc_->disk_, files.keys, keys_));
+  TEXTJOIN_ASSIGN_OR_RETURN(WalWriter wal,
+                            WalWriter::Create(dc_->disk_, files.wal));
+  // Carried records land in the new WAL BEFORE the commit: if the commit
+  // page never makes it, the old generation + old WAL (which also holds
+  // them) stays authoritative; once it lands, replay of the new WAL
+  // reproduces exactly the acknowledged state.
+  for (const auto& [type, payload] : carried_) {
+    TEXTJOIN_RETURN_IF_ERROR(wal.Append(type, payload));
+  }
+
+  // The atomic swap: until this single page write lands, reopening the
+  // device resolves the OLD generation + OLD WAL; after it, the new one.
+  TEXTJOIN_RETURN_IF_ERROR(
+      dc_->CommitManifest(gen_, epoch0_ + 1, dc_->next_key_));
+  committed_ = true;
+
+  Status install = dc_->InstallGeneration(gen_, epoch0_ + 1, std::move(col),
+                                          std::move(inv), std::move(keys_),
+                                          std::move(wal), carried_);
+  if (!install.ok()) return install;  // durable on disk; memory needs reopen
+  phase_ = Phase::kDone;
+  Detach();
+  return Status::OK();
+}
+
+Result<bool> CompactionJob::Step(QueryGovernor* governor) {
+  if (phase_ == Phase::kDone) return true;
+  if (phase_ == Phase::kAborted) {
+    return Status::FailedPrecondition("compaction job was aborted");
+  }
+  int64_t budget = docs_per_slice_;
+  if (governor != nullptr) {
+    if (Status cp = governor->Checkpoint("compact slice"); !cp.ok()) {
+      Abort();
+      return cp;
+    }
+    // Memory adaptation: under a page budget the job buffers at most that
+    // many documents per slice (one buffered document charged as one
+    // page — conservative for the small documents this engine stores).
+    const int64_t cap = governor->CapBufferPages(docs_per_slice_);
+    budget = std::max<int64_t>(1, std::min(docs_per_slice_, cap));
+  }
+  ++slices_;
+  Status st = Status::OK();
+  switch (phase_) {
+    case Phase::kBase:
+      st = StepBase(budget);
+      break;
+    case Phase::kDelta:
+      st = StepDelta(budget);
+      break;
+    case Phase::kFinalize:
+      st = Finalize();
+      break;
+    case Phase::kDone:
+    case Phase::kAborted:
+      break;
+  }
+  if (!st.ok()) {
+    Abort();
+    return st;
+  }
+  return phase_ == Phase::kDone;
+}
+
+}  // namespace textjoin

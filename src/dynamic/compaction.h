@@ -1,0 +1,120 @@
+#ifndef TEXTJOIN_DYNAMIC_COMPACTION_H_
+#define TEXTJOIN_DYNAMIC_COMPACTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "dynamic/dynamic_collection.h"
+#include "exec/governor.h"
+#include "index/inverted_file.h"
+#include "text/collection.h"
+
+namespace textjoin {
+
+// CompactionJob: DynamicCollection compaction cut into bounded slices so a
+// serving scheduler can interleave it with live queries and live writes
+// (DESIGN.md section 12). The crash-safety story is the same as the
+// synchronous Compact() — which is now just a job driven to completion in
+// one call — because the job writes in the same order:
+//
+//   * Begin() snapshots the fold input (the alive mask and the delta as of
+//     the begin epoch E0) and allocates the next generation number.
+//   * Each Step() copies at most `docs_per_slice` live documents into the
+//     new generation's builder (base first, then the begin-time delta).
+//     Under a governor, the memory budget caps the per-slice copy count
+//     and Checkpoint() gives the scheduler pause/abort points.
+//   * Mutations that land on the collection WHILE the job runs go to the
+//     OLD WAL as usual (they are acknowledged against the old generation)
+//     and are also captured as CARRIED records.
+//   * The finalize slice builds the index and catalogs, writes the key
+//     sidecar, creates the new WAL, appends every carried record to it,
+//     and only then writes the one-page manifest commit. A crash at ANY
+//     slice boundary — or anywhere inside finalize before that single
+//     page write — reopens the old generation with the old WAL, which
+//     holds every acknowledged write including the carried ones. A crash
+//     after it reopens the new generation and replays the carried records
+//     from the new WAL. Either way no acknowledged write is lost.
+//   * After the commit the job swaps the in-memory state and re-applies
+//     the carried records; the committed manifest epoch is E0+1, so the
+//     post-install epoch E0+1+C (C carried records) is strictly above
+//     every epoch the old state ever served — epochs never repeat with
+//     different content.
+//
+// Abort() (or destruction before commit) simply abandons the job: the
+// half-built generation's files are orphans that no manifest references
+// and whose generation number is never reused, so they are unreachable.
+class CompactionJob {
+ public:
+  // Starts a compaction over `dc`'s current state. At most one job may be
+  // active per collection (FAILED_PRECONDITION otherwise). `dc` must
+  // outlive the job.
+  static Result<std::unique_ptr<CompactionJob>> Begin(DynamicCollection* dc,
+                                                      int64_t docs_per_slice);
+
+  ~CompactionJob();
+
+  CompactionJob(const CompactionJob&) = delete;
+  CompactionJob& operator=(const CompactionJob&) = delete;
+
+  // Runs one slice; returns true once the new generation is committed and
+  // installed. Under a non-null governor, cancellation trips at the slice
+  // checkpoint and the memory budget (in pages) caps the documents copied
+  // per slice. After an error the job is dead: check committed() to learn
+  // whether the manifest commit landed (true = the new generation is
+  // durable but the in-memory install failed; reopen to recover).
+  Result<bool> Step(QueryGovernor* governor);
+
+  // Abandons an uncommitted job (no-op after commit). Also performed by
+  // the destructor.
+  void Abort();
+
+  bool committed() const { return committed_; }
+  bool done() const { return phase_ == Phase::kDone; }
+  int64_t slices() const { return slices_; }
+  int64_t carried_records() const {
+    return static_cast<int64_t>(carried_.size());
+  }
+  int64_t generation() const { return gen_; }
+
+ private:
+  friend class DynamicCollection;
+
+  enum class Phase { kBase, kDelta, kFinalize, kDone, kAborted };
+
+  CompactionJob() = default;
+
+  // Called by DynamicCollection::Insert/Delete after their WAL append.
+  void Capture(WalRecordType type, std::vector<uint8_t> payload);
+
+  Status StepBase(int64_t budget);
+  Status StepDelta(int64_t budget);
+  Status Finalize();
+  void Detach();
+
+  DynamicCollection* dc_ = nullptr;
+  int64_t docs_per_slice_ = 0;
+  int64_t gen_ = 0;
+  int64_t epoch0_ = 0;  // collection epoch at Begin
+  Phase phase_ = Phase::kBase;
+  bool committed_ = false;
+  int64_t slices_ = 0;
+
+  // Begin-time fold input. base0_ pins the scanned generation.
+  std::shared_ptr<const DocumentCollection> base0_;
+  std::vector<char> alive0_;
+  std::vector<DynamicCollection::DeltaDoc> delta0_;
+  size_t delta_pos_ = 0;
+
+  std::unique_ptr<CollectionBuilder> builder_;
+  std::optional<DocumentCollection::Scanner> scanner_;
+  std::vector<DocKey> keys_;
+  std::vector<std::pair<WalRecordType, std::vector<uint8_t>>> carried_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_DYNAMIC_COMPACTION_H_

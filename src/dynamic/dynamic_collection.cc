@@ -1,144 +1,18 @@
 #include "dynamic/dynamic_collection.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "catalog/catalog.h"
-#include "common/crc32.h"
 #include "common/logging.h"
+#include "dynamic/compaction.h"
+#include "dynamic/internal_format.h"
 #include "storage/coding.h"
-#include "storage/page_stream.h"
 
 namespace textjoin {
 
-namespace {
-
-constexpr uint32_t kManifestMagic = 0x544A4459;  // "TJDY"
-constexpr uint32_t kKeysMagic = 0x544A444B;      // "TJDK"
-// manifest slot: magic u32 | commit u64 | generation u64 | epoch u64 |
-// next_key u64 | crc u32 (over the 36 bytes before it)
-constexpr int64_t kManifestSlotBytes = 40;
-
-std::string ManifestName(const std::string& name) {
-  return name + ".dyn.manifest";
-}
-
-std::string GenPrefix(const std::string& name, int64_t gen) {
-  return name + ".g" + std::to_string(gen);
-}
-
-struct GenerationFiles {
-  std::string data;
-  std::string col;
-  std::string inv;
-  std::string idx;
-  std::string keys;
-  std::string wal;
-};
-
-GenerationFiles FilesOf(const std::string& name, int64_t gen) {
-  const std::string p = GenPrefix(name, gen);
-  return GenerationFiles{p, p + ".col", p + ".inv", p + ".idx", p + ".keys",
-                         p + ".wal"};
-}
-
-struct ManifestSlot {
-  uint64_t commit = 0;
-  int64_t generation = 0;
-  int64_t epoch = 0;
-  DocKey next_key = 1;
-};
-
-std::vector<uint8_t> EncodeSlot(const ManifestSlot& s) {
-  std::vector<uint8_t> bytes;
-  PutFixed32(&bytes, kManifestMagic);
-  PutFixed64(&bytes, s.commit);
-  PutFixed64(&bytes, static_cast<uint64_t>(s.generation));
-  PutFixed64(&bytes, static_cast<uint64_t>(s.epoch));
-  PutFixed64(&bytes, s.next_key);
-  PutFixed32(&bytes, Crc32(bytes.data(), bytes.size()));
-  return bytes;
-}
-
-// Returns true iff the page holds a checksummed slot.
-bool DecodeSlot(const uint8_t* page, ManifestSlot* out) {
-  if (GetFixed32(page) != kManifestMagic) return false;
-  if (GetFixed32(page + 36) != Crc32(page, 36)) return false;
-  out->commit = GetFixed64(page + 4);
-  out->generation = static_cast<int64_t>(GetFixed64(page + 12));
-  out->epoch = static_cast<int64_t>(GetFixed64(page + 20));
-  out->next_key = GetFixed64(page + 28);
-  return true;
-}
-
-Status WriteKeysFile(Disk* disk, const std::string& name,
-                     const std::vector<DocKey>& keys) {
-  std::vector<uint8_t> payload;
-  PutFixed64(&payload, static_cast<uint64_t>(keys.size()));
-  for (DocKey k : keys) PutFixed64(&payload, k);
-  std::vector<uint8_t> bytes;
-  PutFixed32(&bytes, kKeysMagic);
-  PutFixed64(&bytes, static_cast<uint64_t>(payload.size()));
-  PutFixed32(&bytes, Crc32(payload.data(), payload.size()));
-  bytes.insert(bytes.end(), payload.begin(), payload.end());
-  PageStreamWriter writer(disk, disk->CreateFile(name));
-  writer.Append(bytes);
-  return writer.Finish();
-}
-
-Result<std::vector<DocKey>> ReadKeysFile(Disk* disk,
-                                         const std::string& name) {
-  TEXTJOIN_ASSIGN_OR_RETURN(FileId file, disk->FindFile(name));
-  SequentialByteReader reader(disk, file);
-  uint8_t header[16];
-  TEXTJOIN_RETURN_IF_ERROR(reader.Read(16, header));
-  if (GetFixed32(header) != kKeysMagic) {
-    return Status::DataLoss("bad magic in key sidecar '" + name + "'");
-  }
-  const int64_t payload_len = static_cast<int64_t>(GetFixed64(header + 4));
-  const uint32_t crc = GetFixed32(header + 12);
-  TEXTJOIN_ASSIGN_OR_RETURN(int64_t pages, disk->FileSizeInPages(file));
-  if (payload_len < 8 || 16 + payload_len > pages * disk->page_size()) {
-    return Status::DataLoss("bad payload length in key sidecar '" + name +
-                            "'");
-  }
-  std::vector<uint8_t> payload(static_cast<size_t>(payload_len));
-  TEXTJOIN_RETURN_IF_ERROR(reader.Read(payload_len, payload.data()));
-  if (Crc32(payload.data(), payload.size()) != crc) {
-    return Status::DataLoss("checksum mismatch in key sidecar '" + name +
-                            "'");
-  }
-  const uint64_t count = GetFixed64(payload.data());
-  if (static_cast<int64_t>(8 + count * 8) != payload_len) {
-    return Status::DataLoss("key count mismatch in key sidecar '" + name +
-                            "'");
-  }
-  std::vector<DocKey> keys;
-  keys.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    keys.push_back(GetFixed64(payload.data() + 8 + i * 8));
-  }
-  return keys;
-}
-
-std::vector<uint8_t> EncodeInsertPayload(DocKey key, const Document& doc) {
-  std::vector<uint8_t> payload;
-  PutFixed64(&payload, key);
-  PutFixed32(&payload, static_cast<uint32_t>(doc.cells().size()));
-  for (const DCell& c : doc.cells()) {
-    PutFixed32(&payload, c.term);
-    PutFixed16(&payload, c.weight);
-  }
-  return payload;
-}
-
-std::vector<uint8_t> EncodeDeletePayload(DocKey key) {
-  std::vector<uint8_t> payload;
-  PutFixed64(&payload, key);
-  return payload;
-}
-
-}  // namespace
+namespace di = dynamic_internal;
 
 int64_t DynamicCollection::num_live_documents() const {
   return base_->num_documents() - base_dead_ +
@@ -201,12 +75,12 @@ std::vector<DocKey> DynamicCollection::LiveKeys() const {
 
 Status DynamicCollection::CommitManifest(int64_t generation, int64_t epoch,
                                          DocKey next_key) {
-  ManifestSlot slot;
+  di::ManifestSlot slot;
   slot.commit = manifest_commits_ + 1;
   slot.generation = generation;
   slot.epoch = epoch;
   slot.next_key = next_key;
-  const std::vector<uint8_t> bytes = EncodeSlot(slot);
+  const std::vector<uint8_t> bytes = di::EncodeSlot(slot);
   TEXTJOIN_RETURN_IF_ERROR(disk_->WritePage(
       manifest_file_, static_cast<PageNumber>(slot.commit % 2), bytes.data(),
       static_cast<int64_t>(bytes.size())));
@@ -217,23 +91,23 @@ Status DynamicCollection::CommitManifest(int64_t generation, int64_t epoch,
 Result<std::unique_ptr<DynamicCollection>> DynamicCollection::Create(
     Disk* disk, const std::string& name,
     const std::vector<Document>& initial_docs) {
-  if (disk->page_size() < kManifestSlotBytes) {
+  if (disk->page_size() < di::kManifestSlotBytes) {
     return Status::InvalidArgument("page size too small for manifest slot");
   }
-  if (disk->FindFile(ManifestName(name)).ok()) {
+  if (disk->FindFile(di::ManifestName(name)).ok()) {
     return Status::AlreadyExists("dynamic collection '" + name +
                                  "' already exists");
   }
   auto dc = std::unique_ptr<DynamicCollection>(new DynamicCollection());
   dc->disk_ = disk;
   dc->name_ = name;
-  dc->manifest_file_ = disk->CreateFile(ManifestName(name));
+  dc->manifest_file_ = disk->CreateFile(di::ManifestName(name));
   for (int i = 0; i < 2; ++i) {
     TEXTJOIN_RETURN_IF_ERROR(
         disk->AppendPage(dc->manifest_file_, nullptr, 0).status());
   }
 
-  const GenerationFiles files = FilesOf(name, 1);
+  const di::GenerationFiles files = di::FilesOf(name, 1);
   CollectionBuilder builder(disk, files.data);
   std::vector<DocKey> keys;
   keys.reserve(initial_docs.size());
@@ -246,7 +120,7 @@ Result<std::unique_ptr<DynamicCollection>> DynamicCollection::Create(
                             InvertedFile::Build(disk, files.inv, col));
   TEXTJOIN_RETURN_IF_ERROR(SaveCollectionCatalog(col, files.col));
   TEXTJOIN_RETURN_IF_ERROR(SaveInvertedFileCatalog(inv, files.idx));
-  TEXTJOIN_RETURN_IF_ERROR(WriteKeysFile(disk, files.keys, keys));
+  TEXTJOIN_RETURN_IF_ERROR(di::WriteKeysFile(disk, files.keys, keys));
   TEXTJOIN_ASSIGN_OR_RETURN(WalWriter wal,
                             WalWriter::Create(disk, files.wal));
   const DocKey next_key = static_cast<DocKey>(initial_docs.size()) + 1;
@@ -255,8 +129,8 @@ Result<std::unique_ptr<DynamicCollection>> DynamicCollection::Create(
   dc->generation_ = 1;
   dc->epoch_ = 1;
   dc->next_key_ = next_key;
-  dc->base_ = std::make_unique<DocumentCollection>(std::move(col));
-  dc->index_ = std::make_unique<InvertedFile>(std::move(inv));
+  dc->base_ = std::make_shared<const DocumentCollection>(std::move(col));
+  dc->index_ = std::make_shared<const InvertedFile>(std::move(inv));
   dc->base_keys_ = std::move(keys);
   for (size_t i = 0; i < dc->base_keys_.size(); ++i) {
     dc->base_by_key_[dc->base_keys_[i]] = static_cast<DocId>(i);
@@ -268,19 +142,19 @@ Result<std::unique_ptr<DynamicCollection>> DynamicCollection::Create(
 }
 
 Status DynamicCollection::LoadGeneration(int64_t gen) {
-  const GenerationFiles files = FilesOf(name_, gen);
+  const di::GenerationFiles files = di::FilesOf(name_, gen);
   TEXTJOIN_ASSIGN_OR_RETURN(DocumentCollection col,
                             OpenCollection(disk_, files.col));
   TEXTJOIN_ASSIGN_OR_RETURN(InvertedFile inv,
                             OpenInvertedFile(disk_, files.idx));
   TEXTJOIN_ASSIGN_OR_RETURN(std::vector<DocKey> keys,
-                            ReadKeysFile(disk_, files.keys));
+                            di::ReadKeysFile(disk_, files.keys));
   if (static_cast<int64_t>(keys.size()) != col.num_documents()) {
     return Status::DataLoss("key sidecar of '" + name_ +
                             "' disagrees with the collection");
   }
-  base_ = std::make_unique<DocumentCollection>(std::move(col));
-  index_ = std::make_unique<InvertedFile>(std::move(inv));
+  base_ = std::make_shared<const DocumentCollection>(std::move(col));
+  index_ = std::make_shared<const InvertedFile>(std::move(inv));
   base_keys_ = std::move(keys);
   base_by_key_.clear();
   for (size_t i = 0; i < base_keys_.size(); ++i) {
@@ -353,17 +227,17 @@ Result<std::unique_ptr<DynamicCollection>> DynamicCollection::Open(
   dc->disk_ = disk;
   dc->name_ = name;
   TEXTJOIN_ASSIGN_OR_RETURN(dc->manifest_file_,
-                            disk->FindFile(ManifestName(name)));
+                            disk->FindFile(di::ManifestName(name)));
   std::vector<uint8_t> page(static_cast<size_t>(disk->page_size()));
-  ManifestSlot best;
+  di::ManifestSlot best;
   bool any_valid = false;
   bool any_nonzero = false;
   for (PageNumber p = 0; p < 2; ++p) {
     TEXTJOIN_RETURN_IF_ERROR(disk->ReadPage(dc->manifest_file_, p,
                                             page.data()));
     for (uint8_t b : page) any_nonzero |= (b != 0);
-    ManifestSlot slot;
-    if (DecodeSlot(page.data(), &slot)) {
+    di::ManifestSlot slot;
+    if (di::DecodeSlot(page.data(), &slot)) {
       if (!any_valid || slot.commit > best.commit) best = slot;
       any_valid = true;
     }
@@ -381,7 +255,7 @@ Result<std::unique_ptr<DynamicCollection>> DynamicCollection::Open(
   dc->next_key_ = best.next_key;
   TEXTJOIN_RETURN_IF_ERROR(dc->LoadGeneration(best.generation));
 
-  const GenerationFiles files = FilesOf(name, best.generation);
+  const di::GenerationFiles files = di::FilesOf(name, best.generation);
   TEXTJOIN_ASSIGN_OR_RETURN(FileId wal_file, disk->FindFile(files.wal));
   TEXTJOIN_ASSIGN_OR_RETURN(WalRecovery recovery,
                             RecoverWal(disk, wal_file));
@@ -399,11 +273,14 @@ Result<std::unique_ptr<DynamicCollection>> DynamicCollection::Open(
 
 Result<DocKey> DynamicCollection::Insert(const Document& doc) {
   const DocKey key = next_key_;
-  TEXTJOIN_RETURN_IF_ERROR(
-      wal_->Append(WalRecordType::kInsert, EncodeInsertPayload(key, doc)));
+  std::vector<uint8_t> payload = di::EncodeInsertPayload(key, doc);
+  TEXTJOIN_RETURN_IF_ERROR(wal_->Append(WalRecordType::kInsert, payload));
   delta_.push_back(DeltaEntry{{key, doc}, true});
   next_key_ = key + 1;
   ++epoch_;
+  if (active_job_ != nullptr) {
+    active_job_->Capture(WalRecordType::kInsert, std::move(payload));
+  }
   return key;
 }
 
@@ -428,8 +305,8 @@ Status DynamicCollection::Delete(DocKey key) {
     base_id = it->second;
     TEXTJOIN_ASSIGN_OR_RETURN(base_doc, base_->ReadDocument(base_id));
   }
-  TEXTJOIN_RETURN_IF_ERROR(
-      wal_->Append(WalRecordType::kDelete, EncodeDeletePayload(key)));
+  std::vector<uint8_t> payload = di::EncodeDeletePayload(key);
+  TEXTJOIN_RETURN_IF_ERROR(wal_->Append(WalRecordType::kDelete, payload));
   if (delta_target != nullptr) {
     delta_target->alive = false;
     ++delta_dead_;
@@ -439,63 +316,19 @@ Status DynamicCollection::Delete(DocKey key) {
     ++base_dead_;
   }
   ++epoch_;
+  if (active_job_ != nullptr) {
+    active_job_->Capture(WalRecordType::kDelete, std::move(payload));
+  }
   return Status::OK();
 }
 
-Status DynamicCollection::Compact() {
-  // Generations never repeat, even across crashes that orphaned a
-  // half-built one: scan the device for the highest suffix ever used.
-  int64_t max_gen = generation_;
-  const std::string prefix = name_ + ".g";
-  for (FileId f = 0; f < disk_->file_count(); ++f) {
-    const std::string& fname = disk_->FileName(f);
-    if (fname.compare(0, prefix.size(), prefix) != 0) continue;
-    size_t pos = prefix.size();
-    int64_t gen = 0;
-    bool digits = false;
-    while (pos < fname.size() && fname[pos] >= '0' && fname[pos] <= '9') {
-      gen = gen * 10 + (fname[pos] - '0');
-      ++pos;
-      digits = true;
-    }
-    if (!digits || (pos < fname.size() && fname[pos] != '.')) continue;
-    max_gen = std::max(max_gen, gen);
-  }
-  const int64_t gen = max_gen + 1;
-
-  // Build the ENTIRE next generation before the one-page manifest commit.
-  const GenerationFiles files = FilesOf(name_, gen);
-  CollectionBuilder builder(disk_, files.data);
-  std::vector<DocKey> keys;
-  keys.reserve(static_cast<size_t>(num_live_documents()));
-  auto scanner = base_->Scan();
-  while (!scanner.Done()) {
-    const DocId id = scanner.next_doc();
-    TEXTJOIN_ASSIGN_OR_RETURN(Document doc, scanner.Next());
-    if (!alive_[id]) continue;
-    TEXTJOIN_RETURN_IF_ERROR(builder.AddDocument(doc).status());
-    keys.push_back(base_keys_[id]);
-  }
-  for (const DeltaEntry& e : delta_) {
-    if (!e.alive) continue;
-    TEXTJOIN_RETURN_IF_ERROR(builder.AddDocument(e.doc).status());
-    keys.push_back(e.key);
-  }
-  TEXTJOIN_ASSIGN_OR_RETURN(DocumentCollection col, builder.Finish());
-  TEXTJOIN_ASSIGN_OR_RETURN(InvertedFile inv,
-                            InvertedFile::Build(disk_, files.inv, col));
-  TEXTJOIN_RETURN_IF_ERROR(SaveCollectionCatalog(col, files.col));
-  TEXTJOIN_RETURN_IF_ERROR(SaveInvertedFileCatalog(inv, files.idx));
-  TEXTJOIN_RETURN_IF_ERROR(WriteKeysFile(disk_, files.keys, keys));
-  TEXTJOIN_ASSIGN_OR_RETURN(WalWriter wal,
-                            WalWriter::Create(disk_, files.wal));
-
-  // The atomic swap: until this single page write lands, reopening the
-  // device resolves the OLD generation + OLD WAL; after it, the new one.
-  TEXTJOIN_RETURN_IF_ERROR(CommitManifest(gen, epoch_ + 1, next_key_));
-
-  base_ = std::make_unique<DocumentCollection>(std::move(col));
-  index_ = std::make_unique<InvertedFile>(std::move(inv));
+Status DynamicCollection::InstallGeneration(
+    int64_t gen, int64_t epoch, DocumentCollection col, InvertedFile inv,
+    std::vector<DocKey> keys, WalWriter wal,
+    const std::vector<std::pair<WalRecordType, std::vector<uint8_t>>>&
+        carried) {
+  base_ = std::make_shared<const DocumentCollection>(std::move(col));
+  index_ = std::make_shared<const InvertedFile>(std::move(inv));
   base_keys_ = std::move(keys);
   base_by_key_.clear();
   for (size_t i = 0; i < base_keys_.size(); ++i) {
@@ -508,8 +341,27 @@ Status DynamicCollection::Compact() {
   df_minus_.clear();
   wal_ = std::make_unique<WalWriter>(std::move(wal));
   generation_ = gen;
-  ++epoch_;
+  epoch_ = epoch;
+  // Re-apply the carried records (already durable in the new WAL): each
+  // bumps the epoch once, landing at `epoch + carried.size()` — strictly
+  // above every epoch the pre-commit state ever served.
+  for (const auto& [type, payload] : carried) {
+    TEXTJOIN_RETURN_IF_ERROR(Apply(type, payload));
+  }
   return Status::OK();
+}
+
+Status DynamicCollection::Compact() {
+  // The synchronous path is the sliced path with an unbounded slice:
+  // exactly the write sequence CompactionJob performs, driven to
+  // completion here (crash/recovery tests sweep this shared sequence).
+  TEXTJOIN_ASSIGN_OR_RETURN(
+      std::unique_ptr<CompactionJob> job,
+      CompactionJob::Begin(this, std::numeric_limits<int64_t>::max() / 2));
+  for (;;) {
+    TEXTJOIN_ASSIGN_OR_RETURN(bool done, job->Step(nullptr));
+    if (done) return Status::OK();
+  }
 }
 
 }  // namespace textjoin

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -16,6 +17,8 @@
 #include "text/types.h"
 
 namespace textjoin {
+
+class CompactionJob;
 
 // Stable identity of a document in a dynamic collection: an insertion
 // counter that survives compaction (which renumbers the dense DocIds).
@@ -73,6 +76,9 @@ class DynamicCollection {
 
   // Folds the delta and the deletes into a new base generation behind one
   // atomic manifest commit. On failure the old state stays live.
+  // Implemented as a CompactionJob (compaction.h) driven to completion in
+  // one call; schedulers that must keep serving queries run the job a
+  // slice at a time instead.
   Status Compact();
 
   const std::string& name() const { return name_; }
@@ -85,6 +91,16 @@ class DynamicCollection {
 
   const DocumentCollection& base() const { return *base_; }
   const InvertedFile& base_index() const { return *index_; }
+
+  // Owning handles to the current base generation. A serving scheduler
+  // pins these in per-query snapshots so a background compaction can swap
+  // the live generation without yanking it out from under in-flight
+  // queries — the old generation's files stay on disk and its in-memory
+  // catalogs stay alive until the last pinned query finishes.
+  std::shared_ptr<const DocumentCollection> base_shared() const {
+    return base_;
+  }
+  std::shared_ptr<const InvertedFile> index_shared() const { return index_; }
 
   // alive[id] != 0 <=> base document `id` has not been deleted.
   const std::vector<char>& base_alive() const { return alive_; }
@@ -111,6 +127,8 @@ class DynamicCollection {
   std::vector<DocKey> LiveKeys() const;
 
  private:
+  friend class CompactionJob;
+
   DynamicCollection() = default;
 
   // Loads generation `gen`'s base files and key sidecar.
@@ -122,6 +140,16 @@ class DynamicCollection {
 
   Status CommitManifest(int64_t generation, int64_t epoch, DocKey next_key);
 
+  // Swaps in a freshly committed generation (called by CompactionJob right
+  // after its manifest commit) and re-applies the carried records — the
+  // mutations that landed while the job ran, already appended to the new
+  // generation's WAL before the commit.
+  Status InstallGeneration(
+      int64_t gen, int64_t epoch, DocumentCollection col, InvertedFile inv,
+      std::vector<DocKey> keys, WalWriter wal,
+      const std::vector<std::pair<WalRecordType, std::vector<uint8_t>>>&
+          carried);
+
   Disk* disk_ = nullptr;
   std::string name_;
   FileId manifest_file_ = kInvalidFileId;
@@ -132,8 +160,11 @@ class DynamicCollection {
   DocKey next_key_ = 1;
   RecoveryReport last_recovery_;
 
-  std::unique_ptr<DocumentCollection> base_;
-  std::unique_ptr<InvertedFile> index_;
+  // shared_ptr (not unique_ptr) so query snapshots can pin a generation
+  // across the compaction swap; the collection itself always points at the
+  // latest.
+  std::shared_ptr<const DocumentCollection> base_;
+  std::shared_ptr<const InvertedFile> index_;
   std::vector<DocKey> base_keys_;  // key of each base DocId
   std::unordered_map<DocKey, DocId> base_by_key_;
   std::vector<char> alive_;  // over base DocIds
@@ -149,6 +180,12 @@ class DynamicCollection {
   std::unordered_map<TermId, int64_t> df_minus_;
 
   std::unique_ptr<WalWriter> wal_;
+
+  // The one in-flight background compaction, if any. Insert/Delete hand it
+  // a copy of every WAL record they append (carried records), so the job
+  // can fold a begin-time snapshot and still commit a generation whose WAL
+  // replays to the current state. Detached by the job on commit/abort.
+  CompactionJob* active_job_ = nullptr;
 };
 
 }  // namespace textjoin

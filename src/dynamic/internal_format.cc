@@ -1,0 +1,141 @@
+#include "dynamic/internal_format.h"
+
+#include <algorithm>
+
+#include "common/crc32.h"
+#include "storage/coding.h"
+#include "storage/page_stream.h"
+
+namespace textjoin {
+namespace dynamic_internal {
+
+namespace {
+constexpr uint32_t kManifestMagic = 0x544A4459;  // "TJDY"
+constexpr uint32_t kKeysMagic = 0x544A444B;      // "TJDK"
+}  // namespace
+
+std::string ManifestName(const std::string& name) {
+  return name + ".dyn.manifest";
+}
+
+std::string GenPrefix(const std::string& name, int64_t gen) {
+  return name + ".g" + std::to_string(gen);
+}
+
+GenerationFiles FilesOf(const std::string& name, int64_t gen) {
+  const std::string p = GenPrefix(name, gen);
+  return GenerationFiles{p, p + ".col", p + ".inv", p + ".idx", p + ".keys",
+                         p + ".wal"};
+}
+
+std::vector<uint8_t> EncodeSlot(const ManifestSlot& s) {
+  std::vector<uint8_t> bytes;
+  PutFixed32(&bytes, kManifestMagic);
+  PutFixed64(&bytes, s.commit);
+  PutFixed64(&bytes, static_cast<uint64_t>(s.generation));
+  PutFixed64(&bytes, static_cast<uint64_t>(s.epoch));
+  PutFixed64(&bytes, s.next_key);
+  PutFixed32(&bytes, Crc32(bytes.data(), bytes.size()));
+  return bytes;
+}
+
+bool DecodeSlot(const uint8_t* page, ManifestSlot* out) {
+  if (GetFixed32(page) != kManifestMagic) return false;
+  if (GetFixed32(page + 36) != Crc32(page, 36)) return false;
+  out->commit = GetFixed64(page + 4);
+  out->generation = static_cast<int64_t>(GetFixed64(page + 12));
+  out->epoch = static_cast<int64_t>(GetFixed64(page + 20));
+  out->next_key = GetFixed64(page + 28);
+  return true;
+}
+
+Status WriteKeysFile(Disk* disk, const std::string& name,
+                     const std::vector<DocKey>& keys) {
+  std::vector<uint8_t> payload;
+  PutFixed64(&payload, static_cast<uint64_t>(keys.size()));
+  for (DocKey k : keys) PutFixed64(&payload, k);
+  std::vector<uint8_t> bytes;
+  PutFixed32(&bytes, kKeysMagic);
+  PutFixed64(&bytes, static_cast<uint64_t>(payload.size()));
+  PutFixed32(&bytes, Crc32(payload.data(), payload.size()));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  PageStreamWriter writer(disk, disk->CreateFile(name));
+  writer.Append(bytes);
+  return writer.Finish();
+}
+
+Result<std::vector<DocKey>> ReadKeysFile(Disk* disk,
+                                         const std::string& name) {
+  TEXTJOIN_ASSIGN_OR_RETURN(FileId file, disk->FindFile(name));
+  SequentialByteReader reader(disk, file);
+  uint8_t header[16];
+  TEXTJOIN_RETURN_IF_ERROR(reader.Read(16, header));
+  if (GetFixed32(header) != kKeysMagic) {
+    return Status::DataLoss("bad magic in key sidecar '" + name + "'");
+  }
+  const int64_t payload_len = static_cast<int64_t>(GetFixed64(header + 4));
+  const uint32_t crc = GetFixed32(header + 12);
+  TEXTJOIN_ASSIGN_OR_RETURN(int64_t pages, disk->FileSizeInPages(file));
+  if (payload_len < 8 || 16 + payload_len > pages * disk->page_size()) {
+    return Status::DataLoss("bad payload length in key sidecar '" + name +
+                            "'");
+  }
+  std::vector<uint8_t> payload(static_cast<size_t>(payload_len));
+  TEXTJOIN_RETURN_IF_ERROR(reader.Read(payload_len, payload.data()));
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return Status::DataLoss("checksum mismatch in key sidecar '" + name +
+                            "'");
+  }
+  const uint64_t count = GetFixed64(payload.data());
+  if (static_cast<int64_t>(8 + count * 8) != payload_len) {
+    return Status::DataLoss("key count mismatch in key sidecar '" + name +
+                            "'");
+  }
+  std::vector<DocKey> keys;
+  keys.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    keys.push_back(GetFixed64(payload.data() + 8 + i * 8));
+  }
+  return keys;
+}
+
+std::vector<uint8_t> EncodeInsertPayload(DocKey key, const Document& doc) {
+  std::vector<uint8_t> payload;
+  PutFixed64(&payload, key);
+  PutFixed32(&payload, static_cast<uint32_t>(doc.cells().size()));
+  for (const DCell& c : doc.cells()) {
+    PutFixed32(&payload, c.term);
+    PutFixed16(&payload, c.weight);
+  }
+  return payload;
+}
+
+std::vector<uint8_t> EncodeDeletePayload(DocKey key) {
+  std::vector<uint8_t> payload;
+  PutFixed64(&payload, key);
+  return payload;
+}
+
+int64_t MaxGenerationOnDisk(Disk* disk, const std::string& name,
+                            int64_t current) {
+  int64_t max_gen = current;
+  const std::string prefix = name + ".g";
+  for (FileId f = 0; f < disk->file_count(); ++f) {
+    const std::string& fname = disk->FileName(f);
+    if (fname.compare(0, prefix.size(), prefix) != 0) continue;
+    size_t pos = prefix.size();
+    int64_t gen = 0;
+    bool digits = false;
+    while (pos < fname.size() && fname[pos] >= '0' && fname[pos] <= '9') {
+      gen = gen * 10 + (fname[pos] - '0');
+      ++pos;
+      digits = true;
+    }
+    if (!digits || (pos < fname.size() && fname[pos] != '.')) continue;
+    max_gen = std::max(max_gen, gen);
+  }
+  return max_gen;
+}
+
+}  // namespace dynamic_internal
+}  // namespace textjoin

@@ -1,0 +1,68 @@
+#ifndef TEXTJOIN_DYNAMIC_INTERNAL_FORMAT_H_
+#define TEXTJOIN_DYNAMIC_INTERNAL_FORMAT_H_
+
+// On-disk format helpers shared by dynamic_collection.cc and
+// compaction.cc: generation file naming, the two-slot manifest encoding,
+// the key sidecar and the WAL payload encodings. Internal to src/dynamic —
+// everything here is an implementation detail of DynamicCollection.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk.h"
+#include "text/document.h"
+#include "text/types.h"
+
+namespace textjoin {
+namespace dynamic_internal {
+
+using DocKey = uint64_t;
+
+// manifest slot: magic u32 | commit u64 | generation u64 | epoch u64 |
+// next_key u64 | crc u32 (over the 36 bytes before it)
+inline constexpr int64_t kManifestSlotBytes = 40;
+
+std::string ManifestName(const std::string& name);
+std::string GenPrefix(const std::string& name, int64_t gen);
+
+struct GenerationFiles {
+  std::string data;
+  std::string col;
+  std::string inv;
+  std::string idx;
+  std::string keys;
+  std::string wal;
+};
+
+GenerationFiles FilesOf(const std::string& name, int64_t gen);
+
+struct ManifestSlot {
+  uint64_t commit = 0;
+  int64_t generation = 0;
+  int64_t epoch = 0;
+  DocKey next_key = 1;
+};
+
+std::vector<uint8_t> EncodeSlot(const ManifestSlot& s);
+// Returns true iff the page holds a checksummed slot.
+bool DecodeSlot(const uint8_t* page, ManifestSlot* out);
+
+Status WriteKeysFile(Disk* disk, const std::string& name,
+                     const std::vector<DocKey>& keys);
+Result<std::vector<DocKey>> ReadKeysFile(Disk* disk, const std::string& name);
+
+std::vector<uint8_t> EncodeInsertPayload(DocKey key, const Document& doc);
+std::vector<uint8_t> EncodeDeletePayload(DocKey key);
+
+// Generations never repeat, even across crashes that orphaned a
+// half-built one: scans the device for the highest "<name>.g<digits>"
+// suffix ever used (>= `current`).
+int64_t MaxGenerationOnDisk(Disk* disk, const std::string& name,
+                            int64_t current);
+
+}  // namespace dynamic_internal
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_DYNAMIC_INTERNAL_FORMAT_H_

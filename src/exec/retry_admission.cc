@@ -1,0 +1,16 @@
+#include "exec/retry_admission.h"
+
+#include <algorithm>
+
+namespace textjoin {
+
+double RetryAdmission::BackoffMs(int64_t attempt) const {
+  double backoff = policy_.initial_backoff_ms;
+  for (int64_t i = 1; i < attempt; ++i) {
+    backoff *= policy_.multiplier;
+    if (backoff >= policy_.max_backoff_ms) break;
+  }
+  return std::min(backoff, policy_.max_backoff_ms);
+}
+
+}  // namespace textjoin

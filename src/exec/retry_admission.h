@@ -1,0 +1,50 @@
+#ifndef TEXTJOIN_EXEC_RETRY_ADMISSION_H_
+#define TEXTJOIN_EXEC_RETRY_ADMISSION_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace textjoin {
+
+// Deterministic retry-with-backoff for queries shed by the admission
+// controller. The serving scheduler runs on a simulated clock, so the
+// backoff is exponential WITHOUT jitter — two runs of the same trace with
+// the same seed retry at identical times, which is what lets the chaos
+// harness compare a degraded run against a reference bit-for-bit.
+//
+// Only admission sheds (kResourceExhausted: queue full, queue timeout,
+// memory grant starvation) are retried; validation errors and execution
+// failures are not, per IsRetriableAdmission.
+struct RetryAdmissionPolicy {
+  // Retries after the initial attempt; 0 disables retry entirely.
+  int64_t max_attempts = 1;
+  double initial_backoff_ms = 4.0;
+  double multiplier = 2.0;
+  double max_backoff_ms = 64.0;
+};
+
+class RetryAdmission {
+ public:
+  explicit RetryAdmission(const RetryAdmissionPolicy& policy)
+      : policy_(policy) {}
+
+  // Whether a query whose `attempt`-th try (1-based) failed with `status`
+  // should be requeued.
+  bool ShouldRetry(const Status& status, int64_t attempt) const {
+    return attempt <= policy_.max_attempts && IsRetriableAdmission(status);
+  }
+
+  // Backoff before the retry following the `attempt`-th failed try:
+  // initial * multiplier^(attempt-1), capped at max_backoff_ms.
+  double BackoffMs(int64_t attempt) const;
+
+  const RetryAdmissionPolicy& policy() const { return policy_; }
+
+ private:
+  RetryAdmissionPolicy policy_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_EXEC_RETRY_ADMISSION_H_

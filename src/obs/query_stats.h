@@ -105,6 +105,13 @@ struct ServingStats {
   int64_t tenant_peak_pages = 0;
   // Simulated milliseconds between arrival and the first execution step.
   double queue_wait_ms = 0;
+  // Collection epoch this query's snapshot was taken at (at admission).
+  // Every result the query returns is consistent with exactly this epoch,
+  // even if writes or a compaction landed while it ran.
+  int64_t snapshot_epoch = 0;
+  // Times this query was shed by admission and requeued with backoff
+  // before completing (exec/retry_admission.h). 0 = admitted first try.
+  int64_t admission_retries = 0;
 };
 
 // The full statistics tree of one run. The root phase's label is the

@@ -103,6 +103,12 @@ Result<std::unique_ptr<QueryScheduler>> Database::NewScheduler(
     TEXTJOIN_RETURN_IF_ERROR(
         scheduler->AddCollection(name, collection(name), idx));
   }
+  // Dynamic collections serve too: queries snapshot their live state at
+  // admission and SubmitWrite accepts mutations against them.
+  for (const std::string& name : dynamic_names()) {
+    TEXTJOIN_RETURN_IF_ERROR(
+        scheduler->AddDynamicCollection(name, dynamic_collection(name)));
+  }
   return scheduler;
 }
 

@@ -135,6 +135,11 @@ void ResultCache::Insert(const std::string& key, CachedResult value,
 }
 
 void ResultCache::EraseCollection(const std::string& collection) {
+  // A zero-capacity cache holds no entries by construction (set_capacity
+  // and Insert both enforce it), so an epoch bump — or several within one
+  // scheduler round — is a guaranteed no-op rather than a walk of a list
+  // that must be empty.
+  if (capacity_ <= 0) return;
   for (auto it = entries_.begin(); it != entries_.end();) {
     bool depends = false;
     for (const std::string& c : it->collections) {

@@ -44,6 +44,13 @@ class SharedScanRegistrar {
   void BeginRound() { round_.clear(); }
   void EndRound() { round_.clear(); }
 
+  // Drops scans registered so far THIS round. Called when a write lands
+  // mid-round: registered cells belong to the pre-write epoch, and while
+  // base posting files are immutable (so piggybacking on them stays
+  // correct), a fetch admitted after the write must not be served another
+  // snapshot's scan of a file the new epoch no longer references.
+  void InvalidateRound() { round_.clear(); }
+
   // Fetches `term`'s posting list of `index` through `pool`, charging page
   // misses to `tenant` — or returns the cells another query fetched this
   // round. A term absent from the index yields an empty list.

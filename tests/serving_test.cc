@@ -198,6 +198,34 @@ TEST_F(ServingTest, EpochBumpInvalidatesCachedResults) {
   EXPECT_TRUE((*third)[0].cache_hit);
 }
 
+TEST_F(ServingTest, ZeroCapacityCacheSurvivesBackToBackEpochBumps) {
+  UseCollection(RandomCollection(&disk_, "docs", 40, 5, 30, 17));
+  ServeOptions options;
+  options.result_cache_entries = 0;  // caching disabled
+  auto s = NewScheduler(options);
+  std::vector<DCell> query = {{0, 1}, {2, 2}};
+
+  ASSERT_TRUE(s->Submit(MakeQuery(query)).ok());
+  auto first = s->Run();
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE((*first)[0].cache_hit);
+
+  // A write-heavy round can bump the epoch several times back to back;
+  // with no cache the invalidations must be clean no-ops.
+  const int64_t before = s->epoch("docs");
+  ASSERT_TRUE(s->BumpEpoch("docs").ok());
+  ASSERT_TRUE(s->BumpEpoch("docs").ok());
+  EXPECT_EQ(s->epoch("docs"), before + 2);
+  EXPECT_EQ(s->cache()->size(), 0);
+
+  // Queries keep executing cold and agree with the pre-bump run.
+  ASSERT_TRUE(s->Submit(MakeQuery(query)).ok());
+  auto second = s->Run();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_FALSE((*second)[0].cache_hit);
+  EXPECT_EQ((*second)[0].matches, (*first)[0].matches);
+}
+
 // ---------------------------------------------------------------------------
 // Shared scans: same bits, fewer page reads.
 

@@ -21,11 +21,16 @@
 //       Indexes the corpus and replays a seeded Poisson query stream
 //       through the multi-tenant serving scheduler, printing outcome
 //       counts, cache/shared-scan statistics and the latency tail.
+//       With --write-frac the corpus becomes a dynamic collection and a
+//       fraction of the events are inserts/deletes; --compact-every N
+//       folds the churn into a new generation every N applied writes
+//       (background unless --foreground-compact).
 //
 //   textjoin_cli recover <db.tjsn>
 //       Opens a database snapshot, replaying every dynamic collection's
-//       WAL, and prints a one-line recovery report. Exit status: 0 on
-//       success, 1 on corruption (DATA_LOSS), 2 on any other failure.
+//       WAL, and prints one replay-progress line per collection plus a
+//       summary. Exit status: 0 on success, 1 on corruption (DATA_LOSS),
+//       2 on any other failure.
 
 #include <algorithm>
 #include <cerrno>
@@ -46,6 +51,7 @@
 #include "exec/governor.h"
 #include "cost/cost_model.h"
 #include "cost/statistics.h"
+#include "dynamic/dynamic_collection.h"
 #include "index/inverted_file.h"
 #include "join/hhnl.h"
 #include "join/hvnl.h"
@@ -99,22 +105,34 @@ int Usage() {
                "[--queue-timeout-ms D]\n"
                "               [--repeat-frac F] [--seed S] [--cosine] "
                "[--idf]\n"
+               "               [--write-frac F] [--compact-every N] "
+               "[--foreground-compact]\n"
                "      Indexes the corpus (one document per line) and "
                "replays a seeded Poisson\n"
-               "      stream of N queries at QPS (simulated time) through "
+               "      stream of N events at QPS (simulated time) through "
                "the serving\n"
                "      scheduler: admission control, per-tenant buffer "
                "quotas, shared scans\n"
                "      and the result cache. --repeat-frac is the fraction "
                "of queries drawn\n"
                "      from a small hot set (repeats exercise the cache).\n"
+               "      --write-frac: serve the corpus as a dynamic "
+               "collection and make\n"
+               "        fraction F of the events inserts/deletes "
+               "interleaved with the queries\n"
+               "      --compact-every: fold the churn into a new base "
+               "generation every N\n"
+               "        applied writes — background slices unless "
+               "--foreground-compact, which\n"
+               "        stalls the whole service for each rewrite\n"
                "  textjoin_cli recover <db.tjsn>\n"
                "      Validates a database snapshot and replays every "
                "dynamic collection's\n"
-               "      WAL, printing records replayed / torn tail bytes "
-               "discarded / final\n"
-               "      epoch. Exits 1 on corruption (DATA_LOSS), 2 on any "
-               "other failure.\n");
+               "      WAL, printing per-collection replay progress "
+               "(records replayed / torn\n"
+               "      tail bytes discarded / final epoch). Exits 1 on "
+               "corruption (DATA_LOSS),\n"
+               "      2 on any other failure.\n");
   return 2;
 }
 
@@ -175,7 +193,8 @@ class Args {
         // with "--" or the flag is a known boolean.
         if (args_[i] == "--cosine" || args_[i] == "--idf" ||
             args_[i] == "--random-outer" || args_[i] == "--trec" ||
-            args_[i] == "--no-shared-scans") {
+            args_[i] == "--no-shared-scans" ||
+            args_[i] == "--foreground-compact") {
           continue;
         }
         ++i;
@@ -493,12 +512,17 @@ int RunServe(Args& args) {
   const double queue_timeout = args.Double("queue-timeout-ms", 0.0);
   const double repeat_frac = args.Double("repeat-frac", 0.5);
   const uint64_t seed = static_cast<uint64_t>(args.Int("seed", 42));
+  const double write_frac = args.Double("write-frac", 0.0);
+  const int64_t compact_every = args.Int("compact-every", 0);
+  const bool foreground_compact = args.Bool("foreground-compact");
   if (queries < 1 || rate <= 0 || lambda < 1 || tenants < 1 ||
       pool_pages < tenants || cache_entries < 0 || max_concurrent < 1 ||
       max_queue < 0 || queue_timeout < 0 || repeat_frac < 0 ||
-      repeat_frac > 1) {
+      repeat_frac > 1 || write_frac < 0 || write_frac >= 1 ||
+      compact_every < 0) {
     return Usage();
   }
+  const bool churn = write_frac > 0 || compact_every > 0;
 
   auto lines = ReadLines(positional[0]);
   if (!lines.ok()) {
@@ -508,10 +532,25 @@ int RunServe(Args& args) {
   SimulatedDisk disk(4096);
   Vocabulary vocab;
   Tokenizer tokenizer;
-  auto col = BuildFromLines(&disk, "corpus", *lines, &vocab, tokenizer);
-  TEXTJOIN_CHECK_OK(col.status());
-  auto index = InvertedFile::Build(&disk, "corpus.inv", *col);
-  TEXTJOIN_CHECK_OK(index.status());
+  Result<DocumentCollection> col(Status::Internal("unset"));
+  Result<InvertedFile> index(Status::Internal("unset"));
+  std::unique_ptr<DynamicCollection> dyn;
+  if (churn) {
+    std::vector<Document> docs;
+    for (const std::string& line : *lines) {
+      auto doc = tokenizer.MakeDocument(line, &vocab);
+      TEXTJOIN_CHECK_OK(doc.status());
+      docs.push_back(std::move(*doc));
+    }
+    auto created = DynamicCollection::Create(&disk, "corpus", docs);
+    TEXTJOIN_CHECK_OK(created.status());
+    dyn = std::move(*created);
+  } else {
+    col = BuildFromLines(&disk, "corpus", *lines, &vocab, tokenizer);
+    TEXTJOIN_CHECK_OK(col.status());
+    index = InvertedFile::Build(&disk, "corpus.inv", *col);
+    TEXTJOIN_CHECK_OK(index.status());
+  }
 
   ServeOptions options;
   options.admission.max_concurrent = max_concurrent;
@@ -525,23 +564,66 @@ int RunServe(Args& args) {
         {"tenant" + std::to_string(t), pool_pages / tenants});
   }
   QueryScheduler scheduler(&disk, &vocab, options);
-  TEXTJOIN_CHECK_OK(scheduler.AddCollection("corpus", &col.value(),
-                                            &index.value()));
+  if (churn) {
+    TEXTJOIN_CHECK_OK(scheduler.AddDynamicCollection("corpus", dyn.get()));
+  } else {
+    TEXTJOIN_CHECK_OK(scheduler.AddCollection("corpus", &col.value(),
+                                              &index.value()));
+  }
 
   SimilarityConfig config;
   config.cosine_normalize = args.Bool("cosine");
   config.use_idf = args.Bool("idf");
 
-  // The query stream: corpus lines replayed as queries. A --repeat-frac
-  // slice comes from a small Zipf-skewed hot set (repeats hit the result
-  // cache); the rest are uniform draws over the whole corpus.
+  // The event stream: corpus lines replayed as queries, with a
+  // --write-frac slice of the events replaced by inserts/deletes against
+  // the dynamic collection. A --repeat-frac slice of the queries comes
+  // from a small Zipf-skewed hot set (repeats hit the result cache); the
+  // rest are uniform draws over the whole corpus.
+  //
+  // Writes apply in arrival order, so key assignment is predictable:
+  // the initial docs hold keys 1..N and the k-th submitted insert gets
+  // key N+k. Tracking that lets deletes target keys that are still live.
   Rng rng(seed);
   const uint64_t hot = std::max<uint64_t>(
       1, std::min<uint64_t>(8, lines->size()));
   ZipfSampler hot_sampler(hot, 1.0);
+  std::vector<DocKey> live_keys;
+  for (uint64_t k = 1; k <= lines->size(); ++k) live_keys.push_back(k);
+  DocKey next_key = static_cast<DocKey>(lines->size()) + 1;
+  int64_t applied_writes = 0;
   double clock_ms = 0;
   for (int64_t i = 0; i < queries; ++i) {
     clock_ms += -std::log(1.0 - rng.NextDouble()) * 1000.0 / rate;
+    if (churn && rng.NextDouble() < write_frac) {
+      ServeWrite write;
+      write.collection = "corpus";
+      write.arrival_ms = clock_ms;
+      // Deletes are a third of the writes (when anything is live), so
+      // the collection keeps growing and compactions have work to fold.
+      if (!live_keys.empty() && rng.NextDouble() < 1.0 / 3.0) {
+        write.kind = ServeWrite::Kind::kDelete;
+        const uint64_t pick = rng.NextBounded(live_keys.size());
+        write.key = live_keys[pick];
+        live_keys[pick] = live_keys.back();
+        live_keys.pop_back();
+      } else {
+        write.kind = ServeWrite::Kind::kInsert;
+        write.text = (*lines)[rng.NextBounded(lines->size())];
+        live_keys.push_back(next_key++);
+      }
+      TEXTJOIN_CHECK_OK(scheduler.SubmitWrite(write).status());
+      ++applied_writes;
+      if (compact_every > 0 && applied_writes % compact_every == 0) {
+        ServeWrite compact;
+        compact.kind = ServeWrite::Kind::kCompact;
+        compact.collection = "corpus";
+        compact.foreground = foreground_compact;
+        compact.arrival_ms = clock_ms;
+        TEXTJOIN_CHECK_OK(scheduler.SubmitWrite(compact).status());
+      }
+      continue;
+    }
     ServeQuery query;
     query.tenant = "tenant" + std::to_string(rng.NextBounded(
                                   static_cast<uint64_t>(tenants)));
@@ -557,6 +639,8 @@ int RunServe(Args& args) {
   }
   auto records = scheduler.Run();
   TEXTJOIN_CHECK_OK(records.status());
+  const std::vector<WriteRecord> write_records =
+      scheduler.TakeWriteRecords();
 
   int64_t completed = 0, shed = 0, failed = 0, hits = 0;
   double max_queue_wait = 0, last_finish = 0;
@@ -603,6 +687,35 @@ int RunServe(Args& args) {
               static_cast<long long>(scheduler.registrar().total_fetches()));
   std::printf("latency ms: p50=%.2f p99=%.2f p999=%.2f max_queue_wait=%.2f\n",
               pct(0.50), pct(0.99), pct(0.999), max_queue_wait);
+  if (churn) {
+    int64_t inserts = 0, deletes = 0, compacts = 0, wfailed = 0;
+    int64_t slices = 0;
+    for (const WriteRecord& w : write_records) {
+      if (w.outcome != "applied") {
+        ++wfailed;
+      } else if (w.kind == "insert") {
+        ++inserts;
+      } else if (w.kind == "delete") {
+        ++deletes;
+      } else {
+        ++compacts;
+        slices += w.slices;
+      }
+    }
+    std::printf("writes: %lld inserts, %lld deletes, %lld compactions "
+                "(%lld slices, %s), %lld failed/aborted\n",
+                static_cast<long long>(inserts),
+                static_cast<long long>(deletes),
+                static_cast<long long>(compacts),
+                static_cast<long long>(slices),
+                foreground_compact ? "foreground" : "background",
+                static_cast<long long>(wfailed));
+    std::printf("collection: epoch %lld, generation %lld, %lld live "
+                "documents\n",
+                static_cast<long long>(scheduler.epoch("corpus")),
+                static_cast<long long>(dyn->generation()),
+                static_cast<long long>(dyn->num_live_documents()));
+  }
   return 0;
 }
 
@@ -615,20 +728,29 @@ int RunRecover(Args& args) {
                  db.status().ToString().c_str());
     return db.status().code() == StatusCode::kDataLoss ? 1 : 2;
   }
-  int64_t replayed = 0, torn = 0;
-  std::string epochs;
-  for (const std::string& name : (*db)->dynamic_names()) {
-    const DynamicCollection* dc = (*db)->dynamic_collection(name);
-    replayed += dc->last_recovery().records_replayed;
-    torn += dc->last_recovery().tail_bytes_discarded;
-    if (!epochs.empty()) epochs += ",";
-    epochs += name + "=" + std::to_string(dc->last_recovery().epoch);
+  const std::vector<std::string> names = (*db)->dynamic_names();
+  if (names.empty()) {
+    std::printf("recovered: no dynamic collections\n");
+    return 0;
   }
-  std::printf("recovered: %lld records replayed, %lld torn tail bytes "
-              "discarded, epoch %s\n",
+  int64_t replayed = 0, torn = 0;
+  for (const std::string& name : names) {
+    const DynamicCollection* dc = (*db)->dynamic_collection(name);
+    const RecoveryReport& report = dc->last_recovery();
+    std::printf("recovered %s: %lld records replayed, %lld torn tail "
+                "bytes discarded, epoch %lld\n",
+                name.c_str(),
+                static_cast<long long>(report.records_replayed),
+                static_cast<long long>(report.tail_bytes_discarded),
+                static_cast<long long>(report.epoch));
+    replayed += report.records_replayed;
+    torn += report.tail_bytes_discarded;
+  }
+  std::printf("recovered: %lld collections, %lld records replayed, %lld "
+              "torn tail bytes discarded\n",
+              static_cast<long long>(names.size()),
               static_cast<long long>(replayed),
-              static_cast<long long>(torn),
-              epochs.empty() ? "- (no dynamic collections)" : epochs.c_str());
+              static_cast<long long>(torn));
   return 0;
 }
 
