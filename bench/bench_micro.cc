@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "storage/disk_manager.h"
 #include "common/logging.h"
 
@@ -13,9 +17,16 @@
 #include "join/pruning.h"
 #include "join/similarity.h"
 #include "join/topk.h"
+#include "kernel/aligned.h"
 #include "text/collection.h"
 
 namespace textjoin {
+
+// Process-wide heap-allocation counter, bumped by the replaced global
+// operator new below. BM_BlockDecodeZeroAlloc diffs it across the timed
+// loop to prove the steady-state block-decode path never allocates.
+std::atomic<int64_t> g_heap_allocs{0};
+
 namespace {
 
 Document MakeDoc(int64_t terms, int64_t vocab, uint64_t seed) {
@@ -41,8 +52,10 @@ void BM_DotSimilarity(benchmark::State& state) {
     benchmark::DoNotOptimize(DotSimilarity(a, b));
   }
   state.SetItemsProcessed(state.iterations() * terms * 2);
+  state.SetBytesProcessed(state.iterations() * terms * 2 *
+                          static_cast<int64_t>(sizeof(DCell)));
 }
-BENCHMARK(BM_DotSimilarity)->Arg(32)->Arg(128)->Arg(512)->Arg(2048);
+BENCHMARK(BM_DotSimilarity)->Arg(32)->Arg(64)->Arg(128)->Arg(512)->Arg(2048);
 
 void BM_WeightedDot(benchmark::State& state) {
   const int64_t terms = state.range(0);
@@ -61,8 +74,10 @@ void BM_WeightedDot(benchmark::State& state) {
     benchmark::DoNotOptimize(WeightedDot(a, b, *ctx));
   }
   state.SetItemsProcessed(state.iterations() * terms * 2);
+  state.SetBytesProcessed(state.iterations() * terms * 2 *
+                          static_cast<int64_t>(sizeof(DCell)));
 }
-BENCHMARK(BM_WeightedDot)->Arg(32)->Arg(512);
+BENCHMARK(BM_WeightedDot)->Arg(32)->Arg(64)->Arg(512);
 
 // Minimal two-collection pair so the weighted kernels can resolve their
 // configuration; the benchmark documents themselves never touch it.
@@ -100,6 +115,8 @@ void BM_MergeKernelSkew(benchmark::State& state) {
   }
   state.counters["merge_steps"] = static_cast<double>(steps);
   state.SetItemsProcessed(state.iterations() * steps);
+  state.SetBytesProcessed(state.iterations() * (short_terms + long_terms) *
+                          static_cast<int64_t>(sizeof(DCell)));
 }
 BENCHMARK(BM_MergeKernelSkew)
     ->ArgsProduct({{1, 4, 16, 64, 256},
@@ -194,6 +211,53 @@ void BM_BTreeLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_BTreeLookup)->Arg(1000)->Arg(100000);
 
+// The steady-state block-decode path must not allocate: PostingCursor
+// sizes its cell buffer once per entry and DecodePostingBlockInto fills
+// caller-owned storage, so per-block decode work is pure compute. The
+// replaced global operator new (bottom of this file) counts every heap
+// allocation in the process; allocs_per_iter over 64 decoded blocks must
+// read 0.000 for both representations.
+void BM_BlockDecodeZeroAlloc(benchmark::State& state) {
+  const auto compression = static_cast<PostingCompression>(state.range(0));
+  const int64_t num_blocks = 64;
+  std::vector<ICell> cells;
+  for (int64_t i = 0; i < num_blocks * kPostingBlockCells; ++i) {
+    cells.push_back(
+        ICell{static_cast<DocId>(i * 3), static_cast<Weight>(1 + i % 9)});
+  }
+  std::vector<uint8_t> bytes;
+  std::vector<InvertedFile::PostingBlockMeta> blocks;
+  EncodePostings(cells, compression, &bytes, &blocks);
+  kernel::ICellBuffer scratch(static_cast<size_t>(kPostingBlockCells));
+  const auto decode_all = [&] {
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      const int64_t end = b + 1 < blocks.size()
+                              ? blocks[b + 1].offset_bytes
+                              : static_cast<int64_t>(bytes.size());
+      TEXTJOIN_CHECK_OK(DecodePostingBlockInto(
+          bytes.data() + blocks[b].offset_bytes,
+          end - blocks[b].offset_bytes, blocks[b].cell_count, compression,
+          scratch.data()));
+    }
+  };
+  decode_all();  // warm up before the allocation snapshot
+  const int64_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    decode_all();
+    benchmark::DoNotOptimize(scratch.data());
+  }
+  const int64_t allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(allocs) /
+      static_cast<double>(std::max<int64_t>(1, state.iterations()));
+  state.SetItemsProcessed(state.iterations() * num_blocks *
+                          kPostingBlockCells);
+}
+BENCHMARK(BM_BlockDecodeZeroAlloc)
+    ->Arg(static_cast<int64_t>(PostingCompression::kDeltaVarint))
+    ->Arg(static_cast<int64_t>(PostingCompression::kGroupVarint));
+
 void BM_AccumulateEntry(benchmark::State& state) {
   // The HVNL inner loop: merge one inverted entry into the accumulator.
   const int64_t n = state.range(0);
@@ -215,5 +279,28 @@ BENCHMARK(BM_AccumulateEntry)->Arg(64)->Arg(1024);
 
 }  // namespace
 }  // namespace textjoin
+
+// Counting replacements of the global allocation functions, for
+// BM_BlockDecodeZeroAlloc. operator new[] funnels through operator new by
+// default, so these four cover every heap allocation in the process.
+void* operator new(std::size_t n) {
+  textjoin::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t n, std::align_val_t align) {
+  textjoin::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), n ? n : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 BENCHMARK_MAIN();

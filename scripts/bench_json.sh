@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the kernel benchmark and refreshes the committed measurement
+# snapshot BENCH_kernels.json at the repository root.
+#
+#   scripts/bench_json.sh [path-to-bench_kernels] [extra bench args...]
+#
+# The default binary is build/bench/bench_kernels (the tier-1 build);
+# scripts/check.sh bench points it at the native Release build instead,
+# which is the configuration the committed snapshot should come from.
+# Extra arguments (e.g. --smoke) are forwarded to the benchmark.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-build/bench/bench_kernels}"
+shift $(( $# > 0 ? 1 : 0 ))
+if [ ! -x "${BIN}" ]; then
+  echo "bench_json.sh: ${BIN} not found or not executable" >&2
+  echo "  build it first: cmake --build <build-dir> --target bench_kernels" >&2
+  exit 1
+fi
+
+OUT="BENCH_kernels.json"
+"${BIN}" --json "$@" > "${OUT}.tmp"
+mv "${OUT}.tmp" "${OUT}"
+echo "wrote ${OUT}" >&2

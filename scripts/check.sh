@@ -25,6 +25,10 @@
 #                               every completed query verified
 #                               bit-identical to a rebuild at its
 #                               admission epoch
+#   scripts/check.sh bench      native Release build (TEXTJOIN_NATIVE=ON),
+#                               kernel bit-identity gate + throughput
+#                               measurement, refreshes BENCH_kernels.json
+#                               via scripts/bench_json.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -81,6 +85,19 @@ if [ "${1:-}" = "serving-chaos" ]; then
       ctest --test-dir build -L serving-chaos --output-on-failure
   done
   echo "SERVING-CHAOS CHECKS PASSED"
+  exit 0
+fi
+
+if [ "${1:-}" = "bench" ]; then
+  # Separate native build dir: -march=x86-64-v3 binaries would poison the
+  # portable tier-1 build. The kernel benchmark gates on scalar-vs-SIMD
+  # bit-identity before timing anything, so this doubles as the
+  # bit-identity check under the exact flags the measurements use.
+  cmake -B build-native -G Ninja -DCMAKE_BUILD_TYPE=Release -DTEXTJOIN_NATIVE=ON
+  cmake --build build-native --target bench_kernels kernel_test
+  ./build-native/tests/kernel_test
+  scripts/bench_json.sh build-native/bench/bench_kernels
+  echo "BENCH CHECKS PASSED"
   exit 0
 fi
 

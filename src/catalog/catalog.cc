@@ -243,7 +243,13 @@ Result<InvertedFile> OpenInvertedFile(Disk* disk,
   PayloadReader r(payload);
   std::string data_name = r.String();
   std::string btree_name = r.String();
-  auto compression = static_cast<PostingCompression>(r.U8());
+  const uint8_t compression_byte = r.U8();
+  if (compression_byte >
+      static_cast<uint8_t>(PostingCompression::kGroupVarint)) {
+    return Status::DataLoss(catalog_file_name + ": unknown compression code " +
+                            std::to_string(compression_byte));
+  }
+  auto compression = static_cast<PostingCompression>(compression_byte);
   int64_t total_bytes = static_cast<int64_t>(r.U64());
   const uint64_t count = r.U64();
   std::vector<InvertedFile::EntryMeta> entries;

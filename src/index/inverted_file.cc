@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "index/varint.h"
+#include "kernel/dispatch.h"
+#include "kernel/group_varint.h"
 #include "storage/coding.h"
 
 namespace textjoin {
@@ -49,7 +51,7 @@ void EncodePostings(const std::vector<ICell>& cells,
     if (compression == PostingCompression::kNone) {
       PutFixed24(out, cells[i].doc);
       PutFixed16(out, cells[i].weight);
-    } else {
+    } else if (compression == PostingCompression::kDeltaVarint) {
       // Ascending document numbers; delta encoding restarts at each block
       // boundary, so the first gap of a block is the document number
       // itself and later gaps are strictly positive deltas.
@@ -61,10 +63,15 @@ void EncodePostings(const std::vector<ICell>& cells,
     block.max_weight =
         std::max(block.max_weight, static_cast<float>(cells[i].weight));
     ++block.cell_count;
-    if (blocks != nullptr &&
-        (i + 1 == cells.size() ||
-         ((i + 1) % kPostingBlockCells) == 0)) {
-      blocks->push_back(block);
+    if (i + 1 == cells.size() || ((i + 1) % kPostingBlockCells) == 0) {
+      // Group-varint is a whole-block format (control bytes up front), so
+      // the block encodes in one go at the boundary. Deltas restart here
+      // too, same as kDeltaVarint.
+      if (compression == PostingCompression::kGroupVarint) {
+        kernel::GvEncodeBlock(cells.data() + (i + 1 - block.cell_count),
+                              block.cell_count, out);
+      }
+      if (blocks != nullptr) blocks->push_back(block);
     }
   }
 }
@@ -75,18 +82,26 @@ void EncodePostings(const std::vector<ICell>& cells,
   EncodePostings(cells, compression, out, nullptr);
 }
 
-Status DecodePostingBlock(const uint8_t* bytes, int64_t byte_length,
-                          int64_t count, PostingCompression compression,
-                          std::vector<ICell>* out) {
+Status DecodePostingBlockInto(const uint8_t* bytes, int64_t byte_length,
+                              int64_t count, PostingCompression compression,
+                              ICell* out) {
+  if (count < 0) {
+    return Status::DataLoss("negative posting block cell count");
+  }
   if (compression == PostingCompression::kNone) {
     if (byte_length < count * kICellBytes) {
       return Status::DataLoss("posting block shorter than its cell count");
     }
     for (int64_t i = 0; i < count; ++i) {
       const uint8_t* p = bytes + i * kICellBytes;
-      out->push_back(ICell{GetFixed24(p), GetFixed16(p + 3)});
+      out[i] = ICell{GetFixed24(p), GetFixed16(p + 3)};
     }
     return Status::OK();
+  }
+  if (compression == PostingCompression::kGroupVarint) {
+    int64_t consumed = 0;
+    return kernel::Active().gv_decode(bytes, byte_length, count, out,
+                                      &consumed);
   }
   const uint8_t* p = bytes;
   const uint8_t* limit = bytes + byte_length;
@@ -100,19 +115,57 @@ Status DecodePostingBlock(const uint8_t* bytes, int64_t byte_length,
       return Status::DataLoss("posting cell out of range (corrupt block)");
     }
     doc = static_cast<DocId>(next);
-    out->push_back(ICell{doc, static_cast<Weight>(w)});
+    out[i] = ICell{doc, static_cast<Weight>(w)};
   }
   return Status::OK();
+}
+
+Status DecodePostingBlock(const uint8_t* bytes, int64_t byte_length,
+                          int64_t count, PostingCompression compression,
+                          std::vector<ICell>* out) {
+  if (count < 0) {
+    return Status::DataLoss("negative posting block cell count");
+  }
+  const size_t base = out->size();
+  out->resize(base + static_cast<size_t>(count));
+  const Status s =
+      DecodePostingBlockInto(bytes, byte_length, count, compression,
+                             out->data() + base);
+  // Fail closed: a corrupt block leaves no partially-decoded cells behind.
+  if (!s.ok()) out->resize(base);
+  return s;
 }
 
 Result<std::vector<ICell>> DecodePostings(const uint8_t* bytes,
                                           int64_t byte_length, int64_t count,
                                           PostingCompression compression) {
+  if (count < 0) {
+    return Status::DataLoss("negative posting cell count");
+  }
   std::vector<ICell> cells;
   cells.reserve(static_cast<size_t>(count));
   if (compression == PostingCompression::kNone) {
     TEXTJOIN_RETURN_IF_ERROR(
         DecodePostingBlock(bytes, byte_length, count, compression, &cells));
+    return cells;
+  }
+  if (compression == PostingCompression::kGroupVarint) {
+    // Blocks are self-delimiting (the decoder reports the bytes it
+    // consumed), so the entry decodes block after block like varint does.
+    cells.resize(static_cast<size_t>(count));
+    const kernel::KernelTable& k = kernel::Active();
+    const uint8_t* p = bytes;
+    int64_t bytes_left = byte_length;
+    int64_t done = 0;
+    while (done < count) {
+      const int64_t n = std::min<int64_t>(count - done, kPostingBlockCells);
+      int64_t consumed = 0;
+      TEXTJOIN_RETURN_IF_ERROR(
+          k.gv_decode(p, bytes_left, n, cells.data() + done, &consumed));
+      p += consumed;
+      bytes_left -= consumed;
+      done += n;
+    }
     return cells;
   }
   // Delta encoding restarts every kPostingBlockCells cells; decode block

@@ -33,6 +33,12 @@ enum class PostingCompression {
   // shrinks I and J in the cost model's terms (bench_compression
   // quantifies the effect on HVNL and VVM).
   kDeltaVarint,
+  // Same deltas and restart points as kDeltaVarint, laid out group-varint
+  // style: per-group control bytes packed at the block front, payload
+  // after (src/kernel/group_varint.h documents the format). Compresses
+  // within a few percent of kDeltaVarint but decodes branch-free — and,
+  // through the dispatched SIMD kernels, several times faster.
+  kGroupVarint,
 };
 
 // Cells per posting block. Every entry is cut into fixed-size blocks of
@@ -254,6 +260,16 @@ Result<std::vector<ICell>> DecodePostings(const uint8_t* bytes,
 Status DecodePostingBlock(const uint8_t* bytes, int64_t byte_length,
                           int64_t count, PostingCompression compression,
                           std::vector<ICell>* out);
+
+// DecodePostingBlock into caller-owned storage: writes exactly `count`
+// cells at `out` on success (the caller guarantees the room). This is the
+// zero-allocation path block-granular readers (index/posting_cursor.h)
+// decode through — their scratch is sized once per entry, so steady-state
+// block decode never touches the allocator. On failure nothing is
+// guaranteed about `out`.
+Status DecodePostingBlockInto(const uint8_t* bytes, int64_t byte_length,
+                              int64_t count, PostingCompression compression,
+                              ICell* out);
 
 }  // namespace textjoin
 

@@ -30,14 +30,14 @@ Result<const ICell*> BlockLazyEntry::Block(int64_t b, int64_t* newly_decoded) {
         begin + bm.cell_count > cell_count()) {
       return Status::DataLoss("posting block metadata out of range");
     }
-    std::vector<ICell> scratch;
-    scratch.reserve(static_cast<size_t>(bm.cell_count));
+    // Decode straight into the entry's cell storage: cells_ was sized at
+    // construction, so the hot path performs no allocation and no copy.
+    // On failure the block's decoded_ flag stays clear, so no partially-
+    // written cells are ever observable.
     TEXTJOIN_RETURN_IF_ERROR(
-        DecodePostingBlock(raw_.data() + bm.offset_bytes,
-                           end_offset - bm.offset_bytes, bm.cell_count,
-                           compression_, &scratch));
-    std::copy(scratch.begin(), scratch.end(),
-              cells_.begin() + static_cast<size_t>(begin));
+        DecodePostingBlockInto(raw_.data() + bm.offset_bytes,
+                               end_offset - bm.offset_bytes, bm.cell_count,
+                               compression_, cells_.data() + begin));
     decoded_[static_cast<size_t>(b)] = 1;
     ++blocks_decoded_;
     if (newly_decoded != nullptr) *newly_decoded = bm.cell_count;
@@ -45,7 +45,8 @@ Result<const ICell*> BlockLazyEntry::Block(int64_t b, int64_t* newly_decoded) {
   return cells_.data() + begin;
 }
 
-Result<const std::vector<ICell>*> BlockLazyEntry::All(int64_t* newly_decoded) {
+Result<const kernel::ICellBuffer*> BlockLazyEntry::All(
+    int64_t* newly_decoded) {
   int64_t total = 0;
   for (int64_t b = 0; b < num_blocks(); ++b) {
     int64_t n = 0;

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "index/inverted_file.h"
+#include "kernel/aligned.h"
 #include "text/types.h"
 
 namespace textjoin {
@@ -44,13 +45,16 @@ class BlockLazyEntry {
   Result<const ICell*> Block(int64_t b, int64_t* newly_decoded);
 
   // Decodes every remaining block and returns the full cell vector.
-  Result<const std::vector<ICell>*> All(int64_t* newly_decoded);
+  Result<const kernel::ICellBuffer*> All(int64_t* newly_decoded);
 
  private:
   const InvertedFile::EntryMeta* meta_ = nullptr;
   PostingCompression compression_ = PostingCompression::kNone;
   std::vector<uint8_t> raw_;
-  std::vector<ICell> cells_;      // sized cell_count; filled per block
+  // Sized once to cell_count at construction (32-byte aligned for the
+  // SIMD kernels) and filled in place per block — block decode after
+  // construction never allocates.
+  kernel::ICellBuffer cells_;
   std::vector<char> decoded_;     // per-block flags
   int64_t blocks_decoded_ = 0;
 };

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "join/pruning.h"
+#include "kernel/aligned.h"
+#include "kernel/dispatch.h"
 #include "obs/query_stats.h"
 
 namespace textjoin {
@@ -52,6 +54,25 @@ struct PairPruner {
             100.0 * tightness_sum / static_cast<double>(tightness_n))));
   }
 
+  // Batched PairUpperBound of one fixed document against the resident
+  // batch, through the dispatched kernel. `fixed_is_a` says which argument
+  // position the fixed document holds in PairUpperBound (the trailing
+  // inv-norm multiplies associate left), so the batched bounds are
+  // bit-identical to the per-pair calls they replace. No-op when batch
+  // pruning is off.
+  void BatchPairBounds(const DocBounds& fixed,
+                       const std::vector<DocBounds>& cands, bool fixed_is_a,
+                       kernel::DoubleBuffer* out) const {
+    static_assert(sizeof(DocBounds) == 4 * sizeof(double),
+                  "pair_bounds kernel assumes DocBounds is 4 packed doubles");
+    if (!prune.bound_skip || cands.empty()) return;
+    out->resize(cands.size());
+    kernel::Active().pair_bounds(
+        reinterpret_cast<const double*>(cands.data()),
+        static_cast<int64_t>(cands.size()), fixed.max_w, fixed.sum_w,
+        fixed.norm_w, fixed.inv_norm, fixed_is_a, out->data());
+  }
+
   // Evaluates one candidate pair against `heap`, offering the finalized
   // score when the pair survives the bound checks. `inner_doc` is the
   // candidate identity (C1 side) for tie-breaking.
@@ -60,11 +81,15 @@ struct PairPruner {
                     const SuffixBounds& s1, const SuffixBounds& s2,
                     DocId inner_doc, DocId outer_doc, TopKAccumulator* heap,
                     CpuStats* cpu, const DocBlockIndex* k1 = nullptr,
-                    const DocBlockIndex* k2 = nullptr) {
+                    const DocBlockIndex* k2 = nullptr,
+                    const double* precomputed_ub = nullptr) {
     double pair_ub = 0;
     if (prune.bound_skip) {
+      // The check itself happens per pair whether the bound came from the
+      // batched kernel or is computed here — the metering is identical.
       if (cpu != nullptr) ++cpu->bound_checks;
-      pair_ub = PairUpperBound(b1, b2);
+      pair_ub =
+          precomputed_ub != nullptr ? *precomputed_ub : PairUpperBound(b1, b2);
       if (heap->CannotQualify(inner_doc, pair_ub * kBoundSlack)) {
         if (cpu != nullptr) ++cpu->pairs_pruned;
         return;
@@ -209,6 +234,7 @@ Result<JoinResult> HhnlJoin::RunForward(const JoinContext& ctx,
     DocBounds b1;
     SuffixBounds s1;
     DocBlockIndex k1;
+    kernel::DoubleBuffer pair_ubs;  // batched bounds, one per resident doc
     const SuffixBounds no_suffix;
     TEXTJOIN_RETURN_IF_ERROR(ForEachInnerDoc(
         ctx, spec, [&](DocId inner_doc, const Document& d1) {
@@ -218,6 +244,14 @@ Result<JoinResult> HhnlJoin::RunForward(const JoinContext& ctx,
             if (pruner.prune.early_exit) s1.Build(d1, *ctx.similarity);
           }
           if (pruner.use_blocks()) k1.Build(d1);
+          // One kernel call bounds the inner document against the whole
+          // resident batch (the inner document is PairUpperBound's first
+          // argument here).
+          const bool batched_ub = pruner.prune.bound_skip;
+          if (batched_ub) {
+            pruner.BatchPairBounds(b1, batch_bounds, /*fixed_is_a=*/true,
+                                   &pair_ubs);
+          }
           for (size_t i = 0; i < batch_size; ++i) {
             pruner.EvaluatePair(
                 d1, batch[i], b1,
@@ -225,7 +259,8 @@ Result<JoinResult> HhnlJoin::RunForward(const JoinContext& ctx,
                 batch_suffix.empty() ? no_suffix : batch_suffix[i],
                 inner_doc, batch_docs[i], &heaps[i], cpu,
                 pruner.use_blocks() ? &k1 : nullptr,
-                batch_blocks.empty() ? nullptr : &batch_blocks[i]);
+                batch_blocks.empty() ? nullptr : &batch_blocks[i],
+                batched_ub ? &pair_ubs[i] : nullptr);
           }
         }));
     for (size_t i = 0; i < batch_size; ++i) {
@@ -319,6 +354,7 @@ Result<JoinResult> HhnlJoin::RunBackward(const JoinContext& ctx,
     DocBounds b2;
     SuffixBounds s2;
     DocBlockIndex k2;
+    kernel::DoubleBuffer pair_ubs;  // batched bounds, one per resident doc
     const SuffixBounds no_suffix;
     for (size_t oi = 0; oi < participating.size(); ++oi) {
       DocId outer_doc = participating[oi];
@@ -335,13 +371,22 @@ Result<JoinResult> HhnlJoin::RunBackward(const JoinContext& ctx,
         if (pruner.prune.early_exit) s2.Build(d2, *ctx.similarity);
       }
       if (pruner.use_blocks()) k2.Build(d2);
+      // One kernel call bounds the outer document against the resident
+      // inner batch (the outer document is PairUpperBound's second
+      // argument here, hence fixed_is_a = false).
+      const bool batched_ub = pruner.prune.bound_skip;
+      if (batched_ub) {
+        pruner.BatchPairBounds(b2, batch_bounds, /*fixed_is_a=*/false,
+                               &pair_ubs);
+      }
       for (size_t i = 0; i < batch.size(); ++i) {
         pruner.EvaluatePair(
             batch[i], d2, batch_bounds.empty() ? b2 : batch_bounds[i], b2,
             batch_suffix.empty() ? no_suffix : batch_suffix[i], s2,
             batch_docs[i], outer_doc, &heaps[oi], cpu,
             batch_blocks.empty() ? nullptr : &batch_blocks[i],
-            pruner.use_blocks() ? &k2 : nullptr);
+            pruner.use_blocks() ? &k2 : nullptr,
+            batched_ub ? &pair_ubs[i] : nullptr);
       }
     }
   }

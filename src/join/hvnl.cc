@@ -10,6 +10,8 @@
 #include "common/logging.h"
 #include "cost/cost_model.h"
 #include "index/posting_cursor.h"
+#include "kernel/aligned.h"
+#include "kernel/dispatch.h"
 #include "obs/query_stats.h"
 
 namespace textjoin {
@@ -219,6 +221,17 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
   std::vector<int64_t> cell_entry;     // per outer cell: entries() index, -1
   std::vector<double> cell_w2f;        // per outer cell: w2 * idf^2
   std::vector<double> theta_scratch;
+  // Per-cell contributions (w1 * w2) * factor of one posting run, computed
+  // by the dispatched scoring kernel. Sized once to the largest inner
+  // entry, so the accumulation hot loop never reallocates.
+  kernel::DoubleBuffer contrib;
+  {
+    int64_t max_cells = 0;
+    for (const auto& e : index_entries) {
+      max_cells = std::max(max_cells, e.cell_count);
+    }
+    contrib.resize(static_cast<size_t>(max_cells));
+  }
 
   // Greedy ordering (Section 4.2's alternative): learn each outer
   // document's C1-relevant terms in one metered pass, then process the
@@ -469,7 +482,7 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
       auto walk = [&](BlockLazyEntry& lazy) -> Status {
         if (!suppress) {
           int64_t newly = 0;
-          TEXTJOIN_ASSIGN_OR_RETURN(const std::vector<ICell>* cells,
+          TEXTJOIN_ASSIGN_OR_RETURN(const kernel::ICellBuffer* cells,
                                     lazy.All(&newly));
           if (cpu != nullptr) {
             cpu->cells_decoded += newly;
@@ -477,9 +490,16 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
             // The entry walk visits every cell.
             cpu->cell_compares += static_cast<int64_t>(cells->size());
           }
-          for (const ICell& ic : *cells) {
+          // Contributions come from the vectorized scoring kernel; the
+          // scatter into the accumulator stays sequential and in document
+          // order, so scores are bit-identical to the scalar loop.
+          const int64_t n = static_cast<int64_t>(cells->size());
+          kernel::Active().scale_cells(cells->data(), n, w2, factor,
+                                       contrib.data());
+          for (int64_t k = 0; k < n; ++k) {
+            const ICell& ic = (*cells)[static_cast<size_t>(k)];
             if (!inner_member.empty() && !inner_member[ic.doc]) continue;
-            acc[ic.doc] += static_cast<double>(ic.weight) * w2 * factor;
+            acc[ic.doc] += contrib[static_cast<size_t>(k)];
           }
           return Status::OK();
         }
@@ -507,13 +527,15 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
               // The walked block's cells are all visited.
               cpu->cell_compares += static_cast<int64_t>(bm.cell_count);
             }
+            kernel::Active().scale_cells(cells, bm.cell_count, w2, factor,
+                                         contrib.data());
             int64_t performed = 0;
             for (int64_t k = 0; k < bm.cell_count; ++k) {
               const ICell& ic = cells[k];
               if (!inner_member.empty() && !inner_member[ic.doc]) continue;
               auto it = acc.find(ic.doc);
               if (it != acc.end()) {
-                it->second += static_cast<double>(ic.weight) * w2 * factor;
+                it->second += contrib[static_cast<size_t>(k)];
                 ++performed;
               } else {
                 ++run_stats_.suppressed_candidates;
@@ -525,19 +547,23 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
           return Status::OK();
         }
         int64_t newly = 0;
-        TEXTJOIN_ASSIGN_OR_RETURN(const std::vector<ICell>* cells,
+        TEXTJOIN_ASSIGN_OR_RETURN(const kernel::ICellBuffer* cells,
                                   lazy.All(&newly));
         if (cpu != nullptr) {
           cpu->cells_decoded += newly;
           // The entry walk visits every cell.
           cpu->cell_compares += static_cast<int64_t>(cells->size());
         }
+        const int64_t n = static_cast<int64_t>(cells->size());
+        kernel::Active().scale_cells(cells->data(), n, w2, factor,
+                                     contrib.data());
         int64_t performed = 0;
-        for (const ICell& ic : *cells) {
+        for (int64_t k = 0; k < n; ++k) {
+          const ICell& ic = (*cells)[static_cast<size_t>(k)];
           if (!inner_member.empty() && !inner_member[ic.doc]) continue;
           auto it = acc.find(ic.doc);
           if (it != acc.end()) {
-            it->second += static_cast<double>(ic.weight) * w2 * factor;
+            it->second += contrib[static_cast<size_t>(k)];
             ++performed;
             continue;
           }
@@ -552,17 +578,15 @@ Result<JoinResult> HvnlJoin::Run(const JoinContext& ctx,
             // (outer document, candidate) — a refusal is permanent, so the
             // candidate joins the dead set.
             if (cpu != nullptr) ++cpu->bound_checks;
-            const double contrib =
-                static_cast<double>(ic.weight) * w2 * factor;
-            if (!can_reach_theta(contrib, ic.doc, ci + 1,
-                                 exact_scale(ic.doc))) {
+            if (!can_reach_theta(contrib[static_cast<size_t>(k)], ic.doc,
+                                 ci + 1, exact_scale(ic.doc))) {
               dead.insert(ic.doc);
               ++run_stats_.suppressed_candidates;
               if (cpu != nullptr) ++cpu->candidates_suppressed;
               continue;
             }
           }
-          acc.emplace(ic.doc, static_cast<double>(ic.weight) * w2 * factor);
+          acc.emplace(ic.doc, contrib[static_cast<size_t>(k)]);
           ++performed;
           ++admissions_since_rebuild;
           acc_docs_dirty = true;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "kernel/dispatch.h"
+
 namespace textjoin {
 
 DocBounds ComputeDocBounds(const Document& doc, const SimilarityContext& ctx,
@@ -115,29 +117,41 @@ PrunedDotResult WeightedDotPruned(const Document& d1, const Document& d2,
     return out;
   }
 
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
+  // Linear arm through the dispatched merge kernel, chunked at the bound-
+  // check cadence: each kernel call's step budget is exactly the distance
+  // to the next scheduled check, so bound checks fire at the same logical
+  // step, at the same merge positions, with the same accumulator value as
+  // the scalar walk — the early-exit decision stream is bit-identical.
+  const auto& k = kernel::Active();
+  const int64_t na = static_cast<int64_t>(a.size());
+  const int64_t nb = static_cast<int64_t>(b.size());
+  kernel::MergeCursor cur;
+  int32_t ma[kEarlyExitStride], mb[kEarlyExitStride];
+  while (cur.i < na && cur.j < nb) {
     if (det.merge_steps >= next_check) {
       next_check = det.merge_steps + kEarlyExitStride;
       ++out.bound_checks;
       const double ub =
-          (det.acc + RemainingBound(b1, i, b2, j)) * inv_denom * kBoundSlack;
+          (det.acc + RemainingBound(b1, static_cast<size_t>(cur.i), b2,
+                                    static_cast<size_t>(cur.j))) *
+          inv_denom * kBoundSlack;
       if (heap.CannotQualify(doc, ub)) {
         out.pruned = true;
         return out;
       }
     }
-    ++det.merge_steps;
-    if (a[i].term < b[j].term) {
-      ++i;
-    } else if (a[i].term > b[j].term) {
-      ++j;
-    } else {
-      det.acc += static_cast<double>(a[i].weight) *
-                 static_cast<double>(b[j].weight) * ctx.TermFactor(a[i].term);
+    // Budget never exceeds kEarlyExitStride (next_check is at most that
+    // far ahead), so the fixed match arrays above always have room.
+    const int64_t budget = next_check - det.merge_steps;
+    int64_t nm = 0;
+    det.merge_steps +=
+        k.merge_linear(a.data(), na, b.data(), nb, &cur, budget, ma, mb, &nm);
+    for (int64_t m = 0; m < nm; ++m) {
+      const DCell& ca = a[static_cast<size_t>(ma[m])];
+      const DCell& cb = b[static_cast<size_t>(mb[m])];
+      det.acc += static_cast<double>(ca.weight) *
+                 static_cast<double>(cb.weight) * ctx.TermFactor(ca.term);
       ++det.common_terms;
-      ++i;
-      ++j;
     }
   }
   return out;

@@ -9,6 +9,8 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "index/posting_cursor.h"
+#include "kernel/aligned.h"
+#include "kernel/dispatch.h"
 #include "obs/query_stats.h"
 
 namespace textjoin {
@@ -192,6 +194,15 @@ Result<JoinResult> VvmJoin::Run(const JoinContext& ctx,
   JoinResult result;
   result.reserve(participating.size());
   std::unordered_map<uint64_t, double> acc;
+  // Per-cell contributions of one C1 entry against one outer cell, from
+  // the dispatched scoring kernel. Sized once to the largest C1 entry so
+  // the merge's accumulation loops never reallocate.
+  kernel::DoubleBuffer contribs;
+  {
+    int64_t max_cells = 0;
+    for (const auto& e : E1) max_cells = std::max(max_cells, e.cell_count);
+    contribs.resize(static_cast<size_t>(max_cells));
+  }
   std::unordered_map<DocId, std::vector<double>> theta_groups;  // scratch
   // Refused/retired pairs (block feature): a refusal is permanent — the
   // remaining potential only shrinks while theta only grows — so each pair
@@ -307,10 +318,15 @@ Result<JoinResult> VvmJoin::Run(const JoinContext& ctx,
             cpu->accumulations += static_cast<int64_t>(e1.size());
             cpu->cell_compares += static_cast<int64_t>(e1.size());
           }
-          for (const ICell& icell : e1) {
+          // Vectorized contributions, sequential in-document-order scatter
+          // — bit-identical to the scalar accumulation loop.
+          const int64_t n1 = static_cast<int64_t>(e1.size());
+          kernel::Active().scale_cells(e1.data(), n1, w2, factor,
+                                       contribs.data());
+          for (int64_t k = 0; k < n1; ++k) {
+            const ICell& icell = e1[static_cast<size_t>(k)];
             if (!inner_member.empty() && !inner_member[icell.doc]) continue;
-            acc[base | icell.doc] +=
-                static_cast<double>(icell.weight) * w2 * factor;
+            acc[base | icell.doc] += contribs[static_cast<size_t>(k)];
           }
         }
       } else {
@@ -411,17 +427,20 @@ Result<JoinResult> VvmJoin::Run(const JoinContext& ctx,
           }
 
           int64_t newly = 0;
-          TEXTJOIN_ASSIGN_OR_RETURN(const std::vector<ICell>* cells1,
+          TEXTJOIN_ASSIGN_OR_RETURN(const kernel::ICellBuffer* cells1,
                                     e1.All(&newly));
           if (cpu != nullptr) {
             cpu->cells_decoded += newly;
             // The open walk visits every C1 cell for this outer cell.
             cpu->cell_compares += static_cast<int64_t>(cells1->size());
           }
-          for (const ICell& icell : *cells1) {
+          const int64_t n1 = static_cast<int64_t>(cells1->size());
+          kernel::Active().scale_cells(cells1->data(), n1, w2, factor,
+                                       contribs.data());
+          for (int64_t k1 = 0; k1 < n1; ++k1) {
+            const ICell& icell = (*cells1)[static_cast<size_t>(k1)];
             if (!inner_member.empty() && !inner_member[icell.doc]) continue;
-            const double contrib =
-                static_cast<double>(icell.weight) * w2 * factor;
+            const double contrib = contribs[static_cast<size_t>(k1)];
             auto it = acc.find(base | icell.doc);
             if (it != acc.end()) {
               it->second += contrib;
@@ -495,7 +514,7 @@ Result<JoinResult> VvmJoin::Run(const JoinContext& ctx,
           }
         } else {
           int64_t newly2 = 0;
-          TEXTJOIN_ASSIGN_OR_RETURN(const std::vector<ICell>* cells2,
+          TEXTJOIN_ASSIGN_OR_RETURN(const kernel::ICellBuffer* cells2,
                                     e2.All(&newly2));
           if (cpu != nullptr) {
             cpu->cells_decoded += newly2;

@@ -1,0 +1,69 @@
+#include "kernel/group_varint.h"
+
+#include <cstddef>
+
+namespace textjoin {
+namespace kernel {
+
+namespace {
+
+// Byte length of a value under group-varint (1..4; values above 2^32-1
+// never occur: gaps and weights both fit 32 bits by construction).
+inline int ValueBytes(uint32_t v) {
+  if (v < (1u << 8)) return 1;
+  if (v < (1u << 16)) return 2;
+  if (v < (1u << 24)) return 3;
+  return 4;
+}
+
+}  // namespace
+
+void GvEncodeBlock(const ICell* cells, int64_t count,
+                   std::vector<uint8_t>* out) {
+  if (count <= 0) return;
+  const int64_t num_values = 2 * count;
+  const int64_t ctrl_bytes = GvControlBytes(count);
+  const size_t ctrl_base = out->size();
+  out->resize(ctrl_base + static_cast<size_t>(ctrl_bytes), 0);
+
+  uint32_t prev_doc = 0;
+  for (int64_t v = 0; v < num_values; ++v) {
+    uint32_t value;
+    const int64_t cell = v / 2;
+    if ((v & 1) == 0) {
+      value = v == 0 ? cells[cell].doc : cells[cell].doc - prev_doc;
+      prev_doc = cells[cell].doc;
+    } else {
+      value = cells[cell].weight;
+    }
+    const int len = ValueBytes(value);
+    (*out)[ctrl_base + static_cast<size_t>(v / 4)] |=
+        static_cast<uint8_t>((len - 1) << ((v % 4) * 2));
+    for (int b = 0; b < len; ++b) {
+      out->push_back(static_cast<uint8_t>(value >> (8 * b)));
+    }
+  }
+}
+
+const GvTables& GetGvTables() {
+  static const GvTables tables = [] {
+    GvTables t;
+    for (int ctrl = 0; ctrl < 256; ++ctrl) {
+      int offset = 0;
+      for (int k = 0; k < 4; ++k) {
+        const int len = 1 + ((ctrl >> (2 * k)) & 3);
+        for (int b = 0; b < 4; ++b) {
+          t.shuffle[ctrl][4 * k + b] =
+              b < len ? static_cast<uint8_t>(offset + b) : uint8_t{0x80};
+        }
+        offset += len;
+      }
+      t.length[ctrl] = static_cast<uint8_t>(offset);
+    }
+    return t;
+  }();
+  return tables;
+}
+
+}  // namespace kernel
+}  // namespace textjoin

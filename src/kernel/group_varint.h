@@ -1,0 +1,70 @@
+#ifndef TEXTJOIN_KERNEL_GROUP_VARINT_H_
+#define TEXTJOIN_KERNEL_GROUP_VARINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/types.h"
+
+namespace textjoin {
+namespace kernel {
+
+// Group-varint posting-block layout (PostingCompression::kGroupVarint).
+//
+// One block of `count` cells encodes 2*count values, interleaved
+//   gap0, w0, gap1, w1, ...
+// where gap0 is the block's first document number itself (delta restart,
+// exactly like kDeltaVarint) and later gaps are deltas. Values are cut
+// into groups of four; each group is described by one CONTROL byte whose
+// 2-bit fields (value k at bits 2k..2k+1) give the value's byte length
+// minus one, so a value occupies 1..4 little-endian bytes. All control
+// bytes are packed at the block's front, payload bytes follow:
+//
+//   [ctrl 0][ctrl 1]...[ctrl G-1][payload of group 0][payload of group 1]...
+//
+// with G = GvControlBytes(count). When 2*count is not a multiple of four
+// (odd cell counts — only ever the entry's last block), the final group is
+// partial: its unused control fields MUST be zero and contribute no
+// payload, which the decoder enforces (a bit flip in the slack bits is
+// corruption, not silence).
+//
+// What the split layout buys: a decoder reads the control byte and then
+// knows the positions of all four values at once — no per-byte
+// continuation-bit branches — and a single pshufb against a 256-entry
+// shuffle table expands the group into four dwords in one instruction.
+// The front-loaded control region keeps the payload contiguous, so those
+// 16-byte loads stream.
+
+// Control bytes for a block of `count` cells (2 values per cell, 4 values
+// per control byte).
+inline constexpr int64_t GvControlBytes(int64_t count) {
+  return (2 * count + 3) / 4;
+}
+
+// Largest possible encoding of a block of `count` cells: every value at
+// the full 4 bytes.
+inline constexpr int64_t GvMaxEncodedBytes(int64_t count) {
+  return GvControlBytes(count) + 8 * count;
+}
+
+// Appends one encoded block to `out`. `cells` must be sorted ascending by
+// document number (gaps of cells past the first must fit uint32, which
+// 24-bit document numbers guarantee).
+void GvEncodeBlock(const ICell* cells, int64_t count,
+                   std::vector<uint8_t>* out);
+
+// Per-control-byte decode tables, shared by every dispatch level: the
+// total payload length of the group and, for the SIMD variants, the
+// pshufb mask that expands the group's packed bytes into four little-
+// endian dwords (0x80 lanes zero-fill).
+struct GvTables {
+  alignas(64) uint8_t shuffle[256][16];
+  uint8_t length[256];  // payload bytes of the whole group (4..16)
+};
+
+const GvTables& GetGvTables();
+
+}  // namespace kernel
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_KERNEL_GROUP_VARINT_H_

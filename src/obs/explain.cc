@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "cost/cpu_model.h"
+#include "kernel/calibrate.h"
+#include "kernel/dispatch.h"
 
 namespace textjoin {
 
@@ -232,6 +234,26 @@ std::string RenderExplainAnalyze(const ExplainPlan& plan,
   }
 
   out += "\ncpu: " + stats.root.cpu.ToString() + "\n";
+  if (options.include_wall_time) {
+    // Bridge from machine-independent counts to this host's nanoseconds.
+    // Calibrated constants vary per machine and build, so this line is
+    // gated with the other wall-clock output the golden tests exclude.
+    const kernel::CalibratedCosts& cal = kernel::Calibrated();
+    const CpuStats& c = stats.root.cpu;
+    const double est_ns =
+        static_cast<double>(c.cell_compares) * cal.ns_per_merge_step +
+        static_cast<double>(c.accumulations) * cal.ns_per_accumulation +
+        static_cast<double>(c.cells_decoded) * cal.ns_per_cell_varint;
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "calibrated: merge=%.2fns/step accum=%.2fns "
+                  "decode=%.2f/%.2fns/cell (varint/gv, %s kernels); "
+                  "est. cpu wall %.3fms\n",
+                  cal.ns_per_merge_step, cal.ns_per_accumulation,
+                  cal.ns_per_cell_varint, cal.ns_per_cell_gv,
+                  kernel::Active().name, est_ns * 1e-6);
+    out += buf;
+  }
   if (stats.root.cpu.any_pruning()) {
     const CpuStats& c = stats.root.cpu;
     char buf[256];

@@ -54,7 +54,8 @@ InvertedFile BuildIndex(Disk* disk, const std::string& name,
 // invariant).
 TEST(BlockMetadataTest, BlocksTileEntriesWithExactSummaries) {
   for (const PostingCompression comp :
-       {PostingCompression::kNone, PostingCompression::kDeltaVarint}) {
+       {PostingCompression::kNone, PostingCompression::kDeltaVarint,
+        PostingCompression::kGroupVarint}) {
     SimulatedDisk disk(256);
     // 200 docs x 8 terms over a 30-term vocabulary: head terms exceed 64
     // documents, so multi-block entries occur.
@@ -158,7 +159,8 @@ TEST(BlockMetadataTest, CatalogRoundTripPreservesBlockSummaries) {
 // every target, while skipping blocks undecoded on long jumps.
 TEST(PostingCursorTest, NextGEQAgreesWithFullDecode) {
   for (const PostingCompression comp :
-       {PostingCompression::kNone, PostingCompression::kDeltaVarint}) {
+       {PostingCompression::kNone, PostingCompression::kDeltaVarint,
+        PostingCompression::kGroupVarint}) {
     SimulatedDisk disk(256);
     auto col = RandomCollection(&disk, "col", 200, 8, 30, 9);
     InvertedFile index = BuildIndex(&disk, "col.inv", col, comp);
@@ -273,7 +275,8 @@ JoinContext MakeContext(SimulatedDisk* disk, const DocumentCollection& inner,
 TEST(BlockMaxIdentityTest, BlocksOnOffBitIdenticalAcrossExecutors) {
   const uint64_t seed = SeedOffset();
   for (const PostingCompression comp :
-       {PostingCompression::kNone, PostingCompression::kDeltaVarint}) {
+       {PostingCompression::kNone, PostingCompression::kDeltaVarint,
+        PostingCompression::kGroupVarint}) {
     SimulatedDisk disk(256);
     auto inner = RandomCollection(&disk, "c1", 60, 6, 50, 21 + seed);
     auto outer = RandomCollection(&disk, "c2", 35, 5, 50, 22 + seed);
@@ -313,7 +316,8 @@ TEST(BlockMaxIdentityTest, BlocksOnOffBitIdenticalAcrossExecutors) {
 TEST(BlockMaxIdentityTest, MultiPassVvmSkipsBlocksAndStaysExact) {
   const uint64_t seed = SeedOffset();
   for (const PostingCompression comp :
-       {PostingCompression::kNone, PostingCompression::kDeltaVarint}) {
+       {PostingCompression::kNone, PostingCompression::kDeltaVarint,
+        PostingCompression::kGroupVarint}) {
     SimulatedDisk disk(256);
     // 20-term vocabulary: outer entries average 90 cells (several blocks).
     auto inner = RandomCollection(&disk, "c1", 30, 6, 20, 31 + seed);

@@ -136,7 +136,8 @@ INSTANTIATE_TEST_SUITE_P(
 // only the document files, so it still returns the exact answer.
 TEST(ChaosCorruptionTest, PostingBlockBitFlipsSurfaceAsDataLoss) {
   for (const PostingCompression comp :
-       {PostingCompression::kNone, PostingCompression::kDeltaVarint}) {
+       {PostingCompression::kNone, PostingCompression::kDeltaVarint,
+        PostingCompression::kGroupVarint}) {
     SimulatedDisk base(256);
     ReliableDisk disk(&base);
     auto inner = RandomCollection(&disk, "c1", 40, 6, 50, 71 + SeedOffset());

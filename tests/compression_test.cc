@@ -90,7 +90,8 @@ TEST(PostingCodecTest, TruncatedEntryIsDataLoss) {
   std::vector<ICell> cells;
   for (DocId d = 0; d < 100; ++d) cells.push_back(ICell{d * 7, 3});
   for (PostingCompression c :
-       {PostingCompression::kNone, PostingCompression::kDeltaVarint}) {
+       {PostingCompression::kNone, PostingCompression::kDeltaVarint,
+        PostingCompression::kGroupVarint}) {
     std::vector<uint8_t> buf;
     EncodePostings(cells, c, &buf);
     auto r = DecodePostings(buf.data(), static_cast<int64_t>(buf.size()) / 2,
@@ -135,7 +136,8 @@ TEST_P(PostingCodecPropertyTest, RandomListsRoundTrip) {
   std::sort(cells.begin(), cells.end(),
             [](const ICell& a, const ICell& b) { return a.doc < b.doc; });
   for (PostingCompression c :
-       {PostingCompression::kNone, PostingCompression::kDeltaVarint}) {
+       {PostingCompression::kNone, PostingCompression::kDeltaVarint,
+        PostingCompression::kGroupVarint}) {
     std::vector<uint8_t> buf;
     std::vector<InvertedFile::PostingBlockMeta> blocks;
     EncodePostings(cells, c, &buf, &blocks);
@@ -178,42 +180,50 @@ TEST(CompressedInvertedFileTest, SamePostingsSmallerFile) {
   SimulatedDisk disk(256);
   auto col = RandomCollection(&disk, "c", 80, 8, 60, 91);
   auto plain = InvertedFile::Build(&disk, "c.inv", col);
-  auto packed = InvertedFile::Build(
-      &disk, "c.vinv", col,
-      InvertedFile::BuildOptions{PostingCompression::kDeltaVarint});
   ASSERT_TRUE(plain.ok());
-  ASSERT_TRUE(packed.ok());
-  EXPECT_LT(packed->size_in_bytes(), plain->size_in_bytes());
-  EXPECT_LE(packed->size_in_pages(), plain->size_in_pages());
-  ASSERT_EQ(packed->num_terms(), plain->num_terms());
+  int suffix = 0;
+  for (PostingCompression c : {PostingCompression::kDeltaVarint,
+                               PostingCompression::kGroupVarint}) {
+    auto packed =
+        InvertedFile::Build(&disk, "c" + std::to_string(suffix++) + ".vinv",
+                            col, InvertedFile::BuildOptions{c});
+    ASSERT_TRUE(packed.ok());
+    EXPECT_LT(packed->size_in_bytes(), plain->size_in_bytes());
+    EXPECT_LE(packed->size_in_pages(), plain->size_in_pages());
+    ASSERT_EQ(packed->num_terms(), plain->num_terms());
 
-  for (const auto& e : plain->entries()) {
-    auto a = plain->FetchEntry(e.term);
-    auto b = packed->FetchEntry(e.term);
-    ASSERT_TRUE(a.ok());
-    ASSERT_TRUE(b.ok());
-    EXPECT_EQ(*a, *b) << "term " << e.term;
+    for (const auto& e : plain->entries()) {
+      auto a = plain->FetchEntry(e.term);
+      auto b = packed->FetchEntry(e.term);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(*a, *b) << "term " << e.term;
+    }
   }
 }
 
 TEST(CompressedInvertedFileTest, ScannerDecodesCompressedEntries) {
-  SimulatedDisk disk(256);
-  auto col = RandomCollection(&disk, "c", 60, 6, 50, 92);
-  auto packed = InvertedFile::Build(
-      &disk, "c.vinv", col,
-      InvertedFile::BuildOptions{PostingCompression::kDeltaVarint});
-  ASSERT_TRUE(packed.ok());
-  auto scan = packed->Scan();
-  int64_t total = 0;
-  while (!scan.Done()) {
-    TermId t = scan.NextTerm();
-    auto cells = scan.Next();
-    ASSERT_TRUE(cells.ok());
-    EXPECT_EQ(static_cast<int64_t>(cells->size()),
-              col.DocumentFrequency(t));
-    total += static_cast<int64_t>(cells->size());
+  int suffix = 0;
+  for (PostingCompression c : {PostingCompression::kDeltaVarint,
+                               PostingCompression::kGroupVarint}) {
+    SimulatedDisk disk(256);
+    auto col = RandomCollection(&disk, "c", 60, 6, 50, 92);
+    auto packed =
+        InvertedFile::Build(&disk, "c" + std::to_string(suffix++) + ".vinv",
+                            col, InvertedFile::BuildOptions{c});
+    ASSERT_TRUE(packed.ok());
+    auto scan = packed->Scan();
+    int64_t total = 0;
+    while (!scan.Done()) {
+      TermId t = scan.NextTerm();
+      auto cells = scan.Next();
+      ASSERT_TRUE(cells.ok());
+      EXPECT_EQ(static_cast<int64_t>(cells->size()),
+                col.DocumentFrequency(t));
+      total += static_cast<int64_t>(cells->size());
+    }
+    EXPECT_EQ(total, col.total_cells());
   }
-  EXPECT_EQ(total, col.total_cells());
 }
 
 TEST(CompressedInvertedFileTest, ExecutorsAgreeAndIoDrops) {

@@ -237,12 +237,18 @@ TEST(ExplainAnalyzeTest, WallTimeOptionControlsWallLine) {
   auto analyzed = planner.ExecuteAnalyze(f->Context(kBufferPages), spec, with);
   ASSERT_TRUE(analyzed.ok());
   EXPECT_NE(analyzed->report.find("wall:"), std::string::npos);
+  // The calibrated-cost line rides the same gate: per-step kernel costs
+  // and the estimated CPU wall time are machine-dependent, so they only
+  // render when wall time does (goldens run with both off).
+  EXPECT_NE(analyzed->report.find("calibrated:"), std::string::npos);
+  EXPECT_NE(analyzed->report.find("est. cpu wall"), std::string::npos);
 
   ExplainOptions without;
   without.include_wall_time = false;
   auto quiet = planner.ExecuteAnalyze(f->Context(kBufferPages), spec, without);
   ASSERT_TRUE(quiet.ok());
   EXPECT_EQ(quiet->report.find("wall:"), std::string::npos);
+  EXPECT_EQ(quiet->report.find("calibrated:"), std::string::npos);
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include "storage/disk_manager.h"
 #include "catalog/catalog.h"
 #include "common/crc32.h"
+#include "storage/coding.h"
+#include "storage/page_stream.h"
 #include "dynamic/dynamic_collection.h"
 #include "join/hhnl.h"
 #include "storage/snapshot.h"
@@ -230,25 +232,77 @@ TEST(CatalogTest, CollectionRoundTrip) {
 }
 
 TEST(CatalogTest, InvertedFileRoundTrip) {
+  for (const PostingCompression comp : {PostingCompression::kDeltaVarint,
+                                        PostingCompression::kGroupVarint}) {
+    SimulatedDisk disk(128);
+    auto col = RandomCollection(&disk, "col", 30, 6, 40, 14);
+    auto inv = InvertedFile::Build(&disk, "col.inv", col,
+                                   InvertedFile::BuildOptions{comp});
+    ASSERT_TRUE(inv.ok());
+    ASSERT_TRUE(SaveInvertedFileCatalog(*inv, "col.inv.cat").ok());
+
+    auto reopened = OpenInvertedFile(&disk, "col.inv.cat");
+    ASSERT_TRUE(reopened.ok()) << reopened.status();
+    EXPECT_EQ(reopened->num_terms(), inv->num_terms());
+    EXPECT_EQ(reopened->size_in_bytes(), inv->size_in_bytes());
+    EXPECT_EQ(reopened->compression(), comp);
+    for (const auto& e : inv->entries()) {
+      EXPECT_EQ(reopened->FetchEntry(e.term).value(),
+                inv->FetchEntry(e.term).value());
+      EXPECT_EQ(reopened->btree().Lookup(e.term).value().address,
+                inv->btree().Lookup(e.term).value().address);
+    }
+  }
+}
+
+// The catalog's compression byte is validated on open: a value past the
+// last known PostingCompression must be rejected as kDataLoss, not cast
+// into the enum and dispatched on. The record's CRC is recomputed after
+// the patch so the corruption reaches the semantic check, not the
+// checksum.
+TEST(CatalogTest, UnknownCompressionByteRejected) {
   SimulatedDisk disk(128);
-  auto col = RandomCollection(&disk, "col", 30, 6, 40, 14);
+  auto col = RandomCollection(&disk, "col", 10, 4, 20, 15);
   auto inv = InvertedFile::Build(
       &disk, "col.inv", col,
-      InvertedFile::BuildOptions{PostingCompression::kDeltaVarint});
+      InvertedFile::BuildOptions{PostingCompression::kGroupVarint});
   ASSERT_TRUE(inv.ok());
   ASSERT_TRUE(SaveInvertedFileCatalog(*inv, "col.inv.cat").ok());
 
-  auto reopened = OpenInvertedFile(&disk, "col.inv.cat");
-  ASSERT_TRUE(reopened.ok()) << reopened.status();
-  EXPECT_EQ(reopened->num_terms(), inv->num_terms());
-  EXPECT_EQ(reopened->size_in_bytes(), inv->size_in_bytes());
-  EXPECT_EQ(reopened->compression(), PostingCompression::kDeltaVarint);
-  for (const auto& e : inv->entries()) {
-    EXPECT_EQ(reopened->FetchEntry(e.term).value(),
-              inv->FetchEntry(e.term).value());
-    EXPECT_EQ(reopened->btree().Lookup(e.term).value().address,
-              inv->btree().Lookup(e.term).value().address);
-  }
+  // Record layout (catalog.cc WriteRecord): magic u32, payload length
+  // u64, payload crc u32, payload. The payload opens with two fixed32-
+  // length-prefixed strings (data file, btree file); the compression byte
+  // follows.
+  auto file = disk.FindFile("col.inv.cat");
+  ASSERT_TRUE(file.ok());
+  PageStreamReader reader(&disk, *file);
+  std::vector<uint8_t> header;
+  ASSERT_TRUE(reader.Read(0, 16, &header).ok());
+  const uint64_t len = GetFixed64(header.data() + 4);
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(reader.Read(16, static_cast<int64_t>(len), &payload).ok());
+  size_t at = 4 + GetFixed32(payload.data());
+  at += 4 + GetFixed32(payload.data() + at);
+  ASSERT_EQ(payload[at],
+            static_cast<uint8_t>(PostingCompression::kGroupVarint));
+  payload[at] = 0x7F;
+
+  std::vector<uint8_t> patched_header;
+  PutFixed32(&patched_header, GetFixed32(header.data()));
+  PutFixed64(&patched_header, len);
+  PutFixed32(&patched_header, Crc32(payload.data(), payload.size()));
+  FileId patched = disk.CreateFile("col.bad.cat");
+  PageStreamWriter writer(&disk, patched);
+  writer.Append(patched_header);
+  writer.Append(payload);
+  ASSERT_TRUE(writer.Finish().ok());
+
+  auto reopened = OpenInvertedFile(&disk, "col.bad.cat");
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(reopened.status().message().find("unknown compression code"),
+            std::string::npos)
+      << reopened.status();
 }
 
 // The full story: build, catalog, snapshot to a real file, reload in a
